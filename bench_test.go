@@ -1,0 +1,357 @@
+package repro
+
+// The benchmark harness: one benchmark (family) per experiment in
+// EXPERIMENTS.md. `go test -bench=. -benchmem` regenerates the performance
+// side of every table; the vgbl-experiments binary prints the full tables.
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/author"
+	"repro/internal/baseline"
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/media/playback"
+	"repro/internal/media/raster"
+	"repro/internal/media/shotdetect"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+	"repro/internal/media/vcodec"
+	"repro/internal/netstream"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Shared fixtures, built once.
+var (
+	onceFilm  sync.Once
+	benchFilm *synth.Film
+
+	onceVideo  sync.Once
+	benchVideo []byte // 30s film, GOP 12
+
+	oncePkg  sync.Once
+	benchPkg []byte // classroom package
+)
+
+func film(b *testing.B) *synth.Film {
+	onceFilm.Do(func() {
+		benchFilm = synth.Generate(synth.Spec{
+			W: 96, H: 64, FPS: 12,
+			Shots: 6, MinShotFrames: 50, MaxShotFrames: 70,
+			NoiseAmp: 1, Seed: 7,
+		})
+	})
+	return benchFilm
+}
+
+func video(b *testing.B) []byte {
+	f := film(b)
+	onceVideo.Do(func() {
+		blob, err := studio.Record(f, studio.Options{QStep: 8, GOP: 12, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchVideo = blob
+	})
+	return benchVideo
+}
+
+func classroomPkg(b *testing.B) []byte {
+	oncePkg.Do(func() {
+		blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPkg = blob
+	})
+	return benchPkg
+}
+
+// --- E1: shot segmentation ------------------------------------------------
+
+func BenchmarkShotDetect(b *testing.B) {
+	f := film(b)
+	src := shotdetect.FuncSource{N: f.FrameCount(), F: func(i int) (*raster.Frame, error) {
+		return f.Render(i), nil
+	}}
+	cfg := shotdetect.Defaults()
+	b.ReportMetric(float64(f.FrameCount()), "frames")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shotdetect.Detect(src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: scenario switch --------------------------------------------------
+
+func BenchmarkScenarioSwitchIndexed(b *testing.B) {
+	blob := video(b)
+	v, err := playback.OpenVideo(blob, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := v.Meta().FrameCount
+	targets := []int{n - 1, 5, n / 2, n / 3, n - 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.FrameAt(targets[i%len(targets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioSwitchLinearScan(b *testing.B) {
+	blob := video(b)
+	v, _ := playback.OpenVideo(blob, 1)
+	target := v.Meta().FrameCount - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.UnindexedSeek(blob, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: codec ---------------------------------------------------------
+
+func benchmarkEncode(b *testing.B, w, h, q, workers int) {
+	f := synth.Generate(synth.Spec{
+		W: w, H: h, FPS: 10, Shots: 2,
+		MinShotFrames: 15, MaxShotFrames: 16, NoiseAmp: 2, Seed: 5,
+	})
+	frames := make([]*raster.Frame, 16)
+	for i := range frames {
+		frames[i] = f.Render(i)
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: w, Height: h, QStep: q, GOP: 8, SearchRange: 3, Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := enc.Encode(frames[i%len(frames)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += len(pkt.Data)
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/frame")
+}
+
+func BenchmarkEncode160x120Q4W1(b *testing.B)  { benchmarkEncode(b, 160, 120, 4, 1) }
+func BenchmarkEncode160x120Q4W4(b *testing.B)  { benchmarkEncode(b, 160, 120, 4, 4) }
+func BenchmarkEncode320x240Q4W1(b *testing.B)  { benchmarkEncode(b, 320, 240, 4, 1) }
+func BenchmarkEncode160x120Q16W1(b *testing.B) { benchmarkEncode(b, 160, 120, 16, 1) }
+
+func BenchmarkDecode160x120(b *testing.B) {
+	f := synth.Generate(synth.Spec{
+		W: 160, H: 120, FPS: 10, Shots: 2,
+		MinShotFrames: 15, MaxShotFrames: 16, NoiseAmp: 2, Seed: 5,
+	})
+	enc, _ := vcodec.NewEncoder(vcodec.Config{Width: 160, Height: 120, QStep: 4, GOP: 8, SearchRange: 3, Workers: 1})
+	var pkts [][]byte
+	for i := 0; i < 16; i++ {
+		p, err := enc.Encode(f.Render(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = append(pkts, p.Data)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := vcodec.NewDecoder(1)
+		for _, p := range pkts {
+			if _, err := dec.Decode(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(16, "frames/op")
+}
+
+// --- E4: authoring -------------------------------------------------------
+
+func BenchmarkAuthoringOps(b *testing.B) {
+	// The cost of one primitive authoring operation with undo bookkeeping.
+	tool := author.New("bench")
+	f := synth.Generate(synth.Spec{W: 48, H: 32, FPS: 8, Shots: 1, MinShotFrames: 8, MaxShotFrames: 8, Seed: 2})
+	if err := tool.ImportFootage(f, author.ImportOptions{Encode: studio.Options{QStep: 12}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := tool.AddScenario("s", "S", tool.SegmentNames()[0]); err != nil {
+		b.Fatal(err)
+	}
+	if err := tool.AddObject("s", &core.Object{
+		ID: "o", Name: "O", Kind: core.Hotspot, Enabled: true,
+		Region: raster.Rect{X: 1, Y: 1, W: 4, H: 4},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tool.MoveObject("o", raster.Rect{X: i%40 + 1, Y: i%30 + 1, W: 4, H: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6/E7: simulated learners --------------------------------------------
+
+func BenchmarkSimSessionGuided(b *testing.B) {
+	blob := classroomPkg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(blob, sim.GuidedFactory, sim.Config{
+			MaxSteps: 60, Patience: 15, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steps == 0 {
+			b.Fatal("bot did nothing")
+		}
+	}
+}
+
+func BenchmarkSimSessionRandom(b *testing.B) {
+	blob := classroomPkg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(blob, sim.RandomFactory, sim.Config{
+			MaxSteps: 60, Patience: 15, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: streaming ---------------------------------------------------------
+
+func BenchmarkStreamStartupProgressive(b *testing.B) {
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("c", classroomPkg(b)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &netstream.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.ProgressiveOpen(ts.URL + "/pkg/c"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamFullDownload(b *testing.B) {
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("c", classroomPkg(b)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &netstream.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Download(ts.URL + "/pkg/c"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: ablations ----------------------------------------------------------
+
+func BenchmarkHitTest(b *testing.B) {
+	blob := classroomPkg(b)
+	s, err := runtime.NewSession(blob, runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObjectAt(i%160, (i*7)%120)
+	}
+}
+
+func BenchmarkEventDispatch(b *testing.B) {
+	blob := classroomPkg(b)
+	s, err := runtime.NewSession(blob, runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Click(100, 25) // computer hotspot OnClick script
+	}
+}
+
+// --- F1/F2: figure rendering -------------------------------------------------
+
+func BenchmarkFigure1Render(b *testing.B) {
+	course := content.Classroom()
+	videoBlob, err := course.RecordVideo(studio.Options{QStep: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	projJSON, _ := course.Project.Marshal()
+	tool, err := author.Load(projJSON, videoBlob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ed := author.NewEditorWindow(tool)
+	ed.SelectScenario("classroom")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := ed.Snapshot(132, 44); len(s) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkFigure2Render(b *testing.B) {
+	blob, err := content.StreetDemo().BuildPackage(studio.Options{QStep: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := runtime.NewSession(blob, runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := runtime.NewGameWindow(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := g.Snapshot(132, 44); len(snap) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// TestExperimentTablesSmoke regenerates the cheap experiment tables so
+// `go test` alone exercises the full harness path.
+func TestExperimentTablesSmoke(t *testing.T) {
+	for _, fn := range []struct {
+		id  string
+		run func() (string, error)
+	}{
+		{"f2", experiments.F2},
+		{"e4", experiments.E4},
+		{"e5", experiments.E5},
+	} {
+		out, err := fn.run()
+		if err != nil {
+			t.Fatalf("%s: %v", fn.id, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously small:\n%s", fn.id, out)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command vgbl-author is the IVGBL authoring tool's command-line front end
+// (paper §4.1–4.2). It can rebuild the bundled demo courses through the
+// tool's operation API, resume a saved project, validate it, export a
+// playable .tkg package, and print the editor interface (Figure 1) as ASCII.
+//
+// Usage:
+//
+//	vgbl-author -demo classroom -out classroom.tkg [-snapshot]
+//	vgbl-author -project p.json -video v.tkvc -out game.tkg
+//	vgbl-author -project p.json -video v.tkvc -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/author"
+	"repro/internal/content"
+	"repro/internal/experiments"
+	"repro/internal/media/studio"
+)
+
+func main() {
+	demo := flag.String("demo", "", "build a demo course through the tool: classroom, museum or street")
+	projectPath := flag.String("project", "", "load a saved project JSON")
+	videoPath := flag.String("video", "", "load a TKVC video blob")
+	out := flag.String("out", "", "write the exported .tkg package here")
+	saveProject := flag.String("save-project", "", "write the project JSON here")
+	validate := flag.Bool("validate", false, "validate the project and print problems")
+	snapshot := flag.Bool("snapshot", false, "print the editor interface as ASCII (Figure 1)")
+	flag.Parse()
+
+	tool, err := loadTool(*demo, *projectPath, *videoPath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("project %q: %d scenarios, %d segments, %d authoring ops\n",
+		tool.Project().Title, len(tool.Project().Scenarios), len(tool.Chapters()), tool.Ops())
+
+	if *validate {
+		probs := tool.Validate()
+		if len(probs) == 0 {
+			fmt.Println("validation: clean")
+		}
+		for _, p := range probs {
+			fmt.Println("  ", p)
+		}
+	}
+	if *snapshot {
+		ed := author.NewEditorWindow(tool)
+		if len(tool.Project().Scenarios) > 0 {
+			ed.SelectScenario(tool.Project().Scenarios[0].ID)
+		}
+		fmt.Println(ed.Snapshot(132, 44))
+	}
+	if *saveProject != "" {
+		data, err := tool.SaveProject()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*saveProject, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("project saved to", *saveProject)
+	}
+	if *out != "" {
+		pkg, err := tool.ExportPackage()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, pkg, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("package exported to %s (%d bytes)\n", *out, len(pkg))
+	}
+}
+
+func loadTool(demo, projectPath, videoPath string) (*author.Tool, error) {
+	switch {
+	case demo == "classroom":
+		tool, _, err := experiments.BuildClassroomWithTool()
+		return tool, err
+	case demo == "museum" || demo == "street":
+		course := content.Museum()
+		if demo == "street" {
+			course = content.StreetDemo()
+		}
+		video, err := course.RecordVideo(studio.Options{QStep: 8})
+		if err != nil {
+			return nil, err
+		}
+		projJSON, err := course.Project.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return author.Load(projJSON, video)
+	case demo != "":
+		return nil, fmt.Errorf("unknown demo %q (want classroom, museum or street)", demo)
+	default:
+		var projJSON, video []byte
+		var err error
+		if projectPath != "" {
+			if projJSON, err = os.ReadFile(projectPath); err != nil {
+				return nil, err
+			}
+		}
+		if videoPath != "" {
+			if video, err = os.ReadFile(videoPath); err != nil {
+				return nil, err
+			}
+		}
+		if projJSON == nil && video == nil {
+			return nil, fmt.Errorf("nothing to do: pass -demo or -project/-video (see -h)")
+		}
+		return author.Load(projJSON, video)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vgbl-author:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,230 @@
+// Command vgbl-play is the IVGBL gaming platform's command-line front end
+// (paper §4.3). It plays a .tkg package either interactively (a text REPL
+// over the same session the GUI window drives), with a simulated learner
+// bot, or just prints the runtime interface (Figure 2).
+//
+// Usage:
+//
+//	vgbl-play -demo street -snapshot
+//	vgbl-play -pkg game.tkg               # interactive REPL on stdin
+//	vgbl-play -pkg game.tkg -bot guided   # simulated learner + report
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytics"
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+func main() {
+	pkgPath := flag.String("pkg", "", "play this .tkg package")
+	demo := flag.String("demo", "", "play a bundled demo: classroom, museum or street")
+	bot := flag.String("bot", "", "run a simulated learner: guided, explorer or random")
+	steps := flag.Int("steps", 120, "bot step budget")
+	seed := flag.Int64("seed", 1, "bot seed")
+	snapshot := flag.Bool("snapshot", false, "print the runtime interface as ASCII (Figure 2) and exit")
+	flag.Parse()
+
+	blob, err := loadPackage(*pkgPath, *demo)
+	if err != nil {
+		fail(err)
+	}
+	if *bot != "" {
+		runBot(blob, *bot, *steps, *seed)
+		return
+	}
+	col := &analytics.Collector{}
+	s, err := runtime.NewSession(blob, runtime.Options{Observer: col})
+	if err != nil {
+		fail(err)
+	}
+	g := runtime.NewGameWindow(s)
+	if *snapshot {
+		fmt.Println(g.Snapshot(132, 44))
+		return
+	}
+	repl(g, col)
+}
+
+func loadPackage(pkgPath, demo string) ([]byte, error) {
+	if pkgPath != "" {
+		return os.ReadFile(pkgPath)
+	}
+	var course *content.Course
+	switch demo {
+	case "classroom":
+		course = content.Classroom()
+	case "museum":
+		course = content.Museum()
+	case "street", "":
+		course = content.StreetDemo()
+	default:
+		return nil, fmt.Errorf("unknown demo %q", demo)
+	}
+	return course.BuildPackage(studio.Options{QStep: 8})
+}
+
+func runBot(blob []byte, name string, steps int, seed int64) {
+	var f sim.Factory
+	switch name {
+	case "guided":
+		f = sim.GuidedFactory
+	case "explorer":
+		f = sim.ExplorerFactory
+	case "random":
+		f = sim.RandomFactory
+	default:
+		fail(fmt.Errorf("unknown bot %q", name))
+	}
+	res, err := sim.Run(blob, f, sim.Config{MaxSteps: steps, Patience: 15, RewardBoost: 10, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("bot %s finished: steps=%d completed=%v reason=%s\n\n",
+		name, res.Steps, res.Completed, res.QuitReason)
+	fmt.Println(res.Report)
+}
+
+func repl(g *runtime.GameWindow, col *analytics.Collector) {
+	s := g.S
+	fmt.Println("IVGBL player — commands: look, click X Y, examine ID, take ID,")
+	fmt.Println("talk ID, use ITEM ID, answer N, inv, tick [N], snap, report,")
+	fmt.Println("save F, load F, quit")
+	fmt.Println()
+	fmt.Println(g.Describe())
+	sc := bufio.NewScanner(os.Stdin)
+	printed := 0 // messages already echoed
+	for _, m := range s.Messages() {
+		fmt.Println(">>", m)
+		printed++
+	}
+	for {
+		fmt.Printf("\n[%s]> ", s.State().Scenario)
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "look":
+			fmt.Println(g.Describe())
+		case "click":
+			if len(fields) == 3 {
+				x, _ := strconv.Atoi(fields[1])
+				y, _ := strconv.Atoi(fields[2])
+				s.Click(x, y)
+			} else {
+				fmt.Println("usage: click X Y")
+			}
+		case "examine":
+			if len(fields) == 2 {
+				s.Examine(fields[1])
+			}
+		case "take":
+			if len(fields) == 2 {
+				s.Take(fields[1])
+			}
+		case "talk":
+			if len(fields) == 2 {
+				s.Talk(fields[1])
+			}
+		case "use":
+			if len(fields) >= 3 {
+				item := strings.Join(fields[1:len(fields)-1], " ")
+				s.UseItemOn(item, fields[len(fields)-1])
+			} else {
+				fmt.Println("usage: use ITEM OBJECT")
+			}
+		case "answer":
+			if quiz, ok := s.PendingQuiz(); ok && len(fields) == 2 {
+				n, _ := strconv.Atoi(fields[1])
+				if _, err := s.AnswerQuiz(quiz.ID, n-1); err != nil {
+					fmt.Println("answer:", err)
+				}
+			} else {
+				fmt.Println("no quiz pending (or usage: answer N)")
+			}
+		case "inv":
+			fmt.Println("inventory:", strings.Join(s.State().Inventory, ", "))
+		case "tick":
+			n := 1
+			if len(fields) == 2 {
+				n, _ = strconv.Atoi(fields[1])
+			}
+			for i := 0; i < n; i++ {
+				if err := s.Tick(); err != nil {
+					fmt.Println("tick:", err)
+					break
+				}
+			}
+		case "snap":
+			g.Refresh()
+			fmt.Println(g.Snapshot(132, 44))
+		case "report":
+			fmt.Println(col.Digest(s.Project().StartScenario))
+		case "save":
+			if len(fields) == 2 {
+				data, err := s.SaveState()
+				if err == nil {
+					err = os.WriteFile(fields[1], data, 0o644)
+				}
+				if err != nil {
+					fmt.Println("save:", err)
+				}
+			}
+		case "load":
+			if len(fields) == 2 {
+				data, err := os.ReadFile(fields[1])
+				if err == nil {
+					err = s.RestoreState(data)
+				}
+				if err != nil {
+					fmt.Println("load:", err)
+				}
+			}
+		default:
+			fmt.Println("unknown command", fields[0])
+		}
+		msgs := s.Messages()
+		for _, m := range msgs[printed:] {
+			fmt.Println(">>", m)
+		}
+		printed = len(msgs)
+		if kind, contentStr, ok := s.NextPopup(); ok {
+			fmt.Printf("** POPUP (%s): %s **\n", kind, contentStr)
+		}
+		if quiz, ok := s.PendingQuiz(); ok {
+			fmt.Printf("** QUIZ: %s\n", quiz.Question)
+			for i, c := range quiz.Choices {
+				fmt.Printf("     %d) %s\n", i+1, c)
+			}
+			fmt.Println("   (reply with: answer N)")
+		}
+		if s.Ended() {
+			// Let pending assessment quizzes be answered before wrapping up.
+			if _, ok := s.PendingQuiz(); !ok {
+				fmt.Printf("GAME OVER: %s\n", s.Outcome())
+				fmt.Println(col.Digest(s.Project().StartScenario))
+				return
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vgbl-play:", err)
+	os.Exit(1)
+}

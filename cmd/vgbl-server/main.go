@@ -1,0 +1,75 @@
+// Command vgbl-server publishes game packages over HTTP (paper §2: students
+// "easily access these resources via network"). It serves the bundled demo
+// courses plus any .tkg files given on the command line, with range support
+// so the progressive client can start playing before the download finishes.
+//
+// Usage:
+//
+//	vgbl-server -addr 127.0.0.1:8807 extra1.tkg extra2.tkg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/netstream"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8807", "listen address")
+	flag.Parse()
+
+	srv := netstream.NewServer()
+	for name, course := range map[string]*content.Course{
+		"classroom": content.Classroom(),
+		"museum":    content.Museum(),
+		"street":    content.StreetDemo(),
+	} {
+		blob, err := course.BuildPackage(studio.Options{QStep: 8, Workers: 2})
+		if err != nil {
+			fail(err)
+		}
+		if err := srv.AddPackage(name, blob); err != nil {
+			fail(err)
+		}
+	}
+	srv.AddResource("umbrella", "UMBRELLAS: PORTABLE RAIN PROTECTION SINCE 1000 BC")
+	srv.AddResource("ram", "RAM MODULES MUST MATCH THE BOARD'S SOCKET TYPE")
+
+	for _, path := range flag.Args() {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".tkg")
+		if err := srv.AddPackage(name, blob); err != nil {
+			fail(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("vgbl-server listening on http://%s\n", ln.Addr())
+	fmt.Println("  packages:")
+	for _, n := range srv.Names() {
+		fmt.Printf("    http://%s/pkg/%s\n", ln.Addr(), n)
+	}
+	fmt.Printf("  listing:  http://%s/list\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vgbl-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Using Interactive Video Technology for the
+// Development of Game-Based Learning" (Chang, Hsu & Shih, ICPP Workshops
+// 2007) as a complete Go system: an interactive-video substrate (synthetic
+// footage, TKV1 codec, TKVC container, shot detection, playback), a
+// headless UI toolkit, an event-scripting language, the VGBL document
+// model, the authoring tool, the gaming platform runtime, simulated
+// learners, analytics, baselines and an HTTP streaming layer.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// figure/table reproductions, and bench_test.go (this package) for the
+// benchmark harness — one benchmark per experiment.
+package repro

@@ -1,0 +1,91 @@
+// Classroom: the paper's §3.2 walkthrough, played step by step.
+//
+// "In a classroom in game, the NPC told players a computer was not worked
+// and order players to fix it. Players examine the computer in video first
+// and find a broken component inside. Finally, players move to another
+// scenario, markets, to get the components they needed and return to
+// classroom and fix the computer."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analytics"
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/runtime"
+)
+
+func main() {
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := &analytics.Collector{}
+	s, err := runtime.NewSession(blob, runtime.Options{Observer: col})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := runtime.NewGameWindow(s)
+
+	// The briefing runs on session start, before the first step.
+	fmt.Println("== entering the classroom")
+	for _, m := range s.Messages() {
+		fmt.Println("  >", m)
+	}
+
+	step := func(title string, act func()) {
+		fmt.Println("\n==", title)
+		before := len(s.Messages())
+		act()
+		// A few seconds of video play between actions.
+		for i := 0; i < 8; i++ {
+			if err := s.Tick(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, m := range s.Messages()[before:] {
+			fmt.Println("  >", m)
+		}
+		for {
+			kind, c, ok := s.NextPopup()
+			if !ok {
+				break
+			}
+			fmt.Printf("  ** POPUP (%s): %s\n", kind, c)
+		}
+		// Sit the assessment quizzes the step triggered (we studied, so we
+		// answer correctly).
+		for {
+			quiz, ok := s.PendingQuiz()
+			if !ok {
+				break
+			}
+			fmt.Printf("  ?? QUIZ: %s\n", quiz.Question)
+			correct, err := s.AnswerQuiz(quiz.ID, quiz.Answer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("     answered %q -> correct=%v\n", quiz.Choices[quiz.Answer], correct)
+		}
+	}
+
+	step("talk to the teacher", func() { s.Talk("teacher"); s.Talk("teacher") })
+	step("examine the computer", func() { s.Examine("computer") })
+	step("pocket the coin on the desk", func() { s.Take("desk-coin") })
+	step("walk to the market", func() { s.Click(140, 100) })
+	step("ask the vendor", func() { s.Talk("vendor") })
+	step("buy the RAM module (drag to backpack)", func() { s.Take("stall-ram") })
+	step("return to the classroom", func() { s.Click(140, 100) })
+	step("install the module", func() { s.UseItemOn("ram module", "computer") })
+
+	fmt.Printf("\noutcome: %s\n", s.Outcome())
+	fmt.Printf("inventory: %v\n", s.State().Inventory)
+	fmt.Printf("knowledge: %v\n\n", s.State().LearnedUnits())
+	fmt.Println(col.Digest("classroom"))
+
+	g.Refresh()
+	fmt.Println("final runtime interface (cf. paper Figure 2):")
+	fmt.Println(g.Snapshot(120, 36))
+}

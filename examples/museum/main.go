@@ -1,0 +1,44 @@
+// Museum: a second authored course (find the key, unlock the lab, study the
+// exhibit) played by simulated learners with different strategies — the
+// cohort machinery behind experiments E6/E7 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/sim"
+)
+
+func main() {
+	blob, err := content.Museum().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ten simulated learners per strategy on the museum course:")
+	fmt.Println()
+	fmt.Println("  strategy | completion | mean decisions | mean knowledge | quiz accuracy")
+	fmt.Println("  ---------+------------+----------------+----------------+--------------")
+	for _, f := range []sim.Factory{sim.GuidedFactory, sim.ExplorerFactory, sim.RandomFactory} {
+		results, err := sim.RunCohort(blob, f, 10, sim.Config{
+			MaxSteps: 120, Patience: 15, RewardBoost: 10, Seed: 3,
+		}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := sim.Summarize(results)
+		fmt.Printf("  %-8s | %9.0f%% | %14.1f | %14.1f | %12.0f%%\n",
+			f.Name, 100*sim.CompletionRate(results), agg.MeanDecisions, agg.MeanKnowledge,
+			100*agg.QuizAccuracy)
+	}
+
+	fmt.Println("\none guided play-through in detail:")
+	res, err := sim.Run(blob, sim.GuidedFactory, sim.Config{MaxSteps: 80, Patience: 15, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Report)
+}

@@ -1,0 +1,202 @@
+// Package analytics aggregates runtime telemetry into the learning reports
+// lecturers would read — time per scenario, decisions made, knowledge
+// delivered, reward timeline. It implements runtime.Observer so a Collector
+// can be plugged straight into a Session.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/runtime"
+)
+
+// Collector accumulates one session's telemetry. It is safe for concurrent
+// use (the simulator runs many sessions across goroutines, each with its
+// own Collector; safety is cheap and prevents misuse).
+type Collector struct {
+	mu     sync.Mutex
+	events []runtime.Event
+}
+
+// Record implements runtime.Observer.
+func (c *Collector) Record(e runtime.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+// Events returns a copy of the raw event log.
+func (c *Collector) Events() []runtime.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]runtime.Event(nil), c.events...)
+}
+
+// Report is the digested view of one session.
+type Report struct {
+	TotalEvents   int
+	Decisions     int            // clicks + takes + uses + dialogue turns
+	Interactions  map[string]int // event kind → count
+	Knowledge     []string       // units in delivery order
+	Rewards       []string       // rewards in grant order
+	ScenarioTicks map[string]int // ticks spent per scenario
+	Scenarios     []string       // visit order (deduplicated transitions)
+	Errors        []string
+	Ended         bool
+	Outcome       string
+	LastTick      int
+	QuizAsked     int
+	QuizCorrect   int
+}
+
+// QuizAccuracy returns the fraction of answered quizzes that were correct
+// (0 when none were asked).
+func (r *Report) QuizAccuracy() float64 {
+	answered := r.Interactions["quiz-correct"] + r.Interactions["quiz-wrong"]
+	if answered == 0 {
+		return 0
+	}
+	return float64(r.QuizCorrect) / float64(answered)
+}
+
+// decisionKinds are the event kinds that count as player decisions.
+var decisionKinds = map[string]bool{
+	"click": true, "examine": true, "take": true, "use": true, "dialogue": true,
+}
+
+// Digest reduces the raw events to a Report. startScenario names the
+// scenario in which play began (ticks before the first goto accrue there).
+func (c *Collector) Digest(startScenario string) *Report {
+	events := c.Events()
+	r := &Report{
+		Interactions:  map[string]int{},
+		ScenarioTicks: map[string]int{},
+	}
+	cur := startScenario
+	r.Scenarios = []string{cur}
+	lastTick := 0
+	for _, e := range events {
+		r.TotalEvents++
+		r.Interactions[e.Kind]++
+		if decisionKinds[e.Kind] {
+			r.Decisions++
+		}
+		switch e.Kind {
+		case "goto":
+			r.ScenarioTicks[cur] += e.Tick - lastTick
+			lastTick = e.Tick
+			cur = e.Detail
+			if len(r.Scenarios) == 0 || r.Scenarios[len(r.Scenarios)-1] != cur {
+				r.Scenarios = append(r.Scenarios, cur)
+			}
+		case "learn":
+			r.Knowledge = append(r.Knowledge, e.Detail)
+		case "reward":
+			r.Rewards = append(r.Rewards, e.Detail)
+		case "quiz-asked":
+			r.QuizAsked++
+		case "quiz-correct":
+			r.QuizCorrect++
+		case "error":
+			r.Errors = append(r.Errors, e.Detail)
+		case "end":
+			r.Ended = true
+			r.Outcome = e.Detail
+		}
+		if e.Tick > r.LastTick {
+			r.LastTick = e.Tick
+		}
+	}
+	r.ScenarioTicks[cur] += r.LastTick - lastTick
+	return r
+}
+
+// UniqueKnowledge returns the distinct knowledge units delivered.
+func (r *Report) UniqueKnowledge() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range r.Knowledge {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// String renders the report as the text table `vgbl-play --report` prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PLAY SESSION REPORT\n")
+	fmt.Fprintf(&b, "  events: %d  decisions: %d  ticks: %d\n", r.TotalEvents, r.Decisions, r.LastTick)
+	if r.Ended {
+		fmt.Fprintf(&b, "  outcome: %s\n", r.Outcome)
+	} else {
+		fmt.Fprintf(&b, "  outcome: (in progress)\n")
+	}
+	fmt.Fprintf(&b, "  scenario path: %s\n", strings.Join(r.Scenarios, " -> "))
+	var names []string
+	for name := range r.ScenarioTicks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "    %-16s %5d ticks\n", name, r.ScenarioTicks[name])
+	}
+	fmt.Fprintf(&b, "  knowledge (%d): %s\n", len(r.UniqueKnowledge()), strings.Join(r.UniqueKnowledge(), ", "))
+	fmt.Fprintf(&b, "  rewards (%d): %s\n", len(r.Rewards), strings.Join(r.Rewards, ", "))
+	if len(r.Errors) > 0 {
+		fmt.Fprintf(&b, "  errors (%d): %s\n", len(r.Errors), strings.Join(r.Errors, "; "))
+	}
+	return b.String()
+}
+
+// Aggregate summarizes many session reports (one simulated cohort).
+type Aggregate struct {
+	Sessions        int
+	MeanDecisions   float64
+	MeanKnowledge   float64 // unique units per session
+	MeanRewards     float64
+	CompletionRate  float64 // sessions that reached an end
+	MeanTicks       float64
+	KnowledgeCounts map[string]int // unit → sessions that received it
+	// QuizAccuracy is total correct answers over total answered quizzes
+	// across the cohort (0 when no quizzes were asked).
+	QuizAccuracy float64
+}
+
+// Aggregate combines reports.
+func AggregateReports(reports []*Report) Aggregate {
+	a := Aggregate{Sessions: len(reports), KnowledgeCounts: map[string]int{}}
+	if len(reports) == 0 {
+		return a
+	}
+	var quizAnswered, quizCorrect int
+	for _, r := range reports {
+		a.MeanDecisions += float64(r.Decisions)
+		a.MeanKnowledge += float64(len(r.UniqueKnowledge()))
+		a.MeanRewards += float64(len(r.Rewards))
+		a.MeanTicks += float64(r.LastTick)
+		if r.Ended {
+			a.CompletionRate++
+		}
+		for _, k := range r.UniqueKnowledge() {
+			a.KnowledgeCounts[k]++
+		}
+		quizAnswered += r.Interactions["quiz-correct"] + r.Interactions["quiz-wrong"]
+		quizCorrect += r.QuizCorrect
+	}
+	if quizAnswered > 0 {
+		a.QuizAccuracy = float64(quizCorrect) / float64(quizAnswered)
+	}
+	n := float64(len(reports))
+	a.MeanDecisions /= n
+	a.MeanKnowledge /= n
+	a.MeanRewards /= n
+	a.MeanTicks /= n
+	a.CompletionRate /= n
+	return a
+}

@@ -1,0 +1,300 @@
+package author
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/media/raster"
+)
+
+// SetTitle sets the project title.
+func (t *Tool) SetTitle(title string) error {
+	prev := t.project.Title
+	return t.do("set title",
+		func() error { t.project.Title = title; return nil },
+		func() { t.project.Title = prev })
+}
+
+// SetAuthor sets the project author.
+func (t *Tool) SetAuthor(author string) error {
+	prev := t.project.Author
+	return t.do("set author",
+		func() error { t.project.Author = author; return nil },
+		func() { t.project.Author = prev })
+}
+
+// SetStartScenario selects where play begins.
+func (t *Tool) SetStartScenario(id string) error {
+	if t.project.ScenarioByID(id) == nil {
+		return fmt.Errorf("author: no scenario %q", id)
+	}
+	prev := t.project.StartScenario
+	return t.do("set start scenario",
+		func() error { t.project.StartScenario = id; return nil },
+		func() { t.project.StartScenario = prev })
+}
+
+// AddScenario creates a scenario bound to a video segment.
+func (t *Tool) AddScenario(id, name, segment string) error {
+	if id == "" {
+		return errors.New("author: scenario needs an id")
+	}
+	if t.project.ScenarioByID(id) != nil {
+		return fmt.Errorf("author: scenario %q already exists", id)
+	}
+	if t.video != nil && t.findChapter(segment) < 0 {
+		return fmt.Errorf("author: no segment %q in the imported video", segment)
+	}
+	s := &core.Scenario{ID: id, Name: name, Segment: segment}
+	return t.do("add scenario",
+		func() error { t.project.Scenarios = append(t.project.Scenarios, s); return nil },
+		func() { t.project.Scenarios = t.project.Scenarios[:len(t.project.Scenarios)-1] })
+}
+
+// RemoveScenario deletes a scenario (objects included).
+func (t *Tool) RemoveScenario(id string) error {
+	idx := -1
+	for i, s := range t.project.Scenarios {
+		if s.ID == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("author: no scenario %q", id)
+	}
+	removed := t.project.Scenarios[idx]
+	return t.do("remove scenario",
+		func() error {
+			t.project.Scenarios = append(t.project.Scenarios[:idx], t.project.Scenarios[idx+1:]...)
+			return nil
+		},
+		func() {
+			t.project.Scenarios = append(t.project.Scenarios, nil)
+			copy(t.project.Scenarios[idx+1:], t.project.Scenarios[idx:])
+			t.project.Scenarios[idx] = removed
+		})
+}
+
+// SetScenarioEnter sets a scenario's on-enter script.
+func (t *Tool) SetScenarioEnter(id, script string) error {
+	s := t.project.ScenarioByID(id)
+	if s == nil {
+		return fmt.Errorf("author: no scenario %q", id)
+	}
+	prev := s.OnEnter
+	return t.do("set scenario enter script",
+		func() error { s.OnEnter = script; return nil },
+		func() { s.OnEnter = prev })
+}
+
+// AddObject places an interactive object in a scenario (object editor).
+func (t *Tool) AddObject(scenarioID string, obj *core.Object) error {
+	s := t.project.ScenarioByID(scenarioID)
+	if s == nil {
+		return fmt.Errorf("author: no scenario %q", scenarioID)
+	}
+	if obj.ID == "" {
+		return errors.New("author: object needs an id")
+	}
+	if _, existing := t.project.FindObject(obj.ID); existing != nil {
+		return fmt.Errorf("author: object id %q already used", obj.ID)
+	}
+	return t.do("add object",
+		func() error { s.Objects = append(s.Objects, obj); return nil },
+		func() { s.Objects = s.Objects[:len(s.Objects)-1] })
+}
+
+// RemoveObject deletes an object wherever it lives.
+func (t *Tool) RemoveObject(objectID string) error {
+	s, _ := t.project.FindObject(objectID)
+	if s == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	idx := -1
+	for i, o := range s.Objects {
+		if o.ID == objectID {
+			idx = i
+		}
+	}
+	removed := s.Objects[idx]
+	return t.do("remove object",
+		func() error {
+			s.Objects = append(s.Objects[:idx], s.Objects[idx+1:]...)
+			return nil
+		},
+		func() {
+			s.Objects = append(s.Objects, nil)
+			copy(s.Objects[idx+1:], s.Objects[idx:])
+			s.Objects[idx] = removed
+		})
+}
+
+// MoveObject repositions/resizes an object on the video frame.
+func (t *Tool) MoveObject(objectID string, region raster.Rect) error {
+	_, o := t.project.FindObject(objectID)
+	if o == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	if region.W <= 0 || region.H <= 0 {
+		return errors.New("author: object region must be non-empty")
+	}
+	prev := o.Region
+	return t.do("move object",
+		func() error { o.Region = region; return nil },
+		func() { o.Region = prev })
+}
+
+// SetObjectProperty edits a named property of an object — the property
+// sheet of the object editor. Supported keys: name, description, kind,
+// enabled, takeable, sprite-shape, sprite-label.
+func (t *Tool) SetObjectProperty(objectID, key, value string) error {
+	_, o := t.project.FindObject(objectID)
+	if o == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	var prev string
+	var set func(string)
+	switch key {
+	case "name":
+		prev, set = o.Name, func(v string) { o.Name = v }
+	case "description":
+		prev, set = o.Description, func(v string) { o.Description = v }
+	case "kind":
+		k := core.ObjectKind(value)
+		if !k.Valid() {
+			return fmt.Errorf("author: unknown object kind %q", value)
+		}
+		prev, set = string(o.Kind), func(v string) { o.Kind = core.ObjectKind(v) }
+	case "enabled":
+		prev, set = boolStr(o.Enabled), func(v string) { o.Enabled = v == "true" }
+	case "takeable":
+		prev, set = boolStr(o.Takeable), func(v string) { o.Takeable = v == "true" }
+	case "sprite-shape":
+		prev, set = o.Sprite.Shape, func(v string) { o.Sprite.Shape = v }
+	case "sprite-label":
+		prev, set = o.Sprite.Label, func(v string) { o.Sprite.Label = v }
+	default:
+		return fmt.Errorf("author: unknown property %q", key)
+	}
+	return t.do("set property "+key,
+		func() error { set(value); return nil },
+		func() { set(prev) })
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// AddDialogueLine appends a fixed conversation line to an NPC.
+func (t *Tool) AddDialogueLine(objectID, line string) error {
+	_, o := t.project.FindObject(objectID)
+	if o == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	return t.do("add dialogue",
+		func() error { o.Dialogue = append(o.Dialogue, line); return nil },
+		func() { o.Dialogue = o.Dialogue[:len(o.Dialogue)-1] })
+}
+
+// AddEvent wires a trigger script onto an object.
+func (t *Tool) AddEvent(objectID string, ev core.Event) error {
+	_, o := t.project.FindObject(objectID)
+	if o == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	return t.do("add event",
+		func() error { o.Events = append(o.Events, ev); return nil },
+		func() { o.Events = o.Events[:len(o.Events)-1] })
+}
+
+// RemoveEvent deletes an object's event by index.
+func (t *Tool) RemoveEvent(objectID string, index int) error {
+	_, o := t.project.FindObject(objectID)
+	if o == nil {
+		return fmt.Errorf("author: no object %q", objectID)
+	}
+	if index < 0 || index >= len(o.Events) {
+		return fmt.Errorf("author: event index %d out of range", index)
+	}
+	removed := o.Events[index]
+	return t.do("remove event",
+		func() error {
+			o.Events = append(o.Events[:index], o.Events[index+1:]...)
+			return nil
+		},
+		func() {
+			o.Events = append(o.Events, core.Event{})
+			copy(o.Events[index+1:], o.Events[index:])
+			o.Events[index] = removed
+		})
+}
+
+// AddItemDef registers an item in the catalog.
+func (t *Tool) AddItemDef(item *core.ItemDef) error {
+	if item.ID == "" {
+		return errors.New("author: item needs an id")
+	}
+	if t.project.ItemByID(item.ID) != nil {
+		return fmt.Errorf("author: item %q already exists", item.ID)
+	}
+	return t.do("add item",
+		func() error { t.project.Items = append(t.project.Items, item); return nil },
+		func() { t.project.Items = t.project.Items[:len(t.project.Items)-1] })
+}
+
+// AddKnowledgeUnit registers a knowledge unit.
+func (t *Tool) AddKnowledgeUnit(k *core.KnowledgeUnit) error {
+	if k.ID == "" {
+		return errors.New("author: knowledge unit needs an id")
+	}
+	if t.project.KnowledgeByID(k.ID) != nil {
+		return fmt.Errorf("author: knowledge unit %q already exists", k.ID)
+	}
+	return t.do("add knowledge unit",
+		func() error { t.project.Knowledge = append(t.project.Knowledge, k); return nil },
+		func() { t.project.Knowledge = t.project.Knowledge[:len(t.project.Knowledge)-1] })
+}
+
+// AddQuiz registers an assessment question.
+func (t *Tool) AddQuiz(q *core.Quiz) error {
+	if q.ID == "" {
+		return errors.New("author: quiz needs an id")
+	}
+	if t.project.QuizByID(q.ID) != nil {
+		return fmt.Errorf("author: quiz %q already exists", q.ID)
+	}
+	return t.do("add quiz",
+		func() error { t.project.Quizzes = append(t.project.Quizzes, q); return nil },
+		func() { t.project.Quizzes = t.project.Quizzes[:len(t.project.Quizzes)-1] })
+}
+
+// AddMission registers a mission.
+func (t *Tool) AddMission(m *core.Mission) error {
+	if m.ID == "" {
+		return errors.New("author: mission needs an id")
+	}
+	return t.do("add mission",
+		func() error { t.project.Missions = append(t.project.Missions, m); return nil },
+		func() { t.project.Missions = t.project.Missions[:len(t.project.Missions)-1] })
+}
+
+// SetInitialVar seeds an integer variable.
+func (t *Tool) SetInitialVar(name string, value int) error {
+	if t.project.InitialVars == nil {
+		t.project.InitialVars = map[string]int{}
+	}
+	prev, had := t.project.InitialVars[name]
+	return t.do("set initial var",
+		func() error { t.project.InitialVars[name] = value; return nil },
+		func() {
+			if had {
+				t.project.InitialVars[name] = prev
+			} else {
+				delete(t.project.InitialVars, name)
+			}
+		})
+}

@@ -1,0 +1,395 @@
+// Package author implements the IVGBL authoring tool (paper §4): the
+// scenario editor (import footage, auto-segment it into scenarios, split /
+// merge / rename segments) and the object editor (place interactive
+// objects, set properties, wire events), with undo/redo, validation and
+// package export.
+//
+// The paper's thesis (claim C1) is that this tool lets non-programmers
+// build games; experiment E4 quantifies it by counting primitive authoring
+// operations, so every mutation passes through the tool's command stack and
+// increments its operation counter.
+package author
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gamepack"
+	"repro/internal/media/container"
+	"repro/internal/media/playback"
+	"repro/internal/media/raster"
+	"repro/internal/media/shotdetect"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+)
+
+// Tool is one authoring session over a project.
+type Tool struct {
+	project  *core.Project
+	video    []byte // TKVC blob (no authoritative chapters; see chapters)
+	chapters []container.Chapter
+	undo     []*command
+	redo     []*command
+	ops      int // primitive operation counter (experiment E4)
+}
+
+// command is one undoable mutation.
+type command struct {
+	name   string
+	apply  func() error
+	revert func()
+}
+
+// New starts an authoring session for a new, empty project.
+func New(title string) *Tool {
+	return &Tool{project: core.NewProject(title)}
+}
+
+// Load resumes an authoring session from a serialized project plus its
+// video blob (either may be absent in a fresh workflow).
+func Load(projectJSON, video []byte) (*Tool, error) {
+	t := &Tool{}
+	if projectJSON != nil {
+		p, err := core.UnmarshalProject(projectJSON)
+		if err != nil {
+			return nil, err
+		}
+		t.project = p
+	} else {
+		t.project = core.NewProject("")
+	}
+	if video != nil {
+		r, err := container.Open(video)
+		if err != nil {
+			return nil, fmt.Errorf("author: %w", err)
+		}
+		t.video = video
+		t.chapters = r.Chapters()
+	}
+	return t, nil
+}
+
+// Project exposes the project under construction (read it, do not mutate —
+// use tool operations so undo and the op counter stay correct).
+func (t *Tool) Project() *core.Project { return t.project }
+
+// Video returns the imported video blob (nil before import).
+func (t *Tool) Video() []byte { return t.video }
+
+// Chapters returns the current segment table.
+func (t *Tool) Chapters() []container.Chapter {
+	return append([]container.Chapter(nil), t.chapters...)
+}
+
+// SegmentNames lists segment names in timeline order.
+func (t *Tool) SegmentNames() []string {
+	names := make([]string, len(t.chapters))
+	for i, c := range t.chapters {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Ops returns the number of primitive authoring operations performed
+// (undo/redo included — they are work too).
+func (t *Tool) Ops() int { return t.ops }
+
+// do runs a command and pushes it on the undo stack.
+func (t *Tool) do(name string, apply func() error, revert func()) error {
+	cmd := &command{name: name, apply: apply, revert: revert}
+	if err := cmd.apply(); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, cmd)
+	t.redo = nil
+	t.ops++
+	return nil
+}
+
+// Undo reverts the most recent operation; it reports whether anything was
+// undone.
+func (t *Tool) Undo() bool {
+	if len(t.undo) == 0 {
+		return false
+	}
+	cmd := t.undo[len(t.undo)-1]
+	t.undo = t.undo[:len(t.undo)-1]
+	cmd.revert()
+	t.redo = append(t.redo, cmd)
+	t.ops++
+	return true
+}
+
+// Redo re-applies the most recently undone operation.
+func (t *Tool) Redo() bool {
+	if len(t.redo) == 0 {
+		return false
+	}
+	cmd := t.redo[len(t.redo)-1]
+	t.redo = t.redo[:len(t.redo)-1]
+	if err := cmd.apply(); err != nil {
+		// A redo of a previously successful command should not fail; if it
+		// does, drop it.
+		return false
+	}
+	t.undo = append(t.undo, cmd)
+	t.ops++
+	return true
+}
+
+// UndoDepth returns the current undo stack depth.
+func (t *Tool) UndoDepth() int { return len(t.undo) }
+
+// ImportOptions configures footage import.
+type ImportOptions struct {
+	Encode studio.Options    // encoder settings
+	Detect shotdetect.Config // auto-segmentation settings; zero = defaults
+	// KeepChapters skips auto-segmentation and keeps chapters already in
+	// the container (or none).
+	KeepChapters bool
+}
+
+// ImportFootage records a film through the studio and auto-segments it —
+// the paper's "select video files from network or video cameras such that
+// video can be divided into scenario components by the authoring tool".
+func (t *Tool) ImportFootage(film *synth.Film, opts ImportOptions) error {
+	blob, err := studio.Record(film, opts.Encode)
+	if err != nil {
+		return err
+	}
+	return t.ImportVideo(blob, opts)
+}
+
+// ImportVideo imports an existing TKVC blob, optionally auto-segmenting it.
+func (t *Tool) ImportVideo(blob []byte, opts ImportOptions) error {
+	r, err := container.Open(blob)
+	if err != nil {
+		return fmt.Errorf("author: import: %w", err)
+	}
+	var chapters []container.Chapter
+	if opts.KeepChapters {
+		chapters = r.Chapters()
+	} else {
+		chapters, err = autoSegment(blob, opts.Detect)
+		if err != nil {
+			return fmt.Errorf("author: auto-segmentation: %w", err)
+		}
+		// Bake the detected chapters into the blob so that a saved session
+		// (project JSON + video blob) is self-contained.
+		blob, err = container.WithChapters(blob, chapters)
+		if err != nil {
+			return fmt.Errorf("author: %w", err)
+		}
+	}
+	prevVideo, prevChapters := t.video, t.chapters
+	return t.do("import video",
+		func() error {
+			t.video = blob
+			t.chapters = chapters
+			return nil
+		},
+		func() {
+			t.video = prevVideo
+			t.chapters = prevChapters
+		})
+}
+
+// autoSegment decodes the video and runs shot detection, producing
+// "scene-NNN" chapters.
+func autoSegment(blob []byte, cfg shotdetect.Config) ([]container.Chapter, error) {
+	if cfg == (shotdetect.Config{}) {
+		cfg = shotdetect.Defaults()
+	}
+	v, err := playback.OpenVideo(blob, 1)
+	if err != nil {
+		return nil, err
+	}
+	src := shotdetect.FuncSource{
+		N: v.Meta().FrameCount,
+		F: func(i int) (*raster.Frame, error) { return v.FrameAt(i) },
+	}
+	bounds, err := shotdetect.Detect(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	segs := shotdetect.SegmentsFromBoundaries(bounds, v.Meta().FrameCount)
+	chapters := make([]container.Chapter, len(segs))
+	for i, s := range segs {
+		chapters[i] = container.Chapter{
+			Name:  fmt.Sprintf("scene-%03d", i),
+			Start: s.Start,
+			End:   s.End,
+		}
+	}
+	return chapters, nil
+}
+
+// findChapter returns the index of a chapter by name, or -1.
+func (t *Tool) findChapter(name string) int {
+	for i, c := range t.chapters {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// applyChapters installs a new chapter table, remuxing it into the video
+// blob so the session stays self-contained, with undo support. retarget
+// optionally rewrites scenario segment references (returns an undo closure).
+func (t *Tool) applyChapters(opName string, newChs []container.Chapter, retarget func() func()) error {
+	sortChapters(newChs)
+	newVideo, err := container.WithChapters(t.video, newChs)
+	if err != nil {
+		return fmt.Errorf("author: %w", err)
+	}
+	prevChs, prevVideo := t.chapters, t.video
+	var undoRetarget func()
+	return t.do(opName,
+		func() error {
+			t.chapters = newChs
+			t.video = newVideo
+			if retarget != nil {
+				undoRetarget = retarget()
+			}
+			return nil
+		},
+		func() {
+			t.chapters = prevChs
+			t.video = prevVideo
+			if undoRetarget != nil {
+				undoRetarget()
+				undoRetarget = nil
+			}
+		})
+}
+
+// RenameSegment renames a chapter and retargets scenarios that use it.
+func (t *Tool) RenameSegment(oldName, newName string) error {
+	i := t.findChapter(oldName)
+	if i < 0 {
+		return fmt.Errorf("author: no segment %q", oldName)
+	}
+	if newName == "" {
+		return errors.New("author: segment name cannot be empty")
+	}
+	if t.findChapter(newName) >= 0 {
+		return fmt.Errorf("author: segment %q already exists", newName)
+	}
+	newChs := append([]container.Chapter(nil), t.chapters...)
+	newChs[i].Name = newName
+	return t.applyChapters("rename segment", newChs, func() func() {
+		var retargeted []*core.Scenario
+		for _, s := range t.project.Scenarios {
+			if s.Segment == oldName {
+				s.Segment = newName
+				retargeted = append(retargeted, s)
+			}
+		}
+		return func() {
+			for _, s := range retargeted {
+				s.Segment = oldName
+			}
+		}
+	})
+}
+
+// SplitSegment cuts a segment in two at the given absolute frame. The first
+// half keeps the name; the second half takes newName.
+func (t *Tool) SplitSegment(name string, atFrame int, newName string) error {
+	i := t.findChapter(name)
+	if i < 0 {
+		return fmt.Errorf("author: no segment %q", name)
+	}
+	ch := t.chapters[i]
+	if atFrame <= ch.Start || atFrame >= ch.End {
+		return fmt.Errorf("author: split frame %d outside (%d,%d)", atFrame, ch.Start, ch.End)
+	}
+	if t.findChapter(newName) >= 0 || newName == "" {
+		return fmt.Errorf("author: bad new segment name %q", newName)
+	}
+	newChs := append([]container.Chapter(nil), t.chapters...)
+	newChs[i].End = atFrame
+	newChs = append(newChs, container.Chapter{Name: newName, Start: atFrame, End: ch.End})
+	return t.applyChapters("split segment", newChs, nil)
+}
+
+// MergeSegmentWithNext absorbs the following segment into name. Scenarios
+// referencing the absorbed segment are retargeted to name.
+func (t *Tool) MergeSegmentWithNext(name string) error {
+	i := t.findChapter(name)
+	if i < 0 {
+		return fmt.Errorf("author: no segment %q", name)
+	}
+	if i == len(t.chapters)-1 {
+		return fmt.Errorf("author: %q is the last segment", name)
+	}
+	next := t.chapters[i+1]
+	newChs := append([]container.Chapter(nil), t.chapters[:i+1]...)
+	newChs[i].End = next.End
+	newChs = append(newChs, t.chapters[i+2:]...)
+	return t.applyChapters("merge segments", newChs, func() func() {
+		var retargeted []*core.Scenario
+		for _, s := range t.project.Scenarios {
+			if s.Segment == next.Name {
+				s.Segment = name
+				retargeted = append(retargeted, s)
+			}
+		}
+		return func() {
+			for _, s := range retargeted {
+				s.Segment = next.Name
+			}
+		}
+	})
+}
+
+func sortChapters(chs []container.Chapter) {
+	sort.Slice(chs, func(a, b int) bool { return chs[a].Start < chs[b].Start })
+}
+
+// PreviewFrame decodes the first frame of a segment (the editor's video
+// preview pane).
+func (t *Tool) PreviewFrame(segment string) (*raster.Frame, error) {
+	if t.video == nil {
+		return nil, errors.New("author: no video imported")
+	}
+	i := t.findChapter(segment)
+	if i < 0 {
+		return nil, fmt.Errorf("author: no segment %q", segment)
+	}
+	v, err := playback.OpenVideo(t.video, 1)
+	if err != nil {
+		return nil, err
+	}
+	return v.FrameAt(t.chapters[i].Start)
+}
+
+// Validate checks the project against the current segment table.
+func (t *Tool) Validate() []core.Problem {
+	var segs []string
+	if t.video != nil {
+		segs = t.SegmentNames()
+	}
+	return t.project.Validate(segs)
+}
+
+// ExportPackage validates and builds the distributable .tkg package with
+// the current chapter table baked into the video.
+func (t *Tool) ExportPackage() ([]byte, error) {
+	if t.video == nil {
+		return nil, errors.New("author: no video imported")
+	}
+	probs := t.Validate()
+	if core.HasErrors(probs) {
+		return nil, fmt.Errorf("author: project has %d validation problems; first: %s", len(probs), probs[0])
+	}
+	// The video blob always carries the current chapter table (import and
+	// every segment edit remux it), so it ships as-is.
+	return gamepack.Build(t.project, t.video)
+}
+
+// SaveProject serializes the project document (not the video).
+func (t *Tool) SaveProject() ([]byte, error) { return t.project.Marshal() }

@@ -1,0 +1,206 @@
+package author
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/media/raster"
+	"repro/internal/ui"
+)
+
+// EditorWindow assembles the authoring tool's interface — the layout shown
+// in the paper's Figure 1: a menu bar, the video preview with the selected
+// scenario, the segment timeline, the scenario and object lists, and the
+// property sheet of the selected object.
+//
+// The window is live: clicking a timeline segment or list row updates the
+// preview and property sheet through the same Tool the CLI drives.
+type EditorWindow struct {
+	Tool   *Tool
+	Win    *ui.Window
+	Status *ui.StatusBar
+
+	preview   *ui.VideoView
+	timeline  *ui.Timeline
+	scenarios *ui.ListBox
+	objects   *ui.ListBox
+	props     *ui.PropertySheet
+
+	selectedScenario string
+	selectedObject   string
+}
+
+// NewEditorWindow builds the editor UI for a tool session.
+func NewEditorWindow(t *Tool) *EditorWindow {
+	const W, H = 480, 300
+	e := &EditorWindow{Tool: t}
+	w := ui.NewWindow("INTERACTIVE VGBL AUTHORING TOOL - "+t.Project().Title, W, H)
+
+	menu := ui.NewMenuBar("menu", raster.Rect{X: 0, Y: ui.TitleBarHeight, W: W, H: 12},
+		[]string{"FILE", "EDIT", "SCENARIO", "OBJECT", "HELP"})
+	w.Add(menu)
+
+	top := ui.TitleBarHeight + 14
+
+	// Left: video preview pane.
+	previewPanel := ui.NewPanel("preview-panel", raster.Rect{X: 4, Y: top, W: 240, H: 160}, "VIDEO PREVIEW")
+	e.preview = ui.NewVideoView("preview", previewPanel.Content().Inset(2))
+	previewPanel.Add(e.preview)
+	w.Add(previewPanel)
+
+	// Right: scenario list and object list.
+	scenPanel := ui.NewPanel("scen-panel", raster.Rect{X: 248, Y: top, W: 112, H: 160}, "SCENARIOS")
+	e.scenarios = ui.NewListBox("scenario-list", scenPanel.Content().Inset(2), nil)
+	scenPanel.Add(e.scenarios)
+	w.Add(scenPanel)
+
+	objPanel := ui.NewPanel("obj-panel", raster.Rect{X: 364, Y: top, W: 112, H: 160}, "OBJECTS")
+	e.objects = ui.NewListBox("object-list", objPanel.Content().Inset(2), nil)
+	objPanel.Add(e.objects)
+	w.Add(objPanel)
+
+	// Middle strip: the segment timeline (the scenario editor's core).
+	tlPanel := ui.NewPanel("tl-panel", raster.Rect{X: 4, Y: top + 164, W: 472, H: 40}, "SEGMENT TIMELINE")
+	e.timeline = ui.NewTimeline("timeline", tlPanel.Content().Inset(2), 1)
+	tlPanel.Add(e.timeline)
+	w.Add(tlPanel)
+
+	// Bottom: property sheet of the selected object.
+	propPanel := ui.NewPanel("prop-panel", raster.Rect{X: 4, Y: top + 208, W: 472, H: 58}, "OBJECT PROPERTIES")
+	e.props = ui.NewPropertySheet("props", propPanel.Content().Inset(2))
+	propPanel.Add(e.props)
+	w.Add(propPanel)
+
+	e.Status = ui.NewStatusBar("status", raster.Rect{X: 0, Y: H - 14, W: W, H: 14})
+	e.Status.Text = "READY"
+	w.Add(e.Status)
+
+	// Wiring.
+	e.scenarios.OnSelect = func(i int, item string) { e.SelectScenario(item) }
+	e.objects.OnSelect = func(i int, item string) { e.SelectObject(item) }
+	e.timeline.OnSelect = func(i int, seg ui.TimelineSegment) {
+		e.Status.Text = fmt.Sprintf("SEGMENT %s [%d-%d)", seg.Name, seg.Start, seg.End)
+		e.showPreview(seg.Name)
+	}
+
+	e.Win = w
+	e.Refresh()
+	return e
+}
+
+// Refresh re-reads the tool state into every pane.
+func (e *EditorWindow) Refresh() {
+	p := e.Tool.Project()
+	// Scenario list.
+	var scen []string
+	for _, s := range p.Scenarios {
+		scen = append(scen, s.ID)
+	}
+	e.scenarios.Items = scen
+	// Timeline.
+	chs := e.Tool.Chapters()
+	total := 1
+	segs := make([]ui.TimelineSegment, len(chs))
+	for i, c := range chs {
+		segs[i] = ui.TimelineSegment{Name: c.Name, Start: c.Start, End: c.End}
+		if c.End > total {
+			total = c.End
+		}
+	}
+	e.timeline.Total = total
+	e.timeline.Segments = segs
+	// Keep current selections coherent.
+	if e.selectedScenario != "" && p.ScenarioByID(e.selectedScenario) == nil {
+		e.selectedScenario = ""
+		e.selectedObject = ""
+	}
+	e.refreshObjects()
+	e.refreshProps()
+}
+
+// SelectScenario focuses a scenario: preview its segment, list its objects.
+func (e *EditorWindow) SelectScenario(id string) {
+	s := e.Tool.Project().ScenarioByID(id)
+	if s == nil {
+		return
+	}
+	e.selectedScenario = id
+	e.selectedObject = ""
+	e.Status.Text = "SCENARIO " + id + " (SEGMENT " + s.Segment + ")"
+	e.showPreview(s.Segment)
+	// Highlight the segment on the timeline.
+	for i, seg := range e.timeline.Segments {
+		if seg.Name == s.Segment {
+			e.timeline.Selected = i
+			e.timeline.Marker = seg.Start
+		}
+	}
+	e.refreshObjects()
+	e.refreshProps()
+}
+
+// SelectObject focuses an object in the property sheet.
+func (e *EditorWindow) SelectObject(id string) {
+	e.selectedObject = id
+	e.refreshProps()
+	e.Status.Text = "OBJECT " + id
+}
+
+func (e *EditorWindow) refreshObjects() {
+	var items []string
+	if s := e.Tool.Project().ScenarioByID(e.selectedScenario); s != nil {
+		for _, o := range s.Objects {
+			items = append(items, o.ID)
+		}
+	}
+	e.objects.Items = items
+	e.objects.Selected = -1
+}
+
+func (e *EditorWindow) refreshProps() {
+	e.props.Rows = nil
+	e.props.Selected = -1
+	_, o := e.Tool.Project().FindObject(e.selectedObject)
+	if o == nil {
+		return
+	}
+	e.props.Rows = []ui.PropertyRow{
+		{Key: "id", Value: o.ID},
+		{Key: "name", Value: o.Name},
+		{Key: "kind", Value: string(o.Kind)},
+		{Key: "region", Value: fmt.Sprintf("%d,%d %dx%d", o.Region.X, o.Region.Y, o.Region.W, o.Region.H)},
+		{Key: "events", Value: fmt.Sprintf("%d wired", len(o.Events))},
+	}
+}
+
+func (e *EditorWindow) showPreview(segment string) {
+	f, err := e.Tool.PreviewFrame(segment)
+	if err != nil {
+		e.preview.Frame = nil
+		return
+	}
+	e.preview.Frame = f
+	// Draw authored object regions over the preview so the object editor
+	// shows what is placed where (Figure 1 shows inserted objects).
+	for _, s := range e.Tool.Project().Scenarios {
+		if s.Segment != segment {
+			continue
+		}
+		for _, o := range s.Objects {
+			f.DrawRect(o.Region, raster.Magenta)
+		}
+	}
+}
+
+// Snapshot renders the editor as deterministic ASCII art (Figure 1).
+func (e *EditorWindow) Snapshot(cols, rows int) string {
+	return e.Win.Snapshot(cols, rows)
+}
+
+// SelectedScenario returns the focused scenario ID (empty if none).
+func (e *EditorWindow) SelectedScenario() string { return e.selectedScenario }
+
+// SelectedObject returns the focused object ID (empty if none).
+func (e *EditorWindow) SelectedObject() string { return e.selectedObject }
+
+var _ = core.FormatVersion // core types appear in the public API via Tool

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/media/raster"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+)
+
+func TestLinearLessonDeliversOnlyNarration(t *testing.T) {
+	course := content.Classroom()
+	rep := LinearLesson(course.Project, course.Film.FrameCount())
+	if rep.Decisions != 0 {
+		t.Fatal("linear lesson has no decisions")
+	}
+	// The classroom course delivers all knowledge through interaction; the
+	// linear watcher gets none of it.
+	if len(rep.Knowledge) != 0 {
+		t.Fatalf("linear knowledge = %v, want none", rep.Knowledge)
+	}
+	// The museum narrates lab-safety on entry, but entry is gated behind
+	// unlocking, which a passive watcher of footage does experience
+	// (the film shows the lab) — our model counts OnEnter narration.
+	museum := content.Museum()
+	mrep := LinearLesson(museum.Project, museum.Film.FrameCount())
+	if len(mrep.Knowledge) != 1 || mrep.Knowledge[0] != "lab-safety" {
+		t.Fatalf("museum linear knowledge = %v", mrep.Knowledge)
+	}
+}
+
+func TestInteractiveCeiling(t *testing.T) {
+	if got := InteractiveKnowledgeCeiling(content.Classroom().Project); got != 3 {
+		t.Fatalf("classroom ceiling = %d, want 3", got)
+	}
+	if got := InteractiveKnowledgeCeiling(content.Museum().Project); got != 3 {
+		t.Fatalf("museum ceiling = %d, want 3", got)
+	}
+	lin := len(LinearLesson(content.Museum().Project, 0).Knowledge)
+	if lin >= InteractiveKnowledgeCeiling(content.Museum().Project) {
+		t.Fatal("linear must deliver strictly less than the interactive ceiling")
+	}
+}
+
+func TestUnindexedSeekMatchesIndexed(t *testing.T) {
+	film := synth.Generate(synth.Spec{
+		W: 48, H: 32, FPS: 8, Shots: 2, MinShotFrames: 10, MaxShotFrames: 12, Seed: 4,
+	})
+	blob, err := studio.Record(film, studio.Options{GOP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := film.FrameCount() - 2
+	f, decoded, err := UnindexedSeek(blob, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded != target+1 {
+		t.Fatalf("decoded %d frames, want %d (no index = decode everything)", decoded, target+1)
+	}
+	// Must produce the same pixels as the real playback path.
+	if p := raster.PSNR(film.Render(target), f); p < 22 {
+		t.Errorf("unindexed seek frame PSNR %.1f", p)
+	}
+	if _, _, err := UnindexedSeek(blob, 9999); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, _, err := UnindexedSeek([]byte("junk"), 0); err == nil {
+		t.Error("junk blob accepted")
+	}
+}
+
+func TestEffortModelShape(t *testing.T) {
+	course := content.Classroom()
+	m := DefaultEffortModel()
+	// The classroom course rebuilt through the tool takes roughly one
+	// operation per object/event/catalog entry; 40 is generous.
+	rep := m.Effort(course.Project, 40)
+	if rep.Scenarios != 2 || rep.Objects != 7 {
+		t.Fatalf("counted %d scenarios, %d objects", rep.Scenarios, rep.Objects)
+	}
+	if rep.HandUnits <= rep.ToolUnits {
+		t.Fatal("hand-coding must cost more than the tool")
+	}
+	if rep.Ratio < 5 {
+		t.Fatalf("effort ratio %.1f below the claimed >=5x", rep.Ratio)
+	}
+}
+
+func TestProductionSweepShape(t *testing.T) {
+	pts := DefaultProductionModel().Sweep([]int{5, 10, 20, 40})
+	prevRatio := 0.0
+	for i, p := range pts {
+		if p.VideoHours >= p.ThreeHours {
+			t.Fatalf("scenes=%d: video %f >= 3D %f", p.Scenes, p.VideoHours, p.ThreeHours)
+		}
+		if i > 0 && p.Ratio < prevRatio {
+			t.Fatalf("3D/video ratio must widen with scale: %f then %f", prevRatio, p.Ratio)
+		}
+		prevRatio = p.Ratio
+	}
+}

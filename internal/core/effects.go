@@ -1,0 +1,168 @@
+package core
+
+import "fmt"
+
+// Sink applies script effects to a State and forwards presentation effects
+// (messages, popups, scenario switches) to optional callbacks. It is the
+// bridge between the event language and everything that hosts a game: the
+// interactive runtime, the headless simulator and the tests all wire their
+// own callbacks.
+//
+// Sink implements script.Effects. Script verbs can fail softly (e.g. goto
+// to an unknown scenario); such problems are accumulated in Problems rather
+// than aborting the script, mirroring how the original tool kept playing
+// through authoring mistakes.
+type Sink struct {
+	Project *Project
+	State   *State
+
+	// Presentation callbacks; all optional.
+	OnSay        func(msg string)
+	OnPopup      func(kind, content string)
+	OnGoto       func(scenario string)
+	OnVisibility func(objectID string, visible bool)
+	OnReward     func(item string)
+	OnLearn      func(unit string)
+	OnEnd        func(outcome string)
+	OnOpen       func(url string)
+	OnGive       func(item string)
+	OnTake       func(item string)
+	OnQuiz       func(quizID string)
+
+	// Problems collects soft runtime errors (unknown scenario, unknown
+	// object, reward for an unknown item).
+	Problems []string
+}
+
+// NewSink wires a sink for the given project and state.
+func NewSink(p *Project, s *State) *Sink {
+	return &Sink{Project: p, State: s}
+}
+
+func (k *Sink) problem(format string, args ...any) {
+	k.Problems = append(k.Problems, fmt.Sprintf(format, args...))
+}
+
+// Say implements script.Effects.
+func (k *Sink) Say(msg string) {
+	if k.OnSay != nil {
+		k.OnSay(msg)
+	}
+}
+
+// Give implements script.Effects.
+func (k *Sink) Give(item string) {
+	k.State.AddItem(item)
+	if k.OnGive != nil {
+		k.OnGive(item)
+	}
+}
+
+// Take implements script.Effects.
+func (k *Sink) Take(item string) bool {
+	ok := k.State.RemoveItem(item)
+	if ok && k.OnTake != nil {
+		k.OnTake(item)
+	}
+	return ok
+}
+
+// SetFlag implements script.Effects.
+func (k *Sink) SetFlag(name string, v bool) { k.State.Flags[name] = v }
+
+// SetVar implements script.Effects.
+func (k *Sink) SetVar(name string, v int) { k.State.Vars[name] = v }
+
+// Goto implements script.Effects: switch scenario, record the visit, and run
+// nothing further here (the host runs the new scenario's OnEnter).
+func (k *Sink) Goto(scenario string) {
+	if k.Project.ScenarioByID(scenario) == nil {
+		k.problem("goto: unknown scenario %q", scenario)
+		return
+	}
+	k.State.EnterScenario(scenario)
+	if k.OnGoto != nil {
+		k.OnGoto(scenario)
+	}
+}
+
+// Popup implements script.Effects.
+func (k *Sink) Popup(kind, content string) {
+	if k.OnPopup != nil {
+		k.OnPopup(kind, content)
+	}
+}
+
+// Reward implements script.Effects: grant an achievement object into the
+// inventory and the rewards list.
+func (k *Sink) Reward(item string) {
+	if def := k.Project.ItemByID(item); def == nil {
+		k.problem("reward: unknown item %q", item)
+		return
+	} else if !def.Reward {
+		k.problem("reward: item %q is not a reward object", item)
+		return
+	}
+	k.State.Rewards = append(k.State.Rewards, item)
+	k.State.AddItem(item)
+	if k.OnReward != nil {
+		k.OnReward(item)
+	}
+}
+
+// Learn implements script.Effects.
+func (k *Sink) Learn(unit string) {
+	if k.Project.KnowledgeByID(unit) == nil {
+		k.problem("learn: unknown knowledge unit %q", unit)
+		return
+	}
+	k.State.Learned[unit] = true
+	if k.OnLearn != nil {
+		k.OnLearn(unit)
+	}
+}
+
+// Enable implements script.Effects.
+func (k *Sink) Enable(objectID string) { k.setVisible(objectID, true) }
+
+// Disable implements script.Effects.
+func (k *Sink) Disable(objectID string) { k.setVisible(objectID, false) }
+
+func (k *Sink) setVisible(objectID string, visible bool) {
+	if _, o := k.Project.FindObject(objectID); o == nil {
+		k.problem("enable/disable: unknown object %q", objectID)
+		return
+	}
+	k.State.Hidden[objectID] = !visible
+	if k.OnVisibility != nil {
+		k.OnVisibility(objectID, visible)
+	}
+}
+
+// End implements script.Effects.
+func (k *Sink) End(outcome string) {
+	k.State.Ended = true
+	k.State.Outcome = outcome
+	if k.OnEnd != nil {
+		k.OnEnd(outcome)
+	}
+}
+
+// Open implements script.Effects (web resources pop up through OnOpen; the
+// network layer decides how to fetch them).
+func (k *Sink) Open(url string) {
+	if k.OnOpen != nil {
+		k.OnOpen(url)
+	}
+}
+
+// Quiz implements script.Effects: ask an assessment question.
+func (k *Sink) Quiz(id string) {
+	if k.Project.QuizByID(id) == nil {
+		k.problem("quiz: unknown quiz %q", id)
+		return
+	}
+	if k.OnQuiz != nil {
+		k.OnQuiz(id)
+	}
+}

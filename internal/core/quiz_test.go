@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func projectWithQuiz(mutate func(*Quiz)) *Project {
+	p := tinyProject()
+	q := &Quiz{
+		ID:        "q1",
+		Question:  "What fits the empty slot?",
+		Choices:   []string{"A RAM module", "A sandwich"},
+		Answer:    0,
+		Knowledge: "ram-identification",
+	}
+	if mutate != nil {
+		mutate(q)
+	}
+	p.Quizzes = []*Quiz{q}
+	return p
+}
+
+func TestQuizLookupAndJSON(t *testing.T) {
+	p := projectWithQuiz(nil)
+	if p.QuizByID("q1") == nil || p.QuizByID("nope") != nil {
+		t.Fatal("QuizByID wrong")
+	}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalProject(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.QuizByID("q1")
+	if got == nil || got.Answer != 0 || len(got.Choices) != 2 {
+		t.Fatalf("quiz lost in round trip: %+v", got)
+	}
+}
+
+func TestQuizValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Quiz)
+		want   string
+	}{
+		{"empty question", func(q *Quiz) { q.Question = "" }, "no question"},
+		{"one choice", func(q *Quiz) { q.Choices = q.Choices[:1] }, "two choices"},
+		{"answer out of range", func(q *Quiz) { q.Answer = 5 }, "out of range"},
+		{"negative answer", func(q *Quiz) { q.Answer = -1 }, "out of range"},
+		{"bad knowledge", func(q *Quiz) { q.Knowledge = "alchemy" }, "unknown knowledge"},
+	}
+	for _, c := range cases {
+		p := projectWithQuiz(c.mutate)
+		probs := p.Validate(nil)
+		found := false
+		for _, pr := range probs {
+			if pr.Severity == Error && strings.Contains(pr.Msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", c.name, c.want, probs)
+		}
+	}
+	// Clean quiz validates.
+	if HasErrors(projectWithQuiz(nil).Validate(nil)) {
+		t.Error("valid quiz flagged")
+	}
+	// Duplicate ids.
+	p := projectWithQuiz(nil)
+	p.Quizzes = append(p.Quizzes, &Quiz{ID: "q1", Question: "x", Choices: []string{"a", "b"}})
+	if !HasErrors(p.Validate(nil)) {
+		t.Error("duplicate quiz id accepted")
+	}
+}
+
+func TestScriptQuizReferenceValidation(t *testing.T) {
+	p := projectWithQuiz(nil)
+	p.Scenarios[0].Objects[1].Events[0].Script = `quiz "q1";`
+	if HasErrors(p.Validate(nil)) {
+		t.Error("valid quiz reference flagged")
+	}
+	p.Scenarios[0].Objects[1].Events[0].Script = `quiz "ghost";`
+	probs := p.Validate(nil)
+	found := false
+	for _, pr := range probs {
+		if pr.Severity == Error && strings.Contains(pr.Msg, "unknown quiz") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown quiz reference not caught: %v", probs)
+	}
+}
+
+func TestSinkQuiz(t *testing.T) {
+	p := projectWithQuiz(nil)
+	s := NewState(p)
+	sink := NewSink(p, s)
+	var asked []string
+	sink.OnQuiz = func(id string) { asked = append(asked, id) }
+	sink.Quiz("q1")
+	sink.Quiz("ghost")
+	if len(asked) != 1 || asked[0] != "q1" {
+		t.Fatalf("asked = %v", asked)
+	}
+	if len(sink.Problems) != 1 {
+		t.Fatalf("problems = %v", sink.Problems)
+	}
+}

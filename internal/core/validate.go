@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+)
+
+// Severity grades a validation problem.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Problem is one validation finding.
+type Problem struct {
+	Severity Severity
+	Where    string // e.g. "scenario classroom / object computer"
+	Msg      string
+}
+
+// String formats the problem for display.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: %s: %s", p.Severity, p.Where, p.Msg)
+}
+
+// Validate checks the project's internal consistency: unique IDs, resolvable
+// references (scenarios, segments, items, knowledge units), compilable
+// scripts, and structural requirements (a start scenario, NPCs with
+// dialogue). segments lists the video chapter names available in the
+// project's container; pass nil to skip segment checking (e.g. before video
+// is imported).
+func (p *Project) Validate(segments []string) []Problem {
+	var probs []Problem
+	add := func(sev Severity, where, format string, args ...any) {
+		probs = append(probs, Problem{Severity: sev, Where: where, Msg: fmt.Sprintf(format, args...)})
+	}
+	segSet := map[string]bool{}
+	for _, s := range segments {
+		segSet[s] = true
+	}
+
+	if p.Title == "" {
+		add(Warning, "project", "project has no title")
+	}
+	if p.StartScenario == "" {
+		add(Error, "project", "no start scenario set")
+	} else if p.ScenarioByID(p.StartScenario) == nil {
+		add(Error, "project", "start scenario %q does not exist", p.StartScenario)
+	}
+	if len(p.Scenarios) == 0 {
+		add(Error, "project", "project has no scenarios")
+	}
+
+	// Catalog uniqueness.
+	scenIDs := map[string]bool{}
+	objIDs := map[string]bool{}
+	itemIDs := map[string]bool{}
+	knowIDs := map[string]bool{}
+	for _, it := range p.Items {
+		where := "item " + it.ID
+		if it.ID == "" {
+			add(Error, "items", "item with empty id")
+			continue
+		}
+		if itemIDs[it.ID] {
+			add(Error, where, "duplicate item id")
+		}
+		itemIDs[it.ID] = true
+	}
+	for _, k := range p.Knowledge {
+		where := "knowledge " + k.ID
+		if k.ID == "" {
+			add(Error, "knowledge", "knowledge unit with empty id")
+			continue
+		}
+		if knowIDs[k.ID] {
+			add(Error, where, "duplicate knowledge id")
+		}
+		knowIDs[k.ID] = true
+	}
+
+	checkScript := func(where, src string) *script.Program {
+		prog, err := script.Compile(src)
+		if err != nil {
+			add(Error, where, "script error: %v", err)
+			return nil
+		}
+		// Cross-reference literal arguments.
+		for _, target := range prog.LiteralArgs("goto") {
+			if p.ScenarioByID(target) == nil {
+				add(Error, where, "goto target %q is not a scenario", target)
+			}
+		}
+		for _, verb := range []string{"give", "take"} {
+			for _, item := range prog.LiteralArgs(verb) {
+				if !itemIDs[item] {
+					add(Warning, where, "%s references item %q not in the catalog", verb, item)
+				}
+			}
+		}
+		for _, unit := range prog.LiteralArgs("learn") {
+			if !knowIDs[unit] {
+				add(Error, where, "learn references unknown knowledge unit %q", unit)
+			}
+		}
+		for _, q := range prog.LiteralArgs("quiz") {
+			if p.QuizByID(q) == nil {
+				add(Error, where, "quiz references unknown quiz %q", q)
+			}
+		}
+		for _, item := range prog.LiteralArgs("reward") {
+			def := p.ItemByID(item)
+			switch {
+			case def == nil:
+				add(Error, where, "reward references unknown item %q", item)
+			case !def.Reward:
+				add(Error, where, "reward item %q is not marked as a reward object", item)
+			}
+		}
+		for _, obj := range prog.LiteralArgs("enable") {
+			if _, o := p.FindObject(obj); o == nil {
+				add(Error, where, "enable references unknown object %q", obj)
+			}
+		}
+		for _, obj := range prog.LiteralArgs("disable") {
+			if _, o := p.FindObject(obj); o == nil {
+				add(Error, where, "disable references unknown object %q", obj)
+			}
+		}
+		return prog
+	}
+
+	reachable := map[string]bool{}
+	if p.StartScenario != "" {
+		reachable[p.StartScenario] = true
+	}
+	// Collect goto edges while validating scripts, then flood-fill for
+	// reachability.
+	edges := map[string][]string{}
+
+	for _, s := range p.Scenarios {
+		where := "scenario " + s.ID
+		if s.ID == "" {
+			add(Error, "scenarios", "scenario with empty id")
+			continue
+		}
+		if scenIDs[s.ID] {
+			add(Error, where, "duplicate scenario id")
+		}
+		scenIDs[s.ID] = true
+		if s.Segment == "" {
+			add(Error, where, "no video segment assigned")
+		} else if segments != nil && !segSet[s.Segment] {
+			add(Error, where, "segment %q not present in the video container", s.Segment)
+		}
+		collect := func(src string) {
+			if prog, err := script.Compile(src); err == nil {
+				edges[s.ID] = append(edges[s.ID], prog.LiteralArgs("goto")...)
+			}
+		}
+		if s.OnEnter != "" {
+			checkScript(where+" on_enter", s.OnEnter)
+			collect(s.OnEnter)
+		}
+		for _, o := range s.Objects {
+			owhere := fmt.Sprintf("%s / object %s", where, o.ID)
+			if o.ID == "" {
+				add(Error, where, "object with empty id")
+				continue
+			}
+			if objIDs[o.ID] {
+				add(Error, owhere, "duplicate object id (ids are project-global)")
+			}
+			objIDs[o.ID] = true
+			if !o.Kind.Valid() {
+				add(Error, owhere, "unknown object kind %q", o.Kind)
+			}
+			if o.Region.W <= 0 || o.Region.H <= 0 {
+				add(Error, owhere, "object region is empty")
+			}
+			if o.Kind == NPC && len(o.Dialogue) == 0 {
+				add(Warning, owhere, "NPC has no dialogue lines")
+			}
+			if o.Kind == Item && !o.Takeable && o.EventFor(OnTake, "") != nil {
+				add(Warning, owhere, "has an OnTake event but is not takeable")
+			}
+			seenTriggers := map[string]bool{}
+			for i := range o.Events {
+				e := &o.Events[i]
+				ewhere := fmt.Sprintf("%s %s event", owhere, e.Trigger)
+				if !e.Trigger.Valid() {
+					add(Error, ewhere, "unknown trigger %q", e.Trigger)
+				}
+				if e.Trigger == OnEnter {
+					add(Error, ewhere, "enter triggers belong to scenarios, not objects")
+				}
+				if e.Trigger == OnUse && e.UseItem == "" {
+					add(Error, ewhere, "use trigger without use_item")
+				}
+				if e.UseItem != "" && !itemIDs[e.UseItem] {
+					add(Warning, ewhere, "use_item %q not in the catalog", e.UseItem)
+				}
+				key := string(e.Trigger) + "/" + e.UseItem
+				if seenTriggers[key] {
+					add(Warning, ewhere, "duplicate trigger; only the first will fire")
+				}
+				seenTriggers[key] = true
+				if e.Condition != "" {
+					if _, err := script.EvalCondition(e.Condition, emptyEnv{}); err != nil {
+						add(Error, ewhere, "condition error: %v", err)
+					}
+				}
+				checkScript(ewhere, e.Script)
+				collect(e.Script)
+			}
+		}
+	}
+
+	// Quizzes.
+	quizIDs := map[string]bool{}
+	for _, q := range p.Quizzes {
+		where := "quiz " + q.ID
+		if q.ID == "" {
+			add(Error, "quizzes", "quiz with empty id")
+			continue
+		}
+		if quizIDs[q.ID] {
+			add(Error, where, "duplicate quiz id")
+		}
+		quizIDs[q.ID] = true
+		if q.Question == "" {
+			add(Error, where, "quiz has no question")
+		}
+		if len(q.Choices) < 2 {
+			add(Error, where, "quiz needs at least two choices")
+		}
+		if q.Answer < 0 || q.Answer >= len(q.Choices) {
+			add(Error, where, "answer index %d out of range [0,%d)", q.Answer, len(q.Choices))
+		}
+		if q.Knowledge != "" && !knowIDs[q.Knowledge] {
+			add(Error, where, "quiz assesses unknown knowledge unit %q", q.Knowledge)
+		}
+	}
+
+	// Missions.
+	for _, m := range p.Missions {
+		where := "mission " + m.ID
+		if m.DoneFlag == "" {
+			add(Error, where, "mission has no done_flag")
+		}
+		if m.Reward != "" {
+			if def := p.ItemByID(m.Reward); def == nil {
+				add(Error, where, "reward item %q unknown", m.Reward)
+			} else if !def.Reward {
+				add(Error, where, "reward item %q not marked as reward", m.Reward)
+			}
+		}
+		if m.Knowledge != "" && !knowIDs[m.Knowledge] {
+			add(Error, where, "knowledge unit %q unknown", m.Knowledge)
+		}
+	}
+
+	// Reachability flood fill over goto edges.
+	queue := []string{p.StartScenario}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if !reachable[next] && scenIDs[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for _, s := range p.Scenarios {
+		if s.ID != "" && !reachable[s.ID] {
+			add(Warning, "scenario "+s.ID, "unreachable from the start scenario")
+		}
+	}
+	return probs
+}
+
+// HasErrors reports whether any problem is an Error.
+func HasErrors(probs []Problem) bool {
+	for _, p := range probs {
+		if p.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// emptyEnv is a zero environment for static condition checking.
+type emptyEnv struct{}
+
+func (emptyEnv) HasItem(string) bool { return false }
+func (emptyEnv) Flag(string) bool    { return false }
+func (emptyEnv) Var(string) int      { return 0 }

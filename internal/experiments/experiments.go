@@ -1,0 +1,281 @@
+// Package experiments regenerates every figure and derived table of the
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment is a
+// function returning the formatted table/figure it produces, so the
+// vgbl-experiments binary, the test suite and the docs all share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/author"
+	"repro/internal/baseline"
+	"repro/internal/content"
+	"repro/internal/media/playback"
+	"repro/internal/media/raster"
+	"repro/internal/media/shotdetect"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+	"repro/internal/runtime"
+)
+
+// F1 reproduces Figure 1: the authoring tool interface with the classroom
+// course loaded, rendered headlessly as ASCII.
+func F1() (string, error) {
+	course := content.Classroom()
+	video, err := course.RecordVideo(studio.Options{QStep: 6})
+	if err != nil {
+		return "", err
+	}
+	projJSON, err := course.Project.Marshal()
+	if err != nil {
+		return "", err
+	}
+	tool, err := author.Load(projJSON, video)
+	if err != nil {
+		return "", err
+	}
+	ed := author.NewEditorWindow(tool)
+	ed.SelectScenario("classroom")
+	ed.SelectObject("computer")
+	var b strings.Builder
+	b.WriteString("FIGURE 1 — the interface of the interactive VGBL authoring tool\n")
+	b.WriteString("(scenario editor: video preview + segment timeline; object editor:\n")
+	b.WriteString(" object list + property sheet; classroom course loaded)\n\n")
+	b.WriteString(ed.Snapshot(132, 44))
+	return b.String(), nil
+}
+
+// F2 reproduces Figure 2: the runtime interface — street scene with the
+// umbrella image object mounted on the video frame, inventory window and
+// buttons.
+func F2() (string, error) {
+	blob, err := content.StreetDemo().BuildPackage(studio.Options{QStep: 6})
+	if err != nil {
+		return "", err
+	}
+	s, err := runtime.NewSession(blob, runtime.Options{})
+	if err != nil {
+		return "", err
+	}
+	g := runtime.NewGameWindow(s)
+	var b strings.Builder
+	b.WriteString("FIGURE 2 — the interface of the interactive VGBL runtime environment\n")
+	b.WriteString("(umbrella image object mounted on the video frame; inventory window;\n")
+	b.WriteString(" examine/cancel buttons; players may click the umbrella or drag it\n")
+	b.WriteString(" to the inventory)\n\n")
+	b.WriteString(g.Snapshot(132, 44))
+	return b.String(), nil
+}
+
+// E1 sweeps the shot detector's threshold over hard-cut and fade corpora,
+// with the adaptive local-mean test switched on and off (ablation).
+func E1() (string, error) {
+	var b strings.Builder
+	b.WriteString("E1 — shot segmentation accuracy (scenario editor auto-segmentation)\n")
+	b.WriteString("corpus: 5 noisy synthetic films x 8 shots, 96x64@12, sensor noise 8;\n")
+	b.WriteString("tolerance 2 frames for hard cuts, 10 for all-fade films\n\n")
+	b.WriteString("  detector  | thresh | hard cuts: P / R / F1  | all fades: P / R / F1\n")
+	b.WriteString("  ----------+--------+------------------------+----------------------\n")
+	for _, adaptive := range []bool{false, true} {
+		name := "absolute"
+		ratio := 0.0
+		if adaptive {
+			name = "adaptive"
+			ratio = shotdetect.Defaults().AdaptiveRatio
+		}
+		for _, th := range []float64{0.01, 0.05, 0.20, 0.60, 1.20} {
+			hp, hr, hf, err := e1Corpus(th, ratio, 0, 2)
+			if err != nil {
+				return "", err
+			}
+			fp, fr, ff, err := e1Corpus(th, ratio, 1.0, 10)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %-9s | %6.2f | %4.2f / %4.2f / %4.2f     | %4.2f / %4.2f / %4.2f\n",
+				name, th, hp, hr, hf, fp, fr, ff)
+		}
+	}
+	b.WriteString("\nshape check: low absolute thresholds drown in noise/motion false\n")
+	b.WriteString("positives, high ones miss cuts; the adaptive test keeps precision\n")
+	b.WriteString("near 1.0 across the sweep. Fades rely on the twin-comparison detector.\n")
+	return b.String(), nil
+}
+
+func e1Corpus(threshold, adaptiveRatio, fadeFraction float64, tol int) (p, r, f1 float64, err error) {
+	var tp, fp, fn int
+	for seed := int64(1); seed <= 5; seed++ {
+		film := synth.Generate(synth.Spec{
+			W: 96, H: 64, FPS: 12,
+			Shots: 8, MinShotFrames: 16, MaxShotFrames: 28,
+			FadeFraction: fadeFraction, FadeFrames: 8,
+			NoiseAmp: 8, Seed: seed * 31,
+		})
+		cfg := shotdetect.Defaults()
+		cfg.HardThreshold = threshold
+		cfg.AdaptiveRatio = adaptiveRatio
+		cfg.Workers = 2
+		src := shotdetect.FuncSource{N: film.FrameCount(), F: func(i int) (*raster.Frame, error) {
+			return film.Render(i), nil
+		}}
+		bounds, derr := shotdetect.Detect(src, cfg)
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		var truth []int
+		for _, c := range film.Cuts() {
+			truth = append(truth, c.Frame)
+		}
+		m := shotdetect.Score(bounds, truth, tol)
+		tp += m.TP
+		fp += m.FP
+		fn += m.FN
+	}
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return p, r, f1, nil
+}
+
+// E2 measures scenario-switch latency: indexed seek vs the unindexed
+// decode-from-zero baseline.
+func E2() (string, error) {
+	var b strings.Builder
+	b.WriteString("E2 — scenario switch latency: container index vs linear scan\n")
+	b.WriteString("film 96x64@12, GOP 12; switch target = last frame of the film\n\n")
+	b.WriteString("  film length | frames | indexed: decoded    time | linear: decoded    time | speedup\n")
+	b.WriteString("  ------------+--------+-------------------------+-------------------------+--------\n")
+	for _, seconds := range []int{15, 30, 60, 120} {
+		film := synth.Generate(synth.Spec{
+			W: 96, H: 64, FPS: 12,
+			Shots:         seconds / 5,
+			MinShotFrames: 50, MaxShotFrames: 70,
+			NoiseAmp: 1, Seed: int64(seconds),
+		})
+		blob, err := studio.Record(film, studio.Options{QStep: 8, GOP: 12, Workers: 2})
+		if err != nil {
+			return "", err
+		}
+		target := film.FrameCount() - 1
+		// Indexed path.
+		v, err := playback.OpenVideo(blob, 1)
+		if err != nil {
+			return "", err
+		}
+		t0 := time.Now()
+		if _, err := v.FrameAt(target); err != nil {
+			return "", err
+		}
+		indexedTime := time.Since(t0)
+		indexedDecoded := target%12 + 1 // from preceding keyframe
+		// Linear baseline.
+		t0 = time.Now()
+		_, linDecoded, err := baseline.UnindexedSeek(blob, target)
+		if err != nil {
+			return "", err
+		}
+		linTime := time.Since(t0)
+		speedup := float64(linTime) / float64(indexedTime)
+		fmt.Fprintf(&b, "  %9ds | %6d | %15d %8s | %14d %9s | %5.1fx\n",
+			seconds, film.FrameCount(),
+			indexedDecoded, round(indexedTime),
+			linDecoded, round(linTime), speedup)
+	}
+	b.WriteString("\nshape check: indexed decode count is bounded by the GOP (<=12 frames)\n")
+	b.WriteString("regardless of film length; linear scan grows with the film, so the\n")
+	b.WriteString("speedup widens — interactive jumps need the index.\n")
+	return b.String(), nil
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d > time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d > time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	}
+}
+
+// E3 sweeps the codec's rate/distortion and parallel encode throughput.
+func E3() (string, error) {
+	var b strings.Builder
+	b.WriteString("E3 — TKV1 codec rate/distortion and encode scaling\n")
+	b.WriteString("30 frames of synthetic footage per point, GOP 10, search range 3\n\n")
+	b.WriteString("  resolution |  q | kbits/frame |  PSNR dB | enc fps (1w) | enc fps (2w) | enc fps (4w)\n")
+	b.WriteString("  -----------+----+-------------+----------+--------------+--------------+-------------\n")
+	for _, res := range [][2]int{{160, 120}, {320, 240}} {
+		for _, q := range []int{2, 4, 8, 16} {
+			row, err := e3Point(res[0], res[1], q)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(row)
+		}
+	}
+	b.WriteString("\nshape check: size falls and PSNR drops as q rises; worker scaling is\n")
+	b.WriteString("reported for completeness (this reproduction host may be single-core).\n")
+	return b.String(), nil
+}
+
+func e3Point(w, h, q int) (string, error) {
+	film := synth.Generate(synth.Spec{
+		W: w, H: h, FPS: 10,
+		Shots: 2, MinShotFrames: 15, MaxShotFrames: 16,
+		NoiseAmp: 2, Seed: 77,
+	})
+	const frames = 30
+	// Quality + size with 1 worker.
+	var totalBits, measured int
+	var psnrSum float64
+	fpsFor := func(workers int, collect bool) (float64, error) {
+		enc, err := newEncoder(w, h, q, workers)
+		if err != nil {
+			return 0, err
+		}
+		dec := newDecoder(workers)
+		t0 := time.Now()
+		for i := 0; i < frames && i < film.FrameCount(); i++ {
+			src := film.Render(i)
+			pkt, err := enc.Encode(src)
+			if err != nil {
+				return 0, err
+			}
+			if collect {
+				totalBits += 8 * len(pkt.Data)
+				rec, err := dec.Decode(pkt.Data)
+				if err != nil {
+					return 0, err
+				}
+				psnrSum += raster.PSNR(src, rec)
+				measured++
+			}
+		}
+		return float64(frames) / time.Since(t0).Seconds(), nil
+	}
+	fps1, err := fpsFor(1, true)
+	if err != nil {
+		return "", err
+	}
+	fps2, err := fpsFor(2, false)
+	if err != nil {
+		return "", err
+	}
+	fps4, err := fpsFor(4, false)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("  %4dx%-5d | %2d | %11.1f | %8.1f | %12.1f | %12.1f | %12.1f\n",
+		w, h, q, float64(totalBits)/float64(measured)/1000, psnrSum/float64(measured),
+		fps1, fps2, fps4), nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Snapshot(t *testing.T) {
+	f1, err := F1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1, "FIGURE 1") {
+		t.Error("caption missing")
+	}
+	// Deterministic.
+	again, err := F1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != again {
+		t.Error("Figure 1 not deterministic")
+	}
+	if len(strings.Split(f1, "\n")) < 40 {
+		t.Error("Figure 1 suspiciously small")
+	}
+}
+
+func TestFigure2Snapshot(t *testing.T) {
+	f2, err := F2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := F2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != again {
+		t.Error("Figure 2 not deterministic")
+	}
+	if !strings.Contains(f2, "FIGURE 2") {
+		t.Error("caption missing")
+	}
+}
+
+func TestE4ShapeHolds(t *testing.T) {
+	out, err := E4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "effort ratio") {
+		t.Errorf("E4 output:\n%s", out)
+	}
+	tool, pkg, err := BuildClassroomWithTool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Ops() < 20 || tool.Ops() > 80 {
+		t.Errorf("tool ops = %d, outside plausible range", tool.Ops())
+	}
+	if len(pkg) == 0 {
+		t.Error("tool-built package empty")
+	}
+}
+
+func TestE5ShapeHolds(t *testing.T) {
+	out, err := E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3D/video") {
+		t.Errorf("E5 output:\n%s", out)
+	}
+}
+
+func TestE7SmallCohort(t *testing.T) {
+	out, err := E7(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reward boost") {
+		t.Errorf("E7 output:\n%s", out)
+	}
+}
+
+func TestE9Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations take a few seconds")
+	}
+	out, err := E9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hit-testing", "event dispatch", "undo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E9 missing %q:\n%s", want, out)
+		}
+	}
+}

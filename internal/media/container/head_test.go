@@ -1,0 +1,177 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/media/vcodec"
+)
+
+func TestParseHeadFromPrefix(t *testing.T) {
+	blob, film := buildBlob(t, 5, []Chapter{
+		{Name: "a", Start: 0, End: 8},
+		{Name: "b", Start: 8, End: 16},
+	})
+	full, err := ParseHead(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalSize() != len(blob) {
+		t.Fatalf("TotalSize = %d, blob = %d", full.TotalSize(), len(blob))
+	}
+	if full.Meta().FrameCount != film.FrameCount() {
+		t.Error("meta wrong")
+	}
+	if len(full.Chapters()) != 2 {
+		t.Error("chapters wrong")
+	}
+	if _, ok := full.ChapterByName("b"); !ok {
+		t.Error("ChapterByName failed")
+	}
+	// The head parses from any prefix that covers it; the data section is
+	// not needed.
+	head2, err := ParseHead(blob[:full.TotalSize()-full.dataLen])
+	if err != nil {
+		t.Fatalf("head-only prefix: %v", err)
+	}
+	if head2.Meta() != full.Meta() {
+		t.Error("prefix parse differs")
+	}
+	// Short prefixes report ErrTruncated (grow-and-retry contract).
+	for _, n := range []int{0, 3, 5, 9, 20} {
+		if n > len(blob) {
+			continue
+		}
+		_, err := ParseHead(blob[:n])
+		if err == nil {
+			t.Fatalf("prefix %d parsed", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadContainer) {
+			t.Fatalf("prefix %d: unexpected error %v", n, err)
+		}
+	}
+	// A prefix that stops inside the frame index must be ErrTruncated
+	// specifically.
+	if _, err := ParseHead(blob[:30]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mid-index prefix error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestHeadFrameTypeAndKeyframe(t *testing.T) {
+	blob, _ := buildBlob(t, 4, nil)
+	h, err := ParseHead(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < h.Meta().FrameCount; i++ {
+		ft, err := h.FrameType(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ft == vcodec.IFrame) != (i%4 == 0) {
+			t.Fatalf("frame %d type %v", i, ft)
+		}
+		k, err := h.KeyframeAtOrBefore(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != i/4*4 {
+			t.Fatalf("keyframe before %d = %d", i, k)
+		}
+	}
+	if _, err := h.FrameType(-1); err == nil {
+		t.Error("negative frame accepted")
+	}
+	if _, err := h.KeyframeAtOrBefore(h.Meta().FrameCount); err == nil {
+		t.Error("out-of-range keyframe query accepted")
+	}
+}
+
+func TestHeadByteRangeAndChunkExtraction(t *testing.T) {
+	blob, _ := buildBlob(t, 5, nil)
+	h, err := ParseHead(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := 5, 12
+	lo, hi, err := h.ByteRange(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 || hi <= lo || hi > len(blob) {
+		t.Fatalf("byte range [%d,%d)", lo, hi)
+	}
+	chunk := blob[lo:hi]
+	for i := from; i < to; i++ {
+		got, err := h.PacketFromChunk(chunk, from, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := r.PacketAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("packet %d differs via chunk path", i)
+		}
+	}
+	// Packets outside the chunk are rejected.
+	if _, err := h.PacketFromChunk(chunk, from, to); err == nil {
+		t.Error("packet beyond chunk accepted")
+	}
+	if _, err := h.PacketFromChunk(chunk, from, from-1); err == nil {
+		t.Error("packet before chunk accepted")
+	}
+	if _, err := h.PacketFromChunk(chunk[:3], from, from+1); err == nil {
+		t.Error("short chunk accepted")
+	}
+	// Bad ranges.
+	if _, _, err := h.ByteRange(-1, 3); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, _, err := h.ByteRange(5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, _, err := h.ByteRange(0, h.Meta().FrameCount+1); err == nil {
+		t.Error("overlong range accepted")
+	}
+}
+
+func TestWithChapters(t *testing.T) {
+	blob, film := buildBlob(t, 5, []Chapter{{Name: "old", Start: 0, End: 10}})
+	newBlob, err := WithChapters(blob, []Chapter{
+		{Name: "first-half", Start: 0, End: film.FrameCount() / 2},
+		{Name: "second-half", Start: film.FrameCount() / 2, End: film.FrameCount()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(newBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := r.Chapters()
+	if len(chs) != 2 || chs[0].Name != "first-half" {
+		t.Fatalf("chapters = %+v", chs)
+	}
+	// Packets unchanged.
+	orig, _ := Open(blob)
+	for i := 0; i < r.Meta().FrameCount; i++ {
+		a, _, _ := orig.PacketAt(i)
+		b, _, _ := r.PacketAt(i)
+		if string(a) != string(b) {
+			t.Fatalf("packet %d changed by re-chaptering", i)
+		}
+	}
+	// Invalid chapter sets are rejected.
+	if _, err := WithChapters(blob, []Chapter{{Name: "x", Start: 0, End: 10_000}}); err == nil {
+		t.Error("overlong chapter accepted")
+	}
+	if _, err := WithChapters([]byte("junk"), nil); err == nil {
+		t.Error("junk blob accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package playback decodes TKVC containers for presentation.
+//
+// It provides three layers:
+//
+//   - Video: random access to decoded frames (seek = nearest I-frame +
+//     roll-forward), the capability behind the paper's "switch to other
+//     video segments" interaction (§4.3).
+//   - Cursor: step-driven playback confined to one segment (scenario),
+//     with loop/hold end behavior. The game runtime advances a Cursor
+//     one tick at a time.
+//   - Play: a real-time pipeline that prefetches decoded frames through a
+//     channel and paces delivery against the wall clock.
+package playback
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/media/container"
+	"repro/internal/media/raster"
+	"repro/internal/media/vcodec"
+)
+
+// Video is a decodable container with seek support. It is not safe for
+// concurrent use; each consumer should open its own Video (the underlying
+// blob is shared and read-only).
+type Video struct {
+	r   *container.Reader
+	dec *vcodec.Decoder
+	// pos is the index of the next frame the decoder would produce, or -1
+	// if the decoder has no reference state yet.
+	pos int
+}
+
+// OpenVideo parses blob and prepares a decoder with the given worker count.
+func OpenVideo(blob []byte, decodeWorkers int) (*Video, error) {
+	r, err := container.Open(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Video{r: r, dec: vcodec.NewDecoder(decodeWorkers), pos: -1}, nil
+}
+
+// Meta returns the container metadata.
+func (v *Video) Meta() container.Meta { return v.r.Meta() }
+
+// Chapters returns the container's chapter (segment) table.
+func (v *Video) Chapters() []container.Chapter { return v.r.Chapters() }
+
+// ChapterByName looks up a chapter.
+func (v *Video) ChapterByName(name string) (container.Chapter, bool) {
+	return v.r.ChapterByName(name)
+}
+
+// FrameAt decodes and returns frame i, seeking if necessary. Sequential
+// reads (i == previous+1) cost one decode; backward seeks or jumps restart
+// from the nearest preceding I-frame.
+func (v *Video) FrameAt(i int) (*raster.Frame, error) {
+	n := v.r.Meta().FrameCount
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("playback: frame %d out of range [0,%d)", i, n)
+	}
+	start := v.pos
+	if v.pos == -1 || i < v.pos {
+		k, err := v.r.KeyframeAtOrBefore(i)
+		if err != nil {
+			return nil, err
+		}
+		v.dec.Reset()
+		start = k
+	} else if i > v.pos {
+		// Rolling forward: if there is a keyframe between pos and i, jumping
+		// to it skips useless decodes.
+		k, err := v.r.KeyframeAtOrBefore(i)
+		if err != nil {
+			return nil, err
+		}
+		if k > v.pos {
+			v.dec.Reset()
+			start = k
+		}
+	}
+	var out *raster.Frame
+	for j := start; j <= i; j++ {
+		data, _, err := v.r.PacketAt(j)
+		if err != nil {
+			return nil, err
+		}
+		f, err := v.dec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("playback: decoding frame %d: %w", j, err)
+		}
+		out = f
+	}
+	v.pos = i + 1
+	return out, nil
+}
+
+// EndBehavior selects what a Cursor does at the end of its segment.
+type EndBehavior int
+
+// End behaviors.
+const (
+	HoldLast EndBehavior = iota // keep presenting the final frame
+	Loop                        // wrap to the segment start
+)
+
+// Cursor plays one segment of a Video step by step. The zero Cursor is not
+// usable; construct with NewCursor.
+type Cursor struct {
+	v       *Video
+	seg     container.Chapter
+	pos     int // current global frame index
+	end     EndBehavior
+	entered bool
+}
+
+// NewCursor wraps a video. Call EnterSegment (or EnterRange) before reading
+// frames.
+func NewCursor(v *Video, end EndBehavior) *Cursor {
+	return &Cursor{v: v, end: end}
+}
+
+// EnterSegment seeks to the start of the named chapter.
+func (c *Cursor) EnterSegment(name string) error {
+	ch, ok := c.v.ChapterByName(name)
+	if !ok {
+		return fmt.Errorf("playback: no segment named %q", name)
+	}
+	c.seg = ch
+	c.pos = ch.Start
+	c.entered = true
+	return nil
+}
+
+// EnterRange seeks to an explicit frame range [start, end).
+func (c *Cursor) EnterRange(name string, start, end int) error {
+	n := c.v.Meta().FrameCount
+	if start < 0 || end > n || end <= start {
+		return fmt.Errorf("playback: invalid range [%d,%d) of %d frames", start, end, n)
+	}
+	c.seg = container.Chapter{Name: name, Start: start, End: end}
+	c.pos = start
+	c.entered = true
+	return nil
+}
+
+// Segment returns the current segment.
+func (c *Cursor) Segment() container.Chapter { return c.seg }
+
+// Pos returns the current global frame index.
+func (c *Cursor) Pos() int { return c.pos }
+
+// AtEnd reports whether the cursor sits on the segment's final frame.
+func (c *Cursor) AtEnd() bool { return c.entered && c.pos == c.seg.End-1 }
+
+// Frame decodes the current frame.
+func (c *Cursor) Frame() (*raster.Frame, error) {
+	if !c.entered {
+		return nil, errors.New("playback: cursor has not entered a segment")
+	}
+	return c.v.FrameAt(c.pos)
+}
+
+// Advance moves to the next frame within the segment. At the segment end it
+// loops or holds according to the end behavior; moved reports whether the
+// position changed.
+func (c *Cursor) Advance() (moved bool, err error) {
+	if !c.entered {
+		return false, errors.New("playback: cursor has not entered a segment")
+	}
+	if c.pos+1 < c.seg.End {
+		c.pos++
+		return true, nil
+	}
+	if c.end == Loop && c.seg.End-c.seg.Start > 1 {
+		c.pos = c.seg.Start
+		return true, nil
+	}
+	return false, nil
+}
+
+// PlayOptions configures the real-time pipeline.
+type PlayOptions struct {
+	Prefetch int  // decoded-frame channel depth (default 4)
+	Realtime bool // pace frames against the wall clock at container FPS
+}
+
+// PlayStats reports what a Play call delivered.
+type PlayStats struct {
+	Frames  int           // frames delivered to the callback
+	Late    int           // frames that missed their presentation deadline
+	Elapsed time.Duration // wall time spent inside Play
+}
+
+// Play decodes frames [start, end) through a prefetching pipeline and hands
+// each to fn. A decode goroutine runs ahead by up to Prefetch frames while
+// fn (the "presentation" side) consumes. fn returning an error, or ctx
+// cancellation, stops playback early.
+func Play(ctx context.Context, v *Video, start, end int, opts PlayOptions, fn func(i int, f *raster.Frame) error) (PlayStats, error) {
+	n := v.Meta().FrameCount
+	if start < 0 || end > n || end < start {
+		return PlayStats{}, fmt.Errorf("playback: invalid range [%d,%d) of %d frames", start, end, n)
+	}
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = 4
+	}
+	type item struct {
+		i int
+		f *raster.Frame
+	}
+	frames := make(chan item, opts.Prefetch)
+	decodeErr := make(chan error, 1)
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(frames)
+		for i := start; i < end; i++ {
+			f, err := v.FrameAt(i)
+			if err != nil {
+				decodeErr <- err
+				return
+			}
+			select {
+			case frames <- item{i, f}:
+			case <-dctx.Done():
+				return
+			}
+		}
+	}()
+	stats := PlayStats{}
+	began := time.Now()
+	frameDur := time.Second / time.Duration(v.Meta().FPS)
+	next := began
+	for {
+		select {
+		case <-ctx.Done():
+			stats.Elapsed = time.Since(began)
+			return stats, ctx.Err()
+		case err := <-decodeErr:
+			stats.Elapsed = time.Since(began)
+			return stats, err
+		case it, ok := <-frames:
+			if !ok {
+				// Drain a decode error that may have raced with close.
+				select {
+				case err := <-decodeErr:
+					stats.Elapsed = time.Since(began)
+					return stats, err
+				default:
+				}
+				stats.Elapsed = time.Since(began)
+				return stats, nil
+			}
+			if opts.Realtime {
+				now := time.Now()
+				if now.Before(next) {
+					timer := time.NewTimer(next.Sub(now))
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						timer.Stop()
+						stats.Elapsed = time.Since(began)
+						return stats, ctx.Err()
+					}
+				} else if now.Sub(next) > frameDur/2 {
+					stats.Late++
+				}
+				next = next.Add(frameDur)
+			}
+			if err := fn(it.i, it.f); err != nil {
+				stats.Elapsed = time.Since(began)
+				return stats, err
+			}
+			stats.Frames++
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package raster
+
+import "strings"
+
+// asciiRamp orders characters from dark to bright for luminance rendering.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders the frame as luminance art with one character per cell,
+// box-averaging the frame down to cols×rows cells. It is the deterministic
+// "screenshot" mechanism used to regenerate the paper's Figure 1 and
+// Figure 2 in a headless environment.
+func (f *Frame) ASCII(cols, rows int) string {
+	if cols <= 0 || rows <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow((cols + 1) * rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x0 := c * f.W / cols
+			x1 := (c + 1) * f.W / cols
+			y0 := r * f.H / rows
+			y1 := (r + 1) * f.H / rows
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			if y1 <= y0 {
+				y1 = y0 + 1
+			}
+			var sum, n int
+			for y := y0; y < y1 && y < f.H; y++ {
+				for x := x0; x < x1 && x < f.W; x++ {
+					sum += int(f.At(x, y).Luma())
+					n++
+				}
+			}
+			lum := 0
+			if n > 0 {
+				lum = sum / n
+			}
+			idx := lum * (len(asciiRamp) - 1) / 255
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

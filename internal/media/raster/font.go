@@ -1,0 +1,177 @@
+package raster
+
+import "strings"
+
+// Glyph metrics for the built-in 5×7 bitmap font.
+const (
+	GlyphW   = 5 // pixel width of one glyph
+	GlyphH   = 7 // pixel height of one glyph
+	GlyphGap = 1 // horizontal spacing between glyphs
+)
+
+// glyphs maps a rune to its 7-row bitmap. Each row string is 5 characters;
+// '#' marks a lit pixel. Lowercase letters render as uppercase (the paper's
+// mid-2000s authoring UI used a single-case bitmap face, and one case keeps
+// the table half the size).
+var glyphs = map[rune][GlyphH]string{
+	'A':  {" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"},
+	'B':  {"#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "},
+	'C':  {" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "},
+	'D':  {"#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "},
+	'E':  {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"},
+	'F':  {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "},
+	'G':  {" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "},
+	'H':  {"#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"},
+	'I':  {" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+	'J':  {"  ###", "   # ", "   # ", "   # ", "   # ", "#  # ", " ##  "},
+	'K':  {"#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"},
+	'L':  {"#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"},
+	'M':  {"#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"},
+	'N':  {"#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"},
+	'O':  {" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "},
+	'P':  {"#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "},
+	'Q':  {" ### ", "#   #", "#   #", "#   #", "# # #", "#  # ", " ## #"},
+	'R':  {"#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"},
+	'S':  {" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "},
+	'T':  {"#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'U':  {"#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "},
+	'V':  {"#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "},
+	'W':  {"#   #", "#   #", "#   #", "# # #", "# # #", "# # #", " # # "},
+	'X':  {"#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"},
+	'Y':  {"#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'Z':  {"#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"},
+	'0':  {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},
+	'1':  {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+	'2':  {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
+	'3':  {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},
+	'4':  {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},
+	'5':  {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
+	'6':  {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},
+	'7':  {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "},
+	'8':  {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
+	'9':  {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},
+	' ':  {"     ", "     ", "     ", "     ", "     ", "     ", "     "},
+	'.':  {"     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "},
+	',':  {"     ", "     ", "     ", "     ", " ##  ", "  #  ", " #   "},
+	':':  {"     ", " ##  ", " ##  ", "     ", " ##  ", " ##  ", "     "},
+	';':  {"     ", " ##  ", " ##  ", "     ", " ##  ", "  #  ", " #   "},
+	'!':  {"  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "},
+	'?':  {" ### ", "#   #", "    #", "   # ", "  #  ", "     ", "  #  "},
+	'-':  {"     ", "     ", "     ", "#####", "     ", "     ", "     "},
+	'+':  {"     ", "  #  ", "  #  ", "#####", "  #  ", "  #  ", "     "},
+	'=':  {"     ", "     ", "#####", "     ", "#####", "     ", "     "},
+	'_':  {"     ", "     ", "     ", "     ", "     ", "     ", "#####"},
+	'/':  {"    #", "    #", "   # ", "  #  ", " #   ", "#    ", "#    "},
+	'\\': {"#    ", "#    ", " #   ", "  #  ", "   # ", "    #", "    #"},
+	'(':  {"   # ", "  #  ", " #   ", " #   ", " #   ", "  #  ", "   # "},
+	')':  {" #   ", "  #  ", "   # ", "   # ", "   # ", "  #  ", " #   "},
+	'[':  {" ### ", " #   ", " #   ", " #   ", " #   ", " #   ", " ### "},
+	']':  {" ### ", "   # ", "   # ", "   # ", "   # ", "   # ", " ### "},
+	'<':  {"   # ", "  #  ", " #   ", "#    ", " #   ", "  #  ", "   # "},
+	'>':  {" #   ", "  #  ", "   # ", "    #", "   # ", "  #  ", " #   "},
+	'\'': {"  #  ", "  #  ", " #   ", "     ", "     ", "     ", "     "},
+	'"':  {" # # ", " # # ", "     ", "     ", "     ", "     ", "     "},
+	'*':  {"     ", "# # #", " ### ", "#####", " ### ", "# # #", "     "},
+	'%':  {"##  #", "##  #", "   # ", "  #  ", " #   ", "#  ##", "#  ##"},
+	'#':  {" # # ", "#####", " # # ", " # # ", " # # ", "#####", " # # "},
+	'&':  {" ##  ", "#  # ", "#  # ", " ##  ", "# # #", "#  # ", " ## #"},
+	'@':  {" ### ", "#   #", "# ###", "# # #", "# ###", "#    ", " ### "},
+	'|':  {"  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'$':  {"  #  ", " ####", "# #  ", " ### ", "  # #", "#### ", "  #  "},
+	'^':  {"  #  ", " # # ", "#   #", "     ", "     ", "     ", "     "},
+	'~':  {"     ", "     ", " #  #", "# # #", "#  # ", "     ", "     "},
+}
+
+// unknownGlyph is rendered for runes outside the table (a hollow box).
+var unknownGlyph = [GlyphH]string{"#####", "#   #", "#   #", "#   #", "#   #", "#   #", "#####"}
+
+func glyphFor(r rune) [GlyphH]string {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	if g, ok := glyphs[r]; ok {
+		return g
+	}
+	return unknownGlyph
+}
+
+// TextWidth returns the pixel width of s rendered in the built-in font.
+func TextWidth(s string) int {
+	n := len([]rune(s))
+	if n == 0 {
+		return 0
+	}
+	return n*GlyphW + (n-1)*GlyphGap
+}
+
+// DrawText renders s at (x, y) (top-left corner) in color c.
+func (f *Frame) DrawText(x, y int, s string, c RGB) {
+	cx := x
+	for _, r := range s {
+		g := glyphFor(r)
+		for row := 0; row < GlyphH; row++ {
+			line := g[row]
+			for col := 0; col < GlyphW && col < len(line); col++ {
+				if line[col] == '#' {
+					f.Set(cx+col, y+row, c)
+				}
+			}
+		}
+		cx += GlyphW + GlyphGap
+	}
+}
+
+// DrawTextClipped renders s at (x, y) but only pixels inside clip.
+func (f *Frame) DrawTextClipped(x, y int, s string, c RGB, clip Rect) {
+	cx := x
+	for _, r := range s {
+		g := glyphFor(r)
+		for row := 0; row < GlyphH; row++ {
+			line := g[row]
+			for col := 0; col < GlyphW && col < len(line); col++ {
+				if line[col] == '#' && clip.Contains(cx+col, y+row) {
+					f.Set(cx+col, y+row, c)
+				}
+			}
+		}
+		cx += GlyphW + GlyphGap
+	}
+}
+
+// FitText truncates s so it fits in width pixels, appending ".." when
+// truncation happens.
+func FitText(s string, width int) string {
+	if TextWidth(s) <= width {
+		return s
+	}
+	rs := []rune(s)
+	for len(rs) > 0 && TextWidth(string(rs)+"..") > width {
+		rs = rs[:len(rs)-1]
+	}
+	if len(rs) == 0 {
+		return ""
+	}
+	return string(rs) + ".."
+}
+
+// HasGlyph reports whether r has a real glyph (as opposed to the
+// fallback box).
+func HasGlyph(r rune) bool {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	_, ok := glyphs[r]
+	return ok
+}
+
+// SupportedRunes returns the set of runes the font covers, as a sorted
+// string (useful in tests and docs).
+func SupportedRunes() string {
+	var b strings.Builder
+	for r := rune(32); r < 127; r++ {
+		if HasGlyph(r) {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

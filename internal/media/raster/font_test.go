@@ -1,0 +1,159 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGlyphTableWellFormed(t *testing.T) {
+	for r, g := range glyphs {
+		for row, line := range g {
+			if len(line) != GlyphW {
+				t.Errorf("glyph %q row %d has width %d, want %d", r, row, len(line), GlyphW)
+			}
+			for _, ch := range line {
+				if ch != '#' && ch != ' ' {
+					t.Errorf("glyph %q contains invalid cell %q", r, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryGlyphVisibleExceptSpace(t *testing.T) {
+	for r, g := range glyphs {
+		lit := 0
+		for _, line := range g {
+			lit += strings.Count(line, "#")
+		}
+		if r == ' ' {
+			if lit != 0 {
+				t.Errorf("space glyph has %d lit pixels", lit)
+			}
+			continue
+		}
+		if lit == 0 {
+			t.Errorf("glyph %q is invisible", r)
+		}
+	}
+}
+
+func TestTextWidth(t *testing.T) {
+	if got := TextWidth(""); got != 0 {
+		t.Errorf("TextWidth(\"\") = %d", got)
+	}
+	if got := TextWidth("A"); got != GlyphW {
+		t.Errorf("TextWidth(\"A\") = %d, want %d", got, GlyphW)
+	}
+	if got := TextWidth("AB"); got != 2*GlyphW+GlyphGap {
+		t.Errorf("TextWidth(\"AB\") = %d, want %d", got, 2*GlyphW+GlyphGap)
+	}
+}
+
+func TestDrawTextProducesPixels(t *testing.T) {
+	f := New(64, 12)
+	f.DrawText(1, 1, "HI", White)
+	lit := 0
+	for i := 0; i < len(f.Pix); i += 3 {
+		if f.Pix[i] != 0 {
+			lit++
+		}
+	}
+	if lit == 0 {
+		t.Fatal("DrawText lit no pixels")
+	}
+	// 'H' left column must be lit for all 7 rows.
+	for row := 0; row < GlyphH; row++ {
+		if f.At(1, 1+row) != White {
+			t.Errorf("H stem missing at row %d", row)
+		}
+	}
+}
+
+func TestLowercaseRendersAsUppercase(t *testing.T) {
+	a, b := New(16, 10), New(16, 10)
+	a.DrawText(0, 0, "go", White)
+	b.DrawText(0, 0, "GO", White)
+	if !a.Equal(b) {
+		t.Error("lowercase must render identically to uppercase")
+	}
+}
+
+func TestUnknownRuneRendersBox(t *testing.T) {
+	f := New(10, 10)
+	f.DrawText(0, 0, "é", White) // é: not in table
+	// Box corners lit:
+	if f.At(0, 0) != White || f.At(GlyphW-1, GlyphH-1) != White {
+		t.Error("fallback box not drawn")
+	}
+	if f.At(2, 3) != Black {
+		t.Error("fallback box should be hollow")
+	}
+}
+
+func TestDrawTextClipped(t *testing.T) {
+	f := New(30, 10)
+	clip := Rect{0, 0, 4, GlyphH} // only first 4 columns visible
+	f.DrawTextClipped(0, 0, "HH", White, clip)
+	for x := 4; x < 30; x++ {
+		for y := 0; y < 10; y++ {
+			if f.At(x, y) != Black {
+				t.Fatalf("clipped draw leaked at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestFitText(t *testing.T) {
+	s := "SCENARIO EDITOR"
+	if got := FitText(s, TextWidth(s)); got != s {
+		t.Errorf("FitText should not truncate when it fits: %q", got)
+	}
+	short := FitText(s, TextWidth("SCENAR..")+1)
+	if !strings.HasSuffix(short, "..") {
+		t.Errorf("truncated text should end with ..: %q", short)
+	}
+	if TextWidth(short) > TextWidth("SCENAR..")+1 {
+		t.Errorf("FitText result too wide: %q", short)
+	}
+	if got := FitText("ABCDEF", 1); got != "" {
+		t.Errorf("FitText in tiny width = %q, want empty", got)
+	}
+}
+
+func TestSupportedRunesCoverAlnum(t *testing.T) {
+	s := SupportedRunes()
+	for _, r := range "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789" {
+		if !strings.ContainsRune(s, r) {
+			t.Errorf("font missing %q", r)
+		}
+	}
+	if !HasGlyph('a') {
+		t.Error("lowercase should map to glyphs")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	f := New(40, 20)
+	f.FillRect(Rect{0, 0, 20, 20}, Black)
+	f.FillRect(Rect{20, 0, 20, 20}, White)
+	art := f.ASCII(8, 4)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for _, ln := range lines {
+		if len(ln) != 8 {
+			t.Fatalf("line %q has width %d, want 8", ln, len(ln))
+		}
+		if ln[0] != ' ' {
+			t.Errorf("dark half should render as space, got %q", ln[0])
+		}
+		if ln[7] != '@' {
+			t.Errorf("bright half should render as @, got %q", ln[7])
+		}
+	}
+	if (&Frame{W: 4, H: 4, Pix: make([]uint8, 48)}).ASCII(0, 3) != "" {
+		t.Error("ASCII with non-positive dims should be empty")
+	}
+}

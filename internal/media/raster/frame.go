@@ -1,0 +1,205 @@
+// Package raster provides RGB framebuffers and software drawing primitives.
+//
+// It is the pixel substrate for the whole IVGBL stack: the synthetic footage
+// generator draws into Frames, the video codec compresses them, the playback
+// engine hands them to the UI, and the headless widget toolkit composites
+// widgets onto them. Everything is plain bytes — no display required.
+package raster
+
+import "fmt"
+
+// RGB is a 24-bit color.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Common colors used across the platform UI and synthetic scenes.
+var (
+	Black   = RGB{0, 0, 0}
+	White   = RGB{255, 255, 255}
+	Red     = RGB{220, 40, 40}
+	Green   = RGB{40, 200, 80}
+	Blue    = RGB{50, 90, 220}
+	Yellow  = RGB{235, 215, 60}
+	Cyan    = RGB{60, 200, 210}
+	Magenta = RGB{200, 70, 190}
+	Gray    = RGB{128, 128, 128}
+	DarkGry = RGB{64, 64, 64}
+	LightGr = RGB{200, 200, 200}
+)
+
+// Luma returns the BT.601 luminance of c in [0,255].
+func (c RGB) Luma() uint8 {
+	// Integer approximation: (77R + 150G + 29B) >> 8.
+	return uint8((77*int(c.R) + 150*int(c.G) + 29*int(c.B)) >> 8)
+}
+
+// Lerp linearly interpolates from c to d by t in [0,1].
+func (c RGB) Lerp(d RGB, t float64) RGB {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	mix := func(a, b uint8) uint8 {
+		return uint8(float64(a) + (float64(b)-float64(a))*t + 0.5)
+	}
+	return RGB{mix(c.R, d.R), mix(c.G, d.G), mix(c.B, d.B)}
+}
+
+// Scale multiplies each channel by f, clamping to [0,255].
+func (c RGB) Scale(f float64) RGB {
+	s := func(v uint8) uint8 {
+		x := float64(v) * f
+		if x < 0 {
+			x = 0
+		}
+		if x > 255 {
+			x = 255
+		}
+		return uint8(x + 0.5)
+	}
+	return RGB{s(c.R), s(c.G), s(c.B)}
+}
+
+// String implements fmt.Stringer as "#RRGGBB".
+func (c RGB) String() string {
+	return fmt.Sprintf("#%02X%02X%02X", c.R, c.G, c.B)
+}
+
+// Frame is a W×H RGB image stored row-major, 3 bytes per pixel.
+// The zero Frame is empty; use New to allocate one.
+type Frame struct {
+	W, H int
+	Pix  []uint8 // len == 3*W*H
+}
+
+// New allocates a black frame of the given size.
+// It panics if either dimension is not positive.
+func New(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("raster: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := New(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Bounds reports whether (x, y) lies inside the frame.
+func (f *Frame) Bounds(x, y int) bool {
+	return x >= 0 && y >= 0 && x < f.W && y < f.H
+}
+
+// At returns the pixel at (x, y). Out-of-bounds reads return Black.
+func (f *Frame) At(x, y int) RGB {
+	if !f.Bounds(x, y) {
+		return Black
+	}
+	i := 3 * (y*f.W + x)
+	return RGB{f.Pix[i], f.Pix[i+1], f.Pix[i+2]}
+}
+
+// Set writes the pixel at (x, y). Out-of-bounds writes are ignored.
+func (f *Frame) Set(x, y int, c RGB) {
+	if !f.Bounds(x, y) {
+		return
+	}
+	i := 3 * (y*f.W + x)
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = c.R, c.G, c.B
+}
+
+// Fill paints the whole frame with c.
+func (f *Frame) Fill(c RGB) {
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2] = c.R, c.G, c.B
+	}
+}
+
+// FillVGradient paints a vertical gradient from top color a to bottom color b.
+func (f *Frame) FillVGradient(a, b RGB) {
+	for y := 0; y < f.H; y++ {
+		t := 0.0
+		if f.H > 1 {
+			t = float64(y) / float64(f.H-1)
+		}
+		c := a.Lerp(b, t)
+		row := 3 * y * f.W
+		for x := 0; x < f.W; x++ {
+			i := row + 3*x
+			f.Pix[i], f.Pix[i+1], f.Pix[i+2] = c.R, c.G, c.B
+		}
+	}
+}
+
+// Equal reports whether f and g have identical size and pixels.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != g.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Downsample returns a frame reduced by an integer factor using box
+// averaging. factor must be >= 1.
+func (f *Frame) Downsample(factor int) *Frame {
+	if factor < 1 {
+		panic("raster: downsample factor must be >= 1")
+	}
+	if factor == 1 {
+		return f.Clone()
+	}
+	w := (f.W + factor - 1) / factor
+	h := (f.H + factor - 1) / factor
+	g := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, gr, b, n int
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sx, sy := x*factor+dx, y*factor+dy
+					if sx >= f.W || sy >= f.H {
+						continue
+					}
+					i := 3 * (sy*f.W + sx)
+					r += int(f.Pix[i])
+					gr += int(f.Pix[i+1])
+					b += int(f.Pix[i+2])
+					n++
+				}
+			}
+			if n > 0 {
+				g.Set(x, y, RGB{uint8(r / n), uint8(gr / n), uint8(b / n)})
+			}
+		}
+	}
+	return g
+}
+
+// Mix blends frame g into f in place with weight t in [0,1]
+// (t=0 keeps f, t=1 replaces with g). Frames must be the same size.
+func (f *Frame) Mix(g *Frame, t float64) {
+	if f.W != g.W || f.H != g.H {
+		panic("raster: Mix size mismatch")
+	}
+	if t <= 0 {
+		return
+	}
+	if t > 1 {
+		t = 1
+	}
+	a := int(t*256 + 0.5)
+	for i := range f.Pix {
+		f.Pix[i] = uint8((int(f.Pix[i])*(256-a) + int(g.Pix[i])*a) >> 8)
+	}
+}

@@ -1,0 +1,236 @@
+package raster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameIsBlack(t *testing.T) {
+	f := New(8, 6)
+	if f.W != 8 || f.H != 6 || len(f.Pix) != 8*6*3 {
+		t.Fatalf("bad dimensions: %dx%d pix=%d", f.W, f.H, len(f.Pix))
+	}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			if f.At(x, y) != Black {
+				t.Fatalf("pixel (%d,%d) = %v, want black", x, y, f.At(x, y))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 3}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	f := New(10, 10)
+	c := RGB{12, 200, 99}
+	f.Set(3, 7, c)
+	if got := f.At(3, 7); got != c {
+		t.Fatalf("At(3,7) = %v, want %v", got, c)
+	}
+}
+
+func TestOutOfBoundsAccess(t *testing.T) {
+	f := New(4, 4)
+	// Writes outside must be ignored, reads outside must return black.
+	f.Set(-1, 0, White)
+	f.Set(0, -1, White)
+	f.Set(4, 0, White)
+	f.Set(0, 4, White)
+	if got := f.At(-3, 2); got != Black {
+		t.Errorf("out-of-bounds read = %v, want black", got)
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != 0 {
+			t.Fatalf("out-of-bounds write leaked into pixel data at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := New(5, 5)
+	f.Fill(Red)
+	g := f.Clone()
+	g.Set(2, 2, Blue)
+	if f.At(2, 2) != Red {
+		t.Fatal("mutating clone affected original")
+	}
+	if !f.Equal(f.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestFillAndEqual(t *testing.T) {
+	a, b := New(6, 3), New(6, 3)
+	a.Fill(Cyan)
+	b.Fill(Cyan)
+	if !a.Equal(b) {
+		t.Fatal("identical fills not equal")
+	}
+	b.Set(5, 2, Black)
+	if a.Equal(b) {
+		t.Fatal("differing frames reported equal")
+	}
+	if a.Equal(New(3, 6)) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := RGB{0, 10, 20}, RGB{200, 110, 220}
+	if a.Lerp(b, 0) != a {
+		t.Errorf("Lerp(0) = %v, want %v", a.Lerp(b, 0), a)
+	}
+	if a.Lerp(b, 1) != b {
+		t.Errorf("Lerp(1) = %v, want %v", a.Lerp(b, 1), b)
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid.R < 99 || mid.R > 101 {
+		t.Errorf("Lerp midpoint R = %d, want ~100", mid.R)
+	}
+	// Clamped outside [0,1].
+	if a.Lerp(b, -3) != a || a.Lerp(b, 42) != b {
+		t.Error("Lerp does not clamp t")
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	c := RGB{200, 200, 200}
+	if got := c.Scale(2); got != (RGB{255, 255, 255}) {
+		t.Errorf("Scale(2) = %v, want white", got)
+	}
+	if got := c.Scale(0); got != Black {
+		t.Errorf("Scale(0) = %v, want black", got)
+	}
+}
+
+func TestLumaOrdering(t *testing.T) {
+	if White.Luma() <= Black.Luma() {
+		t.Fatal("white must be brighter than black")
+	}
+	if Green.Luma() <= Blue.Luma() {
+		t.Fatal("green must carry more luma than blue (BT.601)")
+	}
+}
+
+func TestDownsampleAveraging(t *testing.T) {
+	f := New(4, 4)
+	// Left half black, right half white: 2x downsample keeps that split.
+	f.FillRect(Rect{2, 0, 2, 4}, White)
+	g := f.Downsample(2)
+	if g.W != 2 || g.H != 2 {
+		t.Fatalf("downsampled size = %dx%d, want 2x2", g.W, g.H)
+	}
+	if g.At(0, 0) != Black || g.At(1, 0) != White {
+		t.Errorf("downsample lost structure: %v %v", g.At(0, 0), g.At(1, 0))
+	}
+	if !f.Downsample(1).Equal(f) {
+		t.Error("Downsample(1) must be identity")
+	}
+}
+
+func TestDownsampleUnevenSize(t *testing.T) {
+	f := New(5, 3)
+	f.Fill(Gray)
+	g := f.Downsample(2)
+	if g.W != 3 || g.H != 2 {
+		t.Fatalf("size = %dx%d, want 3x2", g.W, g.H)
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if g.At(x, y) != Gray {
+				t.Fatalf("uniform frame should stay uniform, got %v", g.At(x, y))
+			}
+		}
+	}
+}
+
+func TestMixEndpoints(t *testing.T) {
+	a := New(3, 3)
+	a.Fill(Black)
+	b := New(3, 3)
+	b.Fill(White)
+	m0 := a.Clone()
+	m0.Mix(b, 0)
+	if !m0.Equal(a) {
+		t.Error("Mix(t=0) must keep receiver")
+	}
+	m1 := a.Clone()
+	m1.Mix(b, 1)
+	if !m1.Equal(b) {
+		t.Error("Mix(t=1) must equal argument")
+	}
+	mh := a.Clone()
+	mh.Mix(b, 0.5)
+	l := mh.At(1, 1).Luma()
+	if l < 110 || l > 145 {
+		t.Errorf("Mix(0.5) luma = %d, want near 127", l)
+	}
+}
+
+func TestFillVGradientMonotone(t *testing.T) {
+	f := New(4, 16)
+	f.FillVGradient(Black, White)
+	prev := -1
+	for y := 0; y < f.H; y++ {
+		l := int(f.At(0, y).Luma())
+		if l < prev {
+			t.Fatalf("gradient not monotone at row %d: %d < %d", y, l, prev)
+		}
+		prev = l
+	}
+	if f.At(0, 0).Luma() > 10 || f.At(0, 15).Luma() < 245 {
+		t.Error("gradient endpoints wrong")
+	}
+}
+
+func TestQuickSetAtAnyCoordinate(t *testing.T) {
+	f := New(17, 13)
+	err := quick.Check(func(x, y int, r, g, b uint8) bool {
+		c := RGB{r, g, b}
+		f.Set(x, y, c)
+		got := f.At(x, y)
+		if f.Bounds(x, y) {
+			return got == c
+		}
+		return got == Black
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNRProperties(t *testing.T) {
+	a := New(16, 16)
+	a.FillVGradient(Red, Blue)
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Error("PSNR of identical frames must be +Inf")
+	}
+	noisy := a.Clone()
+	noisy.Set(3, 3, White)
+	p1 := PSNR(a, noisy)
+	very := a.Clone()
+	very.Fill(Green)
+	p2 := PSNR(a, very)
+	if p1 <= p2 {
+		t.Errorf("one-pixel error PSNR (%f) must exceed whole-frame error PSNR (%f)", p1, p2)
+	}
+}
+
+func TestRGBString(t *testing.T) {
+	if got := (RGB{255, 0, 16}).String(); got != "#FF0010" {
+		t.Errorf("String() = %q, want #FF0010", got)
+	}
+}

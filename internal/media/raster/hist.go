@@ -1,0 +1,117 @@
+package raster
+
+import "math"
+
+// HistBins is the number of bins per channel in a color Histogram. With 4
+// bins per channel a histogram has 4³ = 64 cells, the classic size for
+// shot-boundary detection features: coarse enough to ignore object motion,
+// fine enough to see a scene change.
+const HistBins = 4
+
+// Histogram is a joint RGB color histogram with HistBins bins per channel,
+// normalized so the cells sum to 1 (for a non-empty frame).
+type Histogram [HistBins * HistBins * HistBins]float64
+
+// Histogram computes the normalized joint color histogram of the frame.
+func (f *Frame) Histogram() Histogram {
+	var h Histogram
+	n := f.W * f.H
+	if n == 0 {
+		return h
+	}
+	shift := 8 - 2 // log2(256/HistBins) for HistBins=4
+	for i := 0; i < len(f.Pix); i += 3 {
+		r := int(f.Pix[i]) >> shift
+		g := int(f.Pix[i+1]) >> shift
+		b := int(f.Pix[i+2]) >> shift
+		h[(r*HistBins+g)*HistBins+b]++
+	}
+	inv := 1 / float64(n)
+	for i := range h {
+		h[i] *= inv
+	}
+	return h
+}
+
+// ChiSquare returns the χ² distance between two histograms:
+// Σ (a-b)² / (a+b). The result is 0 for identical histograms and grows
+// toward 2 for disjoint ones.
+func (h Histogram) ChiSquare(g Histogram) float64 {
+	var d float64
+	for i := range h {
+		s := h[i] + g[i]
+		if s == 0 {
+			continue
+		}
+		diff := h[i] - g[i]
+		d += diff * diff / s
+	}
+	return d
+}
+
+// L1 returns the L1 (city-block) distance between two histograms, in [0,2].
+func (h Histogram) L1(g Histogram) float64 {
+	var d float64
+	for i := range h {
+		d += math.Abs(h[i] - g[i])
+	}
+	return d
+}
+
+// MAD returns the mean absolute difference between two same-sized frames,
+// over all channels, in [0,255]. It panics on size mismatch.
+func MAD(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("raster: MAD size mismatch")
+	}
+	if len(a.Pix) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += int64(d)
+	}
+	return float64(sum) / float64(len(a.Pix))
+}
+
+// MSE returns the mean squared error between two same-sized frames.
+func MSE(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("raster: MSE size mismatch")
+	}
+	if len(a.Pix) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		sum += d * d
+	}
+	return float64(sum) / float64(len(a.Pix))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between a reference
+// frame and a reconstruction. Identical frames yield +Inf.
+func PSNR(ref, rec *Frame) float64 {
+	mse := MSE(ref, rec)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// MeanLuma returns the average luminance of the frame in [0,255].
+func (f *Frame) MeanLuma() float64 {
+	if f.W*f.H == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < len(f.Pix); i += 3 {
+		sum += int64((77*int(f.Pix[i]) + 150*int(f.Pix[i+1]) + 29*int(f.Pix[i+2])) >> 8)
+	}
+	return float64(sum) / float64(f.W*f.H)
+}

@@ -1,0 +1,147 @@
+package raster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramNormalized(t *testing.T) {
+	f := New(16, 16)
+	f.FillVGradient(Red, Blue)
+	h := f.Histogram()
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative histogram cell")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %f, want 1", sum)
+	}
+}
+
+func TestHistogramUniformFrameSingleCell(t *testing.T) {
+	f := New(8, 8)
+	f.Fill(RGB{10, 10, 10}) // all channels land in bin 0
+	h := f.Histogram()
+	if h[0] != 1 {
+		t.Fatalf("cell 0 = %f, want 1", h[0])
+	}
+}
+
+func TestChiSquareIdentity(t *testing.T) {
+	f := New(12, 12)
+	f.FillVGradient(Green, Magenta)
+	h := f.Histogram()
+	if d := h.ChiSquare(h); d != 0 {
+		t.Fatalf("self distance = %f, want 0", d)
+	}
+}
+
+func TestChiSquareSeparatesScenes(t *testing.T) {
+	a := New(16, 16)
+	a.Fill(RGB{20, 20, 20})
+	b := New(16, 16)
+	b.Fill(RGB{240, 240, 240})
+	// Same scene with small noise:
+	a2 := a.Clone()
+	a2.Set(0, 0, RGB{25, 25, 25})
+	ha, hb, ha2 := a.Histogram(), b.Histogram(), a2.Histogram()
+	if ha.ChiSquare(hb) <= ha.ChiSquare(ha2) {
+		t.Fatal("scene change must have larger histogram distance than noise")
+	}
+	if ha.ChiSquare(hb) < 1.5 {
+		t.Errorf("disjoint scenes χ² = %f, want near 2", ha.ChiSquare(hb))
+	}
+}
+
+func TestChiSquareSymmetric(t *testing.T) {
+	err := quick.Check(func(seedA, seedB uint8) bool {
+		a := New(8, 8)
+		a.Fill(RGB{seedA, seedA / 2, seedA / 3})
+		b := New(8, 8)
+		b.Fill(RGB{seedB / 3, seedB, seedB / 2})
+		ha, hb := a.Histogram(), b.Histogram()
+		return math.Abs(ha.ChiSquare(hb)-hb.ChiSquare(ha)) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1Range(t *testing.T) {
+	a := New(8, 8)
+	a.Fill(Black)
+	b := New(8, 8)
+	b.Fill(White)
+	ha, hb := a.Histogram(), b.Histogram()
+	if d := ha.L1(hb); math.Abs(d-2) > 1e-9 {
+		t.Errorf("disjoint L1 = %f, want 2", d)
+	}
+	if d := ha.L1(ha); d != 0 {
+		t.Errorf("self L1 = %f, want 0", d)
+	}
+}
+
+func TestMADAndMSE(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 4)
+	if MAD(a, b) != 0 || MSE(a, b) != 0 {
+		t.Fatal("identical frames must have zero error")
+	}
+	b.Fill(RGB{10, 10, 10})
+	if got := MAD(a, b); got != 10 {
+		t.Errorf("MAD = %f, want 10", got)
+	}
+	if got := MSE(a, b); got != 100 {
+		t.Errorf("MSE = %f, want 100", got)
+	}
+}
+
+func TestMADPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAD should panic on size mismatch")
+		}
+	}()
+	MAD(New(2, 2), New(3, 3))
+}
+
+func TestPSNRMonotoneInNoise(t *testing.T) {
+	ref := New(16, 16)
+	ref.FillVGradient(Black, White)
+	prev := math.Inf(1)
+	for _, noise := range []uint8{1, 4, 16, 64} {
+		rec := ref.Clone()
+		for i := range rec.Pix {
+			rec.Pix[i] += noise % (rec.Pix[i] ^ 0xFF | 1) % noise // deterministic pseudo-noise
+		}
+		// Simpler: add constant offset
+		rec2 := ref.Clone()
+		for i := range rec2.Pix {
+			v := int(rec2.Pix[i]) + int(noise)
+			if v > 255 {
+				v = 255
+			}
+			rec2.Pix[i] = uint8(v)
+		}
+		p := PSNR(ref, rec2)
+		if p >= prev {
+			t.Fatalf("PSNR not decreasing with noise %d: %f >= %f", noise, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMeanLuma(t *testing.T) {
+	f := New(8, 8)
+	if f.MeanLuma() != 0 {
+		t.Error("black frame luma should be 0")
+	}
+	f.Fill(White)
+	if l := f.MeanLuma(); l < 250 {
+		t.Errorf("white frame luma = %f, want ~255", l)
+	}
+}

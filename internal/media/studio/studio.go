@@ -1,0 +1,92 @@
+// Package studio is the platform's "camera and capture card": it renders a
+// synthetic film through the TKV1 encoder into a seekable TKVC container.
+//
+// The paper's course designers "select video files from network or video
+// cameras" (§4.1); Record is the moment footage enters the system.
+package studio
+
+import (
+	"fmt"
+
+	"repro/internal/media/container"
+	"repro/internal/media/synth"
+	"repro/internal/media/vcodec"
+)
+
+// Options configures a recording session.
+type Options struct {
+	QStep       int  // quantizer step (default 4)
+	GOP         int  // I-frame interval (default fps, i.e. one per second)
+	SearchRange int  // motion search radius (default 3)
+	Workers     int  // encoder workers (default 1)
+	ShotMarkers bool // add one chapter per ground-truth shot
+	// Chapters, when non-nil, is written instead of shot markers — the
+	// authoring tool uses it to store scenario segments under its own names.
+	Chapters []container.Chapter
+}
+
+func (o Options) withDefaults(fps int) Options {
+	if o.QStep == 0 {
+		o.QStep = 4
+	}
+	if o.GOP == 0 {
+		o.GOP = fps
+	}
+	if o.SearchRange == 0 {
+		o.SearchRange = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Record renders every frame of the film, encodes it and returns a
+// finalized TKVC blob. With opts.ShotMarkers it adds one chapter per
+// ground-truth shot, named "shot-NNN-<scene>".
+func Record(film *synth.Film, opts Options) ([]byte, error) {
+	opts = opts.withDefaults(film.FPS)
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: film.W, Height: film.H,
+		QStep: opts.QStep, GOP: opts.GOP,
+		SearchRange: opts.SearchRange, Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("studio: %w", err)
+	}
+	mux, err := container.NewMuxer(container.Meta{
+		Width: film.W, Height: film.H, FPS: film.FPS, GOP: opts.GOP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("studio: %w", err)
+	}
+	for i := 0; i < film.FrameCount(); i++ {
+		pkt, err := enc.Encode(film.Render(i))
+		if err != nil {
+			return nil, fmt.Errorf("studio: frame %d: %w", i, err)
+		}
+		if err := mux.AddPacket(pkt); err != nil {
+			return nil, fmt.Errorf("studio: frame %d: %w", i, err)
+		}
+	}
+	for _, ch := range opts.Chapters {
+		if err := mux.AddChapter(ch); err != nil {
+			return nil, fmt.Errorf("studio: %w", err)
+		}
+	}
+	if opts.ShotMarkers && opts.Chapters == nil {
+		for k := range film.Shots {
+			start := film.ShotStart(k)
+			end := start + film.Shots[k].Frames
+			name := fmt.Sprintf("shot-%03d-%s", k, film.Shots[k].Scene)
+			if err := mux.AddChapter(container.Chapter{Name: name, Start: start, End: end}); err != nil {
+				return nil, fmt.Errorf("studio: %w", err)
+			}
+		}
+	}
+	blob, err := mux.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("studio: %w", err)
+	}
+	return blob, nil
+}

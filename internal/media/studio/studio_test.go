@@ -1,0 +1,107 @@
+package studio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/media/container"
+	"repro/internal/media/raster"
+	"repro/internal/media/synth"
+	"repro/internal/media/vcodec"
+)
+
+func shortFilm() *synth.Film {
+	return synth.Generate(synth.Spec{
+		W: 64, H: 48, FPS: 8,
+		Shots: 3, MinShotFrames: 6, MaxShotFrames: 8,
+		Seed: 11,
+	})
+}
+
+func TestRecordProducesValidContainer(t *testing.T) {
+	film := shortFilm()
+	blob, err := Record(film, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := container.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Meta()
+	if m.FrameCount != film.FrameCount() || m.Width != film.W || m.FPS != film.FPS {
+		t.Errorf("meta %+v does not match film", m)
+	}
+	// Every packet decodes in sequence with sane quality.
+	dec := vcodec.NewDecoder(1)
+	for i := 0; i < m.FrameCount; i++ {
+		data, _, err := r.PacketAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if p := raster.PSNR(film.Render(i), got); p < 22 {
+			t.Errorf("frame %d PSNR %.1f too low", i, p)
+		}
+	}
+}
+
+func TestRecordShotMarkers(t *testing.T) {
+	film := shortFilm()
+	blob, err := Record(film, Options{ShotMarkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := container.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := r.Chapters()
+	if len(chs) != len(film.Shots) {
+		t.Fatalf("%d chapters, want %d", len(chs), len(film.Shots))
+	}
+	for k, ch := range chs {
+		if ch.Start != film.ShotStart(k) {
+			t.Errorf("chapter %d starts at %d, want %d", k, ch.Start, film.ShotStart(k))
+		}
+		if !strings.Contains(ch.Name, film.Shots[k].Scene.String()) {
+			t.Errorf("chapter name %q missing scene kind", ch.Name)
+		}
+	}
+	// Chapters must tile the film exactly.
+	if chs[0].Start != 0 || chs[len(chs)-1].End != film.FrameCount() {
+		t.Error("chapters do not span the film")
+	}
+	for i := 1; i < len(chs); i++ {
+		if chs[i].Start != chs[i-1].End {
+			t.Errorf("gap between chapters %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestRecordDefaultGOPIsFPS(t *testing.T) {
+	film := shortFilm()
+	blob, err := Record(film, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := container.Open(blob)
+	if r.Meta().GOP != film.FPS {
+		t.Errorf("GOP = %d, want fps %d", r.Meta().GOP, film.FPS)
+	}
+	// Frame 8 (one second in) must be an I-frame.
+	_, ft, _ := r.PacketAt(film.FPS)
+	if ft != vcodec.IFrame {
+		t.Error("GOP boundary is not an I-frame")
+	}
+}
+
+func TestRecordRejectsBadOptions(t *testing.T) {
+	film := shortFilm()
+	if _, err := Record(film, Options{QStep: 999}); err == nil {
+		t.Error("absurd qstep accepted")
+	}
+}

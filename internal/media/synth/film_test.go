@@ -1,0 +1,252 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/media/raster"
+)
+
+func testSpec() Spec {
+	return Spec{
+		W: 96, H: 64, FPS: 12,
+		Shots:         6,
+		MinShotFrames: 10,
+		MaxShotFrames: 24,
+		FadeFraction:  0.3,
+		FadeFrames:    6,
+		NoiseAmp:      2,
+		Seed:          42,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testSpec())
+	b := Generate(testSpec())
+	if a.FrameCount() != b.FrameCount() {
+		t.Fatalf("frame counts differ: %d vs %d", a.FrameCount(), b.FrameCount())
+	}
+	for _, i := range []int{0, 7, a.FrameCount() / 2, a.FrameCount() - 1} {
+		if !a.Render(i).Equal(b.Render(i)) {
+			t.Fatalf("frame %d differs between identical specs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	s := testSpec()
+	a := Generate(s)
+	s.Seed = 43
+	b := Generate(s)
+	// Frame counts will very likely differ; if not, pixels must.
+	if a.FrameCount() == b.FrameCount() {
+		same := true
+		for i := 0; i < a.FrameCount(); i += 5 {
+			if !a.Render(i).Equal(b.Render(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical films")
+		}
+	}
+}
+
+func TestRenderPureFunctionOfIndex(t *testing.T) {
+	f := Generate(testSpec())
+	i := f.FrameCount() / 3
+	first := f.Render(i)
+	// Render other frames in between, then re-render i.
+	f.Render(0)
+	f.Render(f.FrameCount() - 1)
+	again := f.Render(i)
+	if !first.Equal(again) {
+		t.Fatal("Render is not a pure function of the frame index")
+	}
+}
+
+func TestShotIndexAtConsistent(t *testing.T) {
+	f := Generate(testSpec())
+	for k := range f.Shots {
+		start := f.ShotStart(k)
+		if got := f.ShotIndexAt(start); got != k {
+			t.Fatalf("ShotIndexAt(start of %d) = %d", k, got)
+		}
+		last := start + f.Shots[k].Frames - 1
+		if got := f.ShotIndexAt(last); got != k {
+			t.Fatalf("ShotIndexAt(last of %d) = %d", k, got)
+		}
+	}
+}
+
+func TestShotIndexAtPanicsOutOfRange(t *testing.T) {
+	f := Generate(testSpec())
+	for _, i := range []int{-1, f.FrameCount()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShotIndexAt(%d) did not panic", i)
+				}
+			}()
+			f.ShotIndexAt(i)
+		}()
+	}
+}
+
+func TestCutsMatchShotStarts(t *testing.T) {
+	f := Generate(testSpec())
+	cuts := f.Cuts()
+	if len(cuts) != len(f.Shots)-1 {
+		t.Fatalf("got %d cuts, want %d", len(cuts), len(f.Shots)-1)
+	}
+	for i, c := range cuts {
+		if c.Frame != f.ShotStart(i+1) {
+			t.Errorf("cut %d at frame %d, want %d", i, c.Frame, f.ShotStart(i+1))
+		}
+		if c.Gradual != (f.Shots[i+1].FadeIn > 0) {
+			t.Errorf("cut %d gradual flag wrong", i)
+		}
+		if c.SceneFrom == c.SceneTo {
+			t.Errorf("cut %d joins identical scenes %v", i, c.SceneTo)
+		}
+	}
+}
+
+func TestAdjacentShotsDifferInHistogram(t *testing.T) {
+	f := Generate(testSpec())
+	for _, c := range f.Cuts() {
+		if c.Gradual {
+			continue
+		}
+		before := f.Render(c.Frame - 1).Histogram()
+		after := f.Render(c.Frame).Histogram()
+		within := f.Render(c.Frame).Histogram().ChiSquare(f.Render(c.Frame + 1).Histogram())
+		across := before.ChiSquare(after)
+		if across <= within {
+			t.Errorf("cut at %d: across-cut distance %.4f <= within-shot %.4f", c.Frame, across, within)
+		}
+	}
+}
+
+func TestFadeIsGradual(t *testing.T) {
+	shots := []Shot{
+		{Scene: Classroom, Frames: 20, NoiseAmp: 0, Seed: 1},
+		{Scene: Street, Frames: 20, FadeIn: 8, NoiseAmp: 0, Seed: 2},
+	}
+	f := NewFilm(96, 64, 12, shots)
+	cut := f.ShotStart(1)
+	// During the fade, each frame should differ only modestly from its
+	// neighbor; the sum of step distances spans the scene change.
+	maxStep := 0.0
+	for i := cut; i < cut+8; i++ {
+		d := f.Render(i - 1).Histogram().ChiSquare(f.Render(i).Histogram())
+		if d > maxStep {
+			maxStep = d
+		}
+	}
+	hard := NewFilm(96, 64, 12, []Shot{
+		{Scene: Classroom, Frames: 20, Seed: 1},
+		{Scene: Street, Frames: 20, Seed: 2},
+	})
+	hardStep := hard.Render(19).Histogram().ChiSquare(hard.Render(20).Histogram())
+	if maxStep >= hardStep {
+		t.Errorf("fade max step %.4f should be below hard-cut step %.4f", maxStep, hardStep)
+	}
+}
+
+func TestNewFilmValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"no shots", func() { NewFilm(8, 8, 10, nil) }},
+		{"zero frames", func() { NewFilm(8, 8, 10, []Shot{{Scene: Lab, Frames: 0}}) }},
+		{"bad dims", func() { NewFilm(0, 8, 10, []Shot{{Scene: Lab, Frames: 5}}) }},
+		{"fade too long", func() {
+			NewFilm(8, 8, 10, []Shot{{Scene: Lab, Frames: 5}, {Scene: Market, Frames: 3, FadeIn: 3}})
+		}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestFromScenesDurations(t *testing.T) {
+	f := FromScenes(64, 48, 10, 7, []SceneShot{
+		{Kind: Classroom, Seconds: 2},
+		{Kind: Market, Seconds: 1.5, Fade: true},
+		{Kind: Classroom, Seconds: 1},
+	})
+	if got := f.FrameCount(); got != 20+15+10 {
+		t.Fatalf("FrameCount = %d, want 45", got)
+	}
+	if f.Shots[1].FadeIn == 0 {
+		t.Error("second shot should fade in")
+	}
+	if f.DurationSeconds() != 4.5 {
+		t.Errorf("duration = %f, want 4.5", f.DurationSeconds())
+	}
+}
+
+func TestSceneKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range AllSceneKinds() {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("scene kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if SceneKind(99).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	err := quick.Check(func(seed, frame, cell uint64, amp uint8) bool {
+		a := int(amp % 16)
+		n1 := noise(seed, frame, cell, a)
+		n2 := noise(seed, frame, cell, a)
+		return n1 == n2 && n1 >= -a && n1 <= a
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise(1, 2, 3, 0) != 0 {
+		t.Error("zero amplitude must give zero noise")
+	}
+}
+
+func TestUnitWaveRange(t *testing.T) {
+	for _, p := range []float64{-3.7, -0.5, 0, 0.25, 0.5, 0.99, 10.1} {
+		v := unitWave(p)
+		if v < 0 || v > 1 {
+			t.Errorf("unitWave(%f) = %f out of [0,1]", p, v)
+		}
+	}
+	if unitWave(0.25) != 0.5 {
+		t.Errorf("unitWave(0.25) = %f, want 0.5", unitWave(0.25))
+	}
+}
+
+func TestRenderedFrameSize(t *testing.T) {
+	f := Generate(testSpec())
+	fr := f.Render(0)
+	if fr.W != 96 || fr.H != 64 {
+		t.Fatalf("frame size %dx%d", fr.W, fr.H)
+	}
+	// Frame should not be blank.
+	var mean = fr.MeanLuma()
+	if mean < 5 {
+		t.Error("rendered frame suspiciously dark")
+	}
+	_ = raster.Frame{}
+}

@@ -1,0 +1,154 @@
+package synth
+
+import "repro/internal/media/raster"
+
+// SceneKind selects one of the built-in synthetic sets. Each kind has a
+// distinctive palette and prop layout so that adjacent shots from different
+// kinds produce a clear histogram discontinuity (a "cut"), while shots of
+// the same kind remain statistically close — exactly the structure the
+// paper assumes when it defines a scenario as "a series of continuous shots
+// with the same place or characters" (§2.1).
+type SceneKind int
+
+// The built-in scene kinds. Classroom, Market and Street come straight from
+// the paper's running examples; the rest give films enough variety for the
+// segmentation experiments.
+const (
+	Classroom SceneKind = iota
+	Market
+	Street
+	Museum
+	Lab
+	Corridor
+	numSceneKinds
+)
+
+// String returns the scene kind's name.
+func (k SceneKind) String() string {
+	switch k {
+	case Classroom:
+		return "classroom"
+	case Market:
+		return "market"
+	case Street:
+		return "street"
+	case Museum:
+		return "museum"
+	case Lab:
+		return "lab"
+	case Corridor:
+		return "corridor"
+	default:
+		return "unknown"
+	}
+}
+
+// AllSceneKinds lists every built-in scene kind.
+func AllSceneKinds() []SceneKind {
+	ks := make([]SceneKind, numSceneKinds)
+	for i := range ks {
+		ks[i] = SceneKind(i)
+	}
+	return ks
+}
+
+// scenePalette returns sky/top color, ground/bottom color and an accent
+// color for props.
+func scenePalette(k SceneKind) (top, bottom, accent raster.RGB) {
+	switch k {
+	case Classroom:
+		return raster.RGB{R: 235, G: 230, B: 210}, raster.RGB{R: 150, G: 120, B: 90}, raster.RGB{R: 40, G: 90, B: 50}
+	case Market:
+		return raster.RGB{R: 250, G: 210, B: 150}, raster.RGB{R: 170, G: 140, B: 100}, raster.RGB{R: 200, G: 60, B: 50}
+	case Street:
+		return raster.RGB{R: 140, G: 180, B: 230}, raster.RGB{R: 90, G: 90, B: 95}, raster.RGB{R: 210, G: 200, B: 70}
+	case Museum:
+		return raster.RGB{R: 210, G: 205, B: 225}, raster.RGB{R: 120, G: 115, B: 135}, raster.RGB{R: 170, G: 140, B: 60}
+	case Lab:
+		return raster.RGB{R: 215, G: 235, B: 235}, raster.RGB{R: 160, G: 175, B: 180}, raster.RGB{R: 60, G: 140, B: 170}
+	case Corridor:
+		return raster.RGB{R: 200, G: 200, B: 190}, raster.RGB{R: 110, G: 105, B: 95}, raster.RGB{R: 90, G: 60, B: 40}
+	default:
+		return raster.Gray, raster.DarkGry, raster.White
+	}
+}
+
+// drawProps paints the static furniture of a scene kind onto f, offset
+// horizontally by pan pixels (camera pan). Props tile every propPeriod
+// pixels so a pan never runs out of scenery.
+func drawProps(f *raster.Frame, k SceneKind, pan int) {
+	const propPeriod = 96
+	_, _, accent := scenePalette(k)
+	horizon := f.H * 2 / 3
+	// Tile props across the visible range.
+	start := (pan/propPeriod - 1) * propPeriod
+	for base := start; base < pan+f.W+propPeriod; base += propPeriod {
+		x := base - pan
+		switch k {
+		case Classroom:
+			// desk
+			f.FillRect(raster.Rect{X: x + 10, Y: horizon - 6, W: 28, H: 5}, raster.RGB{R: 120, G: 85, B: 50})
+			f.FillRect(raster.Rect{X: x + 12, Y: horizon - 1, W: 3, H: 8}, raster.RGB{R: 90, G: 60, B: 35})
+			f.FillRect(raster.Rect{X: x + 33, Y: horizon - 1, W: 3, H: 8}, raster.RGB{R: 90, G: 60, B: 35})
+			// blackboard
+			f.FillRect(raster.Rect{X: x + 48, Y: 8, W: 36, H: 18}, accent)
+			f.DrawRect(raster.Rect{X: x + 48, Y: 8, W: 36, H: 18}, raster.RGB{R: 230, G: 220, B: 200})
+		case Market:
+			// stall with awning
+			f.FillRect(raster.Rect{X: x + 8, Y: horizon - 18, W: 40, H: 16}, raster.RGB{R: 150, G: 110, B: 70})
+			for i := 0; i < 5; i++ {
+				c := accent
+				if i%2 == 1 {
+					c = raster.White
+				}
+				f.FillRect(raster.Rect{X: x + 8 + i*8, Y: horizon - 24, W: 8, H: 6}, c)
+			}
+			// crate of goods
+			f.FillRect(raster.Rect{X: x + 56, Y: horizon - 8, W: 14, H: 8}, raster.RGB{R: 190, G: 160, B: 60})
+		case Street:
+			// building
+			f.FillRect(raster.Rect{X: x + 4, Y: 10, W: 30, H: horizon - 10}, raster.RGB{R: 170, G: 150, B: 140})
+			for wy := 0; wy < 3; wy++ {
+				for wx := 0; wx < 3; wx++ {
+					f.FillRect(raster.Rect{X: x + 8 + wx*9, Y: 14 + wy*12, W: 5, H: 7}, raster.RGB{R: 70, G: 80, B: 120})
+				}
+			}
+			// lamp post
+			f.FillRect(raster.Rect{X: x + 60, Y: 18, W: 2, H: horizon - 18}, raster.DarkGry)
+			f.FillCircle(x+61, 16, 3, accent)
+		case Museum:
+			// pedestal with exhibit
+			f.FillRect(raster.Rect{X: x + 20, Y: horizon - 14, W: 12, H: 14}, raster.LightGr)
+			f.FillCircle(x+26, horizon-19, 5, accent)
+			// framed painting
+			f.FillRect(raster.Rect{X: x + 52, Y: 12, W: 22, H: 16}, accent)
+			f.DrawRect(raster.Rect{X: x + 50, Y: 10, W: 26, H: 20}, raster.RGB{R: 80, G: 60, B: 30})
+		case Lab:
+			// bench with instrument
+			f.FillRect(raster.Rect{X: x + 10, Y: horizon - 10, W: 44, H: 8}, raster.RGB{R: 190, G: 200, B: 205})
+			f.FillRect(raster.Rect{X: x + 16, Y: horizon - 18, W: 8, H: 8}, accent)
+			f.FillRect(raster.Rect{X: x + 34, Y: horizon - 16, W: 4, H: 6}, raster.RGB{R: 100, G: 170, B: 120})
+		case Corridor:
+			// door
+			f.FillRect(raster.Rect{X: x + 24, Y: horizon - 34, W: 16, H: 34}, accent)
+			f.FillCircle(x+37, horizon-18, 1, raster.Yellow)
+			// ceiling light
+			f.FillRect(raster.Rect{X: x + 60, Y: 4, W: 12, H: 3}, raster.White)
+		}
+	}
+}
+
+// drawActor paints a simple person sprite (head + body) centered at (cx, cy
+// is feet level) with the given tunic color. Actors give shots "the same
+// characters" and provide the moving foreground the shot detector must not
+// mistake for a cut.
+func drawActor(f *raster.Frame, cx, feet int, tunic raster.RGB) {
+	h := 22 // total height
+	// legs
+	f.FillRect(raster.Rect{X: cx - 3, Y: feet - 7, W: 2, H: 7}, raster.DarkGry)
+	f.FillRect(raster.Rect{X: cx + 1, Y: feet - 7, W: 2, H: 7}, raster.DarkGry)
+	// body
+	f.FillRect(raster.Rect{X: cx - 4, Y: feet - h + 8, W: 9, H: h - 15}, tunic)
+	// head
+	f.FillCircle(cx, feet-h+4, 4, raster.RGB{R: 235, G: 200, B: 170})
+}

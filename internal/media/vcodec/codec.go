@@ -1,0 +1,534 @@
+package vcodec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/media/raster"
+)
+
+// FrameType distinguishes intra frames (random-access points) from
+// predicted frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	IFrame FrameType = 0 // self-contained; decoding can start here
+	PFrame FrameType = 1 // predicted from the previous frame
+)
+
+// String returns "I" or "P".
+func (t FrameType) String() string {
+	if t == IFrame {
+		return "I"
+	}
+	return "P"
+}
+
+// Block coding modes inside P-frames.
+const (
+	modeSkip  = 0 // copy the co-located reference block
+	modeIntra = 1 // DCT-coded samples (also the only mode in I-frames)
+	modeMC    = 2 // motion vector + DCT-coded residual
+)
+
+const magic = "TKV1"
+
+// Config parameterizes an Encoder.
+type Config struct {
+	Width, Height int
+	QStep         int // quantizer step; larger = smaller & worse. Sane range 2..32.
+	GOP           int // I-frame interval; every GOP-th frame is intra. >= 1.
+	SearchRange   int // motion search radius in pixels (0..7). 0 disables MC.
+	Workers       int // parallel block-row workers; <=0 means 1
+}
+
+func (c Config) validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("vcodec: invalid dimensions %dx%d", c.Width, c.Height)
+	}
+	if c.QStep < 1 || c.QStep > 128 {
+		return fmt.Errorf("vcodec: qstep %d out of range [1,128]", c.QStep)
+	}
+	if c.GOP < 1 {
+		return fmt.Errorf("vcodec: GOP %d must be >= 1", c.GOP)
+	}
+	if c.SearchRange < 0 || c.SearchRange > 7 {
+		return fmt.Errorf("vcodec: search range %d out of range [0,7]", c.SearchRange)
+	}
+	return nil
+}
+
+// Packet is one encoded frame.
+type Packet struct {
+	Type  FrameType
+	Index int // frame number in encode order
+	Data  []byte
+}
+
+// Encoder compresses a sequence of equally-sized frames.
+type Encoder struct {
+	cfg   Config
+	ref   *ycbcr // reconstructed previous frame (what the decoder will see)
+	count int
+}
+
+// NewEncoder returns an encoder for the given configuration.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Encoder{cfg: cfg}, nil
+}
+
+// Encode compresses the next frame. Frame type is chosen by the GOP setting;
+// the first frame is always intra.
+func (e *Encoder) Encode(f *raster.Frame) (Packet, error) {
+	if f.W != e.cfg.Width || f.H != e.cfg.Height {
+		return Packet{}, fmt.Errorf("vcodec: frame size %dx%d does not match config %dx%d",
+			f.W, f.H, e.cfg.Width, e.cfg.Height)
+	}
+	ft := PFrame
+	if e.ref == nil || e.count%e.cfg.GOP == 0 {
+		ft = IFrame
+	}
+	img := toYCbCr(f)
+	recon := &ycbcr{
+		y:  newPlane(img.y.w, img.y.h),
+		cb: newPlane(img.cb.w, img.cb.h),
+		cr: newPlane(img.cr.w, img.cr.h),
+		w:  img.w, h: img.h,
+	}
+	var w byteWriter
+	w.bytes([]byte(magic))
+	w.u8(uint8(ft))
+	w.uvarint(uint64(img.w))
+	w.uvarint(uint64(img.h))
+	w.uvarint(uint64(e.cfg.QStep))
+	w.u8(uint8(e.cfg.SearchRange))
+	var refY, refCb, refCr *plane
+	if ft == PFrame {
+		refY, refCb, refCr = e.ref.y, e.ref.cb, e.ref.cr
+	}
+	e.encodePlane(&w, img.y, refY, recon.y, e.cfg.SearchRange)
+	e.encodePlane(&w, img.cb, refCb, recon.cb, e.cfg.SearchRange/2)
+	e.encodePlane(&w, img.cr, refCr, recon.cr, e.cfg.SearchRange/2)
+	e.ref = recon
+	p := Packet{Type: ft, Index: e.count, Data: w.buf}
+	e.count++
+	return p, nil
+}
+
+// Reset drops the reference frame so the next frame becomes an I-frame.
+func (e *Encoder) Reset() {
+	e.ref = nil
+	e.count = 0
+}
+
+// encodePlane codes one plane as independent block rows (parallel across
+// workers) and writes a row-length table so the decoder can parallelize too.
+func (e *Encoder) encodePlane(w *byteWriter, src, ref, recon *plane, searchRange int) {
+	rows := src.h / blockSize
+	chunks := make([][]byte, rows)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	nw := e.cfg.Workers
+	if nw > rows {
+		nw = rows
+	}
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for by := range work {
+				chunks[by] = encodeBlockRow(src, ref, recon, by, e.cfg.QStep, searchRange)
+			}
+		}()
+	}
+	for by := 0; by < rows; by++ {
+		work <- by
+	}
+	close(work)
+	wg.Wait()
+	w.uvarint(uint64(rows))
+	for _, c := range chunks {
+		w.uvarint(uint64(len(c)))
+	}
+	for _, c := range chunks {
+		w.bytes(c)
+	}
+}
+
+// encodeBlockRow codes all blocks with top edge at by*blockSize, writing
+// reconstructed samples into recon (its rows are disjoint across calls).
+func encodeBlockRow(src, ref, recon *plane, by, qstep, searchRange int) []byte {
+	var w byteWriter
+	var cur, res, coefs, rec [64]float64
+	var levels, levelsI [64]int32
+	y0 := by * blockSize
+	for x0 := 0; x0 < src.w; x0 += blockSize {
+		loadBlock(src, x0, y0, &cur)
+		// Intra candidate.
+		for i := range cur {
+			res[i] = cur[i] - 128
+		}
+		fdct8x8(&res, &coefs)
+		quantize(&coefs, qstep, &levelsI)
+		intraCost := codeCost(&levelsI)
+		if ref == nil {
+			writeIntraBlock(&w, src, recon, x0, y0, qstep, &levelsI, &rec)
+			continue
+		}
+		// Motion search (includes the (0,0) candidate even when range is 0).
+		mvx, mvy := motionSearch(src, ref, x0, y0, searchRange)
+		loadBlockOffset(ref, x0+mvx, y0+mvy, &res)
+		for i := range res {
+			res[i] = cur[i] - res[i]
+		}
+		fdct8x8(&res, &coefs)
+		quantizeDeadzone(&coefs, qstep, &levels)
+		mcCost := codeCost(&levels) + 1 // +1 byte for the motion vector
+		if allZero(&levels) && mvx == 0 && mvy == 0 {
+			// Residual vanishes at this quantizer: perfect skip.
+			w.u8(modeSkip)
+			copyBlock(ref, recon, x0, y0)
+			continue
+		}
+		if mcCost <= intraCost {
+			w.u8(modeMC)
+			w.u8(packMV(mvx, mvy))
+			writeLevels(&w, &levels)
+			reconstructMC(ref, recon, x0, y0, mvx, mvy, qstep, &levels, &rec)
+			continue
+		}
+		writeIntraBlock(&w, src, recon, x0, y0, qstep, &levelsI, &rec)
+	}
+	return w.buf
+}
+
+func writeIntraBlock(w *byteWriter, src, recon *plane, x0, y0, qstep int, levels *[64]int32, rec *[64]float64) {
+	w.u8(modeIntra)
+	writeLevels(w, levels)
+	var coefs [64]float64
+	dequantize(levels, qstep, &coefs)
+	idct8x8(&coefs, rec)
+	for i := 0; i < 64; i++ {
+		x, y := x0+i%blockSize, y0+i/blockSize
+		recon.set(x, y, clamp255(int32(rec[i]+128.5)))
+	}
+}
+
+func reconstructMC(ref, recon *plane, x0, y0, mvx, mvy, qstep int, levels *[64]int32, rec *[64]float64) {
+	var coefs [64]float64
+	dequantize(levels, qstep, &coefs)
+	idct8x8(&coefs, rec)
+	for i := 0; i < 64; i++ {
+		x, y := x0+i%blockSize, y0+i/blockSize
+		pred := ref.at(x+mvx, y+mvy)
+		recon.set(x, y, clamp255(pred+int32(roundHalf(rec[i]))))
+	}
+}
+
+func roundHalf(v float64) float64 {
+	if v >= 0 {
+		return float64(int32(v + 0.5))
+	}
+	return float64(int32(v - 0.5))
+}
+
+// motionSearch finds the full-pixel offset within ±r minimizing SAD against
+// the reference, constrained so the reference block stays in bounds.
+func motionSearch(src, ref *plane, x0, y0, r int) (int, int) {
+	if r == 0 {
+		return 0, 0
+	}
+	var cur [64]int32
+	for i := 0; i < 64; i++ {
+		cur[i] = src.at(x0+i%blockSize, y0+i/blockSize)
+	}
+	best, bx, by := int32(1<<30), 0, 0
+	for dy := -r; dy <= r; dy++ {
+		ry := y0 + dy
+		if ry < 0 || ry+blockSize > ref.h {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			rx := x0 + dx
+			if rx < 0 || rx+blockSize > ref.w {
+				continue
+			}
+			var sad int32
+			for i := 0; i < 64 && sad < best; i++ {
+				d := cur[i] - ref.at(rx+i%blockSize, ry+i/blockSize)
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			// Bias toward the zero vector to avoid jitter on ties.
+			if dx == 0 && dy == 0 {
+				sad -= 4
+			}
+			if sad < best {
+				best, bx, by = sad, dx, dy
+			}
+		}
+	}
+	return bx, by
+}
+
+func loadBlock(p *plane, x0, y0 int, dst *[64]float64) {
+	for i := 0; i < 64; i++ {
+		dst[i] = float64(p.at(x0+i%blockSize, y0+i/blockSize))
+	}
+}
+
+func loadBlockOffset(p *plane, x0, y0 int, dst *[64]float64) {
+	for i := 0; i < 64; i++ {
+		dst[i] = float64(p.at(x0+i%blockSize, y0+i/blockSize))
+	}
+}
+
+func copyBlock(src, dst *plane, x0, y0 int) {
+	for y := y0; y < y0+blockSize; y++ {
+		copy(dst.pix[y*dst.w+x0:y*dst.w+x0+blockSize], src.pix[y*src.w+x0:y*src.w+x0+blockSize])
+	}
+}
+
+// codeCost approximates the byte cost of coding the level set — enough to
+// drive the intra-vs-MC mode decision.
+func codeCost(levels *[64]int32) int {
+	cost := 2 // mode byte + pair count
+	for _, l := range levels {
+		if l != 0 {
+			cost += 2
+			if l > 63 || l < -63 {
+				cost++
+			}
+		}
+	}
+	return cost
+}
+
+func allZero(levels *[64]int32) bool {
+	for _, l := range levels {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func packMV(dx, dy int) uint8 {
+	return uint8((dx+8)<<4 | (dy + 8))
+}
+
+func unpackMV(b uint8) (int, int) {
+	return int(b>>4) - 8, int(b&0xF) - 8
+}
+
+// Decoder decompresses TKV1 packets. The zero Decoder is ready to use; the
+// first packet it sees must be an I-frame.
+type Decoder struct {
+	ref     *ycbcr
+	workers int
+}
+
+// NewDecoder returns a decoder that fans block-row decoding out over the
+// given number of workers (<=0 means 1).
+func NewDecoder(workers int) *Decoder {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Decoder{workers: workers}
+}
+
+// Reset drops decoder state (e.g. before seeking to a new I-frame).
+func (d *Decoder) Reset() { d.ref = nil }
+
+// Decode parses one packet and returns the reconstructed frame.
+func (d *Decoder) Decode(data []byte) (*raster.Frame, error) {
+	r := &byteReader{buf: data}
+	mg, err := r.slice(4)
+	if err != nil || string(mg) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ftb, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	ft := FrameType(ftb)
+	if ft != IFrame && ft != PFrame {
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, ftb)
+	}
+	wv, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	hv, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	qv, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.u8(); err != nil { // search range (informational)
+		return nil, err
+	}
+	w, h, qstep := int(wv), int(hv), int(qv)
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 || qstep < 1 || qstep > 128 {
+		return nil, fmt.Errorf("%w: implausible header %dx%d q=%d", ErrCorrupt, w, h, qstep)
+	}
+	if ft == PFrame {
+		if d.ref == nil {
+			return nil, fmt.Errorf("vcodec: P-frame without reference (decode must start at an I-frame)")
+		}
+		if d.ref.w != w || d.ref.h != h {
+			return nil, fmt.Errorf("%w: P-frame size %dx%d mismatches reference %dx%d", ErrCorrupt, w, h, d.ref.w, d.ref.h)
+		}
+	}
+	img := &ycbcr{
+		y:  newPlane(padUp(w), padUp(h)),
+		cb: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
+		cr: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
+		w:  w, h: h,
+	}
+	var refY, refCb, refCr *plane
+	if ft == PFrame {
+		refY, refCb, refCr = d.ref.y, d.ref.cb, d.ref.cr
+	}
+	if err := d.decodePlane(r, img.y, refY, qstep); err != nil {
+		return nil, fmt.Errorf("luma plane: %w", err)
+	}
+	if err := d.decodePlane(r, img.cb, refCb, qstep); err != nil {
+		return nil, fmt.Errorf("cb plane: %w", err)
+	}
+	if err := d.decodePlane(r, img.cr, refCr, qstep); err != nil {
+		return nil, fmt.Errorf("cr plane: %w", err)
+	}
+	d.ref = img
+	return img.toFrame(), nil
+}
+
+func (d *Decoder) decodePlane(r *byteReader, dst, ref *plane, qstep int) error {
+	rowsV, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	rows := int(rowsV)
+	if rows != dst.h/blockSize {
+		return fmt.Errorf("%w: row count %d, want %d", ErrCorrupt, rows, dst.h/blockSize)
+	}
+	lengths := make([]int, rows)
+	for i := range lengths {
+		lv, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		lengths[i] = int(lv)
+	}
+	chunks := make([][]byte, rows)
+	for i := range chunks {
+		c, err := r.slice(lengths[i])
+		if err != nil {
+			return err
+		}
+		chunks[i] = c
+	}
+	errs := make([]error, rows)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	nw := d.workers
+	if nw > rows {
+		nw = rows
+	}
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for by := range work {
+				errs[by] = decodeBlockRow(chunks[by], dst, ref, by, qstep)
+			}
+		}()
+	}
+	for by := 0; by < rows; by++ {
+		work <- by
+	}
+	close(work)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func decodeBlockRow(chunk []byte, dst, ref *plane, by, qstep int) error {
+	r := &byteReader{buf: chunk}
+	var levels [64]int32
+	var coefs, rec [64]float64
+	y0 := by * blockSize
+	for x0 := 0; x0 < dst.w; x0 += blockSize {
+		mode, err := r.u8()
+		if err != nil {
+			return err
+		}
+		switch mode {
+		case modeSkip:
+			if ref == nil {
+				return fmt.Errorf("%w: skip block in I-frame", ErrCorrupt)
+			}
+			copyBlock(ref, dst, x0, y0)
+		case modeIntra:
+			if err := readLevels(r, &levels); err != nil {
+				return err
+			}
+			dequantize(&levels, qstep, &coefs)
+			idct8x8(&coefs, &rec)
+			for i := 0; i < 64; i++ {
+				x, y := x0+i%blockSize, y0+i/blockSize
+				dst.set(x, y, clamp255(int32(rec[i]+128.5)))
+			}
+		case modeMC:
+			if ref == nil {
+				return fmt.Errorf("%w: MC block in I-frame", ErrCorrupt)
+			}
+			mvb, err := r.u8()
+			if err != nil {
+				return err
+			}
+			mvx, mvy := unpackMV(mvb)
+			if x0+mvx < 0 || x0+mvx+blockSize > ref.w || y0+mvy < 0 || y0+mvy+blockSize > ref.h {
+				return fmt.Errorf("%w: motion vector (%d,%d) out of bounds", ErrCorrupt, mvx, mvy)
+			}
+			if err := readLevels(r, &levels); err != nil {
+				return err
+			}
+			reconstructMC(ref, dst, x0, y0, mvx, mvy, qstep, &levels, &rec)
+		default:
+			return fmt.Errorf("%w: unknown block mode %d", ErrCorrupt, mode)
+		}
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in block row", ErrCorrupt, r.remaining())
+	}
+	return nil
+}
+
+// ParseHeader returns the frame type of an encoded packet without decoding
+// it (the container uses this to build its seek index).
+func ParseHeader(data []byte) (FrameType, error) {
+	if len(data) < 5 || string(data[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ft := FrameType(data[4])
+	if ft != IFrame && ft != PFrame {
+		return 0, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, data[4])
+	}
+	return ft, nil
+}

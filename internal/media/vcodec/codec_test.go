@@ -1,0 +1,411 @@
+package vcodec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/media/raster"
+	"repro/internal/media/synth"
+)
+
+func testFilm(t testing.TB) *synth.Film {
+	t.Helper()
+	return synth.Generate(synth.Spec{
+		W: 96, H: 64, FPS: 12,
+		Shots: 3, MinShotFrames: 8, MaxShotFrames: 12,
+		NoiseAmp: 1, Seed: 99,
+	})
+}
+
+func encCfg(w, h int) Config {
+	return Config{Width: w, Height: h, QStep: 4, GOP: 8, SearchRange: 3, Workers: 2}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	var src, freq, back [64]float64
+	for i := range src {
+		src[i] = float64((i*37)%256) - 128
+	}
+	fdct8x8(&src, &freq)
+	idct8x8(&freq, &back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error at %d: %f vs %f", i, src[i], back[i])
+		}
+	}
+}
+
+func TestDCTConstantBlockIsDCOnly(t *testing.T) {
+	var src, freq [64]float64
+	for i := range src {
+		src[i] = 42
+	}
+	fdct8x8(&src, &freq)
+	if math.Abs(freq[0]-42*8) > 1e-9 {
+		t.Errorf("DC = %f, want 336", freq[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %f, want 0", i, freq[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, p := range zigzag {
+		if p < 0 || p >= 64 || seen[p] {
+			t.Fatalf("zigzag invalid at position %d", p)
+		}
+		seen[p] = true
+	}
+	// Starts at DC, ends at the highest frequency.
+	if zigzag[0] != 0 || zigzag[63] != 63 {
+		t.Errorf("zigzag endpoints %d..%d", zigzag[0], zigzag[63])
+	}
+	if zigzag[1] != 1 || zigzag[2] != 8 {
+		t.Errorf("zigzag start order wrong: %v", zigzag[:4])
+	}
+}
+
+func TestQuantizeRoundTripLowQ(t *testing.T) {
+	var coefs [64]float64
+	for i := range coefs {
+		coefs[i] = float64(i*7 - 200)
+	}
+	var levels [64]int32
+	quantize(&coefs, 1, &levels)
+	var back [64]float64
+	dequantize(&levels, 1, &back)
+	for i := range coefs {
+		if math.Abs(coefs[i]-back[i]) > 0.51 {
+			t.Fatalf("q=1 round trip error %f at %d", coefs[i]-back[i], i)
+		}
+	}
+}
+
+func TestLevelsCodingRoundTrip(t *testing.T) {
+	err := quick.Check(func(vals [8]int16, positions [8]uint8) bool {
+		var levels [64]int32
+		for i := range vals {
+			levels[positions[i]%64] = int32(vals[i])
+		}
+		var w byteWriter
+		writeLevels(&w, &levels)
+		var got [64]int32
+		r := &byteReader{buf: w.buf}
+		if err := readLevels(r, &got); err != nil {
+			return false
+		}
+		return got == levels && r.remaining() == 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsAllZeroIsOneByte(t *testing.T) {
+	var levels [64]int32
+	var w byteWriter
+	writeLevels(&w, &levels)
+	if len(w.buf) != 1 {
+		t.Errorf("all-zero block coded in %d bytes, want 1", len(w.buf))
+	}
+}
+
+func TestReadLevelsRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},               // empty
+		{200},            // pair count > 64
+		{1},              // missing pair
+		{1, 70, 2},       // run beyond block
+		{2, 0, 2, 63, 2}, // second pair out of range
+		{1, 0, 0},        // explicit zero level
+	}
+	for i, c := range cases {
+		var levels [64]int32
+		if err := readLevels(&byteReader{buf: c}, &levels); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+}
+
+func TestYCbCrRoundTripApprox(t *testing.T) {
+	f := raster.New(33, 17) // odd size exercises padding + subsampling
+	f.FillVGradient(raster.RGB{R: 200, G: 60, B: 40}, raster.RGB{R: 20, G: 80, B: 180})
+	g := toYCbCr(f).toFrame()
+	if g.W != f.W || g.H != f.H {
+		t.Fatalf("size changed: %dx%d", g.W, g.H)
+	}
+	// 4:2:0 is lossy in chroma; luma should survive well. Allow moderate MAD.
+	if mad := raster.MAD(f, g); mad > 12 {
+		t.Errorf("YCbCr 4:2:0 round trip MAD = %f, too lossy", mad)
+	}
+}
+
+func TestEncodeDecodeIntraQuality(t *testing.T) {
+	film := testFilm(t)
+	src := film.Render(0)
+	enc, err := NewEncoder(Config{Width: src.W, Height: src.H, QStep: 2, GOP: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := enc.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Type != IFrame {
+		t.Fatalf("first frame type = %v, want I", pkt.Type)
+	}
+	dec := NewDecoder(2)
+	got, err := dec.Decode(pkt.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := raster.PSNR(src, got); p < 30 {
+		t.Errorf("I-frame PSNR = %.1f dB at q=2, want >= 30", p)
+	}
+}
+
+func TestGOPPattern(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	for i := 0; i < 20; i++ {
+		pkt, err := enc.Encode(film.Render(i % film.FrameCount()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantI := i%8 == 0
+		if (pkt.Type == IFrame) != wantI {
+			t.Fatalf("frame %d type = %v, want I=%v", i, pkt.Type, wantI)
+		}
+		if pkt.Index != i {
+			t.Fatalf("packet index = %d, want %d", pkt.Index, i)
+		}
+	}
+}
+
+func TestPFramesSmallerOnStaticContent(t *testing.T) {
+	// A static scene: P-frames should collapse to mostly skip blocks.
+	f := raster.New(96, 64)
+	f.FillVGradient(raster.Blue, raster.Black)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	i0, _ := enc.Encode(f)
+	p1, _ := enc.Encode(f)
+	if len(p1.Data) >= len(i0.Data)/4 {
+		t.Errorf("static P-frame %dB vs I-frame %dB: P should be <25%%", len(p1.Data), len(i0.Data))
+	}
+}
+
+func TestDecodeSequenceMatchesEncoderReference(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	dec := NewDecoder(1)
+	for i := 0; i < 16; i++ {
+		src := film.Render(i)
+		pkt, err := enc.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(pkt.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if p := raster.PSNR(src, got); p < 24 {
+			t.Errorf("frame %d PSNR %.1f dB too low (drift?)", i, p)
+		}
+	}
+}
+
+func TestDecoderWorkerCountIrrelevant(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	var pkts []Packet
+	for i := 0; i < 10; i++ {
+		p, _ := enc.Encode(film.Render(i))
+		pkts = append(pkts, p)
+	}
+	d1, d4 := NewDecoder(1), NewDecoder(4)
+	for i, p := range pkts {
+		a, err1 := d1.Decode(p.Data)
+		b, err2 := d4.Decode(p.Data)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("frame %d differs between 1 and 4 decode workers", i)
+		}
+	}
+}
+
+func TestEncoderWorkerCountIrrelevant(t *testing.T) {
+	film := testFilm(t)
+	cfg := encCfg(96, 64)
+	cfg.Workers = 1
+	e1, _ := NewEncoder(cfg)
+	cfg.Workers = 4
+	e4, _ := NewEncoder(cfg)
+	for i := 0; i < 6; i++ {
+		src := film.Render(i)
+		p1, _ := e1.Encode(src)
+		p4, _ := e4.Encode(src)
+		if string(p1.Data) != string(p4.Data) {
+			t.Fatalf("frame %d bitstream differs across encoder worker counts", i)
+		}
+	}
+}
+
+func TestPFrameWithoutReferenceFails(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	enc.Encode(film.Render(0))           // I
+	pkt, _ := enc.Encode(film.Render(1)) // P
+	dec := NewDecoder(1)
+	if _, err := dec.Decode(pkt.Data); err == nil {
+		t.Fatal("decoding P-frame without reference should fail")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	dec := NewDecoder(1)
+	for _, data := range [][]byte{
+		nil,
+		[]byte("X"),
+		[]byte("JUNKJUNKJUNK"),
+		[]byte("TKV1\x07morejunk"), // bad frame type
+	} {
+		if _, err := dec.Decode(data); err == nil {
+			t.Errorf("garbage %q accepted", data)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	pkt, _ := enc.Encode(film.Render(0))
+	for _, n := range []int{5, 10, len(pkt.Data) / 2, len(pkt.Data) - 1} {
+		dec := NewDecoder(2)
+		if _, err := dec.Decode(pkt.Data[:n]); err == nil {
+			t.Errorf("truncated packet (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestHigherQLowerQualitySmallerSize(t *testing.T) {
+	film := testFilm(t)
+	src := film.Render(4)
+	var prevSize = 1 << 30
+	var prevPSNR = math.Inf(1)
+	for _, q := range []int{2, 6, 16} {
+		enc, _ := NewEncoder(Config{Width: src.W, Height: src.H, QStep: q, GOP: 1, Workers: 1})
+		pkt, _ := enc.Encode(src)
+		dec := NewDecoder(1)
+		rec, err := dec.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := raster.PSNR(src, rec)
+		if len(pkt.Data) >= prevSize {
+			t.Errorf("q=%d size %d not smaller than previous %d", q, len(pkt.Data), prevSize)
+		}
+		if p >= prevPSNR {
+			t.Errorf("q=%d PSNR %.1f not lower than previous %.1f", q, p, prevPSNR)
+		}
+		prevSize, prevPSNR = len(pkt.Data), p
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 10, QStep: 4, GOP: 5},
+		{Width: 10, Height: 10, QStep: 0, GOP: 5},
+		{Width: 10, Height: 10, QStep: 400, GOP: 5},
+		{Width: 10, Height: 10, QStep: 4, GOP: 0},
+		{Width: 10, Height: 10, QStep: 4, GOP: 5, SearchRange: 9},
+	}
+	for i, c := range bad {
+		if _, err := NewEncoder(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestEncodeWrongSizeFrame(t *testing.T) {
+	enc, _ := NewEncoder(encCfg(96, 64))
+	if _, err := enc.Encode(raster.New(32, 32)); err == nil {
+		t.Fatal("wrong-size frame accepted")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	enc.Encode(film.Render(0))
+	enc.Encode(film.Render(1))
+	enc.Reset()
+	pkt, _ := enc.Encode(film.Render(2))
+	if pkt.Type != IFrame || pkt.Index != 0 {
+		t.Fatalf("after Reset got %v index %d, want I index 0", pkt.Type, pkt.Index)
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	i0, _ := enc.Encode(film.Render(0))
+	p1, _ := enc.Encode(film.Render(1))
+	if ft, err := ParseHeader(i0.Data); err != nil || ft != IFrame {
+		t.Errorf("ParseHeader(I) = %v, %v", ft, err)
+	}
+	if ft, err := ParseHeader(p1.Data); err != nil || ft != PFrame {
+		t.Errorf("ParseHeader(P) = %v, %v", ft, err)
+	}
+	if _, err := ParseHeader([]byte("nope")); err == nil {
+		t.Error("ParseHeader accepted garbage")
+	}
+}
+
+func TestMVPacking(t *testing.T) {
+	for dx := -8; dx <= 7; dx++ {
+		for dy := -8; dy <= 7; dy++ {
+			gx, gy := unpackMV(packMV(dx, dy))
+			if gx != dx || gy != dy {
+				t.Fatalf("MV (%d,%d) round-tripped to (%d,%d)", dx, dy, gx, gy)
+			}
+		}
+	}
+}
+
+func TestOddSizeFrames(t *testing.T) {
+	// Non-multiple-of-8 and non-multiple-of-16 dimensions must round trip.
+	for _, dims := range [][2]int{{37, 23}, {8, 8}, {9, 9}, {100, 50}} {
+		w, h := dims[0], dims[1]
+		src := raster.New(w, h)
+		src.FillVGradient(raster.Green, raster.Magenta)
+		src.FillCircle(w/2, h/2, min(w, h)/3, raster.Yellow)
+		enc, err := NewEncoder(Config{Width: w, Height: h, QStep: 2, GOP: 1, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := enc.Encode(src)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		rec, err := NewDecoder(2).Decode(pkt.Data)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		if rec.W != w || rec.H != h {
+			t.Fatalf("%dx%d: decoded size %dx%d", w, h, rec.W, rec.H)
+		}
+		// On this maximally saturated pattern the 4:2:0 chroma subsampling
+		// dominates the loss; the right bar is "within 1.5 dB of the pure
+		// colorspace round trip", not an absolute PSNR.
+		bound := raster.PSNR(src, toYCbCr(src).toFrame())
+		if p := raster.PSNR(src, rec); p < bound-1.5 {
+			t.Errorf("%dx%d: PSNR %.1f dB, want within 1.5 dB of 4:2:0 bound %.1f", w, h, p, bound)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package vcodec implements the TKV1 block video codec used by the IVGBL
+// platform.
+//
+// TKV1 is a teaching-grade but complete codec in the JPEG/MPEG lineage:
+// frames are converted to YCbCr with 4:2:0 chroma subsampling, split into
+// 8×8 blocks, transformed with a type-II DCT, uniformly quantized, zigzag
+// scanned and entropy coded with run-length + varint coding. Frames are
+// either intra (I) or predicted (P); P-frame blocks choose per-block between
+// SKIP (copy from the reference), motion compensation with coded residual,
+// and intra coding. Block rows are independent, so both encode and decode
+// fan out across worker goroutines.
+//
+// It substitutes for the DirectShow-era playback stack the paper relied on:
+// what the IVGBL runtime needs from a codec is random access at segment
+// boundaries (I-frames) and a realistic decode cost, both of which TKV1
+// provides.
+package vcodec
+
+import "math"
+
+const blockSize = 8
+
+// dctBasis[u][x] = C(u) * cos((2x+1)uπ/16) — the 1-D DCT-II basis, with the
+// orthonormalization constant folded in.
+var dctBasis [blockSize][blockSize]float64
+
+func init() {
+	for u := 0; u < blockSize; u++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for x := 0; x < blockSize; x++ {
+			dctBasis[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+// fdct8x8 computes the 2-D forward DCT of src (row-major 64 samples) into
+// dst, using two 1-D passes.
+func fdct8x8(src *[64]float64, dst *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			for x := 0; x < blockSize; x++ {
+				s += src[y*blockSize+x] * dctBasis[u][x]
+			}
+			tmp[y*blockSize+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < blockSize; u++ {
+		for v := 0; v < blockSize; v++ {
+			var s float64
+			for y := 0; y < blockSize; y++ {
+				s += tmp[y*blockSize+u] * dctBasis[v][y]
+			}
+			dst[v*blockSize+u] = s
+		}
+	}
+}
+
+// idct8x8 computes the 2-D inverse DCT of src into dst.
+func idct8x8(src *[64]float64, dst *[64]float64) {
+	var tmp [64]float64
+	// Columns.
+	for u := 0; u < blockSize; u++ {
+		for y := 0; y < blockSize; y++ {
+			var s float64
+			for v := 0; v < blockSize; v++ {
+				s += src[v*blockSize+u] * dctBasis[v][y]
+			}
+			tmp[y*blockSize+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for u := 0; u < blockSize; u++ {
+				s += tmp[y*blockSize+u] * dctBasis[u][x]
+			}
+			dst[y*blockSize+x] = s
+		}
+	}
+}
+
+// zigzag maps scan order → block position, walking the 8×8 grid in the
+// classic diagonal pattern so low-frequency coefficients come first and
+// run-length coding sees long zero tails.
+var zigzag = buildZigzag()
+
+func buildZigzag() [64]int {
+	var zz [64]int
+	x, y, idx := 0, 0, 0
+	up := true
+	for idx < 64 {
+		zz[idx] = y*blockSize + x
+		idx++
+		if up {
+			switch {
+			case x == blockSize-1:
+				y++
+				up = false
+			case y == 0:
+				x++
+				up = false
+			default:
+				x++
+				y--
+			}
+		} else {
+			switch {
+			case y == blockSize-1:
+				x++
+				up = true
+			case x == 0:
+				y++
+				up = true
+			default:
+				x--
+				y++
+			}
+		}
+	}
+	return zz
+}
+
+// quantize converts DCT coefficients to integer levels with a uniform step.
+// The DC coefficient uses half the step: DC errors are the most visible
+// (they shift the whole block's brightness).
+func quantize(coefs *[64]float64, qstep int, levels *[64]int32) {
+	dcStep := float64(qstep) / 2
+	if dcStep < 1 {
+		dcStep = 1
+	}
+	levels[0] = int32(math.Round(coefs[zigzag[0]] / dcStep))
+	for i := 1; i < 64; i++ {
+		levels[i] = int32(math.Round(coefs[zigzag[i]] / float64(qstep)))
+	}
+}
+
+// quantizeDeadzone is the residual-path quantizer: it truncates toward zero
+// instead of rounding, giving a dead zone of ±qstep around zero. Without it,
+// P-frames endlessly re-code the previous frame's quantization noise and
+// static content never collapses to skip blocks.
+func quantizeDeadzone(coefs *[64]float64, qstep int, levels *[64]int32) {
+	dcStep := float64(qstep) / 2
+	if dcStep < 1 {
+		dcStep = 1
+	}
+	levels[0] = int32(coefs[zigzag[0]] / dcStep)
+	for i := 1; i < 64; i++ {
+		levels[i] = int32(coefs[zigzag[i]] / float64(qstep))
+	}
+}
+
+// dequantize reverses quantize into natural (row-major) coefficient order.
+func dequantize(levels *[64]int32, qstep int, coefs *[64]float64) {
+	dcStep := float64(qstep) / 2
+	if dcStep < 1 {
+		dcStep = 1
+	}
+	for i := range coefs {
+		coefs[i] = 0
+	}
+	coefs[zigzag[0]] = float64(levels[0]) * dcStep
+	for i := 1; i < 64; i++ {
+		if levels[i] != 0 {
+			coefs[zigzag[i]] = float64(levels[i]) * float64(qstep)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package vcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when a TKV1 payload fails to parse.
+var ErrCorrupt = errors.New("vcodec: corrupt bitstream")
+
+// byteWriter accumulates the encoded bitstream. It is an append-only buffer
+// with varint helpers; methods never fail.
+type byteWriter struct {
+	buf []byte
+}
+
+func (w *byteWriter) u8(v uint8)       { w.buf = append(w.buf, v) }
+func (w *byteWriter) uvarint(v uint64) { w.buf = append(w.buf, binary.AppendUvarint(nil, v)...) }
+func (w *byteWriter) varint(v int64)   { w.buf = append(w.buf, binary.AppendVarint(nil, v)...) }
+func (w *byteWriter) bytes(b []byte)   { w.buf = append(w.buf, b...) }
+
+// byteReader consumes an encoded bitstream with bounds checking.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) u8() (uint8, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrCorrupt
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) slice(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, ErrCorrupt
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *byteReader) remaining() int { return len(r.buf) - r.pos }
+
+// writeLevels run-length encodes 64 quantized levels in zigzag order:
+// a sequence of (zero-run, value) pairs, each value a signed varint and each
+// run a uvarint, terminated by an end-of-block marker (run=63 is impossible
+// after any pair consumed at least one slot, so EOB is run value 0xFF).
+//
+// Layout per block: uvarint count of pairs, then count × (uvarint run,
+// varint level). An all-zero block is a single 0 byte — the dominant case
+// for P-frame residuals, which is what makes P-frames small.
+func writeLevels(w *byteWriter, levels *[64]int32) {
+	// Count pairs first.
+	type pair struct {
+		run   int
+		level int32
+	}
+	var pairs [64]pair
+	n := 0
+	run := 0
+	for i := 0; i < 64; i++ {
+		if levels[i] == 0 {
+			run++
+			continue
+		}
+		pairs[n] = pair{run, levels[i]}
+		n++
+		run = 0
+	}
+	w.uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		w.uvarint(uint64(pairs[i].run))
+		w.varint(int64(pairs[i].level))
+	}
+}
+
+// readLevels reverses writeLevels.
+func readLevels(r *byteReader, levels *[64]int32) error {
+	for i := range levels {
+		levels[i] = 0
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > 64 {
+		return fmt.Errorf("%w: %d coefficient pairs in one block", ErrCorrupt, n)
+	}
+	idx := 0
+	for p := uint64(0); p < n; p++ {
+		run, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		lvl, err := r.varint()
+		if err != nil {
+			return err
+		}
+		idx += int(run)
+		if idx >= 64 {
+			return fmt.Errorf("%w: zigzag index %d out of range", ErrCorrupt, idx)
+		}
+		if lvl == 0 {
+			return fmt.Errorf("%w: explicit zero level", ErrCorrupt)
+		}
+		levels[idx] = int32(lvl)
+		idx++
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package vcodec
+
+import "repro/internal/media/raster"
+
+// plane is a single-component image with dimensions padded to multiples of
+// the block size. Samples are int32 so residuals (which go negative) share
+// the representation.
+type plane struct {
+	w, h int // padded dimensions, multiples of blockSize
+	pix  []int32
+}
+
+func newPlane(w, h int) *plane {
+	return &plane{w: w, h: h, pix: make([]int32, w*h)}
+}
+
+func padUp(n int) int {
+	return (n + blockSize - 1) / blockSize * blockSize
+}
+
+func (p *plane) at(x, y int) int32 {
+	return p.pix[y*p.w+x]
+}
+
+func (p *plane) set(x, y int, v int32) {
+	p.pix[y*p.w+x] = v
+}
+
+func clamp255(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// ycbcr holds one frame in planar YCbCr 4:2:0: full-resolution luma, chroma
+// subsampled 2× in both directions. All planes are padded to block
+// multiples; the true frame size travels separately.
+type ycbcr struct {
+	y, cb, cr *plane
+	w, h      int // true (unpadded) frame dimensions
+}
+
+// toYCbCr converts an RGB frame to padded planar 4:2:0 using BT.601 integer
+// coefficients. Padding replicates the edge sample so the DCT does not see
+// an artificial cliff at the border.
+func toYCbCr(f *raster.Frame) *ycbcr {
+	pw, ph := padUp(f.W), padUp(f.H)
+	cw, ch := padUp((f.W+1)/2), padUp((f.H+1)/2)
+	out := &ycbcr{y: newPlane(pw, ph), cb: newPlane(cw, ch), cr: newPlane(cw, ch), w: f.W, h: f.H}
+	// Full-resolution conversion with edge replication for padding.
+	fullCb := make([]int32, pw*ph)
+	fullCr := make([]int32, pw*ph)
+	for y := 0; y < ph; y++ {
+		sy := y
+		if sy >= f.H {
+			sy = f.H - 1
+		}
+		for x := 0; x < pw; x++ {
+			sx := x
+			if sx >= f.W {
+				sx = f.W - 1
+			}
+			i := 3 * (sy*f.W + sx)
+			r, g, b := int32(f.Pix[i]), int32(f.Pix[i+1]), int32(f.Pix[i+2])
+			yy := (77*r + 150*g + 29*b) >> 8
+			cb := ((-43*r - 85*g + 128*b) >> 8) + 128
+			cr := ((128*r - 107*g - 21*b) >> 8) + 128
+			out.y.set(x, y, clamp255(yy))
+			fullCb[y*pw+x] = clamp255(cb)
+			fullCr[y*pw+x] = clamp255(cr)
+		}
+	}
+	// 2×2 box subsample chroma, then replicate-pad to the chroma plane.
+	halfW, halfH := (f.W+1)/2, (f.H+1)/2
+	for y := 0; y < ch; y++ {
+		sy := y
+		if sy >= halfH {
+			sy = halfH - 1
+		}
+		for x := 0; x < cw; x++ {
+			sx := x
+			if sx >= halfW {
+				sx = halfW - 1
+			}
+			x0, y0 := 2*sx, 2*sy
+			x1, y1 := x0+1, y0+1
+			if x1 >= pw {
+				x1 = x0
+			}
+			if y1 >= ph {
+				y1 = y0
+			}
+			cb := (fullCb[y0*pw+x0] + fullCb[y0*pw+x1] + fullCb[y1*pw+x0] + fullCb[y1*pw+x1] + 2) / 4
+			cr := (fullCr[y0*pw+x0] + fullCr[y0*pw+x1] + fullCr[y1*pw+x0] + fullCr[y1*pw+x1] + 2) / 4
+			out.cb.set(x, y, cb)
+			out.cr.set(x, y, cr)
+		}
+	}
+	return out
+}
+
+// toFrame converts back to RGB, upsampling chroma bilinearly (nearest-
+// neighbor leaves visible blockiness on saturated gradients, especially at
+// small frame sizes).
+func (img *ycbcr) toFrame() *raster.Frame {
+	f := raster.New(img.w, img.h)
+	halfW, halfH := (img.w+1)/2, (img.h+1)/2
+	sample := func(p *plane, xf, yf float64) int32 {
+		x0 := int(xf)
+		y0 := int(yf)
+		tx := xf - float64(x0)
+		ty := yf - float64(y0)
+		x1, y1 := x0+1, y0+1
+		if x1 >= halfW {
+			x1 = halfW - 1
+		}
+		if y1 >= halfH {
+			y1 = halfH - 1
+		}
+		a := float64(p.at(x0, y0))*(1-tx) + float64(p.at(x1, y0))*tx
+		b := float64(p.at(x0, y1))*(1-tx) + float64(p.at(x1, y1))*tx
+		return int32(a*(1-ty) + b*ty + 0.5)
+	}
+	for y := 0; y < img.h; y++ {
+		yf := (float64(y) - 0.5) / 2
+		if yf < 0 {
+			yf = 0
+		}
+		if yf > float64(halfH-1) {
+			yf = float64(halfH - 1)
+		}
+		for x := 0; x < img.w; x++ {
+			xf := (float64(x) - 0.5) / 2
+			if xf < 0 {
+				xf = 0
+			}
+			if xf > float64(halfW-1) {
+				xf = float64(halfW - 1)
+			}
+			yy := img.y.at(x, y)
+			cb := sample(img.cb, xf, yf) - 128
+			cr := sample(img.cr, xf, yf) - 128
+			r := yy + (359 * cr >> 8)
+			g := yy - (88 * cb >> 8) - (183 * cr >> 8)
+			b := yy + (454 * cb >> 8)
+			i := 3 * (y*f.W + x)
+			f.Pix[i] = uint8(clamp255(r))
+			f.Pix[i+1] = uint8(clamp255(g))
+			f.Pix[i+2] = uint8(clamp255(b))
+		}
+	}
+	return f
+}
+
+// clone deep-copies the image (used for reference frames).
+func (img *ycbcr) clone() *ycbcr {
+	cp := func(p *plane) *plane {
+		q := newPlane(p.w, p.h)
+		copy(q.pix, p.pix)
+		return q
+	}
+	return &ycbcr{y: cp(img.y), cb: cp(img.cb), cr: cp(img.cr), w: img.w, h: img.h}
+}

@@ -1,0 +1,466 @@
+// Package netstream delivers game packages over HTTP — the paper's
+// web-based deployment ("students can easily access these resources via
+// network", §2) and the substitution for its "web page" resources.
+//
+// The Server publishes .tkg packages with HTTP range support. The Client
+// offers two strategies, compared by experiment E8:
+//
+//   - Download: fetch the whole package, then play (the 2007 default).
+//   - ProgressiveOpen: ranged fetches of the section table, the project
+//     document, the video index, and only the packets of the start
+//     segment — play begins after a small, size-independent prefix.
+package netstream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gamepack"
+	"repro/internal/media/container"
+	"repro/internal/media/raster"
+	"repro/internal/media/vcodec"
+)
+
+// Server publishes game packages under /pkg/<name> with range support, a
+// package listing under /list, and popup web resources under /res/<name>.
+type Server struct {
+	mu        sync.RWMutex
+	packages  map[string][]byte
+	resources map[string]string
+	started   time.Time
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		packages:  map[string][]byte{},
+		resources: map[string]string{},
+		started:   time.Now(),
+	}
+}
+
+// AddPackage publishes a package blob under a name.
+func (s *Server) AddPackage(name string, blob []byte) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("netstream: bad package name %q", name)
+	}
+	if _, err := gamepack.Open(blob); err != nil {
+		return fmt.Errorf("netstream: refusing to serve invalid package: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.packages[name] = blob
+	return nil
+}
+
+// AddResource publishes a text resource (the target of scripts' `open`).
+func (s *Server) AddResource(name, content string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resources[name] = content
+}
+
+// Names lists published packages, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.packages))
+	for n := range s.packages {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/list":
+		for _, n := range s.Names() {
+			fmt.Fprintln(w, n)
+		}
+	case strings.HasPrefix(r.URL.Path, "/pkg/"):
+		name := strings.TrimPrefix(r.URL.Path, "/pkg/")
+		s.mu.RLock()
+		blob, ok := s.packages[name]
+		s.mu.RUnlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		// ServeContent implements Range/If-Modified-Since for us.
+		http.ServeContent(w, r, name+".tkg", s.started, newByteReader(blob))
+	case strings.HasPrefix(r.URL.Path, "/res/"):
+		name := strings.TrimPrefix(r.URL.Path, "/res/")
+		s.mu.RLock()
+		content, ok := s.resources[name]
+		s.mu.RUnlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, content)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// byteReader adapts a []byte to io.ReadSeeker for http.ServeContent.
+type byteReader struct {
+	data []byte
+	pos  int64
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{data: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.pos >= int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += int64(n)
+	return n, nil
+}
+
+func (r *byteReader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.pos
+	case io.SeekEnd:
+		base = int64(len(r.data))
+	default:
+		return 0, errors.New("netstream: bad whence")
+	}
+	if base+offset < 0 {
+		return 0, errors.New("netstream: negative seek")
+	}
+	r.pos = base + offset
+	return r.pos, nil
+}
+
+// Stats counts what a client transfer cost.
+type Stats struct {
+	Requests     int
+	BytesFetched int
+	Elapsed      time.Duration
+}
+
+// Client fetches packages from a Server (or anything speaking HTTP ranges).
+type Client struct {
+	HTTP *http.Client // defaults to http.DefaultClient
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Download fetches a whole package.
+func (c *Client) Download(url string) ([]byte, Stats, error) {
+	var st Stats
+	began := time.Now()
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, st, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	if resp.StatusCode != http.StatusOK {
+		return nil, st, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, st, err
+	}
+	st.BytesFetched = len(blob)
+	st.Elapsed = time.Since(began)
+	return blob, st, nil
+}
+
+// fetchRange GETs bytes [from, to) of url.
+func (c *Client) fetchRange(url string, from, to int, st *Stats) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to-1))
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	if resp.StatusCode != http.StatusPartialContent && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("netstream: range GET %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK && len(data) > to-from {
+		// Server ignored the range; slice what we asked for.
+		data = data[from:to]
+	}
+	st.BytesFetched += len(data)
+	return data, nil
+}
+
+// contentLength HEADs the url.
+func (c *Client) contentLength(url string, st *Stats) (int, error) {
+	resp, err := c.httpClient().Head(url)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	st.Requests++
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("netstream: HEAD %s: %s", url, resp.Status)
+	}
+	if resp.ContentLength < 0 {
+		return 0, errors.New("netstream: server did not report a length")
+	}
+	return int(resp.ContentLength), nil
+}
+
+// RemoteGame is a progressively loaded game: full project document, video
+// head, and packet data for the segments fetched so far.
+type RemoteGame struct {
+	Project *core.Project
+	head    *container.Head
+
+	client   *Client
+	url      string
+	videoOff int // absolute offset of the video section within the package
+
+	mu     sync.Mutex
+	chunks map[int][]byte // first-packet index → raw packet bytes
+	starts []int          // sorted chunk keys
+	ends   map[int]int    // chunk start → one-past-last packet index
+}
+
+// ProgressiveOpen fetches just enough of the package to start playing its
+// start scenario: section table → project → video head → start-segment
+// packets. The returned Stats are the startup cost E8 reports.
+func (c *Client) ProgressiveOpen(url string) (*RemoteGame, Stats, error) {
+	var st Stats
+	began := time.Now()
+	total, err := c.contentLength(url, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	// 1. Section table (grow the prefix until it parses).
+	prefixLen := 4096
+	var secs map[string][2]int
+	for {
+		if prefixLen > total {
+			prefixLen = total
+		}
+		prefix, err := c.fetchRange(url, 0, prefixLen, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		secs, err = gamepack.SectionsWithin(prefix, total)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, gamepack.ErrShortPrefix) || prefixLen == total {
+			return nil, st, err
+		}
+		prefixLen *= 4
+	}
+	projLoc, ok := secs[gamepack.SectionProject]
+	if !ok {
+		return nil, st, errors.New("netstream: package has no project section")
+	}
+	videoLoc, ok := secs[gamepack.SectionVideo]
+	if !ok {
+		return nil, st, errors.New("netstream: package has no video section")
+	}
+	// 2. Project document.
+	projJSON, err := c.fetchRange(url, projLoc[0], projLoc[0]+projLoc[1], &st)
+	if err != nil {
+		return nil, st, err
+	}
+	proj, err := core.UnmarshalProject(projJSON)
+	if err != nil {
+		return nil, st, err
+	}
+	// 3. Video head (grow until the index parses).
+	headLen := 16384
+	var head *container.Head
+	for {
+		if headLen > videoLoc[1] {
+			headLen = videoLoc[1]
+		}
+		hb, err := c.fetchRange(url, videoLoc[0], videoLoc[0]+headLen, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		head, err = container.ParseHead(hb)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, container.ErrTruncated) || headLen == videoLoc[1] {
+			return nil, st, err
+		}
+		headLen *= 4
+	}
+	g := &RemoteGame{
+		Project:  proj,
+		head:     head,
+		client:   c,
+		url:      url,
+		videoOff: videoLoc[0],
+		chunks:   map[int][]byte{},
+		ends:     map[int]int{},
+	}
+	// 4. The start scenario's segment packets.
+	start := proj.ScenarioByID(proj.StartScenario)
+	if start == nil {
+		return nil, st, fmt.Errorf("netstream: start scenario %q missing", proj.StartScenario)
+	}
+	if err := g.ensureSegment(start.Segment, &st); err != nil {
+		return nil, st, err
+	}
+	st.Elapsed = time.Since(began)
+	return g, st, nil
+}
+
+// ensureSegment fetches the byte range covering a segment (from its
+// preceding keyframe) if not already present.
+func (g *RemoteGame) ensureSegment(name string, st *Stats) error {
+	ch, ok := g.head.ChapterByName(name)
+	if !ok {
+		return fmt.Errorf("netstream: no segment %q", name)
+	}
+	k, err := g.head.KeyframeAtOrBefore(ch.Start)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	_, have := g.chunks[k]
+	if have && g.ends[k] >= ch.End {
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	lo, hi, err := g.head.ByteRange(k, ch.End)
+	if err != nil {
+		return err
+	}
+	chunk, err := g.client.fetchRange(g.url, g.videoOff+lo, g.videoOff+hi, st)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.chunks[k] = chunk
+	g.ends[k] = ch.End
+	g.starts = append(g.starts, k)
+	sort.Ints(g.starts)
+	g.mu.Unlock()
+	return nil
+}
+
+// FetchSegment pulls an additional segment (e.g. ahead of a goto) and
+// reports its transfer cost.
+func (g *RemoteGame) FetchSegment(name string) (Stats, error) {
+	var st Stats
+	began := time.Now()
+	err := g.ensureSegment(name, &st)
+	st.Elapsed = time.Since(began)
+	return st, err
+}
+
+// HasSegment reports whether a segment's packets are locally available.
+func (g *RemoteGame) HasSegment(name string) bool {
+	ch, ok := g.head.ChapterByName(name)
+	if !ok {
+		return false
+	}
+	k, err := g.head.KeyframeAtOrBefore(ch.Start)
+	if err != nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, have := g.chunks[k]
+	return have && g.ends[k] >= ch.End
+}
+
+// Chapters exposes the video's segment table.
+func (g *RemoteGame) Chapters() []container.Chapter { return g.head.Chapters() }
+
+// Meta exposes the video metadata.
+func (g *RemoteGame) Meta() container.Meta { return g.head.Meta() }
+
+// FrameAt decodes frame i, which must lie inside a fetched segment. Each
+// call decodes from the chunk's keyframe — callers wanting sequential decode
+// should use a SegmentCursor.
+func (g *RemoteGame) FrameAt(i int) (*raster.Frame, error) {
+	k, chunk, err := g.chunkFor(i)
+	if err != nil {
+		return nil, err
+	}
+	dec := vcodec.NewDecoder(1)
+	var out *raster.Frame
+	for j := k; j <= i; j++ {
+		pkt, err := g.head.PacketFromChunk(chunk, k, j)
+		if err != nil {
+			return nil, err
+		}
+		out, err = dec.Decode(pkt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// chunkFor locates the fetched chunk containing frame i.
+func (g *RemoteGame) chunkFor(i int) (int, []byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := sort.SearchInts(g.starts, i+1) - 1
+	if idx < 0 {
+		return 0, nil, fmt.Errorf("netstream: frame %d not fetched", i)
+	}
+	k := g.starts[idx]
+	if i >= g.ends[k] {
+		return 0, nil, fmt.Errorf("netstream: frame %d not fetched", i)
+	}
+	return k, g.chunks[k], nil
+}
+
+// FetchResource GETs a popup web resource (scripts' `open` verb).
+func (c *Client) FetchResource(url string) (string, Stats, error) {
+	var st Stats
+	began := time.Now()
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return "", st, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	if resp.StatusCode != http.StatusOK {
+		return "", st, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", st, err
+	}
+	st.BytesFetched = len(body)
+	st.Elapsed = time.Since(began)
+	return string(body), st, nil
+}

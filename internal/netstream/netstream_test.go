@@ -1,0 +1,224 @@
+package netstream
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/gamepack"
+	"repro/internal/media/container"
+	"repro/internal/media/playback"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+)
+
+func testServer(t *testing.T) (*httptest.Server, []byte) {
+	t.Helper()
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.AddPackage("classroom", blob); err != nil {
+		t.Fatal(err)
+	}
+	srv.AddResource("umbrella", "UMBRELLAS KEEP YOU DRY")
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, blob
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := NewServer()
+	if err := srv.AddPackage("bad name", []byte("x")); err == nil {
+		t.Error("bad name accepted")
+	}
+	if err := srv.AddPackage("junk", []byte("not a package")); err == nil {
+		t.Error("junk package accepted")
+	}
+}
+
+func TestListAndNotFound(t *testing.T) {
+	ts, _ := testServer(t)
+	c := &Client{}
+	body, _, err := c.FetchResource(ts.URL + "/list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(body) != "classroom" {
+		t.Errorf("list = %q", body)
+	}
+	if _, _, err := c.Download(ts.URL + "/pkg/ghost"); err == nil {
+		t.Error("missing package downloadable")
+	}
+	if _, _, err := c.FetchResource(ts.URL + "/res/ghost"); err == nil {
+		t.Error("missing resource fetchable")
+	}
+}
+
+func TestDownloadWholePackage(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	got, st, err := c.Download(ts.URL + "/pkg/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("downloaded bytes differ")
+	}
+	if st.BytesFetched != len(blob) || st.Requests != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProgressiveOpenFetchesLess(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	g, st, err := c.ProgressiveOpen(ts.URL + "/pkg/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Project.Title != "Fix The Classroom Computer" {
+		t.Error("project lost")
+	}
+	if !g.HasSegment("seg-classroom") {
+		t.Error("start segment not fetched")
+	}
+	if g.HasSegment("seg-market") {
+		t.Error("non-start segment fetched eagerly")
+	}
+	// Startup never needs the whole package.
+	if st.BytesFetched >= len(blob) {
+		t.Errorf("progressive fetched %d of %d bytes", st.BytesFetched, len(blob))
+	}
+	if st.Requests < 3 {
+		t.Errorf("requests = %d, expected several ranged fetches", st.Requests)
+	}
+}
+
+func TestProgressiveStartupScalesWithSegmentNotFilm(t *testing.T) {
+	// A film with many segments: the start segment is a small slice of the
+	// whole, so progressive startup should fetch a small fraction — E8's
+	// central claim.
+	film := synth.Generate(synth.Spec{
+		W: 96, H: 64, FPS: 10,
+		Shots: 10, MinShotFrames: 20, MaxShotFrames: 24,
+		Seed: 12,
+	})
+	video, err := studio.Record(film, studio.Options{QStep: 6, GOP: 10, ShotMarkers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := container.Open(video)
+	chs := r.Chapters()
+	p := core.NewProject("Long Course")
+	p.StartScenario = "s0"
+	for i, ch := range chs {
+		p.Scenarios = append(p.Scenarios, &core.Scenario{
+			ID: fmt.Sprintf("s%d", i), Name: ch.Name, Segment: ch.Name,
+		})
+	}
+	blob, err := gamepack.Build(p, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.AddPackage("long", blob); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &Client{}
+	_, st, err := c.ProgressiveOpen(ts.URL + "/pkg/long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesFetched >= len(blob)/2 {
+		t.Errorf("10-segment startup fetched %d of %d bytes (>=50%%)", st.BytesFetched, len(blob))
+	}
+}
+
+func TestProgressiveFramesMatchLocalDecode(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	g, _, err := c.ProgressiveOpen(ts.URL + "/pkg/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local reference decode.
+	pkg, err := gamepack.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := playback.OpenVideo(pkg.Video, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := g.head.ChapterByName("seg-classroom")
+	for _, i := range []int{ch.Start, ch.Start + 3, ch.End - 1} {
+		remote, err := g.FrameAt(i)
+		if err != nil {
+			t.Fatalf("FrameAt(%d): %v", i, err)
+		}
+		local, err := v.FrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !remote.Equal(local) {
+			t.Fatalf("frame %d differs between remote and local decode", i)
+		}
+	}
+	// Frames outside fetched segments fail until fetched.
+	market, _ := g.head.ChapterByName("seg-market")
+	if _, err := g.FrameAt(market.End - 1); err == nil {
+		t.Fatal("unfetched frame decoded")
+	}
+	if _, err := g.FetchSegment("seg-market"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.FrameAt(market.End - 1); err != nil {
+		t.Fatalf("after fetch: %v", err)
+	}
+	if _, err := g.FetchSegment("seg-ghost"); err == nil {
+		t.Fatal("unknown segment fetched")
+	}
+}
+
+func TestFetchResource(t *testing.T) {
+	ts, _ := testServer(t)
+	c := &Client{}
+	body, st, err := c.FetchResource(ts.URL + "/res/umbrella")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "UMBRELLAS KEEP YOU DRY" {
+		t.Errorf("body = %q", body)
+	}
+	if st.BytesFetched != len(body) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestByteReaderSeek(t *testing.T) {
+	r := newByteReader([]byte("hello world"))
+	if n, _ := r.Seek(6, 0); n != 6 {
+		t.Fatal("seek start")
+	}
+	buf := make([]byte, 5)
+	r.Read(buf)
+	if string(buf) != "world" {
+		t.Fatalf("read %q", buf)
+	}
+	if _, err := r.Seek(-100, 0); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if n, _ := r.Seek(0, 2); n != 11 {
+		t.Error("seek end")
+	}
+	if _, err := r.Read(buf); err == nil {
+		t.Error("read past end")
+	}
+}

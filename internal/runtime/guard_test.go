@@ -1,0 +1,173 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gamepack"
+	"repro/internal/media/container"
+	"repro/internal/media/raster"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+)
+
+// buildPackageFor wraps a project over a one-segment-per-scenario film.
+func buildPackageFor(t *testing.T, p *core.Project) []byte {
+	t.Helper()
+	film := synth.FromScenes(96, 64, 8, 5, []synth.SceneShot{
+		{Kind: synth.Lab, Seconds: 2},
+		{Kind: synth.Market, Seconds: 2},
+	})
+	chapters := []container.Chapter{
+		{Name: "seg-a", Start: 0, End: film.ShotStart(1)},
+		{Name: "seg-b", Start: film.ShotStart(1), End: film.FrameCount()},
+	}
+	video, err := studio.Record(film, studio.Options{QStep: 12, Chapters: chapters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := gamepack.Build(p, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestGotoCycleInOnEnterIsBounded: two scenarios whose OnEnter scripts goto
+// each other must not hang the runtime — the chain guard cuts the loop.
+func TestGotoCycleInOnEnterIsBounded(t *testing.T) {
+	p := core.NewProject("cycle")
+	p.StartScenario = "a"
+	p.Scenarios = []*core.Scenario{
+		{ID: "a", Name: "A", Segment: "seg-a", OnEnter: `goto "b";`},
+		{ID: "b", Name: "B", Segment: "seg-b", OnEnter: `goto "a";`},
+	}
+	blob := buildPackageFor(t, p)
+	rec := &recorder{}
+	done := make(chan struct{})
+	var s *Session
+	var err error
+	go func() {
+		s, err = NewSession(blob, Options{Observer: rec})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("session construction hung on OnEnter goto cycle")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guard should have recorded an error and stopped the chain.
+	if rec.kinds()["error"] == 0 {
+		t.Error("goto chain depth error not recorded")
+	}
+	if s.State().Visited["a"]+s.State().Visited["b"] > 2*maxGotoChain+2 {
+		t.Errorf("visits = %v, chain not bounded", s.State().Visited)
+	}
+}
+
+// TestScenarioWithMissingSegmentErrors: runtime refuses a project whose
+// scenario references a segment the container lacks.
+func TestScenarioWithMissingSegmentErrors(t *testing.T) {
+	p := core.NewProject("bad-seg")
+	p.StartScenario = "a"
+	p.Scenarios = []*core.Scenario{{ID: "a", Name: "A", Segment: "seg-ghost"}}
+	blob := buildPackageFor(t, p)
+	if _, err := NewSession(blob, Options{}); err == nil {
+		t.Fatal("session accepted a start scenario with a missing segment")
+	}
+}
+
+// TestGotoToMissingSegmentIsSoft: a mid-game goto to a scenario whose
+// segment is missing records an error but does not crash.
+func TestGotoToMissingSegmentIsSoft(t *testing.T) {
+	p := core.NewProject("soft")
+	p.StartScenario = "a"
+	p.Scenarios = []*core.Scenario{
+		{ID: "a", Name: "A", Segment: "seg-a", Objects: []*core.Object{{
+			ID: "door", Name: "Door", Kind: core.NavButton, Enabled: true,
+			Region: raster.Rect{X: 1, Y: 1, W: 10, H: 10},
+			Events: []core.Event{{Trigger: core.OnClick, Script: `goto "broken";`}},
+		}}},
+		{ID: "broken", Name: "Broken", Segment: "seg-ghost"},
+	}
+	blob := buildPackageFor(t, p)
+	rec := &recorder{}
+	s, err := NewSession(blob, Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Click(5, 5)
+	if rec.kinds()["error"] == 0 {
+		t.Error("missing-segment goto should record an error")
+	}
+	// The session remains usable: frames still render from the old cursor
+	// position even though the logical scenario changed.
+	if _, err := s.Frame(); err != nil {
+		t.Fatalf("session broken after bad goto: %v", err)
+	}
+}
+
+// TestManyScenarios exercises a larger project end to end (16 scenarios in
+// a ring, guided by nav buttons).
+func TestManyScenarios(t *testing.T) {
+	const n = 8
+	film := synth.Generate(synth.Spec{
+		W: 64, H: 48, FPS: 8,
+		Shots: n, MinShotFrames: 8, MaxShotFrames: 10, Seed: 77,
+	})
+	var chapters []container.Chapter
+	for i := 0; i < n; i++ {
+		start := film.ShotStart(i)
+		chapters = append(chapters, container.Chapter{
+			Name: fmt.Sprintf("seg-%d", i), Start: start, End: start + film.Shots[i].Frames,
+		})
+	}
+	video, err := studio.Record(film, studio.Options{QStep: 12, Chapters: chapters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProject("ring")
+	p.StartScenario = "s0"
+	for i := 0; i < n; i++ {
+		p.Scenarios = append(p.Scenarios, &core.Scenario{
+			ID: fmt.Sprintf("s%d", i), Name: fmt.Sprintf("S%d", i), Segment: fmt.Sprintf("seg-%d", i),
+			Objects: []*core.Object{{
+				ID: fmt.Sprintf("next%d", i), Name: "Next", Kind: core.NavButton, Enabled: true,
+				Region: raster.Rect{X: 1, Y: 1, W: 10, H: 10},
+				Events: []core.Event{{Trigger: core.OnClick,
+					Script: fmt.Sprintf(`goto "s%d";`, (i+1)%n)}},
+			}},
+		})
+	}
+	blob, err := gamepack.Build(p, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full laps around the ring, rendering along the way.
+	for lap := 0; lap < 2; lap++ {
+		for i := 0; i < n; i++ {
+			if _, err := s.Frame(); err != nil {
+				t.Fatal(err)
+			}
+			s.Click(5, 5)
+			if err := s.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.State().Scenario != "s0" {
+		t.Fatalf("after two laps at %q", s.State().Scenario)
+	}
+	if s.State().Visited["s3"] != 2 {
+		t.Fatalf("visits = %v", s.State().Visited)
+	}
+}

@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuizFlowThroughSession(t *testing.T) {
+	s, rec := classroomSession(t)
+	if _, ok := s.PendingQuiz(); ok {
+		t.Fatal("quiz pending before any trigger")
+	}
+	// Examining the computer asks the diagnosis quiz.
+	s.Examine("computer")
+	quiz, ok := s.PendingQuiz()
+	if !ok || quiz.ID != "q-diagnosis" {
+		t.Fatalf("pending quiz = %v, %v", quiz, ok)
+	}
+	// Wrong answer id / out-of-range choice rejected.
+	if _, err := s.AnswerQuiz("q-shopping", 0); err == nil {
+		t.Error("answered a quiz that is not pending")
+	}
+	if _, err := s.AnswerQuiz("q-diagnosis", 99); err == nil {
+		t.Error("out-of-range choice accepted")
+	}
+	// Correct answer scores points and reports.
+	correct, err := s.AnswerQuiz("q-diagnosis", 1)
+	if err != nil || !correct {
+		t.Fatalf("correct answer: %v %v", correct, err)
+	}
+	if s.State().Vars["score"] != 10 {
+		t.Fatalf("score = %d, want 10", s.State().Vars["score"])
+	}
+	if !strings.Contains(s.LastMessage(), "Correct") {
+		t.Errorf("message = %q", s.LastMessage())
+	}
+	// Re-examining does not re-ask an answered quiz.
+	s.Examine("computer")
+	if _, ok := s.PendingQuiz(); ok {
+		t.Fatal("answered quiz re-asked")
+	}
+	if rec.kinds()["quiz-asked"] != 1 || rec.kinds()["quiz-correct"] != 1 {
+		t.Errorf("telemetry = %v", rec.kinds())
+	}
+}
+
+func TestQuizWrongAnswerNoPoints(t *testing.T) {
+	s, rec := classroomSession(t)
+	s.Examine("computer")
+	correct, err := s.AnswerQuiz("q-diagnosis", 0) // wrong
+	if err != nil || correct {
+		t.Fatalf("wrong answer: %v %v", correct, err)
+	}
+	if s.State().Vars["score"] != 0 {
+		t.Fatalf("score = %d, want 0", s.State().Vars["score"])
+	}
+	if !strings.Contains(s.LastMessage(), "Not quite") {
+		t.Errorf("message = %q", s.LastMessage())
+	}
+	if rec.kinds()["quiz-wrong"] != 1 {
+		t.Errorf("telemetry = %v", rec.kinds())
+	}
+	// A wrongly answered quiz is still done: no re-ask.
+	s.Examine("computer")
+	if _, ok := s.PendingQuiz(); ok {
+		t.Fatal("answered quiz re-asked after wrong answer")
+	}
+}
+
+func TestQuizAnswerableAfterGameEnd(t *testing.T) {
+	s, _ := classroomSession(t)
+	s.Take("desk-coin")
+	s.GotoScenario("market")
+	s.Take("stall-ram")
+	s.GotoScenario("classroom")
+	s.UseItemOn("ram module", "computer") // ends the game, queues quizzes
+	if !s.Ended() {
+		t.Fatal("game should have ended")
+	}
+	answered := 0
+	for {
+		quiz, ok := s.PendingQuiz()
+		if !ok {
+			break
+		}
+		if _, err := s.AnswerQuiz(quiz.ID, quiz.Answer); err != nil {
+			t.Fatal(err)
+		}
+		answered++
+	}
+	if answered != 2 { // q-shopping + q-install (no examine happened)
+		t.Fatalf("answered %d post-end quizzes, want 2", answered)
+	}
+}

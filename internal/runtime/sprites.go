@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"repro/internal/core"
+	"repro/internal/media/raster"
+)
+
+// spriteKey is the transparency key for object sprites. The paper's
+// Figure 2 shows "an image object with white background ... mounted on the
+// video frame"; we reproduce exactly that: sprites are drawn on white and
+// blitted with white keyed out.
+var spriteKey = raster.White
+
+// renderSprite draws an object's sprite into a fresh frame of the object's
+// region size, on the white key background.
+func renderSprite(o *core.Object) *raster.Frame {
+	w, h := o.Region.W, o.Region.H
+	if w < 3 {
+		w = 3
+	}
+	if h < 3 {
+		h = 3
+	}
+	f := raster.New(w, h)
+	f.Fill(spriteKey)
+	c := o.Sprite.Color
+	if c == (raster.RGB{}) {
+		c = raster.Magenta
+	}
+	switch o.Sprite.Shape {
+	case "disc", "coin":
+		r := min(w, h)/2 - 1
+		f.FillCircle(w/2, h/2, r, c)
+		if o.Sprite.Shape == "coin" {
+			f.DrawCircle(w/2, h/2, r-1, c.Scale(0.6))
+		}
+	case "umbrella":
+		// Canopy: filled half-disc made of horizontal strips.
+		r := w/2 - 1
+		cy := h / 3
+		for dy := 0; dy <= r; dy++ {
+			half := int(float64(r) * (1 - float64(dy)/float64(r+1)))
+			f.HLine(w/2-half, w/2+half, cy-dy/2, c)
+		}
+		// Pole and handle.
+		f.VLine(w/2, cy, h-2, raster.DarkGry)
+		f.HLine(w/2, w/2+2, h-2, raster.DarkGry)
+	case "chip":
+		// Memory module: board with pins.
+		f.FillRect(raster.Rect{X: 1, Y: h / 4, W: w - 2, H: h / 2}, c)
+		for x := 2; x < w-2; x += 2 {
+			f.VLine(x, h*3/4, h-2, raster.DarkGry)
+		}
+	case "badge":
+		r := min(w, h)/2 - 1
+		f.FillCircle(w/2, h/2, r, c)
+		f.FillCircle(w/2, h/2, r/2, raster.Yellow)
+	case "box", "":
+		f.FillRect(raster.Rect{X: 1, Y: 1, W: w - 2, H: h - 2}, c)
+		f.DrawRect(raster.Rect{X: 0, Y: 0, W: w, H: h}, c.Scale(0.5))
+	default:
+		f.FillRect(raster.Rect{X: 1, Y: 1, W: w - 2, H: h - 2}, c)
+	}
+	if o.Sprite.Label != "" {
+		lbl := raster.FitText(o.Sprite.Label, w-2)
+		tx := (w - raster.TextWidth(lbl)) / 2
+		f.DrawText(tx, (h-raster.GlyphH)/2, lbl, raster.Black)
+	}
+	return f
+}
+
+// compositeObjects mounts every visible object sprite onto the video frame.
+// Hotspots and NPCs have no sprite — they are part of the filmed scene —
+// but Items and NavButtons are image objects layered on top (paper §4.2).
+func compositeObjects(frame *raster.Frame, scenario *core.Scenario, state *core.State) {
+	for _, o := range scenario.Objects {
+		if !state.ObjectVisible(o) {
+			continue
+		}
+		if o.Kind != core.Item && o.Kind != core.NavButton {
+			continue
+		}
+		spr := renderSprite(o)
+		frame.BlitKeyed(spr, o.Region.X, o.Region.Y, spriteKey)
+	}
+}

@@ -1,0 +1,238 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/media/raster"
+	"repro/internal/ui"
+)
+
+// sceneView is the video surface of the game window. It extends the stock
+// VideoView with drag-source behavior: dragging starts on a takeable object
+// under the pointer, which is how the paper's "drag it to inventory window"
+// gesture enters the UI layer.
+type sceneView struct {
+	ui.VideoView
+	session *Session
+}
+
+// DragPayload implements ui.DragSource: the payload is the object id under
+// the pointer, when that object is takeable.
+func (v *sceneView) DragPayload(x, y int) (string, bool) {
+	vx, vy, ok := v.ToVideo(x, y)
+	if !ok {
+		return "", false
+	}
+	o := v.session.ObjectAt(vx, vy)
+	if o == nil || !o.Takeable {
+		return "", false
+	}
+	return o.ID, true
+}
+
+// GameWindow is the interactive runtime interface — the paper's Figure 2:
+// the augmented video player with mounted image objects, the inventory
+// window below, and control buttons.
+type GameWindow struct {
+	S   *Session
+	Win *ui.Window
+
+	view    *sceneView
+	inv     *ui.InventoryBar
+	status  *ui.StatusBar
+	examine bool // examine mode: next video click examines
+}
+
+// NewGameWindow assembles the runtime UI around a session.
+func NewGameWindow(s *Session) *GameWindow {
+	vw, vh, _ := s.VideoMeta()
+	// Window large enough for the video plus chrome.
+	W := vw + 16
+	if W < 240 {
+		W = 240
+	}
+	H := ui.TitleBarHeight + vh + 78
+	g := &GameWindow{S: s}
+	w := ui.NewWindow("INTERACTIVE VGBL RUNTIME - "+s.Project().Title, W, H)
+
+	// Video surface.
+	g.view = &sceneView{session: s}
+	g.view.VideoView = *ui.NewVideoView("scene", raster.Rect{X: (W - vw - 4) / 2, Y: ui.TitleBarHeight + 2, W: vw + 4, H: vh + 4})
+	g.view.OnVideoClick = func(vx, vy int) {
+		if g.examine {
+			g.examine = false
+			if o := s.ObjectAt(vx, vy); o != nil {
+				s.Examine(o.ID)
+			}
+		} else {
+			s.Click(vx, vy)
+		}
+		g.Refresh()
+	}
+	w.Add(g.view)
+
+	// Inventory window ("backpack").
+	invY := ui.TitleBarHeight + vh + 10
+	invPanel := ui.NewPanel("inv-panel", raster.Rect{X: 4, Y: invY, W: W - 8, H: 34}, "INVENTORY")
+	g.inv = ui.NewInventoryBar("inventory", invPanel.Content().Inset(1), 6)
+	g.inv.OnDrop = func(payload string) bool {
+		ok := s.Take(payload)
+		g.Refresh()
+		return ok
+	}
+	g.inv.OnPick = func(i int, item string) {
+		if err := s.SelectItem(item); err == nil {
+			g.status.Text = "USING " + item + " - CLICK A TARGET"
+		}
+	}
+	invPanel.Add(g.inv)
+	w.Add(invPanel)
+
+	// Control buttons.
+	btnY := invY + 38
+	w.Add(ui.NewButton("btn-examine", raster.Rect{X: 4, Y: btnY, W: 64, H: 14}, "EXAMINE", func() {
+		g.examine = true
+		g.status.Text = "EXAMINE - CLICK AN OBJECT"
+	}))
+	w.Add(ui.NewButton("btn-cancel", raster.Rect{X: 72, Y: btnY, W: 56, H: 14}, "CANCEL", func() {
+		g.examine = false
+		s.ClearSelection()
+		g.status.Text = "READY"
+	}))
+
+	g.status = ui.NewStatusBar("status", raster.Rect{X: 0, Y: H - 14, W: W, H: 14})
+	g.status.Text = "READY"
+	w.Add(g.status)
+
+	g.Win = w
+	g.Refresh()
+	return g
+}
+
+// Refresh pulls session state into the widgets: current composited frame,
+// inventory items, last message, pending popups, end state.
+func (g *GameWindow) Refresh() {
+	if f, err := g.S.Frame(); err == nil {
+		g.view.Frame = f
+	}
+	// Inventory shows item display names.
+	var items []string
+	for _, id := range g.S.State().Inventory {
+		name := id
+		if def := g.S.Project().ItemByID(id); def != nil && def.Name != "" {
+			name = def.Name
+		}
+		items = append(items, name)
+	}
+	// Map back: the bar needs ids for selection, so store ids and render
+	// names via a parallel slice; the stock widget shows what it is given,
+	// so give it names but remember ids.
+	g.inv.Items = items
+	g.inv.OnPick = func(i int, _ string) {
+		inv := g.S.State().Inventory
+		if i < len(inv) {
+			if err := g.S.SelectItem(inv[i]); err == nil {
+				g.status.Text = "USING " + inv[i] + " - CLICK A TARGET"
+			}
+		}
+	}
+	if msg := g.S.LastMessage(); msg != "" {
+		g.status.Text = msg
+	}
+	if g.S.Ended() {
+		g.status.Text = "GAME OVER - " + g.S.Outcome()
+	}
+	// Surface one pending popup as a modal; quizzes take priority (they
+	// are what the player just triggered).
+	if g.Win.Popup() == nil {
+		if quiz, ok := g.S.PendingQuiz(); ok {
+			g.Win.ShowPopup(g.quizPopup(quiz))
+		} else if kind, content, ok := g.S.NextPopup(); ok {
+			title := "MESSAGE"
+			if kind == "web" {
+				title = "WEB RESOURCE"
+			}
+			pop := ui.NewPopup("popup", g.Win.W, g.Win.H, title, content, func() {
+				g.Win.ClosePopup()
+				g.Refresh() // next popup, if any
+			})
+			g.Win.ShowPopup(pop)
+		}
+	}
+}
+
+// quizPopup builds a modal assessment dialog: the question plus one button
+// per choice. Answering dismisses it and reports the result in the status
+// bar.
+func (g *GameWindow) quizPopup(quiz *core.Quiz) ui.Widget {
+	h := ui.TitleBarHeight + 22 + 16*len(quiz.Choices)
+	w := g.Win.W * 4 / 5
+	b := raster.Rect{X: (g.Win.W - w) / 2, Y: (g.Win.H - h) / 2, W: w, H: h}
+	p := ui.NewPanel("quiz", b, "QUIZ")
+	p.Add(ui.NewLabel("quiz.q", raster.Rect{X: b.X + 4, Y: b.Y + ui.TitleBarHeight + 2, W: w - 8, H: 12}, quiz.Question))
+	for i, choice := range quiz.Choices {
+		idx := i
+		p.Add(ui.NewButton(
+			fmt.Sprintf("quiz.c%d", i),
+			raster.Rect{X: b.X + 8, Y: b.Y + ui.TitleBarHeight + 18 + 16*i, W: w - 16, H: 14},
+			choice,
+			func() {
+				g.Win.ClosePopup()
+				g.S.AnswerQuiz(quiz.ID, idx)
+				g.Refresh()
+			}))
+	}
+	return p
+}
+
+// Tick advances playback one frame and refreshes the presentation.
+func (g *GameWindow) Tick() error {
+	if err := g.S.Tick(); err != nil {
+		return err
+	}
+	if f, err := g.S.Frame(); err == nil {
+		g.view.Frame = f
+	}
+	return nil
+}
+
+// ClickVideo clicks at video coordinates through the window (synthesizes
+// the window-coordinate click so focus/popup rules apply).
+func (g *GameWindow) ClickVideo(vx, vy int) {
+	ox, oy := g.view.VideoOrigin()
+	g.Win.Click(ox+vx, oy+vy)
+}
+
+// DragToInventory drags from video coordinates into the inventory bar.
+func (g *GameWindow) DragToInventory(vx, vy int) error {
+	ox, oy := g.view.VideoOrigin()
+	ib := g.inv.Bounds()
+	err := g.Win.DragDrop(ox+vx, oy+vy, ib.X+ib.W/2, ib.Y+ib.H/2)
+	g.Refresh()
+	return err
+}
+
+// Snapshot renders the game window as deterministic ASCII art (Figure 2).
+func (g *GameWindow) Snapshot(cols, rows int) string {
+	return g.Win.Snapshot(cols, rows)
+}
+
+// StatusText returns the status bar contents (tests and the CLI player).
+func (g *GameWindow) StatusText() string { return g.status.Text }
+
+// Describe summarizes the visible scene textually — used by the CLI player
+// for its prompt.
+func (g *GameWindow) Describe() string {
+	sc := g.S.Scenario()
+	if sc == nil {
+		return "nowhere"
+	}
+	out := fmt.Sprintf("[%s] %s", sc.ID, sc.Name)
+	for _, o := range sc.Objects {
+		if g.S.State().ObjectVisible(o) {
+			out += fmt.Sprintf("\n  - %s (%s) at %d,%d", o.ID, o.Kind, o.Region.X, o.Region.Y)
+		}
+	}
+	return out
+}

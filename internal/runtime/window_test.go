@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/media/studio"
+)
+
+func streetWindow(t testing.TB) *GameWindow {
+	t.Helper()
+	blob, err := content.StreetDemo().BuildPackage(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGameWindow(s)
+}
+
+func TestFigure2Snapshot(t *testing.T) {
+	g := streetWindow(t)
+	s1 := g.Snapshot(120, 40)
+	g2 := streetWindow(t)
+	s2 := g2.Snapshot(120, 40)
+	if s1 != s2 {
+		t.Fatal("Figure 2 snapshot not deterministic")
+	}
+	lines := strings.Split(strings.TrimRight(s1, "\n"), "\n")
+	if len(lines) != 40 || len(lines[0]) != 120 {
+		t.Fatalf("snapshot shape %dx%d", len(lines), len(lines[0]))
+	}
+}
+
+func TestWindowClickVideoInteracts(t *testing.T) {
+	g := streetWindow(t)
+	// Click the umbrella through the window (Item → examine).
+	g.ClickVideo(70, 60)
+	if !strings.Contains(g.StatusText(), "umbrella") {
+		t.Fatalf("status = %q", g.StatusText())
+	}
+}
+
+func TestWindowDragUmbrellaToInventory(t *testing.T) {
+	g := streetWindow(t)
+	if err := g.DragToInventory(70, 60); err != nil {
+		t.Fatalf("drag failed: %v", err)
+	}
+	if !g.S.State().HasItem("umbrella") {
+		t.Fatal("umbrella not collected")
+	}
+	if len(g.inv.Items) != 1 || g.inv.Items[0] != "Umbrella" {
+		t.Fatalf("inventory bar = %v", g.inv.Items)
+	}
+	// Dragging from empty space fails.
+	if err := g.DragToInventory(2, 2); err == nil {
+		t.Fatal("drag from nothing succeeded")
+	}
+}
+
+func TestWindowExamineMode(t *testing.T) {
+	g := streetWindow(t)
+	// Press EXAMINE, then click the umbrella.
+	btn := g.Win.FindByID("btn-examine")
+	b := btn.Bounds()
+	g.Win.Click(b.X+2, b.Y+2)
+	if !strings.Contains(g.StatusText(), "EXAMINE") {
+		t.Fatalf("status = %q", g.StatusText())
+	}
+	g.ClickVideo(70, 60)
+	if !strings.Contains(g.StatusText(), "wooden handle") {
+		t.Fatalf("examine status = %q", g.StatusText())
+	}
+	// CANCEL resets.
+	cb := g.Win.FindByID("btn-cancel").Bounds()
+	g.Win.Click(cb.X+2, cb.Y+2)
+	if g.StatusText() != "READY" {
+		t.Fatalf("status = %q", g.StatusText())
+	}
+}
+
+func TestWindowPopupFlow(t *testing.T) {
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGameWindow(s)
+	// Finish the mission to trigger the popup.
+	s.Take("desk-coin")
+	s.GotoScenario("market")
+	s.Take("stall-ram")
+	s.GotoScenario("classroom")
+	s.UseItemOn("ram module", "computer")
+	g.Refresh()
+	// Quiz modals come first (FIFO: the market quiz, then the install
+	// quiz); answer each correctly by clicking its answer button.
+	quizzes := 0
+	for {
+		quiz, pending := s.PendingQuiz()
+		if !pending {
+			break
+		}
+		btn := g.Win.FindByID(fmt.Sprintf("quiz.c%d", quiz.Answer))
+		if btn == nil {
+			t.Fatalf("quiz %s answer button missing", quiz.ID)
+		}
+		cb := btn.Bounds()
+		g.Win.Click(cb.X+2, cb.Y+2)
+		quizzes++
+		if quizzes > 10 {
+			t.Fatal("quiz loop runaway")
+		}
+	}
+	if quizzes != 2 {
+		t.Fatalf("answered %d quizzes, want 2", quizzes)
+	}
+	// Then the WELL DONE text popup.
+	pop := g.Win.Popup()
+	if pop == nil {
+		t.Fatal("no popup shown after quizzes")
+	}
+	ok := g.Win.FindByID("popup.ok")
+	if ok == nil {
+		t.Fatal("popup OK missing")
+	}
+	b := ok.Bounds()
+	g.Win.Click(b.X+2, b.Y+2)
+	if g.Win.Popup() != nil {
+		t.Fatal("popup not dismissed")
+	}
+	// Correct quiz answers added their points on top of the mission's 50.
+	if got := s.State().Vars["score"]; got != 80 {
+		t.Fatalf("score = %d, want 80 (50 mission + 10 + 20 quiz)", got)
+	}
+	if !strings.Contains(g.StatusText(), "GAME OVER") {
+		t.Fatalf("status = %q", g.StatusText())
+	}
+}
+
+func TestWindowTickUpdatesFrame(t *testing.T) {
+	g := streetWindow(t)
+	before := g.view.Frame
+	for i := 0; i < 3; i++ {
+		if err := g.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.view.Frame == before {
+		t.Fatal("frame not updated by Tick")
+	}
+}
+
+func TestWindowInventorySelectByClick(t *testing.T) {
+	g := streetWindow(t)
+	if err := g.DragToInventory(70, 60); err != nil {
+		t.Fatal(err)
+	}
+	// Click the first inventory slot → arms the item for use.
+	ib := g.inv.Bounds()
+	g.Win.Click(ib.X+3, ib.Y+ib.H/2)
+	if g.S.SelectedItem() != "umbrella" {
+		t.Fatalf("selected = %q", g.S.SelectedItem())
+	}
+	if !strings.Contains(g.StatusText(), "USING umbrella") {
+		t.Fatalf("status = %q", g.StatusText())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := streetWindow(t)
+	d := g.Describe()
+	if !strings.Contains(d, "street") || !strings.Contains(d, "umbrella") {
+		t.Fatalf("describe = %q", d)
+	}
+}

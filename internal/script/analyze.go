@@ -1,0 +1,59 @@
+package script
+
+// LiteralArgs returns the string-literal arguments of every statement with
+// the given verb, anywhere in the program (including both branches of ifs).
+// The authoring tool's validator uses it to check that goto targets, item
+// names and knowledge units referenced by scripts actually exist. Computed
+// (non-literal) arguments cannot be statically checked and are skipped.
+func (p *Program) LiteralArgs(verb string) []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	var walk func(stmts []stmt)
+	walk = func(stmts []stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *actionStmt:
+				if s.verb == verb {
+					if lit, ok := s.arg.(*strLit); ok {
+						out = append(out, lit.v)
+					}
+				}
+			case *ifStmt:
+				walk(s.then)
+				walk(s.els)
+			}
+		}
+	}
+	walk(p.stmts)
+	return out
+}
+
+// Uses reports whether the program contains at least one statement with the
+// given verb.
+func (p *Program) Uses(verb string) bool {
+	if p == nil {
+		return false
+	}
+	found := false
+	var walk func(stmts []stmt)
+	walk = func(stmts []stmt) {
+		for _, s := range stmts {
+			if found {
+				return
+			}
+			switch s := s.(type) {
+			case *actionStmt:
+				if s.verb == verb {
+					found = true
+				}
+			case *ifStmt:
+				walk(s.then)
+				walk(s.els)
+			}
+		}
+	}
+	walk(p.stmts)
+	return found
+}

@@ -1,0 +1,66 @@
+package script
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLiteralArgs(t *testing.T) {
+	p := MustCompile(`
+		goto "market";
+		if has("coin") {
+			learn "a";
+			goto "classroom";
+		} else if flag("x") {
+			learn "b";
+		} else {
+			goto "street";
+		}
+		say "goto nowhere";       # not a goto statement
+		give "coin";
+	`)
+	gotos := p.LiteralArgs("goto")
+	want := []string{"market", "classroom", "street"}
+	if !reflect.DeepEqual(gotos, want) {
+		t.Fatalf("gotos = %v, want %v", gotos, want)
+	}
+	if learns := p.LiteralArgs("learn"); !reflect.DeepEqual(learns, []string{"a", "b"}) {
+		t.Fatalf("learns = %v", learns)
+	}
+	if gives := p.LiteralArgs("give"); !reflect.DeepEqual(gives, []string{"coin"}) {
+		t.Fatalf("gives = %v", gives)
+	}
+	if rewards := p.LiteralArgs("reward"); rewards != nil {
+		t.Fatalf("rewards = %v, want none", rewards)
+	}
+}
+
+func TestLiteralArgsSkipsComputed(t *testing.T) {
+	p := MustCompile(`goto "a" + "b";`) // computed argument
+	if got := p.LiteralArgs("goto"); got != nil {
+		t.Fatalf("computed args should be skipped, got %v", got)
+	}
+}
+
+func TestLiteralArgsNilProgram(t *testing.T) {
+	var p *Program
+	if p.LiteralArgs("goto") != nil {
+		t.Fatal("nil program should yield nil")
+	}
+	if p.Uses("goto") {
+		t.Fatal("nil program uses nothing")
+	}
+}
+
+func TestUses(t *testing.T) {
+	p := MustCompile(`if true { if false { end "x"; } } say "hi";`)
+	if !p.Uses("end") {
+		t.Error("nested end not found")
+	}
+	if !p.Uses("say") {
+		t.Error("say not found")
+	}
+	if p.Uses("reward") {
+		t.Error("phantom reward")
+	}
+}

@@ -1,0 +1,152 @@
+package script
+
+import "fmt"
+
+// ValueKind tags a runtime value.
+type ValueKind int
+
+// Value kinds.
+const (
+	IntVal ValueKind = iota
+	BoolVal
+	StringVal
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case IntVal:
+		return "int"
+	case BoolVal:
+		return "bool"
+	case StringVal:
+		return "string"
+	}
+	return "unknown"
+}
+
+// Value is a dynamically typed script value.
+type Value struct {
+	Kind ValueKind
+	Int  int
+	Bool bool
+	Str  string
+}
+
+// IntV wraps an int.
+func IntV(n int) Value { return Value{Kind: IntVal, Int: n} }
+
+// BoolV wraps a bool.
+func BoolV(b bool) Value { return Value{Kind: BoolVal, Bool: b} }
+
+// StrV wraps a string.
+func StrV(s string) Value { return Value{Kind: StringVal, Str: s} }
+
+// String renders the value the way `say` prints it.
+func (v Value) String() string {
+	switch v.Kind {
+	case IntVal:
+		return fmt.Sprintf("%d", v.Int)
+	case BoolVal:
+		return fmt.Sprintf("%t", v.Bool)
+	default:
+		return v.Str
+	}
+}
+
+// expr is an expression AST node.
+type expr interface {
+	pos() (int, int)
+}
+
+type intLit struct {
+	v         int
+	line, col int
+}
+
+type strLit struct {
+	v         string
+	line, col int
+}
+
+type boolLit struct {
+	v         bool
+	line, col int
+}
+
+type varRef struct {
+	name      string
+	line, col int
+}
+
+// callExpr covers the built-in predicates has("x") and flag("x").
+type callExpr struct {
+	fn        string
+	arg       expr
+	line, col int
+}
+
+type unaryExpr struct {
+	op        tokenKind // tokNot or tokMinus
+	operand   expr
+	line, col int
+}
+
+type binaryExpr struct {
+	op          tokenKind
+	left, right expr
+	line, col   int
+}
+
+func (e *intLit) pos() (int, int)     { return e.line, e.col }
+func (e *strLit) pos() (int, int)     { return e.line, e.col }
+func (e *boolLit) pos() (int, int)    { return e.line, e.col }
+func (e *varRef) pos() (int, int)     { return e.line, e.col }
+func (e *callExpr) pos() (int, int)   { return e.line, e.col }
+func (e *unaryExpr) pos() (int, int)  { return e.line, e.col }
+func (e *binaryExpr) pos() (int, int) { return e.line, e.col }
+
+// stmt is a statement AST node.
+type stmt interface {
+	stmtPos() (int, int)
+}
+
+// actionStmt covers all single-argument effect statements: say, give, take,
+// goto, reward, learn, enable, disable, show, hide, end, open.
+type actionStmt struct {
+	verb      string
+	arg       expr
+	line, col int
+}
+
+// popupStmt is `popup KIND CONTENT;`.
+type popupStmt struct {
+	kind, content expr
+	line, col     int
+}
+
+// setStmt is `set name = expr;`.
+type setStmt struct {
+	name      string
+	value     expr
+	line, col int
+}
+
+// setFlagStmt is `setflag name expr;`.
+type setFlagStmt struct {
+	name      string
+	value     expr
+	line, col int
+}
+
+// ifStmt is `if expr { ... } [else { ... }]` (else-if via nesting).
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line, col int
+}
+
+func (s *actionStmt) stmtPos() (int, int)  { return s.line, s.col }
+func (s *popupStmt) stmtPos() (int, int)   { return s.line, s.col }
+func (s *setStmt) stmtPos() (int, int)     { return s.line, s.col }
+func (s *setFlagStmt) stmtPos() (int, int) { return s.line, s.col }
+func (s *ifStmt) stmtPos() (int, int)      { return s.line, s.col }

@@ -1,0 +1,279 @@
+package script
+
+// Program is a compiled script ready to run.
+type Program struct {
+	stmts  []stmt
+	Source string
+}
+
+// Compile lexes and parses src. Errors carry line:col positions.
+func Compile(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.block(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{stmts: stmts, Source: src}, nil
+}
+
+// MustCompile is Compile that panics on error; for statically known scripts
+// in examples and tests.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Empty reports whether the program has no statements.
+func (p *Program) Empty() bool { return p == nil || len(p.stmts) == 0 }
+
+// actionVerbs are the single-argument effect statements. The argument is an
+// expression so designers can write computed messages
+// (`say "score: " + score;`).
+var actionVerbs = map[string]bool{
+	"say": true, "give": true, "take": true, "goto": true,
+	"reward": true, "learn": true, "enable": true, "disable": true,
+	"end": true, "open": true, "quiz": true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errAt(t.line, t.col, "expected %v, found %v", k, t.kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+// block parses statements until the given terminator (tokRBrace or tokEOF).
+func (p *parser) block(end tokenKind) ([]stmt, error) {
+	var out []stmt
+	for p.cur().kind != end {
+		if p.cur().kind == tokEOF {
+			t := p.cur()
+			return nil, errAt(t.line, t.col, "unexpected end of script (missing '}')")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.pos++ // consume terminator
+	return out, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, errAt(t.line, t.col, "expected a statement, found %v", t.kind)
+	}
+	switch {
+	case t.text == "if":
+		return p.ifStatement()
+	case t.text == "set":
+		p.pos++
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &setStmt{name: name.text, value: val, line: t.line, col: t.col}, nil
+	case t.text == "setflag":
+		p.pos++
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &setFlagStmt{name: name.text, value: val, line: t.line, col: t.col}, nil
+	case t.text == "popup":
+		p.pos++
+		kind, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		content, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &popupStmt{kind: kind, content: content, line: t.line, col: t.col}, nil
+	case actionVerbs[t.text]:
+		p.pos++
+		arg, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &actionStmt{verb: t.text, arg: arg, line: t.line, col: t.col}, nil
+	default:
+		return nil, errAt(t.line, t.col, "unknown statement %q", t.text)
+	}
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	t := p.next() // 'if'
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	then, err := p.block(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.cur().kind == tokIdent && p.cur().text == "else" {
+		p.pos++
+		if p.cur().kind == tokIdent && p.cur().text == "if" {
+			nested, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			els = []stmt{nested}
+		} else {
+			if _, err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			els, err = p.block(tokRBrace)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ifStmt{cond: cond, then: then, els: els, line: t.line, col: t.col}, nil
+}
+
+// Operator precedence, loosest first: || < && < comparison < additive <
+// multiplicative < unary.
+func precedence(k tokenKind) int {
+	switch k {
+	case tokOr:
+		return 1
+	case tokAnd:
+		return 2
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return 3
+	case tokPlus, tokMinus:
+		return 4
+	case tokStar, tokSlash, tokPercent:
+		return 5
+	}
+	return 0
+}
+
+func (p *parser) expression() (expr, error) {
+	return p.binary(1)
+}
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec := precedence(op.kind)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{op: op.kind, left: left, right: right, line: op.line, col: op.col}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNot, tokMinus:
+		p.pos++
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.kind, operand: operand, line: t.line, col: t.col}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return &intLit{v: t.num, line: t.line, col: t.col}, nil
+	case tokString:
+		return &strLit{v: t.text, line: t.line, col: t.col}, nil
+	case tokLParen:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &boolLit{v: true, line: t.line, col: t.col}, nil
+		case "false":
+			return &boolLit{v: false, line: t.line, col: t.col}, nil
+		case "has", "flag":
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return &callExpr{fn: t.text, arg: arg, line: t.line, col: t.col}, nil
+		default:
+			return &varRef{name: t.text, line: t.line, col: t.col}, nil
+		}
+	default:
+		return nil, errAt(t.line, t.col, "expected an expression, found %v", t.kind)
+	}
+}

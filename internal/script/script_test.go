@@ -1,0 +1,381 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fakeState implements Env and Effects, recording everything.
+type fakeState struct {
+	items  map[string]bool
+	flags  map[string]bool
+	vars   map[string]int
+	log    []string
+	popups [][2]string
+}
+
+func newFake() *fakeState {
+	return &fakeState{items: map[string]bool{}, flags: map[string]bool{}, vars: map[string]int{}}
+}
+
+func (f *fakeState) HasItem(n string) bool { return f.items[n] }
+func (f *fakeState) Flag(n string) bool    { return f.flags[n] }
+func (f *fakeState) Var(n string) int      { return f.vars[n] }
+
+func (f *fakeState) Say(m string)  { f.log = append(f.log, "say:"+m) }
+func (f *fakeState) Give(i string) { f.items[i] = true; f.log = append(f.log, "give:"+i) }
+func (f *fakeState) SetFlag(n string, v bool) {
+	f.flags[n] = v
+	f.log = append(f.log, "flag:"+n)
+}
+func (f *fakeState) SetVar(n string, v int) { f.vars[n] = v }
+func (f *fakeState) Goto(s string)          { f.log = append(f.log, "goto:"+s) }
+func (f *fakeState) Reward(n string)        { f.log = append(f.log, "reward:"+n) }
+func (f *fakeState) Learn(u string)         { f.log = append(f.log, "learn:"+u) }
+func (f *fakeState) Enable(o string)        { f.log = append(f.log, "enable:"+o) }
+func (f *fakeState) Disable(o string)       { f.log = append(f.log, "disable:"+o) }
+func (f *fakeState) End(o string)           { f.log = append(f.log, "end:"+o) }
+func (f *fakeState) Open(u string)          { f.log = append(f.log, "open:"+u) }
+func (f *fakeState) Quiz(q string)          { f.log = append(f.log, "quiz:"+q) }
+func (f *fakeState) Popup(k, c string) {
+	f.popups = append(f.popups, [2]string{k, c})
+	f.log = append(f.log, "popup:"+k)
+}
+func (f *fakeState) Take(i string) bool {
+	had := f.items[i]
+	delete(f.items, i)
+	f.log = append(f.log, "take:"+i)
+	return had
+}
+
+func run(t *testing.T, src string, st *fakeState) {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := p.Run(st, st); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestSayAndConcat(t *testing.T) {
+	st := newFake()
+	st.vars["score"] = 7
+	run(t, `say "score: " + score;`, st)
+	if len(st.log) != 1 || st.log[0] != "say:score: 7" {
+		t.Fatalf("log = %v", st.log)
+	}
+}
+
+func TestGiveTakeHas(t *testing.T) {
+	st := newFake()
+	run(t, `
+		give "coin";
+		if has("coin") { say "rich"; } else { say "poor"; }
+		take "coin";
+		if has("coin") { say "still rich"; } else { say "broke"; }
+	`, st)
+	want := []string{"give:coin", "say:rich", "take:coin", "say:broke"}
+	if strings.Join(st.log, ",") != strings.Join(want, ",") {
+		t.Fatalf("log = %v", st.log)
+	}
+}
+
+func TestFlagsAndElseIf(t *testing.T) {
+	st := newFake()
+	st.flags["fixed"] = true
+	run(t, `
+		if flag("broken") {
+			say "a";
+		} else if flag("fixed") {
+			say "b";
+		} else {
+			say "c";
+		}
+	`, st)
+	if st.log[len(st.log)-1] != "say:b" {
+		t.Fatalf("log = %v", st.log)
+	}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	st := newFake()
+	st.vars["x"] = 10
+	run(t, `
+		set y = x * 3 + 2;   # 32
+		set z = (x - 4) / 2; # 3
+		set m = x % 3;       # 1
+		if y == 32 && z == 3 && m == 1 { say "math ok"; }
+		if y > z || false { say "cmp ok"; }
+		if !(y < z) { say "not ok"; }
+		set neg = -x;
+	`, st)
+	if st.vars["y"] != 32 || st.vars["z"] != 3 || st.vars["m"] != 1 || st.vars["neg"] != -10 {
+		t.Fatalf("vars = %v", st.vars)
+	}
+	joined := strings.Join(st.log, ",")
+	for _, want := range []string{"say:math ok", "say:cmp ok", "say:not ok"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %v", want, st.log)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// `has` on the right of && must not be evaluated when left is false —
+	// observable because division by zero on the right would error.
+	st := newFake()
+	p, err := Compile(`if false && (1/0 == 1) { say "boom"; } else { say "safe"; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(st, st); err != nil {
+		t.Fatalf("short-circuit failed: %v", err)
+	}
+	if st.log[0] != "say:safe" {
+		t.Fatal("wrong branch")
+	}
+	// Same for ||.
+	p2 := MustCompile(`if true || (1/0 == 1) { say "safe2"; }`)
+	if err := p2.Run(st, st); err != nil {
+		t.Fatalf("|| short-circuit failed: %v", err)
+	}
+}
+
+func TestAllEffectVerbs(t *testing.T) {
+	st := newFake()
+	run(t, `
+		goto "market";
+		reward "fixer-badge";
+		learn "ram-identification";
+		enable "door";
+		disable "umbrella";
+		popup "text" "THE RAM SLOTS INTO THE DIMM SOCKET";
+		open "http://course.example/ram";
+		setflag visited true;
+		end "victory";
+	`, st)
+	joined := strings.Join(st.log, ",")
+	for _, want := range []string{
+		"goto:market", "reward:fixer-badge", "learn:ram-identification",
+		"enable:door", "disable:umbrella", "popup:text", "open:http://course.example/ram",
+		"flag:visited", "end:victory",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %v", want, st.log)
+		}
+	}
+	if !st.flags["visited"] {
+		t.Error("setflag did not set")
+	}
+	if st.popups[0][1] != "THE RAM SLOTS INTO THE DIMM SOCKET" {
+		t.Errorf("popup content = %q", st.popups[0][1])
+	}
+}
+
+func TestClassroomScenarioScript(t *testing.T) {
+	// The paper's §3.2 walkthrough as a script, step by step.
+	st := newFake()
+	fix := MustCompile(`
+		if has("ram module") {
+			take "ram module";
+			setflag fixed true;
+			say "The computer boots again!";
+			learn "ram-installation";
+			reward "repair-badge";
+			set score = score + 50;
+		} else {
+			say "You need a replacement part. Try the market.";
+			popup "text" "LOOK FOR A MEMORY MODULE";
+		}
+	`)
+	// First attempt: no part.
+	if err := fix.Run(st, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.flags["fixed"] {
+		t.Fatal("fixed without the part")
+	}
+	// Buy the part, then retry.
+	st.items["ram module"] = true
+	if err := fix.Run(st, st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.flags["fixed"] || st.vars["score"] != 50 {
+		t.Fatalf("flags=%v vars=%v", st.flags, st.vars)
+	}
+	joined := strings.Join(st.log, ",")
+	if !strings.Contains(joined, "reward:repair-badge") || !strings.Contains(joined, "learn:ram-installation") {
+		t.Errorf("log = %v", st.log)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`say "unterminated;`,
+		`if true { say "x"; `,       // missing }
+		`bogus "arg";`,              // unknown verb
+		`set = 3;`,                  // missing name
+		`set x 3;`,                  // missing =
+		`say "a" say "b";`,          // missing semicolon
+		`if has("x" { say "y"; }`,   // missing )
+		`say 1 & 2;`,                // single &
+		`say 1 | 2;`,                // single |
+		`say @;`,                    // bad character
+		`say 99999999999999999999;`, // overflow
+		`popup "text";`,             // popup needs two args
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("compiled invalid script: %s", src)
+		} else if !strings.Contains(err.Error(), "script:") {
+			t.Errorf("error lacks position: %v", err)
+		}
+	}
+}
+
+func TestRuntimeTypeErrors(t *testing.T) {
+	cases := []string{
+		`if 3 { say "x"; }`,         // int condition
+		`set x = "str";`,            // string into int var
+		`setflag f 3;`,              // int into flag
+		`goto 3;`,                   // int into goto
+		`say 1 - "a";`,              // bad arithmetic
+		`if 1 < "a" { say "x"; }`,   // bad comparison
+		`if "a" == 1 { say "x"; }`,  // mixed equality
+		`if !3 { say "x"; }`,        // ! on int
+		`set x = -"a";`,             // unary minus on string
+		`set x = 1/0;`,              // division by zero
+		`set x = 1%0;`,              // modulo by zero
+		`if true && 3 { say "x"; }`, // non-bool logical
+		`popup "a" 3;`,              // popup content must be string
+	}
+	for _, src := range cases {
+		p, err := Compile(src)
+		if err != nil {
+			t.Errorf("should compile (fail at runtime): %s: %v", src, err)
+			continue
+		}
+		st := newFake()
+		if err := p.Run(st, st); err == nil {
+			t.Errorf("ran invalid script: %s", src)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	st := newFake()
+	run(t, `
+		set a = 2 + 3 * 4;       # 14
+		set b = (2 + 3) * 4;     # 20
+		if 1 + 1 == 2 && 2 * 2 == 4 { set c = 1; }
+	`, st)
+	if st.vars["a"] != 14 || st.vars["b"] != 20 || st.vars["c"] != 1 {
+		t.Fatalf("vars = %v", st.vars)
+	}
+}
+
+func TestEvalCondition(t *testing.T) {
+	st := newFake()
+	st.items["key"] = true
+	st.vars["score"] = 5
+	ok, err := EvalCondition(`has("key") && score >= 5`, st)
+	if err != nil || !ok {
+		t.Fatalf("condition: %v %v", ok, err)
+	}
+	if _, err := EvalCondition(`score +`, st); err == nil {
+		t.Error("bad condition compiled")
+	}
+	if _, err := EvalCondition(`1 + 1`, st); err == nil {
+		t.Error("non-bool condition accepted")
+	}
+	if _, err := EvalCondition(`true true`, st); err == nil {
+		t.Error("trailing tokens accepted")
+	}
+}
+
+func TestEmptyAndNilPrograms(t *testing.T) {
+	var p *Program
+	if !p.Empty() {
+		t.Error("nil program should be empty")
+	}
+	if err := p.Run(newFake(), newFake()); err != nil {
+		t.Error("nil program should run as no-op")
+	}
+	p2 := MustCompile(`# just a comment`)
+	if !p2.Empty() {
+		t.Error("comment-only program should be empty")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	st := newFake()
+	run(t, "# header comment\n\tsay \"hi\"; # trailing\n\n# done\n", st)
+	if len(st.log) != 1 {
+		t.Fatalf("log = %v", st.log)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	st := newFake()
+	run(t, `say "line1\nline2\t\"quoted\"\\";`, st)
+	want := "say:line1\nline2\t\"quoted\"\\"
+	if st.log[0] != want {
+		t.Fatalf("got %q", st.log[0])
+	}
+}
+
+func TestQuickIntArithmeticNeverPanics(t *testing.T) {
+	// Any int expression over +,-,* with small literals must evaluate
+	// without panic and match Go's arithmetic.
+	err := quick.Check(func(a, b int16, op uint8) bool {
+		st := newFake()
+		st.vars["a"], st.vars["b"] = int(a), int(b)
+		var src string
+		var want int
+		switch op % 3 {
+		case 0:
+			src, want = `set r = a + b;`, int(a)+int(b)
+		case 1:
+			src, want = `set r = a - b;`, int(a)-int(b)
+		default:
+			src, want = `set r = a * b;`, int(a)*int(b)
+		}
+		p, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		if err := p.Run(st, st); err != nil {
+			return false
+		}
+		return st.vars["r"] == want
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic on bad input")
+		}
+	}()
+	MustCompile(`say;;;`)
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Compile("say \"ok\";\n  bogus \"x\";")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 || se.Col != 3 {
+		t.Errorf("position = %d:%d, want 2:3", se.Line, se.Col)
+	}
+}

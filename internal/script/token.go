@@ -1,0 +1,244 @@
+// Package script implements the IVGBL event language: the small
+// event-condition-action scripts that course designers attach to
+// interactive objects in the object editor (paper §4.2, "set the properties
+// and events of objects in video and produce adequate feedback").
+//
+// A script is a statement list run when an object's trigger fires:
+//
+//	if has("coin") && !flag("fixed") {
+//	    take "coin";
+//	    give "ram module";
+//	    say "You bought the part.";
+//	    learn "hardware-shopping";
+//	    set score = score + 10;
+//	    goto "classroom";
+//	} else {
+//	    say "You cannot afford it.";
+//	}
+//
+// The language is deliberately tiny — integers, booleans, strings, the
+// game-state predicates has/flag and integer variables — because its users
+// are the paper's non-programmer content providers.
+package script
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokSemi    // ;
+	tokAssign  // =
+	tokEq      // ==
+	tokNeq     // !=
+	tokLt      // <
+	tokLe      // <=
+	tokGt      // >
+	tokGe      // >=
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokSlash   // /
+	tokPercent // %
+	tokAnd     // &&
+	tokOr      // ||
+	tokNot     // !
+	tokComma   // ,
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "end of script", tokIdent: "identifier", tokInt: "integer",
+		tokString: "string", tokLBrace: "'{'", tokRBrace: "'}'",
+		tokLParen: "'('", tokRParen: "')'", tokSemi: "';'", tokAssign: "'='",
+		tokEq: "'=='", tokNeq: "'!='", tokLt: "'<'", tokLe: "'<='",
+		tokGt: "'>'", tokGe: "'>='", tokPlus: "'+'", tokMinus: "'-'",
+		tokStar: "'*'", tokSlash: "'/'", tokPercent: "'%'", tokAnd: "'&&'",
+		tokOr: "'||'", tokNot: "'!'", tokComma: "','",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string // identifier name, string contents, or integer literal text
+	num  int    // value for tokInt
+	line int
+	col  int
+}
+
+// Error is a compile- or runtime-time script error with position info.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("script:%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "script: " + e.Msg
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	rs := []rune(src)
+	i := 0
+	advance := func() rune {
+		r := rs[i]
+		i++
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		return r
+	}
+	peek := func() rune {
+		if i >= len(rs) {
+			return 0
+		}
+		return rs[i]
+	}
+	for i < len(rs) {
+		startLine, startCol := line, col
+		r := advance()
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			continue
+		case r == '#':
+			for i < len(rs) && peek() != '\n' {
+				advance()
+			}
+		case unicode.IsLetter(r) || r == '_':
+			text := string(r)
+			for i < len(rs) && (unicode.IsLetter(peek()) || unicode.IsDigit(peek()) || peek() == '_' || peek() == '-') {
+				text += string(advance())
+			}
+			toks = append(toks, token{kind: tokIdent, text: text, line: startLine, col: startCol})
+		case unicode.IsDigit(r):
+			n := int(r - '0')
+			for i < len(rs) && unicode.IsDigit(peek()) {
+				n = n*10 + int(advance()-'0')
+				if n > 1<<30 {
+					return nil, errAt(startLine, startCol, "integer literal too large")
+				}
+			}
+			toks = append(toks, token{kind: tokInt, num: n, line: startLine, col: startCol})
+		case r == '"':
+			var text []rune
+			closed := false
+			for i < len(rs) {
+				c := advance()
+				if c == '"' {
+					closed = true
+					break
+				}
+				if c == '\\' && i < len(rs) {
+					e := advance()
+					switch e {
+					case 'n':
+						text = append(text, '\n')
+					case 't':
+						text = append(text, '\t')
+					case '"', '\\':
+						text = append(text, e)
+					default:
+						return nil, errAt(line, col, "unknown escape \\%c", e)
+					}
+					continue
+				}
+				if c == '\n' {
+					return nil, errAt(startLine, startCol, "unterminated string")
+				}
+				text = append(text, c)
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated string")
+			}
+			toks = append(toks, token{kind: tokString, text: string(text), line: startLine, col: startCol})
+		default:
+			two := func(next rune, k2 tokenKind, k1 tokenKind) {
+				if peek() == next {
+					advance()
+					toks = append(toks, token{kind: k2, line: startLine, col: startCol})
+				} else if k1 == tokEOF {
+					// marker for "must be two-char"
+				} else {
+					toks = append(toks, token{kind: k1, line: startLine, col: startCol})
+				}
+			}
+			switch r {
+			case '{':
+				toks = append(toks, token{kind: tokLBrace, line: startLine, col: startCol})
+			case '}':
+				toks = append(toks, token{kind: tokRBrace, line: startLine, col: startCol})
+			case '(':
+				toks = append(toks, token{kind: tokLParen, line: startLine, col: startCol})
+			case ')':
+				toks = append(toks, token{kind: tokRParen, line: startLine, col: startCol})
+			case ';':
+				toks = append(toks, token{kind: tokSemi, line: startLine, col: startCol})
+			case ',':
+				toks = append(toks, token{kind: tokComma, line: startLine, col: startCol})
+			case '+':
+				toks = append(toks, token{kind: tokPlus, line: startLine, col: startCol})
+			case '-':
+				toks = append(toks, token{kind: tokMinus, line: startLine, col: startCol})
+			case '*':
+				toks = append(toks, token{kind: tokStar, line: startLine, col: startCol})
+			case '/':
+				toks = append(toks, token{kind: tokSlash, line: startLine, col: startCol})
+			case '%':
+				toks = append(toks, token{kind: tokPercent, line: startLine, col: startCol})
+			case '=':
+				two('=', tokEq, tokAssign)
+			case '!':
+				two('=', tokNeq, tokNot)
+			case '<':
+				two('=', tokLe, tokLt)
+			case '>':
+				two('=', tokGe, tokGt)
+			case '&':
+				if peek() != '&' {
+					return nil, errAt(startLine, startCol, "single '&' (use '&&')")
+				}
+				advance()
+				toks = append(toks, token{kind: tokAnd, line: startLine, col: startCol})
+			case '|':
+				if peek() != '|' {
+					return nil, errAt(startLine, startCol, "single '|' (use '||')")
+				}
+				advance()
+				toks = append(toks, token{kind: tokOr, line: startLine, col: startCol})
+			default:
+				return nil, errAt(startLine, startCol, "unexpected character %q", r)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}

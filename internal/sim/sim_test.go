@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/runtime"
+)
+
+var classroomBlob []byte
+
+func blob(t testing.TB) []byte {
+	t.Helper()
+	if classroomBlob == nil {
+		b, err := content.Classroom().BuildPackage(studio.Options{QStep: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classroomBlob = b
+	}
+	return classroomBlob
+}
+
+func TestAvailableActionsEnumerates(t *testing.T) {
+	s, err := runtime.NewSession(blob(t), runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := AvailableActions(s)
+	want := map[string]bool{
+		"talk teacher":      true,
+		"examine computer":  true,
+		"click computer":    true,
+		"examine desk-coin": true,
+		"take desk-coin":    true,
+		"click to-market":   true,
+	}
+	got := map[string]bool{}
+	for _, a := range actions {
+		got[a.String()] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing action %q in %v", k, actions)
+		}
+	}
+	// No use actions yet (empty inventory).
+	for _, a := range actions {
+		if a.Kind == "use" {
+			t.Errorf("use action with empty inventory: %v", a)
+		}
+	}
+	// After taking the coin, use actions appear.
+	s.Take("desk-coin")
+	found := false
+	for _, a := range AvailableActions(s) {
+		if a.Kind == "use" && a.Item == "coin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no use actions after acquiring an item")
+	}
+}
+
+func TestGuidedCompletesClassroom(t *testing.T) {
+	res, err := Run(blob(t), GuidedFactory, Config{MaxSteps: 80, Patience: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("guided learner failed: %+v report=%s", res, res.Report)
+	}
+	if res.Report.Outcome != "victory" {
+		t.Errorf("outcome = %q", res.Report.Outcome)
+	}
+	if got := len(res.Report.UniqueKnowledge()); got != 3 {
+		t.Errorf("knowledge = %d, want 3", got)
+	}
+}
+
+func TestExplorerEventuallyCompletes(t *testing.T) {
+	// Across a few seeds, the explorer should finish at least once and
+	// always deliver some knowledge.
+	completed := 0
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(blob(t), ExplorerFactory, Config{MaxSteps: 150, Patience: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			completed++
+		}
+		if len(res.Report.UniqueKnowledge()) == 0 {
+			t.Errorf("seed %d: explorer learned nothing", seed)
+		}
+	}
+	if completed == 0 {
+		t.Error("explorer never completed in 5 seeds")
+	}
+}
+
+func TestRandomWalkerLearnsLessThanGuided(t *testing.T) {
+	gRes, err := RunCohort(blob(t), GuidedFactory, 8, Config{MaxSteps: 60, Patience: 12, Seed: 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRes, err := RunCohort(blob(t), RandomFactory, 8, Config{MaxSteps: 60, Patience: 12, Seed: 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, r := Summarize(gRes), Summarize(rRes)
+	if g.MeanKnowledge < r.MeanKnowledge {
+		t.Errorf("guided (%.2f) should learn at least as much as random (%.2f)",
+			g.MeanKnowledge, r.MeanKnowledge)
+	}
+	if CompletionRate(gRes) < CompletionRate(rRes) {
+		t.Errorf("guided completion %.2f below random %.2f", CompletionRate(gRes), CompletionRate(rRes))
+	}
+}
+
+func TestRewardBoostIncreasesPersistence(t *testing.T) {
+	// E7's mechanism in miniature: with zero patience boost rewards are
+	// ignored; with a boost, reward grants extend the session.
+	base := Config{MaxSteps: 120, Patience: 6, RewardBoost: 0, Seed: 42}
+	boosted := base
+	boosted.RewardBoost = 20
+	nBase, errB := RunCohort(blob(t), ExplorerFactory, 10, base, 2)
+	if errB != nil {
+		t.Fatal(errB)
+	}
+	nBoost, errB2 := RunCohort(blob(t), ExplorerFactory, 10, boosted, 2)
+	if errB2 != nil {
+		t.Fatal(errB2)
+	}
+	baseSteps, boostSteps := 0, 0
+	for i := range nBase {
+		baseSteps += nBase[i].Steps
+		boostSteps += nBoost[i].Steps
+	}
+	if CompletionRate(nBoost) < CompletionRate(nBase) {
+		t.Errorf("reward-motivated completion %.2f below indifferent %.2f",
+			CompletionRate(nBoost), CompletionRate(nBase))
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := Run(blob(t), ExplorerFactory, Config{MaxSteps: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(blob(t), ExplorerFactory, Config{MaxSteps: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Completed != b.Completed || a.QuitReason != b.QuitReason {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBoredomQuits(t *testing.T) {
+	// A random walker with tiny patience in a world where novelty dries up
+	// must quit bored (or run out of steps), not loop forever.
+	res, err := Run(blob(t), RandomFactory, Config{MaxSteps: 500, Patience: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuitReason != "bored" && res.QuitReason != "ended" && res.QuitReason != "max-steps" {
+		t.Fatalf("quit reason = %q", res.QuitReason)
+	}
+	if res.QuitReason == "bored" && res.Steps >= 500 {
+		t.Error("bored quit did not shorten the run")
+	}
+}
+
+func TestPolicyChooseEmptyActions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []Factory{RandomFactory, ExplorerFactory, GuidedFactory} {
+		p := f.New()
+		if _, ok := p.Choose(nil, nil, rng); ok {
+			t.Errorf("%s chose from nothing", f.Name)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if got := (Action{Kind: "use", Object: "computer", Item: "ram"}).String(); got != "use ram on computer" {
+		t.Errorf("use string = %q", got)
+	}
+	if got := (Action{Kind: "take", Object: "coin"}).String(); got != "take coin" {
+		t.Errorf("take string = %q", got)
+	}
+}

@@ -1,0 +1,283 @@
+package ui
+
+import (
+	"fmt"
+
+	"repro/internal/media/raster"
+)
+
+// Panel is a container widget with an optional title bar and border. Its
+// children are painted in insertion order (later = on top) and hit-tested
+// in reverse.
+type Panel struct {
+	Box
+	Title    string
+	BgColor  raster.RGB
+	Border   bool
+	children []Widget
+}
+
+// NewPanel creates an empty panel.
+func NewPanel(id string, b raster.Rect, title string) *Panel {
+	return &Panel{Box: NewBox(id, b), Title: title, BgColor: ThemePanel, Border: true}
+}
+
+// Add appends a child (child bounds are window-absolute).
+func (p *Panel) Add(w Widget) { p.children = append(p.children, w) }
+
+// Remove deletes a child by identity.
+func (p *Panel) Remove(w Widget) {
+	for i, c := range p.children {
+		if c == w {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clear removes all children.
+func (p *Panel) Clear() { p.children = nil }
+
+// Children returns the child list (live slice; do not mutate).
+func (p *Panel) Children() []Widget { return p.children }
+
+// TitleBarHeight is the pixel height of a panel/window title bar.
+const TitleBarHeight = 11
+
+// Content returns the panel's interior rectangle (inside border and title
+// bar).
+func (p *Panel) Content() raster.Rect {
+	r := p.Bounds().Inset(1)
+	if p.Title != "" {
+		r.Y += TitleBarHeight
+		r.H -= TitleBarHeight
+	}
+	return r
+}
+
+// Paint draws the panel chrome and its children.
+func (p *Panel) Paint(f *raster.Frame) {
+	r := p.Bounds()
+	f.FillRect(r, p.BgColor)
+	if p.Title != "" {
+		bar := raster.Rect{X: r.X + 1, Y: r.Y + 1, W: r.W - 2, H: TitleBarHeight - 1}
+		f.FillRect(bar, ThemeTitle)
+		f.DrawTextClipped(bar.X+2, bar.Y+2, raster.FitText(p.Title, bar.W-4), ThemeTitleText, bar)
+	}
+	if p.Border {
+		f.DrawRect(r, ThemeBorder)
+	}
+	for _, c := range p.children {
+		if c.Visible() {
+			c.Paint(f)
+		}
+	}
+}
+
+// Window is the event-dispatching root. It owns a widget tree, an optional
+// popup layer (hit-tested first, painted last), and the keyboard focus.
+type Window struct {
+	Title string
+	W, H  int
+	Root  *Panel
+	popup Widget
+	focus Focusable
+}
+
+// NewWindow creates a window with an empty root panel.
+func NewWindow(title string, w, h int) *Window {
+	root := NewPanel("root", raster.Rect{X: 0, Y: 0, W: w, H: h}, "")
+	root.BgColor = ThemeBg
+	root.Border = false
+	return &Window{Title: title, W: w, H: h, Root: root}
+}
+
+// Add appends a top-level widget.
+func (w *Window) Add(widget Widget) { w.Root.Add(widget) }
+
+// ShowPopup installs a modal popup widget: painted above everything and
+// receiving all events until closed. The paper's text/image/web popups use
+// this layer.
+func (w *Window) ShowPopup(widget Widget) { w.popup = widget }
+
+// ClosePopup removes the popup layer.
+func (w *Window) ClosePopup() { w.popup = nil }
+
+// Popup returns the active popup, if any.
+func (w *Window) Popup() Widget { return w.popup }
+
+// Render paints the whole window into a fresh frame: title bar, widget
+// tree, then the popup layer.
+func (w *Window) Render() *raster.Frame {
+	f := raster.New(w.W, w.H)
+	w.Root.Paint(f)
+	if w.Title != "" {
+		bar := raster.Rect{X: 0, Y: 0, W: w.W, H: TitleBarHeight}
+		f.FillRect(bar, ThemeTitle)
+		f.DrawTextClipped(2, 2, raster.FitText(w.Title, w.W-4), ThemeTitleText, bar)
+	}
+	if w.popup != nil && w.popup.Visible() {
+		w.popup.Paint(f)
+	}
+	return f
+}
+
+// Snapshot renders the window and converts it to ASCII art — the headless
+// stand-in for a screenshot.
+func (w *Window) Snapshot(cols, rows int) string {
+	return w.Render().ASCII(cols, rows)
+}
+
+// WidgetAt hit-tests the window: the popup first, then the widget tree
+// topmost-first. It returns nil when nothing visible is hit.
+func (w *Window) WidgetAt(x, y int) Widget {
+	if w.popup != nil && w.popup.Visible() && w.popup.Bounds().Contains(x, y) {
+		return deepestAt(w.popup, x, y)
+	}
+	if w.popup != nil && w.popup.Visible() {
+		// Modal: the popup swallows everything.
+		return nil
+	}
+	return deepestAt(w.Root, x, y)
+}
+
+// deepestAt descends into containers, preferring later (topmost) children.
+func deepestAt(wd Widget, x, y int) Widget {
+	if !wd.Visible() || !wd.Bounds().Contains(x, y) {
+		return nil
+	}
+	if c, ok := wd.(Container); ok {
+		kids := c.Children()
+		for i := len(kids) - 1; i >= 0; i-- {
+			if hit := deepestAt(kids[i], x, y); hit != nil {
+				return hit
+			}
+		}
+	}
+	return wd
+}
+
+// Click dispatches a full Down+Click at (x, y) and returns the widget that
+// received it (nil if none). Clicking a Focusable moves keyboard focus.
+func (w *Window) Click(x, y int) Widget {
+	target := w.WidgetAt(x, y)
+	if target == nil {
+		return nil
+	}
+	if f, ok := target.(Focusable); ok {
+		w.SetFocus(f)
+	} else {
+		w.SetFocus(nil)
+	}
+	target.Mouse(MouseEvent{X: x, Y: y, Kind: MouseDown})
+	target.Mouse(MouseEvent{X: x, Y: y, Kind: MouseClick})
+	return target
+}
+
+// SetFocus moves keyboard focus (nil clears it).
+func (w *Window) SetFocus(f Focusable) {
+	if w.focus == f {
+		return
+	}
+	if w.focus != nil {
+		w.focus.SetFocused(false)
+	}
+	w.focus = f
+	if f != nil {
+		f.SetFocused(true)
+	}
+}
+
+// Focus returns the focused widget, if any.
+func (w *Window) Focus() Focusable { return w.focus }
+
+// Key sends a keyboard event to the focused widget. It reports whether the
+// event was consumed.
+func (w *Window) Key(ev KeyEvent) bool {
+	if w.focus == nil {
+		return false
+	}
+	return w.focus.Keyboard(ev)
+}
+
+// TypeString sends each rune of s as a key event (test/tool convenience).
+func (w *Window) TypeString(s string) {
+	for _, r := range s {
+		w.Key(KeyEvent{Rune: r})
+	}
+}
+
+// DragDrop performs a drag gesture from (x0, y0) to (x1, y1): the deepest
+// DragSource at the origin provides the payload and the deepest DropTarget
+// at the destination may accept it. It returns an error describing why the
+// gesture failed, or nil on success.
+func (w *Window) DragDrop(x0, y0, x1, y1 int) error {
+	src := w.WidgetAt(x0, y0)
+	if src == nil {
+		return fmt.Errorf("ui: nothing to drag at (%d,%d)", x0, y0)
+	}
+	ds, ok := src.(DragSource)
+	if !ok {
+		return fmt.Errorf("ui: widget %q is not draggable", src.ID())
+	}
+	payload, ok := ds.DragPayload(x0, y0)
+	if !ok {
+		return fmt.Errorf("ui: no drag payload at (%d,%d)", x0, y0)
+	}
+	// The drop target may be underneath the source; search the tree for the
+	// deepest DropTarget containing the destination.
+	target := dropTargetAt(w.Root, x1, y1)
+	if w.popup != nil && w.popup.Visible() {
+		target = dropTargetAt(w.popup, x1, y1)
+	}
+	if target == nil {
+		return fmt.Errorf("ui: no drop target at (%d,%d)", x1, y1)
+	}
+	if !target.AcceptDrop(payload, x1, y1) {
+		return fmt.Errorf("ui: %q rejected payload %q", target.ID(), payload)
+	}
+	return nil
+}
+
+// dropTargetAt finds the deepest visible DropTarget containing (x, y).
+func dropTargetAt(wd Widget, x, y int) DropTarget {
+	if !wd.Visible() || !wd.Bounds().Contains(x, y) {
+		return nil
+	}
+	if c, ok := wd.(Container); ok {
+		kids := c.Children()
+		for i := len(kids) - 1; i >= 0; i-- {
+			if dt := dropTargetAt(kids[i], x, y); dt != nil {
+				return dt
+			}
+		}
+	}
+	if dt, ok := wd.(DropTarget); ok {
+		return dt
+	}
+	return nil
+}
+
+// FindByID searches the widget tree (and popup) depth-first for an id.
+func (w *Window) FindByID(id string) Widget {
+	if w.popup != nil {
+		if hit := findByID(w.popup, id); hit != nil {
+			return hit
+		}
+	}
+	return findByID(w.Root, id)
+}
+
+func findByID(wd Widget, id string) Widget {
+	if wd.ID() == id {
+		return wd
+	}
+	if c, ok := wd.(Container); ok {
+		for _, k := range c.Children() {
+			if hit := findByID(k, id); hit != nil {
+				return hit
+			}
+		}
+	}
+	return nil
+}

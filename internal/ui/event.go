@@ -1,0 +1,101 @@
+// Package ui is a headless retained-mode widget toolkit.
+//
+// The paper's authoring tool and runtime are Windows GUIs (its Figures 1
+// and 2 are screenshots). This package substitutes a display-free
+// equivalent: widgets render into raster Frames, a Window routes synthetic
+// mouse/keyboard events by hit-testing, and deterministic ASCII snapshots
+// stand in for screenshots. Every interaction the paper shows — clicking an
+// object on the video frame, dragging it to the inventory window, pressing
+// a scenario-switch button — is a hit-test plus an event dispatch here.
+package ui
+
+import "repro/internal/media/raster"
+
+// MouseKind enumerates mouse event varieties.
+type MouseKind int
+
+// Mouse event kinds.
+const (
+	MouseDown MouseKind = iota
+	MouseUp
+	MouseClick // a Down immediately followed by Up on the same widget
+)
+
+// MouseEvent is a pointer event in window coordinates.
+type MouseEvent struct {
+	X, Y int
+	Kind MouseKind
+}
+
+// Key identifies non-printing keys.
+type Key int
+
+// Special keys.
+const (
+	KeyNone Key = iota
+	KeyEnter
+	KeyBackspace
+	KeyUp
+	KeyDown
+	KeyTab
+	KeyEscape
+)
+
+// KeyEvent is a keyboard event. Rune is set for printing keys, Key for
+// specials; exactly one is meaningful.
+type KeyEvent struct {
+	Rune rune
+	Key  Key
+}
+
+// Widget is anything that occupies a rectangle, paints itself, and may react
+// to events.
+type Widget interface {
+	// ID returns the widget's identifier (may be empty). IDs are used by
+	// tests and by tools that need to find widgets programmatically.
+	ID() string
+	// Bounds returns the widget's rectangle in window coordinates.
+	Bounds() raster.Rect
+	// SetBounds moves/resizes the widget.
+	SetBounds(raster.Rect)
+	// Visible reports whether the widget is painted and hit-testable.
+	Visible() bool
+	// SetVisible shows or hides the widget.
+	SetVisible(bool)
+	// Paint draws the widget onto the frame.
+	Paint(f *raster.Frame)
+	// Mouse handles a pointer event already known to hit this widget.
+	// It reports whether the event was consumed.
+	Mouse(ev MouseEvent) bool
+}
+
+// Container is a widget with children (hit-testing descends into it).
+type Container interface {
+	Widget
+	Children() []Widget
+}
+
+// Focusable widgets receive keyboard events after being clicked.
+type Focusable interface {
+	Widget
+	// Keyboard handles a key event; reports whether it was consumed.
+	Keyboard(ev KeyEvent) bool
+	// SetFocused toggles the focus highlight.
+	SetFocused(bool)
+}
+
+// DragSource widgets can originate a drag-and-drop gesture.
+type DragSource interface {
+	Widget
+	// DragPayload returns the payload for a drag starting at the given
+	// window coordinates, and whether a drag may start there.
+	DragPayload(x, y int) (string, bool)
+}
+
+// DropTarget widgets can accept a drop.
+type DropTarget interface {
+	Widget
+	// AcceptDrop consumes a payload dropped at the given window
+	// coordinates; reports whether the drop was accepted.
+	AcceptDrop(payload string, x, y int) bool
+}

@@ -1,0 +1,379 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/media/raster"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox("w1", raster.Rect{X: 1, Y: 2, W: 3, H: 4})
+	if b.ID() != "w1" || b.Bounds() != (raster.Rect{X: 1, Y: 2, W: 3, H: 4}) {
+		t.Fatal("box state wrong")
+	}
+	if !b.Visible() {
+		t.Error("new box should be visible")
+	}
+	b.SetVisible(false)
+	if b.Visible() {
+		t.Error("SetVisible(false) ignored")
+	}
+	b.SetBounds(raster.Rect{X: 9, Y: 9, W: 1, H: 1})
+	if b.Bounds().X != 9 {
+		t.Error("SetBounds ignored")
+	}
+}
+
+func TestButtonClickFires(t *testing.T) {
+	fired := 0
+	w := NewWindow("t", 100, 60)
+	btn := NewButton("b", raster.Rect{X: 10, Y: 20, W: 40, H: 14}, "GO", func() { fired++ })
+	w.Add(btn)
+	if got := w.Click(30, 27); got != btn {
+		t.Fatalf("click hit %v, want button", got)
+	}
+	if fired != 1 {
+		t.Fatalf("OnClick fired %d times, want 1", fired)
+	}
+	// Click outside does nothing. (59,59) falls on the root panel.
+	w.Click(99, 59)
+	if fired != 1 {
+		t.Error("outside click fired the button")
+	}
+}
+
+func TestHitTestTopmostWins(t *testing.T) {
+	w := NewWindow("t", 100, 100)
+	a := NewButton("under", raster.Rect{X: 10, Y: 10, W: 50, H: 50}, "A", nil)
+	b := NewButton("over", raster.Rect{X: 30, Y: 30, W: 50, H: 50}, "B", nil)
+	w.Add(a)
+	w.Add(b) // added later = on top
+	if got := w.WidgetAt(40, 40); got != b {
+		t.Errorf("overlap hit %q, want 'over'", got.ID())
+	}
+	if got := w.WidgetAt(15, 15); got != a {
+		t.Errorf("hit %q, want 'under'", got.ID())
+	}
+}
+
+func TestHiddenWidgetsNotHit(t *testing.T) {
+	w := NewWindow("t", 100, 100)
+	b := NewButton("b", raster.Rect{X: 10, Y: 10, W: 30, H: 20}, "X", nil)
+	w.Add(b)
+	b.SetVisible(false)
+	if got := w.WidgetAt(15, 15); got == b {
+		t.Error("hidden widget hit")
+	}
+}
+
+func TestPanelNesting(t *testing.T) {
+	w := NewWindow("t", 200, 150)
+	p := NewPanel("panel", raster.Rect{X: 20, Y: 20, W: 100, H: 100}, "TOOLS")
+	inner := NewButton("inner", raster.Rect{X: 30, Y: 50, W: 40, H: 15}, "IN", nil)
+	p.Add(inner)
+	w.Add(p)
+	if got := w.WidgetAt(35, 55); got != inner {
+		t.Errorf("nested hit = %v, want inner button", got)
+	}
+	// Panel body (not the button) hits the panel itself.
+	if got := w.WidgetAt(25, 90); got != p {
+		t.Errorf("panel body hit = %v, want panel", got)
+	}
+	if w.FindByID("inner") != inner {
+		t.Error("FindByID failed for nested widget")
+	}
+	p.Remove(inner)
+	if w.FindByID("inner") != nil {
+		t.Error("Remove did not detach child")
+	}
+}
+
+func TestPanelContentInsets(t *testing.T) {
+	p := NewPanel("p", raster.Rect{X: 0, Y: 0, W: 100, H: 100}, "T")
+	c := p.Content()
+	if c.Y != 1+TitleBarHeight {
+		t.Errorf("titled content Y = %d", c.Y)
+	}
+	p2 := NewPanel("p2", raster.Rect{X: 0, Y: 0, W: 100, H: 100}, "")
+	if p2.Content().Y != 1 {
+		t.Errorf("untitled content Y = %d", p2.Content().Y)
+	}
+}
+
+func TestFocusAndTextEditing(t *testing.T) {
+	w := NewWindow("t", 120, 60)
+	tf := NewTextField("name", raster.Rect{X: 10, Y: 10, W: 80, H: 13}, "")
+	var changed, submitted string
+	tf.OnChange = func(s string) { changed = s }
+	tf.OnSubmit = func(s string) { submitted = s }
+	w.Add(tf)
+	w.Click(20, 15)
+	if w.Focus() != Focusable(tf) {
+		t.Fatal("click did not focus text field")
+	}
+	w.TypeString("HELLO")
+	if tf.Text != "HELLO" || changed != "HELLO" {
+		t.Fatalf("typed text = %q, changed = %q", tf.Text, changed)
+	}
+	w.Key(KeyEvent{Key: KeyBackspace})
+	if tf.Text != "HELL" {
+		t.Fatalf("backspace result %q", tf.Text)
+	}
+	w.Key(KeyEvent{Key: KeyEnter})
+	if submitted != "HELL" {
+		t.Fatalf("submit got %q", submitted)
+	}
+	// Clicking a non-focusable clears focus.
+	w.Click(110, 55)
+	if w.Focus() != nil {
+		t.Error("focus not cleared")
+	}
+	if w.Key(KeyEvent{Rune: 'x'}) {
+		t.Error("key consumed with no focus")
+	}
+}
+
+func TestListBoxSelection(t *testing.T) {
+	w := NewWindow("t", 120, 100)
+	lb := NewListBox("list", raster.Rect{X: 5, Y: 5, W: 100, H: 80}, []string{"alpha", "beta", "gamma"})
+	var got string
+	lb.OnSelect = func(i int, item string) { got = item }
+	w.Add(lb)
+	// Row height is GlyphH+3 = 10; row 1 occupies y in [5+2+10, 5+2+20).
+	w.Click(20, 18)
+	if lb.Selected != 1 || got != "beta" {
+		t.Fatalf("selected %d (%q), want beta", lb.Selected, got)
+	}
+	if lb.SelectedItem() != "beta" {
+		t.Error("SelectedItem mismatch")
+	}
+	// Arrow keys move selection (list is focused after the click).
+	w.Key(KeyEvent{Key: KeyDown})
+	if lb.SelectedItem() != "gamma" {
+		t.Errorf("down arrow -> %q", lb.SelectedItem())
+	}
+	w.Key(KeyEvent{Key: KeyDown}) // pinned at end
+	if lb.SelectedItem() != "gamma" {
+		t.Error("selection ran past end")
+	}
+	w.Key(KeyEvent{Key: KeyUp})
+	if lb.SelectedItem() != "beta" {
+		t.Errorf("up arrow -> %q", lb.SelectedItem())
+	}
+	// Click beyond rows leaves selection.
+	w.Click(20, 80)
+	if lb.SelectedItem() != "beta" {
+		t.Error("empty-area click changed selection")
+	}
+}
+
+func TestTimelineSelection(t *testing.T) {
+	w := NewWindow("t", 220, 60)
+	tl := NewTimeline("tl", raster.Rect{X: 10, Y: 10, W: 200, H: 20}, 100)
+	tl.Segments = []TimelineSegment{
+		{Name: "intro", Start: 0, End: 40},
+		{Name: "mid", Start: 40, End: 80},
+		{Name: "end", Start: 80, End: 100},
+	}
+	var picked TimelineSegment
+	tl.OnSelect = func(i int, s TimelineSegment) { picked = s }
+	w.Add(tl)
+	// Click in the middle → frame ≈ 50 → segment "mid".
+	w.Click(110, 20)
+	if picked.Name != "mid" || tl.Selected != 1 {
+		t.Fatalf("picked %+v (sel=%d)", picked, tl.Selected)
+	}
+	// Far left → intro.
+	w.Click(12, 20)
+	if picked.Name != "intro" {
+		t.Fatalf("picked %+v", picked)
+	}
+	// Marker drawing must not panic at edges.
+	tl.Marker = 99
+	w.Render()
+}
+
+func TestPropertySheet(t *testing.T) {
+	ps := NewPropertySheet("props", raster.Rect{X: 0, Y: 0, W: 100, H: 60})
+	ps.SetValue("name", "umbrella")
+	ps.SetValue("kind", "item")
+	ps.SetValue("name", "red umbrella") // update in place
+	if len(ps.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(ps.Rows))
+	}
+	if ps.Rows[0].Value != "red umbrella" {
+		t.Errorf("update failed: %+v", ps.Rows[0])
+	}
+	w := NewWindow("t", 120, 80)
+	w.Add(ps)
+	var sel PropertyRow
+	ps.OnSelect = func(i int, r PropertyRow) { sel = r }
+	w.Click(50, 13) // second row (rowH=10; rows start at y=2)
+	if sel.Key != "kind" {
+		t.Errorf("selected %+v", sel)
+	}
+}
+
+func TestInventoryDragDrop(t *testing.T) {
+	w := NewWindow("t", 200, 120)
+	inv := NewInventoryBar("inv", raster.Rect{X: 10, Y: 90, W: 180, H: 20}, 4)
+	src := &testDragSource{Box: NewBox("obj", raster.Rect{X: 20, Y: 20, W: 30, H: 30}), payload: "umbrella"}
+	w.Add(src)
+	w.Add(inv)
+	if err := w.DragDrop(25, 25, 50, 100); err != nil {
+		t.Fatalf("drag failed: %v", err)
+	}
+	if len(inv.Items) != 1 || inv.Items[0] != "umbrella" {
+		t.Fatalf("inventory = %v", inv.Items)
+	}
+	// Click a filled slot fires OnPick.
+	var picked string
+	inv.OnPick = func(i int, item string) { picked = item }
+	w.Click(15, 100)
+	if picked != "umbrella" {
+		t.Errorf("picked %q", picked)
+	}
+	// Dropping onto nothing fails.
+	if err := w.DragDrop(25, 25, 199, 10); err == nil {
+		t.Error("drop on empty space succeeded")
+	}
+	// Dragging a non-source fails.
+	if err := w.DragDrop(10, 91, 50, 100); err == nil {
+		t.Error("drag from non-source succeeded")
+	}
+	// Full inventory rejects.
+	inv.Items = []string{"a", "b", "c", "d"}
+	if err := w.DragDrop(25, 25, 50, 100); err == nil {
+		t.Error("drop into full inventory succeeded")
+	}
+}
+
+type testDragSource struct {
+	Box
+	payload string
+}
+
+func (s *testDragSource) DragPayload(x, y int) (string, bool) { return s.payload, true }
+
+func TestMenuBar(t *testing.T) {
+	w := NewWindow("t", 200, 60)
+	var got string
+	mb := NewMenuBar("menu", raster.Rect{X: 0, Y: 0, W: 200, H: 12}, []string{"FILE", "EDIT", "HELP"})
+	mb.OnSelect = func(i int, e string) { got = e }
+	w.Add(mb)
+	// "FILE" spans x≈3..27; "EDIT" starts at 3+TextWidth(FILE)+8.
+	w.Click(5, 5)
+	if got != "FILE" {
+		t.Fatalf("clicked %q, want FILE", got)
+	}
+	editX := 3 + raster.TextWidth("FILE") + menuEntryPad + 2
+	w.Click(editX, 5)
+	if got != "EDIT" {
+		t.Fatalf("clicked %q, want EDIT", got)
+	}
+}
+
+func TestPopupModality(t *testing.T) {
+	w := NewWindow("t", 200, 120)
+	var under int
+	btn := NewButton("under", raster.Rect{X: 10, Y: 10, W: 60, H: 16}, "UNDER", func() { under++ })
+	w.Add(btn)
+	closed := false
+	pop := NewPopup("msg", 200, 120, "NOTICE", "FIXED THE COMPUTER", func() { closed = true })
+	w.ShowPopup(pop)
+	// Click where the button is: popup is modal, nothing happens.
+	w.Click(15, 15)
+	if under != 0 {
+		t.Fatal("click leaked through modal popup")
+	}
+	// Click the popup's OK button.
+	okb := pop.OK.Bounds()
+	w.Click(okb.X+2, okb.Y+2)
+	if !closed {
+		t.Fatal("popup OK not clickable")
+	}
+	w.ClosePopup()
+	if w.Popup() != nil {
+		t.Error("popup not closed")
+	}
+	w.Click(15, 15)
+	if under != 1 {
+		t.Error("button unreachable after popup closed")
+	}
+}
+
+func TestVideoViewCoordinateMapping(t *testing.T) {
+	vv := NewVideoView("video", raster.Rect{X: 10, Y: 10, W: 100, H: 80})
+	frame := raster.New(60, 40)
+	vv.Frame = frame
+	ox, oy := vv.VideoOrigin()
+	if ox != 10+(100-60)/2 || oy != 10+(80-40)/2 {
+		t.Fatalf("origin = (%d,%d)", ox, oy)
+	}
+	var gx, gy int
+	vv.OnVideoClick = func(x, y int) { gx, gy = x, y }
+	w := NewWindow("t", 200, 120)
+	w.Add(vv)
+	w.Click(ox+5, oy+7)
+	if gx != 5 || gy != 7 {
+		t.Fatalf("video click = (%d,%d), want (5,7)", gx, gy)
+	}
+	// Outside the raster (letterbox margin) does not fire.
+	gx, gy = -1, -1
+	w.Click(11, 11)
+	if gx != -1 {
+		t.Error("letterbox click fired video handler")
+	}
+	if _, _, ok := vv.ToVideo(0, 0); ok {
+		t.Error("ToVideo accepted a miss")
+	}
+	vv.Frame = nil
+	if _, _, ok := vv.ToVideo(ox, oy); ok {
+		t.Error("ToVideo with no frame accepted")
+	}
+}
+
+func TestRenderSnapshotDeterministic(t *testing.T) {
+	build := func() *Window {
+		w := NewWindow("IVGBL", 160, 100)
+		w.Add(NewLabel("l", raster.Rect{X: 10, Y: 20, W: 80, H: 10}, "SCENARIO"))
+		w.Add(NewButton("b", raster.Rect{X: 10, Y: 40, W: 50, H: 14}, "PLAY", nil))
+		return w
+	}
+	a := build().Snapshot(64, 20)
+	b := build().Snapshot(64, 20)
+	if a != b {
+		t.Fatal("snapshots of identical windows differ")
+	}
+	if len(strings.Split(strings.TrimRight(a, "\n"), "\n")) != 20 {
+		t.Fatal("snapshot row count wrong")
+	}
+	// The render must show the title bar (bright text on dark bar = mixed).
+	if !strings.ContainsAny(a, ".:-=+*#%@") {
+		t.Fatal("snapshot empty")
+	}
+}
+
+func TestWindowRenderPaintsChrome(t *testing.T) {
+	w := NewWindow("TITLE", 100, 60)
+	f := w.Render()
+	if f.W != 100 || f.H != 60 {
+		t.Fatal("render size wrong")
+	}
+	// Title bar pixel should be the theme title color.
+	if f.At(50, 3) != ThemeTitle && f.At(50, 3) != ThemeTitleText {
+		t.Errorf("title bar color = %v", f.At(50, 3))
+	}
+}
+
+func TestStatusBarAndLabelPaintClipped(t *testing.T) {
+	w := NewWindow("t", 80, 40)
+	sb := NewStatusBar("status", raster.Rect{X: 0, Y: 28, W: 80, H: 12})
+	sb.Text = "A VERY LONG STATUS MESSAGE THAT MUST BE CLIPPED"
+	w.Add(sb)
+	w.Render() // must not panic; clipping handled inside
+	lbl := NewLabel("l", raster.Rect{X: 70, Y: 5, W: 9, H: 9}, "XYZZY")
+	w.Add(lbl)
+	w.Render()
+}

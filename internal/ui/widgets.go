@@ -1,0 +1,459 @@
+package ui
+
+import (
+	"fmt"
+
+	"repro/internal/media/raster"
+)
+
+// ListBox displays selectable rows — the authoring tool's object and
+// scenario lists.
+type ListBox struct {
+	Box
+	Items    []string
+	Selected int // index into Items, -1 for none
+	OnSelect func(i int, item string)
+	rowH     int
+}
+
+// NewListBox creates a list with no selection.
+func NewListBox(id string, b raster.Rect, items []string) *ListBox {
+	return &ListBox{Box: NewBox(id, b), Items: items, Selected: -1, rowH: raster.GlyphH + 3}
+}
+
+// Paint draws rows with the selected one highlighted.
+func (l *ListBox) Paint(f *raster.Frame) {
+	r := l.Bounds()
+	f.FillRect(r, raster.White)
+	f.DrawRect(r, ThemeBorder)
+	for i, item := range l.Items {
+		ry := r.Y + 2 + i*l.rowH
+		if ry+l.rowH > r.Y+r.H {
+			break
+		}
+		if i == l.Selected {
+			f.FillRect(raster.Rect{X: r.X + 1, Y: ry, W: r.W - 2, H: l.rowH}, ThemeAccent)
+			f.DrawTextClipped(r.X+3, ry+1, raster.FitText(item, r.W-6), raster.White, r)
+		} else {
+			f.DrawTextClipped(r.X+3, ry+1, raster.FitText(item, r.W-6), ThemeText, r)
+		}
+	}
+}
+
+// Mouse selects the clicked row.
+func (l *ListBox) Mouse(ev MouseEvent) bool {
+	if ev.Kind != MouseClick {
+		return ev.Kind == MouseDown
+	}
+	r := l.Bounds()
+	i := (ev.Y - r.Y - 2) / l.rowH
+	if i >= 0 && i < len(l.Items) {
+		l.Selected = i
+		if l.OnSelect != nil {
+			l.OnSelect(i, l.Items[i])
+		}
+	}
+	return true
+}
+
+// SelectedItem returns the current selection, or "" when none.
+func (l *ListBox) SelectedItem() string {
+	if l.Selected < 0 || l.Selected >= len(l.Items) {
+		return ""
+	}
+	return l.Items[l.Selected]
+}
+
+// Keyboard moves the selection with arrow keys.
+func (l *ListBox) Keyboard(ev KeyEvent) bool {
+	switch ev.Key {
+	case KeyUp:
+		if l.Selected > 0 {
+			l.Selected--
+			if l.OnSelect != nil {
+				l.OnSelect(l.Selected, l.Items[l.Selected])
+			}
+		}
+		return true
+	case KeyDown:
+		if l.Selected < len(l.Items)-1 {
+			l.Selected++
+			if l.OnSelect != nil {
+				l.OnSelect(l.Selected, l.Items[l.Selected])
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// SetFocused implements Focusable (the list has no focus decoration).
+func (l *ListBox) SetFocused(bool) {}
+
+// VideoView presents a decoded video frame and maps clicks into video
+// coordinates — the runtime's augmented video player surface (paper §4.3).
+type VideoView struct {
+	Box
+	Frame *raster.Frame // current video frame (shown letterboxed at 1:1)
+	// OnVideoClick receives clicks in video-frame coordinates.
+	OnVideoClick func(vx, vy int)
+}
+
+// NewVideoView creates a video surface.
+func NewVideoView(id string, b raster.Rect) *VideoView {
+	return &VideoView{Box: NewBox(id, b)}
+}
+
+// VideoOrigin returns the top-left corner where the video frame is drawn
+// (centered in the view).
+func (v *VideoView) VideoOrigin() (int, int) {
+	r := v.Bounds()
+	if v.Frame == nil {
+		return r.X, r.Y
+	}
+	return r.X + (r.W-v.Frame.W)/2, r.Y + (r.H-v.Frame.H)/2
+}
+
+// ToVideo converts window coordinates to video-frame coordinates.
+// ok is false when the point misses the video raster.
+func (v *VideoView) ToVideo(x, y int) (vx, vy int, ok bool) {
+	if v.Frame == nil {
+		return 0, 0, false
+	}
+	ox, oy := v.VideoOrigin()
+	vx, vy = x-ox, y-oy
+	return vx, vy, vx >= 0 && vy >= 0 && vx < v.Frame.W && vy < v.Frame.H
+}
+
+// Paint letterboxes the frame in the view.
+func (v *VideoView) Paint(f *raster.Frame) {
+	r := v.Bounds()
+	f.FillRect(r, raster.Black)
+	f.DrawRect(r, ThemeBorder)
+	if v.Frame != nil {
+		ox, oy := v.VideoOrigin()
+		f.Blit(v.Frame, ox, oy)
+	}
+}
+
+// Mouse forwards clicks in video coordinates.
+func (v *VideoView) Mouse(ev MouseEvent) bool {
+	if ev.Kind == MouseClick && v.OnVideoClick != nil {
+		if vx, vy, ok := v.ToVideo(ev.X, ev.Y); ok {
+			v.OnVideoClick(vx, vy)
+		}
+	}
+	return true
+}
+
+// TimelineSegment is one segment shown on a Timeline.
+type TimelineSegment struct {
+	Name       string
+	Start, End int // frame range
+}
+
+// Timeline visualizes a film's segment structure — the scenario editor's
+// central strip (Figure 1). Clicking a segment selects it.
+type Timeline struct {
+	Box
+	Total    int // total frames represented
+	Segments []TimelineSegment
+	Selected int // segment index, -1 none
+	Marker   int // playhead frame position (-1 hides it)
+	OnSelect func(i int, seg TimelineSegment)
+}
+
+// NewTimeline creates a timeline over total frames.
+func NewTimeline(id string, b raster.Rect, total int) *Timeline {
+	return &Timeline{Box: NewBox(id, b), Total: total, Selected: -1, Marker: -1}
+}
+
+// frameToX converts a frame index to a window x coordinate.
+func (t *Timeline) frameToX(frame int) int {
+	r := t.Bounds()
+	if t.Total <= 0 {
+		return r.X
+	}
+	return r.X + 1 + frame*(r.W-2)/t.Total
+}
+
+// xToFrame converts a window x coordinate to a frame index.
+func (t *Timeline) xToFrame(x int) int {
+	r := t.Bounds()
+	if r.W <= 2 || t.Total <= 0 {
+		return 0
+	}
+	fr := (x - r.X - 1) * t.Total / (r.W - 2)
+	if fr < 0 {
+		fr = 0
+	}
+	if fr >= t.Total {
+		fr = t.Total - 1
+	}
+	return fr
+}
+
+// Paint draws alternating segment blocks with separators and the playhead.
+func (t *Timeline) Paint(f *raster.Frame) {
+	r := t.Bounds()
+	f.FillRect(r, raster.White)
+	f.DrawRect(r, ThemeBorder)
+	colors := []raster.RGB{{R: 168, G: 200, B: 235}, {R: 235, G: 214, B: 168}}
+	for i, s := range t.Segments {
+		x0, x1 := t.frameToX(s.Start), t.frameToX(s.End)
+		seg := raster.Rect{X: x0, Y: r.Y + 1, W: x1 - x0, H: r.H - 2}
+		c := colors[i%2]
+		if i == t.Selected {
+			c = ThemeHilite
+		}
+		f.FillRect(seg, c)
+		f.VLine(x0, r.Y+1, r.Y+r.H-2, ThemeBorder)
+		f.DrawTextClipped(x0+2, r.Y+(r.H-raster.GlyphH)/2, raster.FitText(s.Name, seg.W-4), ThemeText, seg)
+	}
+	if t.Marker >= 0 {
+		x := t.frameToX(t.Marker)
+		f.VLine(x, r.Y+1, r.Y+r.H-2, raster.Red)
+	}
+}
+
+// Mouse selects the clicked segment.
+func (t *Timeline) Mouse(ev MouseEvent) bool {
+	if ev.Kind != MouseClick {
+		return ev.Kind == MouseDown
+	}
+	fr := t.xToFrame(ev.X)
+	for i, s := range t.Segments {
+		if fr >= s.Start && fr < s.End {
+			t.Selected = i
+			if t.OnSelect != nil {
+				t.OnSelect(i, s)
+			}
+			return true
+		}
+	}
+	return true
+}
+
+// PropertyRow is one key-value pair in a PropertySheet.
+type PropertyRow struct {
+	Key   string
+	Value string
+}
+
+// PropertySheet displays editable key/value rows — the object editor's
+// property grid (paper §4.2). Clicking a row selects it; the owning tool
+// edits values through SetValue.
+type PropertySheet struct {
+	Box
+	Rows     []PropertyRow
+	Selected int
+	OnSelect func(i int, row PropertyRow)
+	rowH     int
+}
+
+// NewPropertySheet creates an empty sheet.
+func NewPropertySheet(id string, b raster.Rect) *PropertySheet {
+	return &PropertySheet{Box: NewBox(id, b), Selected: -1, rowH: raster.GlyphH + 3}
+}
+
+// SetValue updates the value of the row with the given key, appending a new
+// row when absent.
+func (p *PropertySheet) SetValue(key, value string) {
+	for i := range p.Rows {
+		if p.Rows[i].Key == key {
+			p.Rows[i].Value = value
+			return
+		}
+	}
+	p.Rows = append(p.Rows, PropertyRow{Key: key, Value: value})
+}
+
+// Paint draws the two-column grid.
+func (p *PropertySheet) Paint(f *raster.Frame) {
+	r := p.Bounds()
+	f.FillRect(r, raster.White)
+	f.DrawRect(r, ThemeBorder)
+	keyW := r.W * 2 / 5
+	f.VLine(r.X+keyW, r.Y+1, r.Y+r.H-2, ThemeBgDark)
+	for i, row := range p.Rows {
+		ry := r.Y + 2 + i*p.rowH
+		if ry+p.rowH > r.Y+r.H {
+			break
+		}
+		if i == p.Selected {
+			f.FillRect(raster.Rect{X: r.X + 1, Y: ry, W: r.W - 2, H: p.rowH}, ThemeHilite)
+		}
+		f.DrawTextClipped(r.X+2, ry+1, raster.FitText(row.Key, keyW-4), ThemeText, r)
+		f.DrawTextClipped(r.X+keyW+3, ry+1, raster.FitText(row.Value, r.W-keyW-6), ThemeText, r)
+	}
+}
+
+// Mouse selects the clicked row.
+func (p *PropertySheet) Mouse(ev MouseEvent) bool {
+	if ev.Kind != MouseClick {
+		return ev.Kind == MouseDown
+	}
+	i := (ev.Y - p.Bounds().Y - 2) / p.rowH
+	if i >= 0 && i < len(p.Rows) {
+		p.Selected = i
+		if p.OnSelect != nil {
+			p.OnSelect(i, p.Rows[i])
+		}
+	}
+	return true
+}
+
+// InventoryBar is the player's backpack strip (paper §3.1: "an inventory
+// window is used for displaying what items the player owned"). It is a
+// DropTarget: dragging a scene object onto it collects the item.
+type InventoryBar struct {
+	Box
+	Items  []string
+	Slots  int
+	OnDrop func(payload string) bool // invoked for drops; return accept
+	OnPick func(i int, item string)  // invoked when a filled slot is clicked
+}
+
+// NewInventoryBar creates a bar with the given slot count.
+func NewInventoryBar(id string, b raster.Rect, slots int) *InventoryBar {
+	return &InventoryBar{Box: NewBox(id, b), Slots: slots}
+}
+
+// Paint draws slot cells with item names.
+func (iv *InventoryBar) Paint(f *raster.Frame) {
+	r := iv.Bounds()
+	f.FillRect(r, ThemeBgDark)
+	f.DrawRect(r, ThemeBorder)
+	if iv.Slots <= 0 {
+		return
+	}
+	slotW := (r.W - 2) / iv.Slots
+	for s := 0; s < iv.Slots; s++ {
+		cell := raster.Rect{X: r.X + 1 + s*slotW, Y: r.Y + 1, W: slotW - 1, H: r.H - 2}
+		f.FillRect(cell, ThemePanel)
+		f.DrawRect(cell, ThemeBorder)
+		if s < len(iv.Items) {
+			f.DrawTextClipped(cell.X+2, cell.Y+(cell.H-raster.GlyphH)/2,
+				raster.FitText(iv.Items[s], cell.W-4), ThemeText, cell)
+		}
+	}
+}
+
+// AcceptDrop adds the payload as an item (delegating to OnDrop when set).
+func (iv *InventoryBar) AcceptDrop(payload string, x, y int) bool {
+	if len(iv.Items) >= iv.Slots {
+		return false
+	}
+	if iv.OnDrop != nil {
+		return iv.OnDrop(payload)
+	}
+	iv.Items = append(iv.Items, payload)
+	return true
+}
+
+// Mouse reports clicks on filled slots through OnPick.
+func (iv *InventoryBar) Mouse(ev MouseEvent) bool {
+	if ev.Kind != MouseClick || iv.Slots <= 0 {
+		return true
+	}
+	r := iv.Bounds()
+	slotW := (r.W - 2) / iv.Slots
+	if slotW <= 0 {
+		return true
+	}
+	s := (ev.X - r.X - 1) / slotW
+	if s >= 0 && s < len(iv.Items) && iv.OnPick != nil {
+		iv.OnPick(s, iv.Items[s])
+	}
+	return true
+}
+
+// MenuBar is a horizontal strip of menu labels firing a callback per entry.
+type MenuBar struct {
+	Box
+	Entries  []string
+	OnSelect func(i int, entry string)
+}
+
+// NewMenuBar creates the bar.
+func NewMenuBar(id string, b raster.Rect, entries []string) *MenuBar {
+	return &MenuBar{Box: NewBox(id, b), Entries: entries}
+}
+
+const menuEntryPad = 8
+
+// Paint draws the entries left to right.
+func (m *MenuBar) Paint(f *raster.Frame) {
+	r := m.Bounds()
+	f.FillRect(r, ThemeBg)
+	f.HLine(r.X, r.X+r.W-1, r.Y+r.H-1, ThemeBorder)
+	x := r.X + 3
+	for _, e := range m.Entries {
+		f.DrawTextClipped(x, r.Y+(r.H-raster.GlyphH)/2, e, ThemeText, r)
+		x += raster.TextWidth(e) + menuEntryPad
+	}
+}
+
+// Mouse maps a click to the entry under the pointer.
+func (m *MenuBar) Mouse(ev MouseEvent) bool {
+	if ev.Kind != MouseClick {
+		return ev.Kind == MouseDown
+	}
+	x := m.Bounds().X + 3
+	for i, e := range m.Entries {
+		w := raster.TextWidth(e)
+		if ev.X >= x && ev.X < x+w+menuEntryPad/2 {
+			if m.OnSelect != nil {
+				m.OnSelect(i, e)
+			}
+			return true
+		}
+		x += w + menuEntryPad
+	}
+	return true
+}
+
+// StatusBar is a single-line message strip (the runtime shows NPC dialogue
+// and feedback here).
+type StatusBar struct {
+	Box
+	Text string
+}
+
+// NewStatusBar creates the bar.
+func NewStatusBar(id string, b raster.Rect) *StatusBar {
+	return &StatusBar{Box: NewBox(id, b)}
+}
+
+// Paint draws the sunken status strip.
+func (s *StatusBar) Paint(f *raster.Frame) {
+	r := s.Bounds()
+	f.FillRect(r, ThemeBg)
+	f.DrawRect(r, ThemeBgDark)
+	f.DrawTextClipped(r.X+2, r.Y+(r.H-raster.GlyphH)/2, raster.FitText(s.Text, r.W-4), ThemeText, r)
+}
+
+// PopupPanel is a ready-made modal popup with a message and an OK button —
+// the paper's "text messages ... popped up by the users' interaction".
+type PopupPanel struct {
+	*Panel
+	OK *Button
+}
+
+// NewPopup builds a centered popup for the given window size.
+func NewPopup(id string, winW, winH int, title, message string, onOK func()) *PopupPanel {
+	w, h := winW*2/3, 60
+	b := raster.Rect{X: (winW - w) / 2, Y: (winH - h) / 2, W: w, H: h}
+	p := NewPanel(id, b, title)
+	p.BgColor = ThemePanel
+	lbl := NewLabel(id+".msg", raster.Rect{X: b.X + 4, Y: b.Y + TitleBarHeight + 4, W: w - 8, H: 12}, message)
+	ok := NewButton(id+".ok", raster.Rect{X: b.X + (w-40)/2, Y: b.Y + h - 18, W: 40, H: 13}, "OK", onOK)
+	p.Add(lbl)
+	p.Add(ok)
+	return &PopupPanel{Panel: p, OK: ok}
+}
+
+// String renders a compact description (debugging aid).
+func (p *PopupPanel) String() string {
+	return fmt.Sprintf("popup %q at %+v", p.Title, p.Bounds())
+}
