@@ -5,15 +5,19 @@ package repro
 // side of every table; the vgbl-experiments binary prints the full tables.
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/author"
 	"repro/internal/baseline"
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/media/playback"
 	"repro/internal/media/raster"
 	"repro/internal/media/shotdetect"
@@ -23,6 +27,7 @@ import (
 	"repro/internal/netstream"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Shared fixtures, built once.
@@ -266,6 +271,84 @@ func BenchmarkStreamFullDownload(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- E10: learner fleet + telemetry ingest ---------------------------------
+
+// benchmarkFleet runs one fleet iteration per op: n concurrent learners
+// fetch the classroom package from a live netstream server (ETag-cached),
+// play it guided, and report through batched telemetry.
+func benchmarkFleet(b *testing.B, learners int) {
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("classroom", classroomPkg(b)); err != nil {
+		b.Fatal(err)
+	}
+	svc := telemetry.NewService(telemetry.Options{Workers: 8, QueueDepth: 512})
+	defer svc.Close()
+	if err := srv.Mount("/telemetry/", svc.Handler()); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var sessions, events float64
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := fleet.Run(fleet.Config{
+			ServerURL:   ts.URL,
+			Package:     "classroom",
+			Learners:    learners,
+			Concurrency: 64,
+			Policy:      sim.GuidedFactory,
+			Sim:         sim.Config{MaxSteps: 12, TicksPerStep: 1, Patience: 30, Seed: int64(i)},
+			FlushEvery:  8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Failed > 0 {
+			b.Fatalf("%d learners failed: %v", sum.Failed, sum.Errors)
+		}
+		sessions += float64(learners)
+		events += float64(sum.EventsReported)
+		elapsed += sum.Elapsed
+	}
+	b.StopTimer()
+	if secs := elapsed.Seconds(); secs > 0 {
+		b.ReportMetric(sessions/secs, "sessions/s")
+		b.ReportMetric(events/secs, "events/s")
+	}
+}
+
+func BenchmarkFleet10(b *testing.B)  { benchmarkFleet(b, 10) }
+func BenchmarkFleet50(b *testing.B)  { benchmarkFleet(b, 50) }
+func BenchmarkFleet200(b *testing.B) { benchmarkFleet(b, 200) }
+
+// BenchmarkFleetIngest isolates the ingest path: one batch applied to the
+// sharded store per op, across parallel goroutines (no HTTP).
+func BenchmarkFleetIngest(b *testing.B) {
+	store := telemetry.NewStore(32)
+	events := []runtime.Event{
+		{Tick: 1, Kind: "click", Detail: "computer"},
+		{Tick: 2, Kind: "learn", Detail: "ram-identification"},
+		{Tick: 3, Kind: "goto", Detail: "market"},
+		{Tick: 4, Kind: "reward", Detail: "badge"},
+	}
+	var sid atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := sid.Add(1)
+		session := 0
+		for pb.Next() {
+			session++
+			s := fmt.Sprintf("g%d-s%d", id, session)
+			if err := store.Append(telemetry.Batch{Course: "bench", Session: s, Start: "classroom", Events: events}); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Append(telemetry.Batch{Course: "bench", Session: s, Done: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- E9: ablations ----------------------------------------------------------

@@ -17,26 +17,28 @@ import (
 
 func main() {
 	cohort := flag.Int("cohort", 30, "simulated learners per cohort (e6/e7)")
+	fleetSize := flag.Int("fleet", 200, "largest learner fleet (e10)")
 	flag.Parse()
 
 	runs := map[string]func() (string, error){
-		"f1": experiments.F1,
-		"f2": experiments.F2,
-		"e1": experiments.E1,
-		"e2": experiments.E2,
-		"e3": experiments.E3,
-		"e4": experiments.E4,
-		"e5": experiments.E5,
-		"e6": func() (string, error) { return experiments.E6(*cohort) },
-		"e7": func() (string, error) { return experiments.E7(*cohort) },
-		"e8": experiments.E8,
-		"e9": experiments.E9,
+		"f1":  experiments.F1,
+		"f2":  experiments.F2,
+		"e1":  experiments.E1,
+		"e2":  experiments.E2,
+		"e3":  experiments.E3,
+		"e4":  experiments.E4,
+		"e5":  experiments.E5,
+		"e6":  func() (string, error) { return experiments.E6(*cohort) },
+		"e7":  func() (string, error) { return experiments.E7(*cohort) },
+		"e8":  experiments.E8,
+		"e9":  experiments.E9,
+		"e10": func() (string, error) { return experiments.E10(*fleetSize) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] all | f1 f2 e1 ... e9")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e10")
 		os.Exit(2)
 	}
 	var selected []string

@@ -1,0 +1,174 @@
+// Command vgbl-loadtest drives a learner fleet against a package server —
+// the classroom-at-scale measurement. Pointed at a running vgbl-server it
+// load-tests that deployment; with no -server it brings up an in-process
+// server with the classroom course and exercises the full loop locally.
+//
+// Usage:
+//
+//	vgbl-loadtest -learners 500 -policy guided
+//	vgbl-loadtest -server http://127.0.0.1:8807 -pkg classroom -learners 1000
+//
+// The run prints the fleet's throughput/latency summary and the server's
+// final /telemetry/stats snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/fleet"
+	"repro/internal/media/studio"
+	"repro/internal/netstream"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	server := flag.String("server", "", "package server base URL (empty: serve the classroom course in-process)")
+	pkgName := flag.String("pkg", "classroom", "package name under /pkg/")
+	learners := flag.Int("learners", 500, "fleet size")
+	concurrency := flag.Int("concurrency", 128, "max simultaneously playing learners")
+	policy := flag.String("policy", "guided", "learner policy: guided, explorer, random")
+	steps := flag.Int("steps", 30, "max interactions per session")
+	flushEvery := flag.Int("flush", 32, "telemetry batch size")
+	flushMS := flag.Int("flush-interval-ms", 250, "telemetry interval flush (0 disables)")
+	progressive := flag.Bool("progressive", false, "also measure ranged progressive startup per learner")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	factories := map[string]sim.Factory{
+		"guided":   sim.GuidedFactory,
+		"explorer": sim.ExplorerFactory,
+		"random":   sim.RandomFactory,
+	}
+	f, ok := factories[*policy]
+	if !ok {
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	url := *server
+	var svc *telemetry.Service
+	if url == "" {
+		var err error
+		svc, url, err = serveInProcess(*pkgName)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving %s in-process at %s\n", *pkgName, url)
+	}
+
+	fmt.Printf("driving %d learners (%s policy) against %s/pkg/%s ...\n", *learners, *policy, url, *pkgName)
+	sum, err := fleet.Run(fleet.Config{
+		ServerURL:          url,
+		Package:            *pkgName,
+		Learners:           *learners,
+		Concurrency:        *concurrency,
+		Policy:             f,
+		Sim:                sim.Config{MaxSteps: *steps, TicksPerStep: 2, Patience: 20, RewardBoost: 10, Seed: *seed},
+		FlushEvery:         *flushEvery,
+		FlushInterval:      time.Duration(*flushMS) * time.Millisecond,
+		ProgressiveStartup: *progressive,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println()
+	fmt.Print(sum.String())
+
+	// Let the ingest queues drain, then show what the lecturer would see.
+	if svc != nil {
+		if !svc.Quiesce(30 * time.Second) {
+			fail(fmt.Errorf("ingest queues did not drain"))
+		}
+	} else if err := waitForDrain(url); err != nil {
+		fmt.Fprintf(os.Stderr, "vgbl-loadtest: warning: %v; the stats snapshot below may be missing pending batches\n", err)
+	}
+	resp, err := http.Get(url + telemetry.StatsPath)
+	if err != nil {
+		fail(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%s:\n%s", telemetry.StatsPath, body)
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// serveInProcess builds the named bundled course, publishes it with a
+// telemetry service mounted, and returns the service and base URL.
+func serveInProcess(name string) (*telemetry.Service, string, error) {
+	courses := map[string]*content.Course{
+		"classroom": content.Classroom(),
+		"museum":    content.Museum(),
+		"street":    content.StreetDemo(),
+	}
+	course, ok := courses[name]
+	if !ok {
+		return nil, "", fmt.Errorf("no bundled course %q (have classroom, museum, street)", name)
+	}
+	blob, err := course.BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	if err != nil {
+		return nil, "", err
+	}
+	srv := netstream.NewServer()
+	if err := srv.AddPackage(name, blob); err != nil {
+		return nil, "", err
+	}
+	svc := telemetry.NewService(telemetry.Options{Workers: 8, QueueDepth: 512})
+	h := svc.Handler()
+	if err := srv.Mount("/telemetry/", h); err != nil {
+		return nil, "", err
+	}
+	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go http.Serve(ln, srv)
+	return svc, "http://" + ln.Addr().String(), nil
+}
+
+// waitForDrain polls a remote server's /healthz until its ingest queues
+// report no pending batches; it errors when the drain cannot be confirmed.
+func waitForDrain(url string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	pending := -1
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + telemetry.HealthPath)
+		if err != nil {
+			return fmt.Errorf("ingest drain unconfirmed: %w", err)
+		}
+		var health struct {
+			Pending int `json:"pending"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("ingest drain unconfirmed: bad %s payload: %w", telemetry.HealthPath, err)
+		}
+		if health.Pending == 0 {
+			return nil
+		}
+		pending = health.Pending
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("ingest queues still report %d pending batches after 15s", pending)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vgbl-loadtest:", err)
+	os.Exit(1)
+}

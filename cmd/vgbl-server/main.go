@@ -1,7 +1,10 @@
 // Command vgbl-server publishes game packages over HTTP (paper §2: students
 // "easily access these resources via network"). It serves the bundled demo
 // courses plus any .tkg files given on the command line, with range support
-// so the progressive client can start playing before the download finishes.
+// so the progressive client can start playing before the download finishes,
+// and mounts the telemetry ingest service so playing clients (and the
+// vgbl-loadtest fleet) can report their sessions to /telemetry/ingest and
+// lecturers can read live aggregates from /telemetry/stats.
 //
 // Usage:
 //
@@ -16,14 +19,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/content"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8807", "listen address")
+	ingestWorkers := flag.Int("ingest-workers", 8, "telemetry ingest workers")
+	ingestQueue := flag.Int("ingest-queue", 512, "telemetry queue depth per worker (backpressure bound)")
+	ingestIdle := flag.Duration("ingest-idle-timeout", 30*time.Minute, "fold telemetry sessions idle this long (negative disables)")
 	flag.Parse()
 
 	srv := netstream.NewServer()
@@ -54,6 +62,16 @@ func main() {
 		}
 	}
 
+	svc := telemetry.NewService(telemetry.Options{Workers: *ingestWorkers, QueueDepth: *ingestQueue, IdleTimeout: *ingestIdle})
+	defer svc.Close()
+	h := svc.Handler()
+	if err := srv.Mount("/telemetry/", h); err != nil {
+		fail(err)
+	}
+	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
+		fail(err)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
@@ -64,6 +82,8 @@ func main() {
 		fmt.Printf("    http://%s/pkg/%s\n", ln.Addr(), n)
 	}
 	fmt.Printf("  listing:  http://%s/list\n", ln.Addr())
+	fmt.Printf("  telemetry: http://%s%s (POST), http://%s%s\n", ln.Addr(), telemetry.IngestPath, ln.Addr(), telemetry.StatsPath)
+	fmt.Printf("  health:   http://%s%s\n", ln.Addr(), telemetry.HealthPath)
 	if err := http.Serve(ln, srv); err != nil {
 		fail(err)
 	}

@@ -4,7 +4,8 @@
 // footage, TKV1 codec, TKVC container, shot detection, playback), a
 // headless UI toolkit, an event-scripting language, the VGBL document
 // model, the authoring tool, the gaming platform runtime, simulated
-// learners, analytics, baselines and an HTTP streaming layer.
+// learners, analytics, baselines, an HTTP streaming layer, a telemetry
+// ingestion service and a learner-fleet load generator.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // figure/table reproductions, and bench_test.go (this package) for the

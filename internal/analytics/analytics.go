@@ -170,33 +170,107 @@ type Aggregate struct {
 
 // Aggregate combines reports.
 func AggregateReports(reports []*Report) Aggregate {
-	a := Aggregate{Sessions: len(reports), KnowledgeCounts: map[string]int{}}
-	if len(reports) == 0 {
+	var ro Rolling
+	for _, r := range reports {
+		ro.Add(r)
+	}
+	return ro.Aggregate()
+}
+
+// Rolling is an incrementally mergeable cohort accumulator: the exact sums
+// behind an Aggregate, kept as integers so partial accumulators from
+// different goroutines (or different telemetry shards) can be merged without
+// losing precision. The zero value is ready to use. Rolling is NOT
+// goroutine-safe; accumulate per goroutine and Merge, or lock externally.
+type Rolling struct {
+	Sessions        int
+	Events          int // total events across sessions
+	Decisions       int
+	Knowledge       int // total knowledge deliveries (with repeats)
+	UniqueKnowledge int // sum over sessions of distinct units delivered
+	Rewards         int
+	Completed       int // sessions that reached an end event
+	Ticks           int // sum of per-session LastTick
+	QuizAsked       int
+	QuizAnswered    int
+	QuizCorrect     int
+	KnowledgeCounts map[string]int // unit → sessions that received it
+	Outcomes        map[string]int // end label → sessions
+}
+
+// Add folds one session report into the accumulator.
+func (ro *Rolling) Add(r *Report) {
+	ro.Sessions++
+	ro.Events += r.TotalEvents
+	ro.Decisions += r.Decisions
+	ro.Knowledge += len(r.Knowledge)
+	ro.Rewards += len(r.Rewards)
+	ro.Ticks += r.LastTick
+	ro.QuizAsked += r.QuizAsked
+	ro.QuizAnswered += r.Interactions["quiz-correct"] + r.Interactions["quiz-wrong"]
+	ro.QuizCorrect += r.QuizCorrect
+	if r.Ended {
+		ro.Completed++
+		if ro.Outcomes == nil {
+			ro.Outcomes = map[string]int{}
+		}
+		ro.Outcomes[r.Outcome]++
+	}
+	uniq := r.UniqueKnowledge()
+	ro.UniqueKnowledge += len(uniq)
+	if len(uniq) > 0 && ro.KnowledgeCounts == nil {
+		ro.KnowledgeCounts = map[string]int{}
+	}
+	for _, k := range uniq {
+		ro.KnowledgeCounts[k]++
+	}
+}
+
+// Merge folds another accumulator into this one. The other accumulator is
+// left untouched and may keep accumulating independently.
+func (ro *Rolling) Merge(other *Rolling) {
+	ro.Sessions += other.Sessions
+	ro.Events += other.Events
+	ro.Decisions += other.Decisions
+	ro.Knowledge += other.Knowledge
+	ro.UniqueKnowledge += other.UniqueKnowledge
+	ro.Rewards += other.Rewards
+	ro.Completed += other.Completed
+	ro.Ticks += other.Ticks
+	ro.QuizAsked += other.QuizAsked
+	ro.QuizAnswered += other.QuizAnswered
+	ro.QuizCorrect += other.QuizCorrect
+	if len(other.KnowledgeCounts) > 0 && ro.KnowledgeCounts == nil {
+		ro.KnowledgeCounts = map[string]int{}
+	}
+	for k, n := range other.KnowledgeCounts {
+		ro.KnowledgeCounts[k] += n
+	}
+	if len(other.Outcomes) > 0 && ro.Outcomes == nil {
+		ro.Outcomes = map[string]int{}
+	}
+	for k, n := range other.Outcomes {
+		ro.Outcomes[k] += n
+	}
+}
+
+// Aggregate digests the sums into the mean-based cohort view.
+func (ro *Rolling) Aggregate() Aggregate {
+	a := Aggregate{Sessions: ro.Sessions, KnowledgeCounts: map[string]int{}}
+	for k, n := range ro.KnowledgeCounts {
+		a.KnowledgeCounts[k] = n
+	}
+	if ro.Sessions == 0 {
 		return a
 	}
-	var quizAnswered, quizCorrect int
-	for _, r := range reports {
-		a.MeanDecisions += float64(r.Decisions)
-		a.MeanKnowledge += float64(len(r.UniqueKnowledge()))
-		a.MeanRewards += float64(len(r.Rewards))
-		a.MeanTicks += float64(r.LastTick)
-		if r.Ended {
-			a.CompletionRate++
-		}
-		for _, k := range r.UniqueKnowledge() {
-			a.KnowledgeCounts[k]++
-		}
-		quizAnswered += r.Interactions["quiz-correct"] + r.Interactions["quiz-wrong"]
-		quizCorrect += r.QuizCorrect
+	n := float64(ro.Sessions)
+	a.MeanDecisions = float64(ro.Decisions) / n
+	a.MeanKnowledge = float64(ro.UniqueKnowledge) / n
+	a.MeanRewards = float64(ro.Rewards) / n
+	a.MeanTicks = float64(ro.Ticks) / n
+	a.CompletionRate = float64(ro.Completed) / n
+	if ro.QuizAnswered > 0 {
+		a.QuizAccuracy = float64(ro.QuizCorrect) / float64(ro.QuizAnswered)
 	}
-	if quizAnswered > 0 {
-		a.QuizAccuracy = float64(quizCorrect) / float64(quizAnswered)
-	}
-	n := float64(len(reports))
-	a.MeanDecisions /= n
-	a.MeanKnowledge /= n
-	a.MeanRewards /= n
-	a.MeanTicks /= n
-	a.CompletionRate /= n
 	return a
 }

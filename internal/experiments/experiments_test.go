@@ -97,3 +97,15 @@ func TestE9Runs(t *testing.T) {
 		}
 	}
 }
+
+func TestE10SmallFleet(t *testing.T) {
+	out, err := E10(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sweep row must end in the exact-match column; the footer text
+	// also says "exact", so assert on the row token specifically.
+	if strings.Count(out, "| exact") != 3 || strings.Contains(out, "MISMATCH") {
+		t.Errorf("E10 output:\n%s", out)
+	}
+}

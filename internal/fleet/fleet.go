@@ -1,0 +1,334 @@
+// Package fleet is the learner-fleet load generator: it spins up N
+// concurrent simulated learners that each fetch a course package from a
+// live netstream.Server, play it through a runtime.Session driven by a sim
+// policy, and report every event through a batching telemetry client. The
+// summary it returns — throughput, startup and session latency, transfer
+// and ingest costs — is the measurement behind experiment E10 and the
+// BenchmarkFleet* family, and the closest thing the reproduction has to the
+// paper's networked-classroom deployment under load.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/gamepack"
+	"repro/internal/netstream"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config shapes one fleet run.
+type Config struct {
+	ServerURL string // netstream server base URL (http://host:port)
+	Package   string // package name published under /pkg/
+
+	// TelemetryURL is the base URL of the telemetry ingest endpoints;
+	// empty means the package server also ingests (the usual mounting).
+	TelemetryURL string
+	// Course labels the telemetry stream (default: the package name).
+	Course string
+	// RunID salts the fleet's session IDs. Defaults to a timestamp so
+	// repeated runs against one long-lived server register as new sessions
+	// instead of colliding with the previous run's dedup tombstones.
+	RunID string
+
+	Learners    int // fleet size (default 50)
+	Concurrency int // max simultaneously playing learners (default min(Learners, 128))
+
+	Policy sim.Factory // learner policy (default sim.GuidedFactory)
+	Sim    sim.Config  // per-session knobs; Seed is offset per learner
+
+	FlushEvery    int           // telemetry batch size (default 32)
+	FlushInterval time.Duration // telemetry interval flush (0 = size-only)
+
+	// ProgressiveStartup additionally measures a ProgressiveOpen per
+	// learner (the ranged startup fetch) instead of timing only the cached
+	// download.
+	ProgressiveStartup bool
+
+	HTTP *http.Client // shared transport (default http.DefaultClient)
+}
+
+func (c *Config) defaults() (ownsTransport bool, err error) {
+	if c.ServerURL == "" || c.Package == "" {
+		return false, fmt.Errorf("fleet: need ServerURL and Package")
+	}
+	if c.TelemetryURL == "" {
+		c.TelemetryURL = c.ServerURL
+	}
+	if c.Course == "" {
+		c.Course = c.Package
+	}
+	if c.Learners <= 0 {
+		c.Learners = 50
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 128
+	}
+	if c.Concurrency > c.Learners {
+		c.Concurrency = c.Learners
+	}
+	if c.Policy.New == nil {
+		c.Policy = sim.GuidedFactory
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 32
+	}
+	if c.RunID == "" {
+		c.RunID = fmt.Sprintf("%x", time.Now().UnixNano())
+	}
+	if c.HTTP == nil {
+		// http.DefaultClient keeps only 2 idle connections per host — a
+		// whole fleet hammering one server would then churn a TCP
+		// connection per request and measure handshakes, not the server.
+		// Clone the default transport so proxy/dial/TLS settings survive.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = c.Concurrency
+		tr.MaxIdleConnsPerHost = c.Concurrency
+		c.HTTP = &http.Client{Transport: tr}
+		ownsTransport = true
+	}
+	return ownsTransport, nil
+}
+
+// Latency summarizes a set of durations.
+type Latency struct {
+	P50, P90, P99, Max, Mean time.Duration
+}
+
+func quantiles(ds []time.Duration) Latency {
+	var l Latency
+	if len(ds) == 0 {
+		return l
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		// Ceiling index: pXX is an upper-bound order statistic, so small
+		// samples report their tail instead of hiding it.
+		return sorted[int(math.Ceil(q*float64(len(sorted)-1)))]
+	}
+	l.P50, l.P90, l.P99 = at(0.50), at(0.90), at(0.99)
+	l.Max = sorted[len(sorted)-1]
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	l.Mean = sum / time.Duration(len(sorted))
+	return l
+}
+
+func (l Latency) String() string {
+	return fmt.Sprintf("p50 %v  p90 %v  p99 %v  max %v", l.P50.Round(time.Microsecond),
+		l.P90.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+}
+
+// Summary is the fleet run's measurement.
+type Summary struct {
+	Learners  int
+	Completed int // sessions that reached an end
+	Failed    int // learners that errored (fetch, play or telemetry)
+	Steps     int // total policy steps taken
+
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	EventsPerSec   float64 // telemetry events ingested per wall second
+
+	Fetch   netstream.Stats // cumulative package transfer cost
+	Startup Latency         // time to a playable session (fetch + open)
+	Session Latency         // play duration per learner
+	Flush   Latency         // telemetry batch post latency (per batch mean per learner)
+
+	EventsReported  int // events delivered to the telemetry service
+	BatchesReported int
+	Posts           int // HTTP posts incl. retries
+	Retries         int // posts re-sent after load shedding
+
+	// Reports holds each learner's local analytics digest, in learner
+	// order — ground truth to verify the ingested aggregates against.
+	Reports []*analytics.Report
+
+	Errors []string // up to 8 sample error messages
+}
+
+// String renders the throughput/latency table the load-test CLI prints.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FLEET RUN — %d learners (%d completed, %d failed)\n", s.Learners, s.Completed, s.Failed)
+	fmt.Fprintf(&b, "  wall time        : %v\n", s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput       : %.1f sessions/s, %.0f events/s ingested\n", s.SessionsPerSec, s.EventsPerSec)
+	fmt.Fprintf(&b, "  startup latency  : %s\n", s.Startup)
+	fmt.Fprintf(&b, "  session latency  : %s\n", s.Session)
+	fmt.Fprintf(&b, "  batch post       : %s\n", s.Flush)
+	fmt.Fprintf(&b, "  package transfer : %d requests, %d bytes, %d not-modified\n",
+		s.Fetch.Requests, s.Fetch.BytesFetched, s.Fetch.NotModified)
+	fmt.Fprintf(&b, "  telemetry        : %d events in %d batches over %d posts (%d retries)\n",
+		s.EventsReported, s.BatchesReported, s.Posts, s.Retries)
+	if len(s.Errors) > 0 {
+		fmt.Fprintf(&b, "  errors           : %s\n", strings.Join(s.Errors, "; "))
+	}
+	return b.String()
+}
+
+// learnerOutcome is what one learner hands back to the aggregator.
+type learnerOutcome struct {
+	report  *analytics.Report
+	stats   telemetry.ClientStats
+	fetch   netstream.Stats
+	startup time.Duration
+	session time.Duration
+	steps   int
+	done    bool
+	err     error
+}
+
+// Run drives the whole fleet and blocks until every learner finishes.
+// Learner errors do not abort the run; they are counted and sampled in the
+// summary. Run itself errors only on misconfiguration.
+func Run(cfg Config) (*Summary, error) {
+	ownsTransport, err := cfg.defaults()
+	if err != nil {
+		return nil, err
+	}
+	if ownsTransport {
+		// Run created this transport; release its idle sockets on exit so
+		// looped runs (benchmarks) do not pile up file descriptors.
+		defer cfg.HTTP.CloseIdleConnections()
+	}
+	cache := netstream.NewPackageCache()
+	pkgURL := cfg.ServerURL + "/pkg/" + cfg.Package
+	// Prefetch once: warms the shared cache (every learner then revalidates
+	// with a 304 instead of re-shipping the package) and yields the start
+	// scenario the server-side digests need.
+	nc := &netstream.Client{HTTP: cfg.HTTP}
+	blob, prefetch, err := nc.DownloadCached(pkgURL, cache)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: prefetch %s: %w", pkgURL, err)
+	}
+	pkg, err := gamepack.Open(blob)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: prefetched package: %w", err)
+	}
+	start := pkg.Project.StartScenario
+
+	outcomes := make([]learnerOutcome, cfg.Learners)
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for i := 0; i < cfg.Learners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = runLearner(&cfg, i, pkgURL, start, cache)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	sum := &Summary{Learners: cfg.Learners, Elapsed: elapsed}
+	sum.Fetch.Add(prefetch)
+	var startups, sessions, flushes []time.Duration
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			sum.Failed++
+			if len(sum.Errors) < 8 {
+				sum.Errors = append(sum.Errors, fmt.Sprintf("learner %d: %v", i, o.err))
+			}
+			continue
+		}
+		if o.done {
+			sum.Completed++
+		}
+		sum.Steps += o.steps
+		sum.Fetch.Add(o.fetch)
+		sum.EventsReported += o.stats.Events
+		sum.BatchesReported += o.stats.Batches
+		sum.Posts += o.stats.Posts
+		sum.Retries += o.stats.Retries
+		sum.Reports = append(sum.Reports, o.report)
+		startups = append(startups, o.startup)
+		sessions = append(sessions, o.session)
+		if o.stats.Batches > 0 {
+			flushes = append(flushes, o.stats.FlushTime/time.Duration(o.stats.Batches))
+		}
+	}
+	sum.Startup = quantiles(startups)
+	sum.Session = quantiles(sessions)
+	sum.Flush = quantiles(flushes)
+	if secs := elapsed.Seconds(); secs > 0 {
+		sum.SessionsPerSec = float64(cfg.Learners-sum.Failed) / secs
+		sum.EventsPerSec = float64(sum.EventsReported) / secs
+	}
+	return sum, nil
+}
+
+// runLearner plays one learner end to end: fetch, open, play, report.
+func runLearner(cfg *Config, i int, pkgURL, start string, cache *netstream.PackageCache) learnerOutcome {
+	var o learnerOutcome
+	nc := &netstream.Client{HTTP: cfg.HTTP}
+
+	startupBegan := time.Now()
+	if cfg.ProgressiveStartup {
+		// The ranged startup path the progressive client would use on a
+		// thin link: its cost is the startup number E8 reports.
+		if _, st, err := nc.ProgressiveOpen(pkgURL); err != nil {
+			o.err = fmt.Errorf("progressive open: %w", err)
+			return o
+		} else {
+			o.fetch.Add(st)
+		}
+	}
+	blob, st, err := nc.DownloadCached(pkgURL, cache)
+	if err != nil {
+		o.err = fmt.Errorf("download: %w", err)
+		return o
+	}
+	o.fetch.Add(st)
+	o.startup = time.Since(startupBegan)
+
+	tc, err := telemetry.NewClient(telemetry.ClientOptions{
+		BaseURL:    cfg.TelemetryURL,
+		Course:     cfg.Course,
+		Session:    fmt.Sprintf("%s-%s-learner-%05d", cfg.Course, cfg.RunID, i),
+		Start:      start,
+		FlushEvery: cfg.FlushEvery,
+		Interval:   cfg.FlushInterval,
+		HTTP:       cfg.HTTP,
+	})
+	if err != nil {
+		o.err = err
+		return o
+	}
+
+	simCfg := cfg.Sim
+	simCfg.Seed = cfg.Sim.Seed + int64(i)*7919
+	simCfg.Observer = tc
+
+	playBegan := time.Now()
+	res, err := sim.Run(blob, cfg.Policy, simCfg)
+	o.session = time.Since(playBegan)
+	if err != nil {
+		tc.Close()
+		o.err = fmt.Errorf("session: %w", err)
+		return o
+	}
+	if err := tc.Close(); err != nil {
+		o.err = fmt.Errorf("telemetry: %w", err)
+		return o
+	}
+	o.report = res.Report
+	o.stats = tc.Stats()
+	o.steps = res.Steps
+	o.done = res.Completed
+	return o
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/content"
+	"repro/internal/media/studio"
+	"repro/internal/netstream"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+var (
+	oncePkg sync.Once
+	pkgBlob []byte
+	pkgErr  error
+)
+
+func classroomBlob(t *testing.T) []byte {
+	t.Helper()
+	oncePkg.Do(func() {
+		pkgBlob, pkgErr = content.Classroom().BuildPackage(studio.Options{QStep: 12, Workers: 2})
+	})
+	if pkgErr != nil {
+		t.Fatal(pkgErr)
+	}
+	return pkgBlob
+}
+
+// liveStack brings up a netstream.Server with the classroom package and a
+// mounted telemetry service — the deployment the load generator targets.
+func liveStack(t *testing.T, opts telemetry.Options) (*httptest.Server, *telemetry.Service) {
+	t.Helper()
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	svc := telemetry.NewService(opts)
+	t.Cleanup(svc.Close)
+	h := svc.Handler()
+	if err := srv.Mount("/telemetry/", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// TestFleet500StatsExact is the subsystem's acceptance test: 500 concurrent
+// simulated learners play against a live netstream.Server, reporting
+// through batched telemetry, and the ingested course totals must equal the
+// sum of the 500 local per-session analytics reports — exactly.
+func TestFleet500StatsExact(t *testing.T) {
+	ts, svc := liveStack(t, telemetry.Options{Workers: 8, QueueDepth: 256})
+	const learners = 500
+	sum, err := Run(Config{
+		ServerURL:   ts.URL,
+		Package:     "classroom",
+		Learners:    learners,
+		Concurrency: 64,
+		Policy:      sim.GuidedFactory,
+		Sim:         sim.Config{MaxSteps: 12, TicksPerStep: 1, Patience: 30},
+		FlushEvery:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("%d learners failed: %v", sum.Failed, sum.Errors)
+	}
+	if len(sum.Reports) != learners {
+		t.Fatalf("reports = %d", len(sum.Reports))
+	}
+	if !svc.Quiesce(30 * time.Second) {
+		t.Fatal("ingest queues did not drain")
+	}
+
+	// Ground truth: the straight sum of the per-session local reports.
+	var want analytics.Rolling
+	for _, r := range sum.Reports {
+		want.Add(r)
+	}
+	cs := svc.Store().Snapshot()["classroom"]
+	if cs.SessionsStarted != learners || cs.SessionsEnded != learners || cs.LiveSessions != 0 {
+		t.Fatalf("session accounting: %+v", cs)
+	}
+	if cs.Events != want.Events || cs.Decisions != want.Decisions ||
+		cs.Knowledge != want.Knowledge || cs.UniqueKnowledge != want.UniqueKnowledge ||
+		cs.Rewards != want.Rewards || cs.Completed != want.Completed ||
+		cs.Ticks != want.Ticks || cs.QuizAsked != want.QuizAsked ||
+		cs.QuizCorrect != want.QuizCorrect {
+		t.Errorf("ingested totals diverge from summed reports:\n got %+v\nwant %+v", cs, want)
+	}
+	for unit, n := range want.KnowledgeCounts {
+		if cs.KnowledgeCounts[unit] != n {
+			t.Errorf("KnowledgeCounts[%q] = %d, want %d", unit, cs.KnowledgeCounts[unit], n)
+		}
+	}
+	for outcome, n := range want.Outcomes {
+		if cs.Outcomes[outcome] != n {
+			t.Errorf("Outcomes[%q] = %d, want %d", outcome, cs.Outcomes[outcome], n)
+		}
+	}
+	sessions := 0
+	for _, n := range cs.TickHist {
+		sessions += n
+	}
+	if sessions != learners {
+		t.Errorf("tick histogram holds %d sessions: %v", sessions, cs.TickHist)
+	}
+
+	// The ETag cache did its job: one full download (the prefetch), then
+	// one 304 revalidation per learner.
+	if sum.Fetch.NotModified != learners {
+		t.Errorf("not-modified = %d, want %d", sum.Fetch.NotModified, learners)
+	}
+	if sum.Fetch.BytesFetched != len(classroomBlob(t)) {
+		t.Errorf("fetched %d bytes, want exactly one package (%d)", sum.Fetch.BytesFetched, len(classroomBlob(t)))
+	}
+	if sum.EventsReported != want.Events {
+		t.Errorf("events reported = %d, want %d", sum.EventsReported, want.Events)
+	}
+	if sum.BatchesReported < learners { // at least the final done batch each
+		t.Errorf("batches = %d", sum.BatchesReported)
+	}
+	if sum.Completed == 0 {
+		t.Error("no guided learner completed the classroom mission")
+	}
+}
+
+// TestFleetProgressiveAndInterval exercises the ranged-startup measurement
+// and the interval flusher on a small fleet.
+func TestFleetProgressiveAndInterval(t *testing.T) {
+	ts, svc := liveStack(t, telemetry.Options{})
+	sum, err := Run(Config{
+		ServerURL:          ts.URL,
+		Package:            "classroom",
+		Learners:           10,
+		Policy:             sim.ExplorerFactory,
+		Sim:                sim.Config{MaxSteps: 6, TicksPerStep: 1, Patience: 30},
+		FlushEvery:         1000, // only the timer and Close flush
+		FlushInterval:      2 * time.Millisecond,
+		ProgressiveStartup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("failures: %v", sum.Errors)
+	}
+	if !svc.Quiesce(10 * time.Second) {
+		t.Fatal("drain")
+	}
+	var want analytics.Rolling
+	for _, r := range sum.Reports {
+		want.Add(r)
+	}
+	cs := svc.Store().Snapshot()["classroom"]
+	if cs.Events != want.Events || cs.SessionsEnded != 10 {
+		t.Errorf("stats = %+v, want events %d", cs, want.Events)
+	}
+	// Progressive startup adds ranged requests beyond the one download +
+	// per-learner revalidations.
+	if sum.Fetch.Requests <= 11 {
+		t.Errorf("requests = %d, expected ranged startup fetches on top", sum.Fetch.Requests)
+	}
+	if sum.Startup.Max <= 0 || sum.Session.Max <= 0 {
+		t.Errorf("latency summaries empty: %+v / %+v", sum.Startup, sum.Session)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(Config{ServerURL: "http://127.0.0.1:1", Package: "nope", Learners: 1}); err == nil {
+		t.Error("unreachable server not reported")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := &Summary{Learners: 3, Completed: 2, Failed: 1, Errors: []string{"learner 0: boom"}}
+	out := s.String()
+	for _, want := range []string{"3 learners", "2 completed", "boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package netstream
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -28,20 +29,31 @@ import (
 	"repro/internal/media/vcodec"
 )
 
+// pkgEntry is one published package with its precomputed validator.
+type pkgEntry struct {
+	blob []byte
+	etag string
+}
+
 // Server publishes game packages under /pkg/<name> with range support, a
 // package listing under /list, and popup web resources under /res/<name>.
+// Additional subsystems (the telemetry service, health checks) mount their
+// handlers with Mount. All methods are safe for concurrent use; a classroom
+// fleet hammers one Server from hundreds of goroutines.
 type Server struct {
 	mu        sync.RWMutex
-	packages  map[string][]byte
+	packages  map[string]pkgEntry
 	resources map[string]string
+	mounts    map[string]http.Handler // path (or prefix ending in "/") → handler
 	started   time.Time
 }
 
 // NewServer creates an empty server.
 func NewServer() *Server {
 	return &Server{
-		packages:  map[string][]byte{},
+		packages:  map[string]pkgEntry{},
 		resources: map[string]string{},
+		mounts:    map[string]http.Handler{},
 		started:   time.Now(),
 	}
 }
@@ -54,10 +66,55 @@ func (s *Server) AddPackage(name string, blob []byte) error {
 	if _, err := gamepack.Open(blob); err != nil {
 		return fmt.Errorf("netstream: refusing to serve invalid package: %w", err)
 	}
+	sum := sha256.Sum256(blob)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.packages[name] = blob
+	s.packages[name] = pkgEntry{blob: blob, etag: fmt.Sprintf(`"%x"`, sum[:16])}
 	return nil
+}
+
+// Mount attaches a handler at a path. A pattern ending in "/" matches the
+// whole subtree ("/telemetry/" serves /telemetry/ingest and
+// /telemetry/stats); otherwise the match is exact ("/healthz"). Mounts take
+// precedence over the built-in routes, so a pattern that would capture any
+// /pkg/, /res/ or /list request is rejected.
+func (s *Server) Mount(pattern string, h http.Handler) error {
+	if pattern == "" || pattern[0] != '/' {
+		return fmt.Errorf("netstream: mount pattern %q must start with /", pattern)
+	}
+	subtree := strings.HasSuffix(pattern, "/")
+	for _, reserved := range []string{"/pkg/", "/res/", "/list"} {
+		shadows := pattern == reserved ||
+			// A mount inside a reserved subtree captures those requests
+			// ("/pkg/x" or "/pkg/x/" shadow package fetches)...
+			(strings.HasSuffix(reserved, "/") && strings.HasPrefix(pattern, reserved)) ||
+			// ...and a subtree mount above a reserved route captures it
+			// ("/" shadows everything). "/listing" shadows nothing.
+			(subtree && strings.HasPrefix(reserved, pattern))
+		if shadows {
+			return fmt.Errorf("netstream: pattern %q shadows built-in route %q", pattern, reserved)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mounts[pattern] = h
+	return nil
+}
+
+// mountFor resolves a mounted handler for a request path, preferring the
+// longest pattern.
+func (s *Server) mountFor(path string) http.Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best string
+	var h http.Handler
+	for pat, handler := range s.mounts {
+		ok := pat == path || (strings.HasSuffix(pat, "/") && strings.HasPrefix(path, pat))
+		if ok && len(pat) > len(best) {
+			best, h = pat, handler
+		}
+	}
+	return h
 }
 
 // AddResource publishes a text resource (the target of scripts' `open`).
@@ -81,6 +138,10 @@ func (s *Server) Names() []string {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := s.mountFor(r.URL.Path); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
 	switch {
 	case r.URL.Path == "/list":
 		for _, n := range s.Names() {
@@ -89,14 +150,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(r.URL.Path, "/pkg/"):
 		name := strings.TrimPrefix(r.URL.Path, "/pkg/")
 		s.mu.RLock()
-		blob, ok := s.packages[name]
+		ent, ok := s.packages[name]
 		s.mu.RUnlock()
 		if !ok {
 			http.NotFound(w, r)
 			return
 		}
-		// ServeContent implements Range/If-Modified-Since for us.
-		http.ServeContent(w, r, name+".tkg", s.started, newByteReader(blob))
+		// With the ETag header set, ServeContent answers If-None-Match with
+		// 304 (and still implements Range/If-Modified-Since for us) — repeat
+		// fleet fetches of an unchanged package cost a handshake, not
+		// megabytes.
+		w.Header().Set("ETag", ent.etag)
+		http.ServeContent(w, r, name+".tkg", s.started, newByteReader(ent.blob))
 	case strings.HasPrefix(r.URL.Path, "/res/"):
 		name := strings.TrimPrefix(r.URL.Path, "/res/")
 		s.mu.RLock()
@@ -152,7 +217,16 @@ func (r *byteReader) Seek(offset int64, whence int) (int64, error) {
 type Stats struct {
 	Requests     int
 	BytesFetched int
+	NotModified  int // conditional GETs answered 304
 	Elapsed      time.Duration
+}
+
+// Add accumulates another transfer's stats (fleet-level totals).
+func (st *Stats) Add(o Stats) {
+	st.Requests += o.Requests
+	st.BytesFetched += o.BytesFetched
+	st.NotModified += o.NotModified
+	st.Elapsed += o.Elapsed
 }
 
 // Client fetches packages from a Server (or anything speaking HTTP ranges).
@@ -187,6 +261,81 @@ func (c *Client) Download(url string) ([]byte, Stats, error) {
 	st.BytesFetched = len(blob)
 	st.Elapsed = time.Since(began)
 	return blob, st, nil
+}
+
+// PackageCache remembers downloaded packages by URL together with the
+// validator the server sent, so repeat fetches can be conditional. It is
+// safe for concurrent use by a whole learner fleet.
+type PackageCache struct {
+	mu      sync.Mutex
+	entries map[string]cachedPackage
+}
+
+type cachedPackage struct {
+	etag string
+	blob []byte
+}
+
+// NewPackageCache creates an empty cache.
+func NewPackageCache() *PackageCache {
+	return &PackageCache{entries: map[string]cachedPackage{}}
+}
+
+func (pc *PackageCache) get(url string) (cachedPackage, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[url]
+	return e, ok
+}
+
+func (pc *PackageCache) put(url, etag string, blob []byte) {
+	if etag == "" {
+		return // nothing to validate against later
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries[url] = cachedPackage{etag: etag, blob: blob}
+}
+
+// DownloadCached fetches a package through a shared cache. When the cache
+// holds a copy, the request carries If-None-Match and a 304 answer reuses
+// the cached bytes — the Stats then count one request, zero bytes fetched
+// and one NotModified. The returned blob must be treated as read-only (it
+// is shared across callers).
+func (c *Client) DownloadCached(url string, cache *PackageCache) ([]byte, Stats, error) {
+	var st Stats
+	began := time.Now()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	cached, have := cache.get(url)
+	if have {
+		req.Header.Set("If-None-Match", cached.etag)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, st, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	switch {
+	case have && resp.StatusCode == http.StatusNotModified:
+		st.NotModified++
+		st.Elapsed = time.Since(began)
+		return cached.blob, st, nil
+	case resp.StatusCode == http.StatusOK:
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, st, err
+		}
+		st.BytesFetched = len(blob)
+		st.Elapsed = time.Since(began)
+		cache.put(url, resp.Header.Get("ETag"), blob)
+		return blob, st, nil
+	default:
+		return nil, st, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
+	}
 }
 
 // fetchRange GETs bytes [from, to) of url.

@@ -2,6 +2,8 @@ package netstream
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -220,5 +222,130 @@ func TestByteReaderSeek(t *testing.T) {
 	}
 	if _, err := r.Read(buf); err == nil {
 		t.Error("read past end")
+	}
+}
+
+func TestETagNotModified(t *testing.T) {
+	ts, blob := testServer(t)
+	// First GET reports a validator.
+	resp, err := http.Get(ts.URL + "/pkg/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on package response")
+	}
+	// A conditional GET with the validator gets 304 and no body.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/pkg/classroom", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET = %s, want 304", resp.Status)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	// A stale validator still gets the full package.
+	req.Header.Set("If-None-Match", `"deadbeef"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != len(blob) {
+		t.Fatalf("stale validator: %s, %d bytes (want 200, %d)", resp.Status, len(body), len(blob))
+	}
+}
+
+func TestDownloadCached(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	cache := NewPackageCache()
+	got, st, err := c.DownloadCached(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("first fetch differs")
+	}
+	if st.BytesFetched != len(blob) || st.NotModified != 0 {
+		t.Errorf("first fetch stats = %+v", st)
+	}
+	// Second fetch revalidates: one request, no payload.
+	got, st, err = c.DownloadCached(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("cached fetch differs")
+	}
+	if st.Requests != 1 || st.BytesFetched != 0 || st.NotModified != 1 {
+		t.Errorf("cached fetch stats = %+v", st)
+	}
+}
+
+func TestMount(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Mount("/pkg/", http.NotFoundHandler()); err == nil {
+		t.Error("shadowing /pkg/ accepted")
+	}
+	if err := srv.Mount("/pkg/x", http.NotFoundHandler()); err == nil {
+		t.Error("mount inside /pkg/ accepted")
+	}
+	if err := srv.Mount("/", http.NotFoundHandler()); err == nil {
+		t.Error("root subtree mount accepted")
+	}
+	if err := srv.Mount("/list", http.NotFoundHandler()); err == nil {
+		t.Error("shadowing /list accepted")
+	}
+	if err := srv.Mount("/listing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})); err != nil {
+		t.Errorf("non-shadowing /listing rejected: %v", err)
+	}
+	if err := srv.Mount("healthz", http.NotFoundHandler()); err == nil {
+		t.Error("relative pattern accepted")
+	}
+	if err := srv.Mount("/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Mount("/telemetry/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "telemetry:"+r.URL.Path)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, tc := range []struct{ path, want string }{
+		{"/healthz", "ok"},
+		{"/telemetry/stats", "telemetry:/telemetry/stats"},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != tc.want {
+			t.Errorf("%s = %q, want %q", tc.path, body, tc.want)
+		}
+	}
+	// /healthz/extra is not matched by the exact /healthz mount.
+	resp, err := http.Get(ts.URL + "/healthz/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/healthz/extra = %s, want 404", resp.Status)
 	}
 }

@@ -20,11 +20,12 @@ import (
 	"repro/internal/script"
 )
 
-// Event is one telemetry record.
+// Event is one telemetry record. The JSON tags are the telemetry wire
+// format (package telemetry batches events over HTTP).
 type Event struct {
-	Tick   int
-	Kind   string // click, examine, take, use, dialogue, goto, say, learn, reward, popup, open, end, error
-	Detail string
+	Tick   int    `json:"tick"`
+	Kind   string `json:"kind"` // click, examine, take, use, dialogue, goto, say, learn, reward, popup, open, end, error
+	Detail string `json:"detail,omitempty"`
 }
 
 // Observer receives session telemetry (package analytics aggregates it).

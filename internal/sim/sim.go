@@ -240,6 +240,21 @@ type Config struct {
 	// TicksPerStep advances video playback between actions (watching time).
 	TicksPerStep int
 	Seed         int64
+	// Observer, when set, receives every runtime event in addition to the
+	// run's own analytics.Collector — the hook a remote telemetry client
+	// plugs into. It must be safe for the goroutine running the session.
+	Observer runtime.Observer
+}
+
+// teeObserver forwards each event to both sinks.
+type teeObserver struct {
+	a, b runtime.Observer
+}
+
+// Record implements runtime.Observer.
+func (t teeObserver) Record(e runtime.Event) {
+	t.a.Record(e)
+	t.b.Record(e)
 }
 
 // Result is the outcome of one simulated session.
@@ -263,7 +278,11 @@ func Run(pkgBlob []byte, f Factory, cfg Config) (*Result, error) {
 		cfg.TicksPerStep = 3
 	}
 	col := &analytics.Collector{}
-	s, err := runtime.NewSession(pkgBlob, runtime.Options{Observer: col})
+	var obs runtime.Observer = col
+	if cfg.Observer != nil {
+		obs = teeObserver{a: col, b: cfg.Observer}
+	}
+	s, err := runtime.NewSession(pkgBlob, runtime.Options{Observer: obs})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// ClientOptions configures a batching telemetry client.
+type ClientOptions struct {
+	BaseURL string // server base, e.g. "http://127.0.0.1:8807"
+	Course  string
+	Session string
+	Start   string // start scenario, threaded to the server-side digest
+
+	FlushEvery int           // flush when this many events are buffered (default 64)
+	Interval   time.Duration // also flush this often (0 disables the timer)
+	MaxRetries int           // attempts per batch when the server sheds load (default 64)
+	HTTP       *http.Client  // defaults to http.DefaultClient
+}
+
+// ClientStats counts what reporting cost.
+type ClientStats struct {
+	Batches   int           // batches delivered (attempted batches, not retries)
+	Events    int           // events delivered
+	Dropped   int           // events discarded because delivery failed
+	Posts     int           // HTTP posts including retries
+	Retries   int           // posts re-sent after a 429
+	FlushTime time.Duration // total time spent posting
+	MaxFlush  time.Duration // slowest single flush
+}
+
+// Client is a batching runtime.Observer: Record buffers events and flushes
+// a JSON batch to the ingest endpoint when the buffer reaches FlushEvery or
+// the interval timer fires. Close flushes the tail and marks the session
+// done. Record is safe to call from the session goroutine while the
+// interval timer flushes from its own; per-session batch order is preserved
+// by a single-flight post lock.
+type Client struct {
+	opts ClientOptions
+	url  string
+
+	postMu sync.Mutex // serializes posts, preserving batch order
+	seq    int        // last batch sequence number issued (guarded by postMu)
+
+	mu     sync.Mutex // guards buf, stats, err, closed
+	buf    []runtime.Event
+	stats  ClientStats
+	err    error
+	closed bool
+
+	stopTimer chan struct{}
+	timerDone chan struct{}
+}
+
+// NewClient validates options and starts the interval flusher (when
+// Interval > 0).
+func NewClient(o ClientOptions) (*Client, error) {
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("telemetry: client needs a BaseURL")
+	}
+	if o.Course == "" || o.Session == "" {
+		return nil, fmt.Errorf("telemetry: client needs Course and Session")
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 64
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 64
+	}
+	c := &Client{
+		opts:      o,
+		url:       o.BaseURL + IngestPath,
+		stopTimer: make(chan struct{}),
+		timerDone: make(chan struct{}),
+	}
+	if o.Interval > 0 {
+		go c.runTimer(o.Interval)
+	} else {
+		close(c.timerDone)
+	}
+	return c, nil
+}
+
+func (c *Client) runTimer(every time.Duration) {
+	defer close(c.timerDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Flush()
+		case <-c.stopTimer:
+			return
+		}
+	}
+}
+
+// Record implements runtime.Observer. Events recorded after Close, or
+// after a sticky delivery failure, are dropped (and counted in Stats) —
+// once a batch is undeliverable the server would reject the sequence gap
+// anyway, and buffering forever would grow memory without bound.
+func (c *Client) Record(e runtime.Event) {
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return
+	}
+	c.buf = append(c.buf, e)
+	full := len(c.buf) >= c.opts.FlushEvery
+	c.mu.Unlock()
+	if full {
+		c.Flush()
+	}
+}
+
+// Buffered returns the number of events waiting for the next flush.
+func (c *Client) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Flush posts the buffered events (no-op when the buffer is empty).
+func (c *Client) Flush() error {
+	c.postMu.Lock()
+	defer c.postMu.Unlock()
+	return c.flushLocked(false)
+}
+
+// Close flushes the tail, marks the session done on the server, and stops
+// the interval flusher. Further Records are dropped. It returns the first
+// delivery error encountered over the client's lifetime.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.opts.Interval > 0 {
+		close(c.stopTimer)
+		<-c.timerDone
+	}
+	c.postMu.Lock()
+	defer c.postMu.Unlock()
+	return c.flushLocked(true)
+}
+
+// Stats returns a copy of the delivery counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Err returns the first delivery error (nil while everything has landed).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// flushLocked runs with postMu held: it drains the buffer and posts one
+// batch, retrying with exponential backoff while the service sheds load.
+// Batches carry a per-session sequence number, so a retry after a lost ack
+// cannot double-count on the server; after a sticky delivery failure no
+// further batches are sent (the server would reject the sequence gap).
+func (c *Client) flushLocked(done bool) error {
+	c.mu.Lock()
+	if c.err != nil {
+		// Sticky failure: shed anything still buffered and stop posting.
+		c.stats.Dropped += len(c.buf)
+		c.buf = nil
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	events := c.buf
+	c.buf = nil
+	c.mu.Unlock()
+	if len(events) == 0 && !done {
+		return nil
+	}
+	c.seq++
+	b := Batch{
+		Course:  c.opts.Course,
+		Session: c.opts.Session,
+		Start:   c.opts.Start,
+		Seq:     c.seq,
+		Events:  events,
+		Done:    done,
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return c.fail(err)
+	}
+	httpc := c.opts.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	began := time.Now()
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Millisecond << uint(min(attempt-1, 5)) // 1ms..32ms
+			time.Sleep(backoff)
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.stats.Posts++
+		c.mu.Unlock()
+		resp, err := httpc.Post(c.url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			took := time.Since(began)
+			c.mu.Lock()
+			c.stats.Batches++
+			c.stats.Events += len(events)
+			c.stats.FlushTime += took
+			if took > c.stats.MaxFlush {
+				c.stats.MaxFlush = took
+			}
+			c.mu.Unlock()
+			return nil
+		case http.StatusTooManyRequests:
+			lastErr = fmt.Errorf("telemetry: server shedding load (429)")
+			continue
+		default:
+			c.mu.Lock()
+			c.stats.Dropped += len(events)
+			c.mu.Unlock()
+			return c.fail(fmt.Errorf("telemetry: ingest %s: %s", c.url, resp.Status))
+		}
+	}
+	c.mu.Lock()
+	c.stats.Dropped += len(events)
+	c.mu.Unlock()
+	return c.fail(fmt.Errorf("telemetry: batch undelivered after %d attempts: %w", c.opts.MaxRetries, lastErr))
+}
+
+// fail records the first sticky error.
+func (c *Client) fail(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}

@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a Service.
+type Options struct {
+	Shards     int // store shards (default 32)
+	Workers    int // ingest workers, one queue each (default 4)
+	QueueDepth int // per-worker queue bound (default 256)
+	MaxBody    int // largest accepted ingest body in bytes (default 8 MiB)
+	// IdleTimeout bounds memory held for abandoned sessions: a session
+	// with no batch for this long is folded as-is (counted under
+	// sessions_expired), and stale dedup tombstones are dropped. Default
+	// 30 minutes; negative disables expiry.
+	IdleTimeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 8 << 20
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 30 * time.Minute
+	}
+}
+
+// Service is the ingest endpoint: it accepts event batches over HTTP,
+// queues them onto bounded per-worker queues (backpressure: a full queue
+// answers 429 and the client retries), and applies them to the Store on the
+// worker goroutines. A session is pinned to one worker by hash, so its
+// batches apply in arrival order even though workers run concurrently.
+type Service struct {
+	store   *Store
+	queues  []chan Batch
+	wg      sync.WaitGroup
+	started time.Time
+	maxBody int64
+
+	closeOnce   sync.Once
+	closed      atomic.Bool
+	stopJanitor chan struct{}
+	// closeMu makes enqueue-vs-Close safe: handlers send to the bounded
+	// queues under RLock, Close closes them under Lock, so a send can never
+	// hit a closed channel.
+	closeMu sync.RWMutex
+
+	handlerOnce sync.Once
+	handler     http.Handler
+
+	accepted    atomic.Int64 // batches enqueued (202)
+	rejected    atomic.Int64 // batches shed (429)
+	applied     atomic.Int64 // batches processed off the queues
+	badRequests atomic.Int64
+	applyErrors atomic.Int64 // accepted batches the store refused (gaps, rebinds)
+	expired     atomic.Int64 // sessions reclaimed by the janitor
+
+	applyDelay atomic.Int64 // test hook: ns slept per apply, to force backpressure
+}
+
+// NewService builds a service and starts its ingest workers.
+func NewService(o Options) *Service {
+	o.defaults()
+	s := &Service{
+		store:       NewStore(o.Shards),
+		queues:      make([]chan Batch, o.Workers),
+		started:     time.Now(),
+		maxBody:     int64(o.MaxBody),
+		stopJanitor: make(chan struct{}),
+	}
+	for i := range s.queues {
+		q := make(chan Batch, o.QueueDepth)
+		s.queues[i] = q
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for b := range q {
+				if d := s.applyDelay.Load(); d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+				// A refused batch (sequence gap, course rebind) still counts
+				// as applied so drain accounting stays exact; the refusal is
+				// surfaced in the stats snapshot.
+				if err := s.store.Append(b); err != nil {
+					s.applyErrors.Add(1)
+				}
+				s.applied.Add(1)
+			}
+		}()
+	}
+	if o.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.runJanitor(o.IdleTimeout)
+	}
+	return s
+}
+
+// runJanitor periodically expires idle sessions (see Store.ExpireIdle).
+func (s *Service) runJanitor(idle time.Duration) {
+	defer s.wg.Done()
+	every := idle / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.store.ExpireIdle(time.Now().Add(-idle)); n > 0 {
+				s.expired.Add(int64(n))
+			}
+		case <-s.stopJanitor:
+			return
+		}
+	}
+}
+
+// Store exposes the backing store (read access for in-process reporting).
+func (s *Service) Store() *Store { return s.store }
+
+// Close stops accepting batches and drains the queues.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stopJanitor)
+		s.closeMu.Lock()
+		s.closed.Store(true)
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.closeMu.Unlock()
+		s.wg.Wait()
+	})
+}
+
+// Quiesce blocks until every accepted batch has been applied or the timeout
+// elapses; it reports whether the service drained.
+func (s *Service) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.applied.Load() < s.accepted.Load() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}
+
+// Pending counts accepted batches not yet applied.
+func (s *Service) Pending() int {
+	n := s.accepted.Load() - s.applied.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Snapshot is the /telemetry/stats payload.
+type Snapshot struct {
+	UptimeSeconds   float64                `json:"uptime_seconds"`
+	BatchesAccepted int64                  `json:"batches_accepted"`
+	BatchesRejected int64                  `json:"batches_rejected"`
+	BatchesApplied  int64                  `json:"batches_applied"`
+	BadRequests     int64                  `json:"bad_requests"`
+	ApplyErrors     int64                  `json:"apply_errors"`
+	SessionsExpired int64                  `json:"sessions_expired"`
+	Pending         int                    `json:"pending"`
+	LiveSessions    int                    `json:"live_sessions"`
+	TickBuckets     []int                  `json:"tick_buckets"`
+	Courses         map[string]CourseStats `json:"courses"`
+}
+
+// Snapshot assembles the live service view. LiveSessions is summed from
+// the per-course stats so it stays consistent with their invariant.
+func (s *Service) Snapshot() Snapshot {
+	courses := s.store.Snapshot()
+	live := 0
+	for _, cs := range courses {
+		live += cs.LiveSessions
+	}
+	return Snapshot{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		BatchesAccepted: s.accepted.Load(),
+		BatchesRejected: s.rejected.Load(),
+		BatchesApplied:  s.applied.Load(),
+		BadRequests:     s.badRequests.Load(),
+		ApplyErrors:     s.applyErrors.Load(),
+		SessionsExpired: s.expired.Load(),
+		Pending:         s.Pending(),
+		LiveSessions:    live,
+		TickBuckets:     TickBuckets(),
+		Courses:         courses,
+	}
+}
+
+// IngestPath, StatsPath and HealthPath are the routes Handler serves,
+// matching what Client and the load generator expect.
+const (
+	IngestPath = "/telemetry/ingest"
+	StatsPath  = "/telemetry/stats"
+	HealthPath = "/healthz"
+)
+
+// Handler returns the HTTP surface: IngestPath (POST), StatsPath (GET) and
+// HealthPath (GET). Mount it on a netstream.Server or any mux; repeated
+// calls return the same handler.
+func (s *Service) Handler() http.Handler {
+	s.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc(IngestPath, s.handleIngest)
+		mux.HandleFunc(StatsPath, s.handleStats)
+		mux.HandleFunc(HealthPath, s.handleHealth)
+		s.handler = mux
+	})
+	return s.handler
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "ingest is POST-only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.closed.Load() {
+		http.Error(w, "service closing", http.StatusServiceUnavailable)
+		return
+	}
+	var b Batch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&b); err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := b.Validate(); err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The same session→stripe mapping as the store: one session, one
+	// worker, so its batches apply in order.
+	q := s.queues[SessionShardIndex(b.Session, len(s.queues))]
+	s.closeMu.RLock()
+	if s.closed.Load() {
+		s.closeMu.RUnlock()
+		http.Error(w, "service closing", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case q <- b:
+		s.closeMu.RUnlock()
+		s.accepted.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	default:
+		s.closeMu.RUnlock()
+		// Bounded queue full: shed the batch and tell the client to retry.
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.1f,"pending":%d}`+"\n",
+		time.Since(s.started).Seconds(), s.Pending())
+}

@@ -1,0 +1,601 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/runtime"
+)
+
+// sessionEvents is a small classroom-flavoured event stream.
+func sessionEvents() []runtime.Event {
+	return []runtime.Event{
+		{Tick: 0, Kind: "say", Detail: "welcome"},
+		{Tick: 2, Kind: "examine", Detail: "computer"},
+		{Tick: 3, Kind: "learn", Detail: "ram-identification"},
+		{Tick: 8, Kind: "goto", Detail: "market"},
+		{Tick: 10, Kind: "take", Detail: "stall-ram"},
+		{Tick: 14, Kind: "goto", Detail: "classroom"},
+		{Tick: 16, Kind: "use", Detail: "ram module on computer"},
+		{Tick: 16, Kind: "learn", Detail: "ram-installation"},
+		{Tick: 16, Kind: "reward", Detail: "repair-badge"},
+		{Tick: 16, Kind: "end", Detail: "victory"},
+	}
+}
+
+func digestOf(events []runtime.Event, start string) *analytics.Report {
+	c := &analytics.Collector{}
+	for _, e := range events {
+		c.Record(e)
+	}
+	return c.Digest(start)
+}
+
+func TestStoreFoldMatchesDigest(t *testing.T) {
+	st := NewStore(4)
+	events := sessionEvents()
+	// Deliver in two batches, then close the session.
+	if err := st.Append(Batch{Course: "classroom", Session: "s1", Start: "classroom", Events: events[:4]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Batch{Course: "classroom", Session: "s1", Events: events[4:]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LiveSessions(); got != 1 {
+		t.Fatalf("live sessions = %d", got)
+	}
+	if err := st.Append(Batch{Course: "classroom", Session: "s1", Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LiveSessions(); got != 0 {
+		t.Fatalf("live sessions after done = %d", got)
+	}
+	want := digestOf(events, "classroom")
+	cs := st.Snapshot()["classroom"]
+	if cs.SessionsStarted != 1 || cs.SessionsEnded != 1 || cs.Completed != 1 {
+		t.Errorf("session counts: %+v", cs)
+	}
+	if cs.Events != want.TotalEvents || cs.Decisions != want.Decisions ||
+		cs.Knowledge != len(want.Knowledge) || cs.Rewards != len(want.Rewards) ||
+		cs.Ticks != want.LastTick || cs.UniqueKnowledge != len(want.UniqueKnowledge()) {
+		t.Errorf("stats = %+v\nwant report %+v", cs, want)
+	}
+	if cs.Outcomes["victory"] != 1 {
+		t.Errorf("outcomes = %v", cs.Outcomes)
+	}
+	// LastTick 16 lands in the first (≤25) histogram bucket.
+	if cs.TickHist[0] != 1 {
+		t.Errorf("tick hist = %v", cs.TickHist)
+	}
+}
+
+func TestStoreValidationAndRebind(t *testing.T) {
+	st := NewStore(2)
+	if err := st.Append(Batch{Session: "x"}); err == nil {
+		t.Error("courseless batch accepted")
+	}
+	if err := st.Append(Batch{Course: "c"}); err == nil {
+		t.Error("sessionless batch accepted")
+	}
+	if err := st.Append(Batch{Course: "a", Session: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Batch{Course: "b", Session: "s"}); err == nil {
+		t.Error("session rebound to another course")
+	}
+}
+
+func TestStoreConcurrentSessions(t *testing.T) {
+	st := NewStore(8)
+	const sessions = 200
+	events := sessionEvents()
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", i)
+			for j := 0; j < len(events); j += 3 {
+				hi := j + 3
+				if hi > len(events) {
+					hi = len(events)
+				}
+				if err := st.Append(Batch{Course: "classroom", Session: id, Start: "classroom", Events: events[j:hi]}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := st.Append(Batch{Course: "classroom", Session: id, Done: true}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := digestOf(events, "classroom")
+	cs := st.Snapshot()["classroom"]
+	if cs.SessionsEnded != sessions || cs.SessionsStarted != sessions {
+		t.Fatalf("sessions = %+v", cs)
+	}
+	if cs.Events != sessions*want.TotalEvents || cs.Decisions != sessions*want.Decisions {
+		t.Errorf("totals drifted: %+v", cs)
+	}
+	if cs.KnowledgeCounts["ram-installation"] != sessions {
+		t.Errorf("knowledge counts = %v", cs.KnowledgeCounts)
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	s := NewService(Options{Workers: 2, QueueDepth: 16})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Healthz.
+	resp, err := http.Get(ts.URL + HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health.Status != "ok" {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Method and body validation.
+	resp, _ = http.Get(ts.URL + IngestPath)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest = %s", resp.Status)
+	}
+	resp, _ = http.Post(ts.URL+IngestPath, "application/json", strings.NewReader("{not json"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk body = %s", resp.Status)
+	}
+	resp, _ = http.Post(ts.URL+IngestPath, "application/json", strings.NewReader(`{"session":"s"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("courseless batch = %s", resp.Status)
+	}
+
+	// A real session through the client.
+	c, err := NewClient(ClientOptions{
+		BaseURL: ts.URL, Course: "classroom", Session: "svc-1", Start: "classroom",
+		FlushEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sessionEvents()
+	for _, e := range events {
+		c.Record(e)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Quiesce(5 * time.Second) {
+		t.Fatal("service did not drain")
+	}
+	var snap Snapshot
+	resp, err = http.Get(ts.URL + StatsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := digestOf(events, "classroom")
+	cs := snap.Courses["classroom"]
+	if cs.SessionsEnded != 1 || cs.Events != want.TotalEvents || cs.Decisions != want.Decisions {
+		t.Errorf("stats = %+v, want report %+v", cs, want)
+	}
+	if snap.BadRequests != 2 {
+		t.Errorf("bad requests = %d, want 2", snap.BadRequests)
+	}
+	// FlushEvery 4 with 10 events + done: at least 3 batches.
+	if st := c.Stats(); st.Batches < 3 || st.Events != len(events) {
+		t.Errorf("client stats = %+v", st)
+	}
+}
+
+func TestServiceBackpressure(t *testing.T) {
+	s := NewService(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	s.applyDelay.Store(int64(20 * time.Millisecond))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Slam one session's worker queue from many goroutines; the bounded
+	// queue must shed with 429, never block or drop silently.
+	var accepted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				resp, err := http.Post(ts.URL+IngestPath, "application/json",
+					strings.NewReader(`{"course":"c","session":"hot","events":[{"tick":1,"kind":"click","detail":"x"}]}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					accepted.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected status %s", resp.Status)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Error("no batch was shed despite a saturated queue")
+	}
+	s.applyDelay.Store(0)
+	if !s.Quiesce(10 * time.Second) {
+		t.Fatal("service did not drain")
+	}
+	snap := s.Snapshot()
+	if snap.BatchesApplied != accepted.Load() {
+		t.Errorf("applied %d of %d accepted", snap.BatchesApplied, accepted.Load())
+	}
+	// Every accepted event is in the store — none lost, none duplicated.
+	if got := snap.Courses["c"].Events + s.store.liveEvents("hot"); int64(got) != accepted.Load() {
+		t.Errorf("stored events = %d, accepted = %d", got, accepted.Load())
+	}
+}
+
+// liveEvents counts buffered events of one live session (test helper).
+func (st *Store) liveEvents(session string) int {
+	sh := st.shardFor(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if log, ok := sh.sessions[session]; ok {
+		return len(log.events)
+	}
+	return 0
+}
+
+func TestClientRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(runtime.Event{Kind: "click"})
+	if err := c.Err(); err != nil {
+		t.Fatalf("flush failed despite retries: %v", err)
+	}
+	st := c.Stats()
+	if st.Retries != 3 || st.Batches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestClientGivesUpEventually(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(runtime.Event{Kind: "click"})
+	if c.Err() == nil {
+		t.Fatal("no sticky error after exhausted retries")
+	}
+	if st := c.Stats(); st.Posts != 3 {
+		t.Errorf("posts = %d, want 3", st.Posts)
+	}
+}
+
+func TestClientIntervalFlush(t *testing.T) {
+	s := NewService(Options{Workers: 1, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{
+		BaseURL: ts.URL, Course: "c", Session: "tick", Start: "start",
+		FlushEvery: 1000, Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(runtime.Event{Tick: 1, Kind: "click", Detail: "door"})
+	// Well under FlushEvery, so only the timer can deliver this.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Buffered() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Buffered() != 0 {
+		t.Fatal("interval flush never fired")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Quiesce(5 * time.Second) {
+		t.Fatal("drain")
+	}
+	if cs := s.Store().Snapshot()["c"]; cs.Events != 1 || cs.SessionsEnded != 1 {
+		t.Errorf("stats = %+v", cs)
+	}
+}
+
+func TestClientRecordAfterCloseDropped(t *testing.T) {
+	s := NewService(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c, _ := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s"})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Record(runtime.Event{Kind: "click"})
+	if got := c.Buffered(); got != 0 {
+		t.Errorf("post-close record buffered (%d)", got)
+	}
+	if err := c.Close(); err != nil { // double close is safe
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDuplicateDeliveryDropped(t *testing.T) {
+	st := NewStore(2)
+	events := sessionEvents()
+	b1 := Batch{Course: "c", Session: "s", Start: "classroom", Seq: 1, Events: events[:5]}
+	for i := 0; i < 3; i++ { // at-least-once: same batch delivered thrice
+		if err := st.Append(b1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append(Batch{Course: "c", Session: "s", Seq: 2, Events: events[5:]}); err != nil {
+		t.Fatal(err)
+	}
+	// A gap is a client bug and is refused.
+	if err := st.Append(Batch{Course: "c", Session: "s", Seq: 9}); err == nil {
+		t.Error("sequence gap accepted")
+	}
+	done := Batch{Course: "c", Session: "s", Seq: 3, Done: true}
+	if err := st.Append(done); err != nil {
+		t.Fatal(err)
+	}
+	// Replayed done (lost ack) and any stale batch are absorbed by the
+	// tombstone without re-counting the session.
+	if err := st.Append(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	want := digestOf(events, "classroom")
+	cs := st.Snapshot()["c"]
+	if cs.SessionsStarted != 1 || cs.SessionsEnded != 1 {
+		t.Fatalf("session counts after replays: %+v", cs)
+	}
+	if cs.Events != want.TotalEvents || cs.Decisions != want.Decisions {
+		t.Errorf("totals after duplicate deliveries: %+v, want %+v", cs, want)
+	}
+	if cs.LiveSessions != 0 {
+		t.Errorf("tombstone counted as live: %+v", cs)
+	}
+}
+
+func TestClientStopsAfterStickyError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(runtime.Event{Kind: "click"})
+	if c.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	posts := c.Stats().Posts
+	// Further records must not post: the server would reject the sequence
+	// gap anyway.
+	c.Record(runtime.Event{Kind: "click"})
+	if got := c.Stats().Posts; got != posts {
+		t.Errorf("posts grew from %d to %d after sticky error", posts, got)
+	}
+	if err := c.Close(); err == nil {
+		t.Error("Close did not report the delivery failure")
+	}
+}
+
+func TestClientBatchesCarrySequence(t *testing.T) {
+	var mu sync.Mutex
+	var seqs []int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b Batch
+		json.NewDecoder(r.Body).Decode(&b)
+		mu.Lock()
+		seqs = append(seqs, b.Seq)
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Record(runtime.Event{Tick: i, Kind: "click"})
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 3 { // 2+2, then 1 event + done
+		t.Fatalf("batches = %v", seqs)
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("seqs = %v, want 1..3", seqs)
+		}
+	}
+}
+
+func TestStoreExpireIdle(t *testing.T) {
+	st := NewStore(4)
+	events := sessionEvents()
+	// An abandoned session: batches arrive, Done never does.
+	if err := st.Append(Batch{Course: "c", Session: "orphan", Start: "classroom", Seq: 1, Events: events[:6]}); err != nil {
+		t.Fatal(err)
+	}
+	// A finished session leaves a tombstone.
+	if err := st.Append(Batch{Course: "c", Session: "finished", Start: "classroom", Seq: 1, Events: events, Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LiveSessions(); got != 1 {
+		t.Fatalf("live = %d", got)
+	}
+	// Nothing is idle yet.
+	if n := st.ExpireIdle(time.Now().Add(-time.Hour)); n != 0 {
+		t.Fatalf("expired %d fresh sessions", n)
+	}
+	// Everything is idle against a future cutoff: the orphan folds, the
+	// tombstone is discarded.
+	if n := st.ExpireIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("expired = %d, want 1", n)
+	}
+	cs := st.Snapshot()["c"]
+	// started = ended + expired + live.
+	if cs.SessionsEnded != 1 || cs.SessionsExpired != 1 || cs.LiveSessions != 0 || cs.SessionsStarted != 2 {
+		t.Fatalf("after expiry: %+v", cs)
+	}
+	// The orphan's partial activity is in the totals.
+	wantOrphan := digestOf(events[:6], "classroom")
+	wantFull := digestOf(events, "classroom")
+	if cs.Events != wantOrphan.TotalEvents+wantFull.TotalEvents {
+		t.Errorf("events = %d, want %d", cs.Events, wantOrphan.TotalEvents+wantFull.TotalEvents)
+	}
+	// Second sweep deletes the remaining tombstones; replays of the
+	// finished session now recreate it (documented trade-off).
+	st.ExpireIdle(time.Now().Add(time.Hour))
+	total := 0
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+		total += len(st.shards[i].sessions)
+		st.shards[i].mu.Unlock()
+	}
+	if total != 0 {
+		t.Errorf("%d entries survived two sweeps", total)
+	}
+}
+
+func TestServiceJanitorReclaimsIdleSessions(t *testing.T) {
+	// IdleTimeout 1s → janitor ticks every second.
+	s := NewService(Options{Workers: 1, QueueDepth: 8, IdleTimeout: time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+IngestPath, "application/json",
+		strings.NewReader(`{"course":"c","session":"abandoned","seq":1,"events":[{"tick":1,"kind":"click"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := s.Snapshot()
+		if snap.SessionsExpired == 1 && snap.LiveSessions == 0 {
+			if cs := snap.Courses["c"]; cs.SessionsExpired != 1 || cs.SessionsEnded != 0 || cs.Events != 1 {
+				t.Fatalf("expired session not folded: %+v", cs)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("janitor never reclaimed the abandoned session")
+}
+
+func TestClientShedsBufferAfterStickyError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 2, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Record(runtime.Event{Tick: i, Kind: "click"})
+	}
+	if c.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if got := c.Buffered(); got != 0 {
+		t.Errorf("%d events still buffered after sticky failure", got)
+	}
+	if st := c.Stats(); st.Dropped != 100 || st.Events != 0 {
+		t.Errorf("stats = %+v, want all 100 events dropped", st)
+	}
+}
+
+func TestStoreGapOnUnknownSessionLeavesNoTrace(t *testing.T) {
+	st := NewStore(2)
+	// A first-contact batch claiming seq 2 is a gap: it must be rejected
+	// without registering a phantom session or touching course aggregates.
+	if err := st.Append(Batch{Course: "c", Session: "ghost", Seq: 2, Events: sessionEvents()[:2]}); err == nil {
+		t.Fatal("first-contact gap accepted")
+	}
+	if got := st.LiveSessions(); got != 0 {
+		t.Errorf("phantom session registered (live = %d)", got)
+	}
+	if _, ok := st.Snapshot()["c"]; ok {
+		t.Errorf("course aggregate created by a rejected batch: %+v", st.Snapshot()["c"])
+	}
+	// Expiry has nothing to reclaim.
+	if n := st.ExpireIdle(time.Now().Add(time.Hour)); n != 0 {
+		t.Errorf("expired %d sessions after only rejected batches", n)
+	}
+}
+
+func TestClientCountsDropOnServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c, _ := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 3})
+	for i := 0; i < 3; i++ {
+		c.Record(runtime.Event{Tick: i, Kind: "click"})
+	}
+	if c.Err() == nil {
+		t.Fatal("500 not sticky")
+	}
+	// Events + Dropped = recorded, even for the first failing batch.
+	if st := c.Stats(); st.Events != 0 || st.Dropped != 3 {
+		t.Errorf("stats = %+v, want 3 dropped", st)
+	}
+}
