@@ -140,7 +140,9 @@ func benchmarkEncode(b *testing.B, w, h, q, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer enc.Close()
 	var bytes int
+	b.SetBytes(int64(w * h * 3)) // raw RGB input per op → MB/s alongside ns/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pkt, err := enc.Encode(frames[i%len(frames)])
@@ -157,12 +159,13 @@ func BenchmarkEncode160x120Q4W4(b *testing.B)  { benchmarkEncode(b, 160, 120, 4,
 func BenchmarkEncode320x240Q4W1(b *testing.B)  { benchmarkEncode(b, 320, 240, 4, 1) }
 func BenchmarkEncode160x120Q16W1(b *testing.B) { benchmarkEncode(b, 160, 120, 16, 1) }
 
-func BenchmarkDecode160x120(b *testing.B) {
+func decodeBenchPackets(b *testing.B) [][]byte {
 	f := synth.Generate(synth.Spec{
 		W: 160, H: 120, FPS: 10, Shots: 2,
 		MinShotFrames: 15, MaxShotFrames: 16, NoiseAmp: 2, Seed: 5,
 	})
 	enc, _ := vcodec.NewEncoder(vcodec.Config{Width: 160, Height: 120, QStep: 4, GOP: 8, SearchRange: 3, Workers: 1})
+	defer enc.Close()
 	var pkts [][]byte
 	for i := 0; i < 16; i++ {
 		p, err := enc.Encode(f.Render(i))
@@ -171,6 +174,35 @@ func BenchmarkDecode160x120(b *testing.B) {
 		}
 		pkts = append(pkts, p.Data)
 	}
+	return pkts
+}
+
+// BenchmarkDecode160x120 measures the steady-state decode pipeline: one
+// persistent decoder, frames recycled through DecodeInto. One op = a 16-frame
+// GOP-8 sequence (the first packet is an I-frame, so the stream re-enters
+// cleanly every op).
+func BenchmarkDecode160x120(b *testing.B) {
+	pkts := decodeBenchPackets(b)
+	dec := vcodec.NewDecoder(1)
+	var frame raster.Frame
+	b.SetBytes(int64(len(pkts)) * 160 * 120 * 3) // decoded RGB output per op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkts {
+			if err := dec.DecodeInto(&frame, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(16, "frames/op")
+}
+
+// BenchmarkDecode160x120Cold is the seed-shaped variant: a fresh decoder and
+// freshly allocated output frames every op, the cost a brand-new session
+// pays on its first GOP.
+func BenchmarkDecode160x120Cold(b *testing.B) {
+	pkts := decodeBenchPackets(b)
+	b.SetBytes(int64(len(pkts)) * 160 * 120 * 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dec := vcodec.NewDecoder(1)
@@ -249,6 +281,13 @@ func BenchmarkStreamStartupProgressive(b *testing.B) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := &netstream.Client{}
+	// Progressive startup fetches only the head + first segment; report
+	// MB/s over the bytes actually transferred per op.
+	_, st, err := c.ProgressiveOpen(ts.URL + "/pkg/c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(st.BytesFetched))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.ProgressiveOpen(ts.URL + "/pkg/c"); err != nil {
@@ -265,6 +304,7 @@ func BenchmarkStreamFullDownload(b *testing.B) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := &netstream.Client{}
+	b.SetBytes(int64(len(classroomPkg(b)))) // full package bytes per op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Download(ts.URL + "/pkg/c"); err != nil {

@@ -117,7 +117,7 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 	if !ok {
 		return nil, "", fmt.Errorf("no bundled course %q (have classroom, museum, street)", name)
 	}
-	blob, err := course.BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	blob, err := course.BuildPackage(studio.Options{QStep: 10})
 	if err != nil {
 		return nil, "", err
 	}

@@ -15,11 +15,16 @@ import (
 	"os"
 
 	"repro/internal/media/playback"
-	"repro/internal/media/raster"
 	"repro/internal/media/shotdetect"
 	"repro/internal/media/studio"
 	"repro/internal/media/synth"
 )
+
+// videoSource adapts a playback.Video (single-goroutine, frame-recycling)
+// into a shot-detection source safe for concurrent histogram workers.
+func videoSource(v *playback.Video) shotdetect.Source {
+	return shotdetect.SerializedSource(v.Meta().FrameCount, v.FrameAt)
+}
 
 func main() {
 	in := flag.String("in", "", "TKVC video to segment")
@@ -46,7 +51,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		src = shotdetect.FuncSource{N: v.Meta().FrameCount, F: v.FrameAt}
+		src = videoSource(v)
 		fmt.Printf("video: %dx%d, %d frames @ %d fps\n",
 			v.Meta().Width, v.Meta().Height, v.Meta().FrameCount, v.Meta().FPS)
 	case *synthShots > 0:
@@ -65,9 +70,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		src = shotdetect.FuncSource{N: v.Meta().FrameCount, F: func(i int) (*raster.Frame, error) {
-			return v.FrameAt(i)
-		}}
+		src = videoSource(v)
 		for _, c := range film.Cuts() {
 			truth = append(truth, c.Frame)
 		}

@@ -40,7 +40,7 @@ func main() {
 		"museum":    content.Museum(),
 		"street":    content.StreetDemo(),
 	} {
-		blob, err := course.BuildPackage(studio.Options{QStep: 8, Workers: 2})
+		blob, err := course.BuildPackage(studio.Options{QStep: 8})
 		if err != nil {
 			fail(err)
 		}

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	// 1. Publish the classroom course with telemetry mounted.
-	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 10})
 	if err != nil {
 		log.Fatal(err)
 	}

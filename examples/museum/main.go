@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	blob, err := content.Museum().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	blob, err := content.Museum().BuildPackage(studio.Options{QStep: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

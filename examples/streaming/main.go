@@ -16,7 +16,7 @@ import (
 
 func main() {
 	// Publish the museum course on a loopback server.
-	blob, err := content.Museum().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	blob, err := content.Museum().BuildPackage(studio.Options{QStep: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -206,10 +206,9 @@ func autoSegment(blob []byte, cfg shotdetect.Config) ([]container.Chapter, error
 	if err != nil {
 		return nil, err
 	}
-	src := shotdetect.FuncSource{
-		N: v.Meta().FrameCount,
-		F: func(i int) (*raster.Frame, error) { return v.FrameAt(i) },
-	}
+	// The Video is single-goroutine and recycles its frame; the serialized
+	// source hands each (possibly concurrent) histogram worker its own copy.
+	src := shotdetect.SerializedSource(v.Meta().FrameCount, v.FrameAt)
 	bounds, err := shotdetect.Detect(src, cfg)
 	if err != nil {
 		return nil, err

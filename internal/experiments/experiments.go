@@ -161,7 +161,7 @@ func E2() (string, error) {
 			MinShotFrames: 50, MaxShotFrames: 70,
 			NoiseAmp: 1, Seed: int64(seconds),
 		})
-		blob, err := studio.Record(film, studio.Options{QStep: 8, GOP: 12, Workers: 2})
+		blob, err := studio.Record(film, studio.Options{QStep: 8, GOP: 12})
 		if err != nil {
 			return "", err
 		}

@@ -250,7 +250,7 @@ func E8() (string, error) {
 			Shots: nseg, MinShotFrames: 25, MaxShotFrames: 30,
 			NoiseAmp: 1, Seed: int64(nseg),
 		})
-		video, err := studio.Record(film, studio.Options{QStep: 8, GOP: 10, ShotMarkers: true, Workers: 2})
+		video, err := studio.Record(film, studio.Options{QStep: 8, GOP: 10, ShotMarkers: true})
 		if err != nil {
 			return "", err
 		}

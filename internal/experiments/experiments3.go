@@ -26,7 +26,7 @@ func E10(learners int) (string, error) {
 	if learners <= 0 {
 		learners = 200
 	}
-	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 10})
 	if err != nil {
 		return "", err
 	}

@@ -32,15 +32,17 @@ type Video struct {
 	// pos is the index of the next frame the decoder would produce, or -1
 	// if the decoder has no reference state yet.
 	pos int
+	own *raster.Frame // recycled frame returned by FrameAt
 }
 
-// OpenVideo parses blob and prepares a decoder with the given worker count.
+// OpenVideo parses blob and prepares a decoder with the given worker count
+// (<=0 means all CPUs).
 func OpenVideo(blob []byte, decodeWorkers int) (*Video, error) {
 	r, err := container.Open(blob)
 	if err != nil {
 		return nil, err
 	}
-	return &Video{r: r, dec: vcodec.NewDecoder(decodeWorkers), pos: -1}, nil
+	return &Video{r: r, dec: vcodec.NewDecoder(decodeWorkers), pos: -1, own: &raster.Frame{}}, nil
 }
 
 // Meta returns the container metadata.
@@ -56,17 +58,29 @@ func (v *Video) ChapterByName(name string) (container.Chapter, bool) {
 
 // FrameAt decodes and returns frame i, seeking if necessary. Sequential
 // reads (i == previous+1) cost one decode; backward seeks or jumps restart
-// from the nearest preceding I-frame.
+// from the nearest preceding I-frame, and roll-forward frames skip the RGB
+// conversion entirely.
+//
+// The returned frame is owned by the Video and recycled by the next FrameAt
+// call; Clone it to retain pixels across calls.
 func (v *Video) FrameAt(i int) (*raster.Frame, error) {
+	if err := v.frameAtInto(v.own, i); err != nil {
+		return nil, err
+	}
+	return v.own, nil
+}
+
+// frameAtInto is FrameAt decoding into a caller-provided frame.
+func (v *Video) frameAtInto(dst *raster.Frame, i int) error {
 	n := v.r.Meta().FrameCount
 	if i < 0 || i >= n {
-		return nil, fmt.Errorf("playback: frame %d out of range [0,%d)", i, n)
+		return fmt.Errorf("playback: frame %d out of range [0,%d)", i, n)
 	}
 	start := v.pos
 	if v.pos == -1 || i < v.pos {
 		k, err := v.r.KeyframeAtOrBefore(i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v.dec.Reset()
 		start = k
@@ -75,27 +89,43 @@ func (v *Video) FrameAt(i int) (*raster.Frame, error) {
 		// to it skips useless decodes.
 		k, err := v.r.KeyframeAtOrBefore(i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if k > v.pos {
 			v.dec.Reset()
 			start = k
 		}
 	}
-	var out *raster.Frame
 	for j := start; j <= i; j++ {
 		data, _, err := v.r.PacketAt(j)
 		if err != nil {
-			return nil, err
+			v.invalidate()
+			return err
 		}
-		f, err := v.dec.Decode(data)
+		if j < i {
+			// Roll-forward frames are never presented; advance the decoder
+			// reference without converting to RGB.
+			err = v.dec.Advance(data)
+		} else {
+			err = v.dec.DecodeInto(dst, data)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("playback: decoding frame %d: %w", j, err)
+			// The decoder reference may have advanced past v.pos before the
+			// failure; drop both so the next call re-seeks from a keyframe
+			// instead of predicting against the wrong reference.
+			v.invalidate()
+			return fmt.Errorf("playback: decoding frame %d: %w", j, err)
 		}
-		out = f
 	}
 	v.pos = i + 1
-	return out, nil
+	return nil
+}
+
+// invalidate forgets the decode position after a failed roll, forcing the
+// next FrameAt to restart from a keyframe.
+func (v *Video) invalidate() {
+	v.dec.Reset()
+	v.pos = -1
 }
 
 // EndBehavior selects what a Cursor does at the end of its segment.
@@ -156,7 +186,8 @@ func (c *Cursor) Pos() int { return c.pos }
 // AtEnd reports whether the cursor sits on the segment's final frame.
 func (c *Cursor) AtEnd() bool { return c.entered && c.pos == c.seg.End-1 }
 
-// Frame decodes the current frame.
+// Frame decodes the current frame. Like FrameAt, the returned frame is
+// recycled by the next decode on the underlying Video.
 func (c *Cursor) Frame() (*raster.Frame, error) {
 	if !c.entered {
 		return nil, errors.New("playback: cursor has not entered a segment")
@@ -199,6 +230,9 @@ type PlayStats struct {
 // each to fn. A decode goroutine runs ahead by up to Prefetch frames while
 // fn (the "presentation" side) consumes. fn returning an error, or ctx
 // cancellation, stops playback early.
+//
+// Frames handed to fn come from a recycled ring and are only valid for the
+// duration of the callback; Clone to retain one.
 func Play(ctx context.Context, v *Video, start, end int, opts PlayOptions, fn func(i int, f *raster.Frame) error) (PlayStats, error) {
 	n := v.Meta().FrameCount
 	if start < 0 || end > n || end < start {
@@ -214,12 +248,27 @@ func Play(ctx context.Context, v *Video, start, end int, opts PlayOptions, fn fu
 	frames := make(chan item, opts.Prefetch)
 	decodeErr := make(chan error, 1)
 	dctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	// Join the decode goroutine on every exit path: it drives the Video's
+	// single-goroutine decoder, so Play must not return (and hand the Video
+	// back to the caller) while a decode is still in flight.
+	done := make(chan struct{})
+	defer func() {
+		cancel()
+		<-done
+	}()
+	// Decoded frames are recycled through a fixed ring: up to Prefetch
+	// frames sit in the channel and one is with the consumer, so Prefetch+2
+	// buffers guarantee the decoder never overwrites a live frame.
+	ring := make([]*raster.Frame, opts.Prefetch+2)
+	for k := range ring {
+		ring[k] = &raster.Frame{}
+	}
 	go func() {
+		defer close(done)
 		defer close(frames)
 		for i := start; i < end; i++ {
-			f, err := v.FrameAt(i)
-			if err != nil {
+			f := ring[(i-start)%len(ring)]
+			if err := v.frameAtInto(f, i); err != nil {
 				decodeErr <- err
 				return
 			}

@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/media/container"
 	"repro/internal/media/raster"
 	"repro/internal/media/studio"
 	"repro/internal/media/synth"
+	"repro/internal/media/vcodec"
 )
 
 // testBlob returns a recorded film with per-shot chapters and the film
@@ -56,7 +58,7 @@ func TestFrameAtRandomAccessMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq[i] = f
+		seq[i] = f.Clone() // FrameAt recycles its frame; retain a copy
 	}
 	// Random-order access must give bit-identical frames.
 	order := []int{n - 1, 0, n / 2, 3, n / 2, n - 2, 1, n / 3, 0}
@@ -268,6 +270,85 @@ func TestPlayRealtimePacing(t *testing.T) {
 	}
 	if elapsed < 300*time.Millisecond {
 		t.Errorf("realtime playback of 5 frames @10fps took %v, want >= ~400ms", elapsed)
+	}
+}
+
+func TestPlayEarlyStopJoinsDecoder(t *testing.T) {
+	// Stopping Play from the callback must wait for the decode goroutine;
+	// immediate reuse of the Video would otherwise race on the decoder.
+	blob, _ := testBlob(t)
+	v, err := OpenVideo(blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop after first frame")
+	_, err = Play(context.Background(), v, 0, v.Meta().FrameCount, PlayOptions{Prefetch: 3},
+		func(i int, f *raster.Frame) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Play error = %v, want sentinel", err)
+	}
+	if _, err := v.FrameAt(0); err != nil {
+		t.Fatalf("Video unusable after early-stopped Play: %v", err)
+	}
+}
+
+func TestFrameAtErrorInvalidatesPosition(t *testing.T) {
+	// A decode failure mid roll-forward advances the decoder reference past
+	// v.pos; the Video must forget its position so the next read re-seeks
+	// from a keyframe instead of predicting against the wrong reference.
+	film := synth.Generate(synth.Spec{
+		W: 64, H: 48, FPS: 10,
+		Shots: 2, MinShotFrames: 10, MaxShotFrames: 12,
+		NoiseAmp: 6, Seed: 17,
+	})
+	enc, err := vcodec.NewEncoder(vcodec.Config{Width: 64, Height: 48, QStep: 4, GOP: 100, SearchRange: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := container.NewMuxer(container.Meta{Width: 64, Height: 48, FPS: 10, GOP: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		pkt, err := enc.Encode(film.Render(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Index == 5 {
+			pkt.Data = []byte("garbage, not a TKV1 packet") // poisoned mid-GOP P-frame
+		}
+		if err := mux.AddPacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := mux.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenVideo(blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.FrameAt(2); err != nil { // establish v.pos = 3
+		t.Fatal(err)
+	}
+	if _, err := v.FrameAt(7); err == nil { // rolls 3,4 fine, dies at 5
+		t.Fatal("decoding across the poisoned packet should fail")
+	}
+	got, err := v.FrameAt(3)
+	if err != nil {
+		t.Fatalf("FrameAt(3) after failed roll: %v", err)
+	}
+	fresh, err := OpenVideo(blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.FrameAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("post-error FrameAt decoded against a stale reference")
 	}
 }
 

@@ -18,8 +18,11 @@ import (
 	"repro/internal/media/raster"
 )
 
-// Source supplies frames by index. synth.Film and the playback decoder both
-// adapt to it trivially.
+// Source supplies frames by index. synth.Film adapts trivially; a
+// playback.Video (whose FrameAt recycles its returned frame) should be
+// wrapped with SerializedSource. Frames are fetched in index order from one
+// goroutine, but a returned frame must remain valid while later frames are
+// fetched — the detector processes frames concurrently behind the fetch.
 type Source interface {
 	Frames() int
 	Frame(i int) (*raster.Frame, error)
@@ -36,6 +39,23 @@ func (s FuncSource) Frames() int { return s.N }
 
 // Frame renders frame i.
 func (s FuncSource) Frame(i int) (*raster.Frame, error) { return s.F(i) }
+
+// SerializedSource adapts a single-goroutine frame producer — typically a
+// playback.Video, whose FrameAt recycles its returned frame — into a Source
+// safe for concurrent histogram workers: calls are serialized and each
+// caller receives its own copy of the frame.
+func SerializedSource(n int, fetch func(i int) (*raster.Frame, error)) Source {
+	var mu sync.Mutex
+	return FuncSource{N: n, F: func(i int) (*raster.Frame, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		f, err := fetch(i)
+		if err != nil {
+			return nil, err
+		}
+		return f.Clone(), nil
+	}}
+}
 
 // Config tunes the detector. The zero value is not valid; use Defaults and
 // override fields as needed.
@@ -163,13 +183,16 @@ func Detect(src Source, cfg Config) ([]Boundary, error) {
 	return dedupe(bounds, cfg.MinSceneFrames), nil
 }
 
-// histograms computes all frame histograms, fanning out across workers.
+// histograms computes all frame histograms. Frames are fetched sequentially
+// on one goroutine — sources backed by a seeking decoder (playback.Video)
+// stay on their sequential fast path instead of ping-ponging between workers
+// and re-rolling from keyframes — and only the downsample/histogram math
+// fans out. Frames handed to workers must stay valid after the next Frame
+// call; recycling producers adapt via SerializedSource, which clones.
 func histograms(src Source, cfg Config) ([]raster.Histogram, error) {
 	n := src.Frames()
 	hists := make([]raster.Histogram, n)
 	errs := make([]error, n)
-	work := make(chan int)
-	var wg sync.WaitGroup
 	nw := cfg.Workers
 	if nw < 1 {
 		nw = 1
@@ -177,25 +200,32 @@ func histograms(src Source, cfg Config) ([]raster.Histogram, error) {
 	if nw > n {
 		nw = n
 	}
+	type item struct {
+		i int
+		f *raster.Frame
+	}
+	work := make(chan item, 2*nw)
+	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				f, err := src.Frame(i)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
+			for it := range work {
+				f := it.f
 				if cfg.Downsample > 1 {
 					f = f.Downsample(cfg.Downsample)
 				}
-				hists[i] = f.Histogram()
+				hists[it.i] = f.Histogram()
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		work <- i
+		f, err := src.Frame(i)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		work <- item{i, f}
 	}
 	close(work)
 	wg.Wait()

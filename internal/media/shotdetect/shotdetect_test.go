@@ -2,6 +2,7 @@ package shotdetect
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/media/raster"
@@ -233,5 +234,47 @@ func TestDedupeKeepsStronger(t *testing.T) {
 	}
 	if bs[0].Frame != 12 || bs[0].Score != 0.9 {
 		t.Errorf("dedupe kept weaker boundary: %+v", bs[0])
+	}
+}
+
+func TestSerializedSourceClonesAndSerializes(t *testing.T) {
+	// The fetch callback stands in for playback.FrameAt: single-goroutine
+	// only, and it recycles one shared frame. SerializedSource must level
+	// that into a concurrency-safe source handing out stable copies.
+	shared := raster.New(4, 4)
+	calls := 0 // would trip the race detector if fetches overlapped
+	src := SerializedSource(32, func(i int) (*raster.Frame, error) {
+		calls++
+		shared.Fill(raster.RGB{R: uint8(i)})
+		return shared, nil
+	})
+	if src.Frames() != 32 {
+		t.Fatalf("Frames() = %d, want 32", src.Frames())
+	}
+	frames := make([]*raster.Frame, src.Frames())
+	var wg sync.WaitGroup
+	for i := range frames {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := src.Frame(i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			frames[i] = f
+		}(i)
+	}
+	wg.Wait()
+	if calls != len(frames) {
+		t.Fatalf("fetch called %d times, want %d", calls, len(frames))
+	}
+	for i, f := range frames {
+		if f == shared {
+			t.Fatal("SerializedSource returned the recycled frame, not a clone")
+		}
+		if f.Pix[0] != uint8(i) {
+			t.Fatalf("frame %d holds pixels from a later fetch (R=%d)", i, f.Pix[0])
+		}
 	}
 }

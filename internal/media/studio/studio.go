@@ -18,7 +18,7 @@ type Options struct {
 	QStep       int  // quantizer step (default 4)
 	GOP         int  // I-frame interval (default fps, i.e. one per second)
 	SearchRange int  // motion search radius (default 3)
-	Workers     int  // encoder workers (default 1)
+	Workers     int  // encoder workers (default: all CPUs)
 	ShotMarkers bool // add one chapter per ground-truth shot
 	// Chapters, when non-nil, is written instead of shot markers — the
 	// authoring tool uses it to store scenario segments under its own names.
@@ -35,9 +35,7 @@ func (o Options) withDefaults(fps int) Options {
 	if o.SearchRange == 0 {
 		o.SearchRange = 3
 	}
-	if o.Workers <= 0 {
-		o.Workers = 1
-	}
+	// Workers <= 0 passes through: the encoder defaults to all CPUs.
 	return o
 }
 
@@ -54,6 +52,7 @@ func Record(film *synth.Film, opts Options) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("studio: %w", err)
 	}
+	defer enc.Close()
 	mux, err := container.NewMuxer(container.Meta{
 		Width: film.W, Height: film.H, FPS: film.FPS, GOP: opts.GOP,
 	})

@@ -2,7 +2,7 @@ package vcodec
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"repro/internal/media/raster"
 )
@@ -34,18 +34,27 @@ const (
 
 const magic = "TKV1"
 
+// MaxWorkers caps the per-codec worker pool; values beyond this are absurd
+// for block-row parallelism and only waste goroutines.
+const MaxWorkers = 256
+
+// maxDim bounds frame dimensions. The decoder rejects larger headers as
+// corrupt, so the encoder must refuse to produce them; rowPool's queue depth
+// is also sized from it.
+const maxDim = 1 << 14
+
 // Config parameterizes an Encoder.
 type Config struct {
 	Width, Height int
 	QStep         int // quantizer step; larger = smaller & worse. Sane range 2..32.
 	GOP           int // I-frame interval; every GOP-th frame is intra. >= 1.
 	SearchRange   int // motion search radius in pixels (0..7). 0 disables MC.
-	Workers       int // parallel block-row workers; <=0 means 1
+	Workers       int // parallel block-row workers; <=0 means all CPUs, max MaxWorkers
 }
 
 func (c Config) validate() error {
-	if c.Width <= 0 || c.Height <= 0 {
-		return fmt.Errorf("vcodec: invalid dimensions %dx%d", c.Width, c.Height)
+	if c.Width <= 0 || c.Height <= 0 || c.Width > maxDim || c.Height > maxDim {
+		return fmt.Errorf("vcodec: invalid dimensions %dx%d (max %d)", c.Width, c.Height, maxDim)
 	}
 	if c.QStep < 1 || c.QStep > 128 {
 		return fmt.Errorf("vcodec: qstep %d out of range [1,128]", c.QStep)
@@ -56,7 +65,22 @@ func (c Config) validate() error {
 	if c.SearchRange < 0 || c.SearchRange > 7 {
 		return fmt.Errorf("vcodec: search range %d out of range [0,7]", c.SearchRange)
 	}
+	if c.Workers > MaxWorkers {
+		return fmt.Errorf("vcodec: workers %d out of range (max %d)", c.Workers, MaxWorkers)
+	}
 	return nil
+}
+
+// normWorkers resolves a worker count: <=0 means all CPUs, capped at
+// MaxWorkers either way.
+func normWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	return n
 }
 
 // Packet is one encoded frame.
@@ -66,22 +90,68 @@ type Packet struct {
 	Data  []byte
 }
 
-// Encoder compresses a sequence of equally-sized frames.
+// Encoder compresses a sequence of equally-sized frames. It is a persistent
+// pipeline: the worker pool, colorspace scratch, reference/reconstruction
+// double buffer and per-row chunk buffers are all allocated once at
+// construction, so the steady-state Encode path allocates only the returned
+// packet's payload. Not safe for concurrent use.
 type Encoder struct {
-	cfg   Config
-	ref   *ycbcr // reconstructed previous frame (what the decoder will see)
-	count int
+	cfg    Config
+	pool   *rowPool // nil when single-worker (rows run inline)
+	img    *ycbcr   // current frame in YCbCr, reused every Encode
+	recon  *ycbcr   // reconstruction target for the current frame
+	ref    *ycbcr   // previous reconstruction (what the decoder will see)
+	hasRef bool
+	fullCb []int32 // full-resolution chroma scratch for fromFrame
+	fullCr []int32
+	rows   []byteWriter // per-block-row chunk buffers, reused across planes/frames
+	task   encTask      // reusable plane-dispatch task for the pool
+	count  int
+	prevSz int // previous packet size, used to presize the next payload
 }
 
-// NewEncoder returns an encoder for the given configuration.
+// encTask carries one plane's encode parameters to the worker pool.
+type encTask struct {
+	src, ref, recon    *plane
+	bufs               []byteWriter
+	qstep, searchRange int
+}
+
+func (t *encTask) runRow(by int) {
+	t.bufs[by].reset()
+	encodeBlockRow(&t.bufs[by], t.src, t.ref, t.recon, by, t.qstep, t.searchRange)
+}
+
+// NewEncoder returns an encoder for the given configuration. Call Close when
+// done to release the worker pool promptly (a finalizer releases it
+// otherwise).
 func NewEncoder(cfg Config) (*Encoder, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 1
+	cfg.Workers = normWorkers(cfg.Workers)
+	e := &Encoder{cfg: cfg}
+	e.img = newYCbCr(cfg.Width, cfg.Height)
+	e.recon = newYCbCr(cfg.Width, cfg.Height)
+	e.ref = newYCbCr(cfg.Width, cfg.Height)
+	pw, ph := e.img.y.w, e.img.y.h
+	e.fullCb = make([]int32, pw*ph)
+	e.fullCr = make([]int32, pw*ph)
+	e.rows = make([]byteWriter, ph/blockSize)
+	if cfg.Workers > 1 {
+		e.pool = newRowPool(cfg.Workers)
+		runtime.AddCleanup(e, (*rowPool).stop, e.pool)
 	}
-	return &Encoder{cfg: cfg}, nil
+	return e, nil
+}
+
+// Close stops the encoder's worker pool. The encoder remains usable; further
+// Encode calls fall back to inline (single-threaded) row coding.
+func (e *Encoder) Close() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
 }
 
 // Encode compresses the next frame. Frame type is chosen by the GOP setting;
@@ -92,162 +162,171 @@ func (e *Encoder) Encode(f *raster.Frame) (Packet, error) {
 			f.W, f.H, e.cfg.Width, e.cfg.Height)
 	}
 	ft := PFrame
-	if e.ref == nil || e.count%e.cfg.GOP == 0 {
+	if !e.hasRef || e.count%e.cfg.GOP == 0 {
 		ft = IFrame
 	}
-	img := toYCbCr(f)
-	recon := &ycbcr{
-		y:  newPlane(img.y.w, img.y.h),
-		cb: newPlane(img.cb.w, img.cb.h),
-		cr: newPlane(img.cr.w, img.cr.h),
-		w:  img.w, h: img.h,
-	}
-	var w byteWriter
+	e.img.fromFrame(f, e.fullCb, e.fullCr)
+	w := byteWriter{buf: make([]byte, 0, e.prevSz+e.prevSz/4+64)}
 	w.bytes([]byte(magic))
 	w.u8(uint8(ft))
-	w.uvarint(uint64(img.w))
-	w.uvarint(uint64(img.h))
+	w.uvarint(uint64(e.img.w))
+	w.uvarint(uint64(e.img.h))
 	w.uvarint(uint64(e.cfg.QStep))
 	w.u8(uint8(e.cfg.SearchRange))
 	var refY, refCb, refCr *plane
 	if ft == PFrame {
 		refY, refCb, refCr = e.ref.y, e.ref.cb, e.ref.cr
 	}
-	e.encodePlane(&w, img.y, refY, recon.y, e.cfg.SearchRange)
-	e.encodePlane(&w, img.cb, refCb, recon.cb, e.cfg.SearchRange/2)
-	e.encodePlane(&w, img.cr, refCr, recon.cr, e.cfg.SearchRange/2)
-	e.ref = recon
+	e.encodePlane(&w, e.img.y, refY, e.recon.y, e.cfg.SearchRange)
+	e.encodePlane(&w, e.img.cb, refCb, e.recon.cb, e.cfg.SearchRange/2)
+	e.encodePlane(&w, e.img.cr, refCr, e.recon.cr, e.cfg.SearchRange/2)
+	// The fresh reconstruction becomes the reference; the old reference
+	// becomes next frame's reconstruction target (double buffer).
+	e.ref, e.recon = e.recon, e.ref
+	e.hasRef = true
 	p := Packet{Type: ft, Index: e.count, Data: w.buf}
 	e.count++
+	e.prevSz = len(w.buf)
 	return p, nil
 }
 
 // Reset drops the reference frame so the next frame becomes an I-frame.
 func (e *Encoder) Reset() {
-	e.ref = nil
+	e.hasRef = false
 	e.count = 0
 }
 
 // encodePlane codes one plane as independent block rows (parallel across
-// workers) and writes a row-length table so the decoder can parallelize too.
+// the persistent pool) and writes a row-length table so the decoder can
+// parallelize too.
 func (e *Encoder) encodePlane(w *byteWriter, src, ref, recon *plane, searchRange int) {
 	rows := src.h / blockSize
-	chunks := make([][]byte, rows)
-	work := make(chan int)
-	var wg sync.WaitGroup
-	nw := e.cfg.Workers
-	if nw > rows {
-		nw = rows
+	bufs := e.rows[:rows]
+	e.task = encTask{src: src, ref: ref, recon: recon, bufs: bufs, qstep: e.cfg.QStep, searchRange: searchRange}
+	if e.pool != nil && rows > 1 {
+		e.pool.run(rows, &e.task)
+	} else {
+		for by := 0; by < rows; by++ {
+			e.task.runRow(by)
+		}
 	}
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for by := range work {
-				chunks[by] = encodeBlockRow(src, ref, recon, by, e.cfg.QStep, searchRange)
-			}
-		}()
-	}
-	for by := 0; by < rows; by++ {
-		work <- by
-	}
-	close(work)
-	wg.Wait()
 	w.uvarint(uint64(rows))
-	for _, c := range chunks {
-		w.uvarint(uint64(len(c)))
+	for i := range bufs {
+		w.uvarint(uint64(len(bufs[i].buf)))
 	}
-	for _, c := range chunks {
-		w.bytes(c)
+	for i := range bufs {
+		w.bytes(bufs[i].buf)
 	}
 }
 
 // encodeBlockRow codes all blocks with top edge at by*blockSize, writing
 // reconstructed samples into recon (its rows are disjoint across calls).
-func encodeBlockRow(src, ref, recon *plane, by, qstep, searchRange int) []byte {
-	var w byteWriter
-	var cur, res, coefs, rec [64]float64
+func encodeBlockRow(w *byteWriter, src, ref, recon *plane, by, qstep, searchRange int) {
+	var cur, res, coefs, rec [64]int32
 	var levels, levelsI [64]int32
 	y0 := by * blockSize
 	for x0 := 0; x0 < src.w; x0 += blockSize {
 		loadBlock(src, x0, y0, &cur)
-		// Intra candidate.
-		for i := range cur {
-			res[i] = cur[i] - 128
-		}
-		fdct8x8(&res, &coefs)
-		quantize(&coefs, qstep, &levelsI)
-		intraCost := codeCost(&levelsI)
 		if ref == nil {
-			writeIntraBlock(&w, src, recon, x0, y0, qstep, &levelsI, &rec)
+			// I-frame (or I-coded plane): intra is the only mode.
+			for i := range cur {
+				res[i] = cur[i] - 128
+			}
+			fdct8x8(&res, &coefs)
+			quantize(&coefs, qstep, &levelsI)
+			writeIntraBlock(w, recon, x0, y0, qstep, &levelsI, &rec)
+			continue
+		}
+		// Perfect skip first: if the co-located reference block is
+		// identical, the residual is zero at any quantizer and neither the
+		// motion search nor either DCT needs to run.
+		if sameBlock(&cur, ref, x0, y0) {
+			w.u8(modeSkip)
+			copyBlock(ref, recon, x0, y0)
 			continue
 		}
 		// Motion search (includes the (0,0) candidate even when range is 0).
-		mvx, mvy := motionSearch(src, ref, x0, y0, searchRange)
-		loadBlockOffset(ref, x0+mvx, y0+mvy, &res)
+		mvx, mvy := motionSearch(&cur, ref, x0, y0, searchRange)
+		loadBlock(ref, x0+mvx, y0+mvy, &res)
 		for i := range res {
 			res[i] = cur[i] - res[i]
 		}
 		fdct8x8(&res, &coefs)
 		quantizeDeadzone(&coefs, qstep, &levels)
-		mcCost := codeCost(&levels) + 1 // +1 byte for the motion vector
 		if allZero(&levels) && mvx == 0 && mvy == 0 {
 			// Residual vanishes at this quantizer: perfect skip.
 			w.u8(modeSkip)
 			copyBlock(ref, recon, x0, y0)
 			continue
 		}
+		// Intra candidate, only computed once skip is off the table.
+		for i := range cur {
+			res[i] = cur[i] - 128
+		}
+		fdct8x8(&res, &coefs)
+		quantize(&coefs, qstep, &levelsI)
+		intraCost := codeCost(&levelsI)
+		mcCost := codeCost(&levels) + 1 // +1 byte for the motion vector
 		if mcCost <= intraCost {
 			w.u8(modeMC)
 			w.u8(packMV(mvx, mvy))
-			writeLevels(&w, &levels)
+			writeLevels(w, &levels)
 			reconstructMC(ref, recon, x0, y0, mvx, mvy, qstep, &levels, &rec)
 			continue
 		}
-		writeIntraBlock(&w, src, recon, x0, y0, qstep, &levelsI, &rec)
+		writeIntraBlock(w, recon, x0, y0, qstep, &levelsI, &rec)
 	}
-	return w.buf
 }
 
-func writeIntraBlock(w *byteWriter, src, recon *plane, x0, y0, qstep int, levels *[64]int32, rec *[64]float64) {
+func writeIntraBlock(w *byteWriter, recon *plane, x0, y0, qstep int, levels *[64]int32, rec *[64]int32) {
 	w.u8(modeIntra)
 	writeLevels(w, levels)
-	var coefs [64]float64
+	var coefs [64]int32
 	dequantize(levels, qstep, &coefs)
 	idct8x8(&coefs, rec)
-	for i := 0; i < 64; i++ {
-		x, y := x0+i%blockSize, y0+i/blockSize
-		recon.set(x, y, clamp255(int32(rec[i]+128.5)))
+	for r := 0; r < blockSize; r++ {
+		dst := recon.row(x0, y0+r, blockSize)
+		for k := range dst {
+			dst[k] = clamp255(rec[r*blockSize+k] + 128)
+		}
 	}
 }
 
-func reconstructMC(ref, recon *plane, x0, y0, mvx, mvy, qstep int, levels *[64]int32, rec *[64]float64) {
-	var coefs [64]float64
+func reconstructMC(ref, recon *plane, x0, y0, mvx, mvy, qstep int, levels *[64]int32, rec *[64]int32) {
+	var coefs [64]int32
 	dequantize(levels, qstep, &coefs)
 	idct8x8(&coefs, rec)
-	for i := 0; i < 64; i++ {
-		x, y := x0+i%blockSize, y0+i/blockSize
-		pred := ref.at(x+mvx, y+mvy)
-		recon.set(x, y, clamp255(pred+int32(roundHalf(rec[i]))))
+	for r := 0; r < blockSize; r++ {
+		pred := ref.row(x0+mvx, y0+mvy+r, blockSize)
+		dst := recon.row(x0, y0+r, blockSize)
+		for k := range dst {
+			dst[k] = clamp255(pred[k] + rec[r*blockSize+k])
+		}
 	}
 }
 
-func roundHalf(v float64) float64 {
-	if v >= 0 {
-		return float64(int32(v + 0.5))
+// sameBlock reports whether the current block equals the co-located
+// reference block exactly, comparing row slices with early exit.
+func sameBlock(cur *[64]int32, ref *plane, x0, y0 int) bool {
+	for r := 0; r < blockSize; r++ {
+		rrow := ref.row(x0, y0+r, blockSize)
+		crow := cur[r*blockSize : r*blockSize+blockSize]
+		for k := range crow {
+			if crow[k] != rrow[k] {
+				return false
+			}
+		}
 	}
-	return float64(int32(v - 0.5))
+	return true
 }
 
 // motionSearch finds the full-pixel offset within ±r minimizing SAD against
-// the reference, constrained so the reference block stays in bounds.
-func motionSearch(src, ref *plane, x0, y0, r int) (int, int) {
+// the reference, constrained so the reference block stays in bounds. The
+// inner loop walks raw row slices (no per-pixel index math) and exits early
+// once a candidate exceeds the best SAD so far.
+func motionSearch(cur *[64]int32, ref *plane, x0, y0, r int) (int, int) {
 	if r == 0 {
 		return 0, 0
-	}
-	var cur [64]int32
-	for i := 0; i < 64; i++ {
-		cur[i] = src.at(x0+i%blockSize, y0+i/blockSize)
 	}
 	best, bx, by := int32(1<<30), 0, 0
 	for dy := -r; dy <= r; dy++ {
@@ -260,17 +339,22 @@ func motionSearch(src, ref *plane, x0, y0, r int) (int, int) {
 			if rx < 0 || rx+blockSize > ref.w {
 				continue
 			}
-			var sad int32
-			for i := 0; i < 64 && sad < best; i++ {
-				d := cur[i] - ref.at(rx+i%blockSize, ry+i/blockSize)
-				if d < 0 {
-					d = -d
-				}
-				sad += d
-			}
 			// Bias toward the zero vector to avoid jitter on ties.
+			var sad int32
 			if dx == 0 && dy == 0 {
-				sad -= 4
+				sad = -4
+			}
+			base := ry*ref.w + rx
+			for row := 0; row < blockSize && sad < best; row++ {
+				rrow := ref.pix[base+row*ref.w : base+row*ref.w+blockSize : base+row*ref.w+blockSize]
+				crow := cur[row*blockSize : row*blockSize+blockSize]
+				for k, c := range crow {
+					d := c - rrow[k]
+					if d < 0 {
+						d = -d
+					}
+					sad += d
+				}
 			}
 			if sad < best {
 				best, bx, by = sad, dx, dy
@@ -280,15 +364,11 @@ func motionSearch(src, ref *plane, x0, y0, r int) (int, int) {
 	return bx, by
 }
 
-func loadBlock(p *plane, x0, y0 int, dst *[64]float64) {
-	for i := 0; i < 64; i++ {
-		dst[i] = float64(p.at(x0+i%blockSize, y0+i/blockSize))
-	}
-}
-
-func loadBlockOffset(p *plane, x0, y0 int, dst *[64]float64) {
-	for i := 0; i < 64; i++ {
-		dst[i] = float64(p.at(x0+i%blockSize, y0+i/blockSize))
+// loadBlock copies the 8×8 block with top-left corner (x0,y0) into dst,
+// row by row.
+func loadBlock(p *plane, x0, y0 int, dst *[64]int32) {
+	for r := 0; r < blockSize; r++ {
+		copy(dst[r*blockSize:r*blockSize+blockSize], p.row(x0, y0+r, blockSize))
 	}
 }
 
@@ -330,88 +410,194 @@ func unpackMV(b uint8) (int, int) {
 	return int(b>>4) - 8, int(b&0xF) - 8
 }
 
-// Decoder decompresses TKV1 packets. The zero Decoder is ready to use; the
-// first packet it sees must be an I-frame.
+// Decoder decompresses TKV1 packets. Like the Encoder it is a persistent
+// pipeline: the worker pool and the reference/target image double buffer
+// live for the decoder's lifetime, so steady-state DecodeInto allocates
+// nothing. The zero Decoder is not usable; construct with NewDecoder. The
+// first packet a decoder sees must be an I-frame. Not safe for concurrent
+// use.
 type Decoder struct {
-	ref     *ycbcr
 	workers int
+	pool    *rowPool
+	ref     *ycbcr   // last fully decoded image (nil before the first I-frame)
+	free    []*ycbcr // recycled decode targets (at most two circulate)
+	lengths []int
+	chunks  [][]byte
+	errs    []error
+	task    decTask // reusable plane-dispatch task for the pool
+}
+
+// decTask carries one plane's decode parameters to the worker pool.
+type decTask struct {
+	chunks   [][]byte
+	errs     []error
+	dst, ref *plane
+	qstep    int
+}
+
+func (t *decTask) runRow(by int) {
+	t.errs[by] = decodeBlockRow(t.chunks[by], t.dst, t.ref, by, t.qstep)
 }
 
 // NewDecoder returns a decoder that fans block-row decoding out over the
-// given number of workers (<=0 means 1).
+// given number of workers (<=0 means all CPUs; clamped to MaxWorkers, the
+// same cap Config.validate enforces). Call Close when done to release the
+// worker pool promptly (a finalizer releases it otherwise).
 func NewDecoder(workers int) *Decoder {
-	if workers <= 0 {
-		workers = 1
+	d := &Decoder{workers: normWorkers(workers)}
+	if d.workers > 1 {
+		d.pool = newRowPool(d.workers)
+		runtime.AddCleanup(d, (*rowPool).stop, d.pool)
 	}
-	return &Decoder{workers: workers}
+	return d
 }
 
-// Reset drops decoder state (e.g. before seeking to a new I-frame).
-func (d *Decoder) Reset() { d.ref = nil }
+// Close stops the decoder's worker pool. The decoder remains usable; further
+// decodes fall back to inline (single-threaded) row decoding.
+func (d *Decoder) Close() {
+	if d.pool != nil {
+		d.pool.stop()
+		d.pool = nil
+	}
+}
 
-// Decode parses one packet and returns the reconstructed frame.
+// Reset drops decoder state (e.g. before seeking to a new I-frame). The
+// image buffers are kept for recycling, so seek-heavy playback does not
+// re-allocate per seek.
+func (d *Decoder) Reset() {
+	d.recycle(d.ref)
+	d.ref = nil
+}
+
+// takeBuffer returns a recycled image of the requested frame size, or
+// allocates one.
+func (d *Decoder) takeBuffer(w, h int) *ycbcr {
+	for i, b := range d.free {
+		if b.w == w && b.h == h {
+			d.free[i] = d.free[len(d.free)-1]
+			d.free = d.free[:len(d.free)-1]
+			return b
+		}
+	}
+	return newYCbCr(w, h)
+}
+
+// recycle returns an image buffer to the free list. Only two buffers ever
+// circulate per stream size; stale sizes are dropped oldest-first.
+func (d *Decoder) recycle(b *ycbcr) {
+	if b == nil {
+		return
+	}
+	if len(d.free) >= 2 {
+		copy(d.free, d.free[1:])
+		d.free = d.free[:len(d.free)-1]
+	}
+	d.free = append(d.free, b)
+}
+
+// Decode parses one packet and returns the reconstructed frame in a freshly
+// allocated Frame. Steady-state consumers should prefer DecodeInto, which
+// recycles the destination, or Advance when the pixels are not needed.
 func (d *Decoder) Decode(data []byte) (*raster.Frame, error) {
+	if err := d.decode(data); err != nil {
+		return nil, err
+	}
+	return d.ref.toFrame(), nil
+}
+
+// DecodeInto parses one packet and writes the reconstructed frame into dst,
+// resizing it if needed and reusing its pixel buffer when possible. With a
+// persistent Decoder and a recycled dst, the steady-state path performs no
+// allocations.
+func (d *Decoder) DecodeInto(dst *raster.Frame, data []byte) error {
+	if err := d.decode(data); err != nil {
+		return err
+	}
+	d.ref.toFrameInto(dst)
+	return nil
+}
+
+// Advance parses one packet, updating the decoder's reference state without
+// converting to RGB. Roll-forward after a seek uses this: intermediate
+// frames between the keyframe and the target are decoded but never
+// presented, so their colorspace conversion would be wasted work.
+func (d *Decoder) Advance(data []byte) error {
+	return d.decode(data)
+}
+
+// decode parses a packet into the spare image buffer and, on success,
+// promotes it to the reference. On error the previous reference is
+// untouched.
+func (d *Decoder) decode(data []byte) error {
 	r := &byteReader{buf: data}
 	mg, err := r.slice(4)
 	if err != nil || string(mg) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	ftb, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ft := FrameType(ftb)
 	if ft != IFrame && ft != PFrame {
-		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, ftb)
+		return fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, ftb)
 	}
 	wv, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hv, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	qv, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if _, err := r.u8(); err != nil { // search range (informational)
-		return nil, err
+		return err
 	}
 	w, h, qstep := int(wv), int(hv), int(qv)
-	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 || qstep < 1 || qstep > 128 {
-		return nil, fmt.Errorf("%w: implausible header %dx%d q=%d", ErrCorrupt, w, h, qstep)
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim || qstep < 1 || qstep > 128 {
+		return fmt.Errorf("%w: implausible header %dx%d q=%d", ErrCorrupt, w, h, qstep)
 	}
 	if ft == PFrame {
 		if d.ref == nil {
-			return nil, fmt.Errorf("vcodec: P-frame without reference (decode must start at an I-frame)")
+			return fmt.Errorf("%w: P-frame without reference (decode must start at an I-frame)", ErrCorrupt)
 		}
 		if d.ref.w != w || d.ref.h != h {
-			return nil, fmt.Errorf("%w: P-frame size %dx%d mismatches reference %dx%d", ErrCorrupt, w, h, d.ref.w, d.ref.h)
+			return fmt.Errorf("%w: P-frame size %dx%d mismatches reference %dx%d", ErrCorrupt, w, h, d.ref.w, d.ref.h)
 		}
 	}
-	img := &ycbcr{
-		y:  newPlane(padUp(w), padUp(h)),
-		cb: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
-		cr: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
-		w:  w, h: h,
+	// Cheapest possible payload is one mode byte per luma block plus the
+	// row-length tables; reject implausibly small packets *before*
+	// allocating the image, so a 14-byte packet claiming 16384×16384 cannot
+	// be used to drive gigabyte allocations.
+	if minBytes := (padUp(w) / blockSize) * (padUp(h) / blockSize); r.remaining() < minBytes {
+		return fmt.Errorf("%w: %d payload bytes for a %dx%d frame (need >= %d)", ErrCorrupt, r.remaining(), w, h, minBytes)
 	}
+	img := d.takeBuffer(w, h)
 	var refY, refCb, refCr *plane
 	if ft == PFrame {
 		refY, refCb, refCr = d.ref.y, d.ref.cb, d.ref.cr
 	}
 	if err := d.decodePlane(r, img.y, refY, qstep); err != nil {
-		return nil, fmt.Errorf("luma plane: %w", err)
+		d.recycle(img)
+		return fmt.Errorf("luma plane: %w", err)
 	}
 	if err := d.decodePlane(r, img.cb, refCb, qstep); err != nil {
-		return nil, fmt.Errorf("cb plane: %w", err)
+		d.recycle(img)
+		return fmt.Errorf("cb plane: %w", err)
 	}
 	if err := d.decodePlane(r, img.cr, refCr, qstep); err != nil {
-		return nil, fmt.Errorf("cr plane: %w", err)
+		d.recycle(img)
+		return fmt.Errorf("cr plane: %w", err)
 	}
+	// Promote: the old reference becomes a recycled target for later
+	// decodes.
+	d.recycle(d.ref)
 	d.ref = img
-	return img.toFrame(), nil
+	return nil
 }
 
 func (d *Decoder) decodePlane(r *byteReader, dst, ref *plane, qstep int) error {
@@ -423,7 +609,12 @@ func (d *Decoder) decodePlane(r *byteReader, dst, ref *plane, qstep int) error {
 	if rows != dst.h/blockSize {
 		return fmt.Errorf("%w: row count %d, want %d", ErrCorrupt, rows, dst.h/blockSize)
 	}
-	lengths := make([]int, rows)
+	if cap(d.lengths) < rows {
+		d.lengths = make([]int, rows)
+		d.chunks = make([][]byte, rows)
+		d.errs = make([]error, rows)
+	}
+	lengths, chunks, errs := d.lengths[:rows], d.chunks[:rows], d.errs[:rows]
 	for i := range lengths {
 		lv, err := r.uvarint()
 		if err != nil {
@@ -431,35 +622,22 @@ func (d *Decoder) decodePlane(r *byteReader, dst, ref *plane, qstep int) error {
 		}
 		lengths[i] = int(lv)
 	}
-	chunks := make([][]byte, rows)
 	for i := range chunks {
 		c, err := r.slice(lengths[i])
 		if err != nil {
 			return err
 		}
 		chunks[i] = c
+		errs[i] = nil
 	}
-	errs := make([]error, rows)
-	work := make(chan int)
-	var wg sync.WaitGroup
-	nw := d.workers
-	if nw > rows {
-		nw = rows
+	d.task = decTask{chunks: chunks, errs: errs, dst: dst, ref: ref, qstep: qstep}
+	if d.pool != nil && rows > 1 {
+		d.pool.run(rows, &d.task)
+	} else {
+		for by := 0; by < rows; by++ {
+			d.task.runRow(by)
+		}
 	}
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for by := range work {
-				errs[by] = decodeBlockRow(chunks[by], dst, ref, by, qstep)
-			}
-		}()
-	}
-	for by := 0; by < rows; by++ {
-		work <- by
-	}
-	close(work)
-	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
 			return e
@@ -471,7 +649,7 @@ func (d *Decoder) decodePlane(r *byteReader, dst, ref *plane, qstep int) error {
 func decodeBlockRow(chunk []byte, dst, ref *plane, by, qstep int) error {
 	r := &byteReader{buf: chunk}
 	var levels [64]int32
-	var coefs, rec [64]float64
+	var coefs, rec [64]int32
 	y0 := by * blockSize
 	for x0 := 0; x0 < dst.w; x0 += blockSize {
 		mode, err := r.u8()
@@ -490,9 +668,11 @@ func decodeBlockRow(chunk []byte, dst, ref *plane, by, qstep int) error {
 			}
 			dequantize(&levels, qstep, &coefs)
 			idct8x8(&coefs, &rec)
-			for i := 0; i < 64; i++ {
-				x, y := x0+i%blockSize, y0+i/blockSize
-				dst.set(x, y, clamp255(int32(rec[i]+128.5)))
+			for rr := 0; rr < blockSize; rr++ {
+				drow := dst.row(x0, y0+rr, blockSize)
+				for k := range drow {
+					drow[k] = clamp255(rec[rr*blockSize+k] + 128)
+				}
 			}
 		case modeMC:
 			if ref == nil {

@@ -1,6 +1,8 @@
 package vcodec
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -23,31 +25,55 @@ func encCfg(w, h int) Config {
 }
 
 func TestDCTRoundTrip(t *testing.T) {
-	var src, freq, back [64]float64
+	// The fixed-point butterfly is not exact like the old float64 basis
+	// transform, but a full-range round trip must stay within ±1 — the same
+	// order as the quantizer's own rounding at qstep 1.
+	var src, freq, back [64]int32
 	for i := range src {
-		src[i] = float64((i*37)%256) - 128
+		src[i] = int32((i*37)%256) - 128
 	}
 	fdct8x8(&src, &freq)
 	idct8x8(&freq, &back)
 	for i := range src {
-		if math.Abs(src[i]-back[i]) > 1e-9 {
-			t.Fatalf("DCT round trip error at %d: %f vs %f", i, src[i], back[i])
+		if d := src[i] - back[i]; d > 1 || d < -1 {
+			t.Fatalf("DCT round trip error at %d: %d vs %d", i, src[i], back[i])
+		}
+	}
+}
+
+func TestDCTRoundTripResidualRange(t *testing.T) {
+	// Residual blocks span ±255, twice the intra range; the integer
+	// transform must not overflow or lose accuracy there.
+	var src, freq, back [64]int32
+	for i := range src {
+		if i%2 == 0 {
+			src[i] = 255 - int32(i)
+		} else {
+			src[i] = -255 + int32(3*i)%200
+		}
+	}
+	fdct8x8(&src, &freq)
+	idct8x8(&freq, &back)
+	for i := range src {
+		if d := src[i] - back[i]; d > 1 || d < -1 {
+			t.Fatalf("residual round trip error at %d: %d vs %d", i, src[i], back[i])
 		}
 	}
 }
 
 func TestDCTConstantBlockIsDCOnly(t *testing.T) {
-	var src, freq [64]float64
+	var src, freq [64]int32
 	for i := range src {
 		src[i] = 42
 	}
 	fdct8x8(&src, &freq)
-	if math.Abs(freq[0]-42*8) > 1e-9 {
-		t.Errorf("DC = %f, want 336", freq[0])
+	// Coefficients are 8× the orthonormal DCT: DC = 8 * (42*8) = 2688.
+	if freq[0] != 42*8<<coefScaleBits {
+		t.Errorf("DC = %d, want %d", freq[0], 42*8<<coefScaleBits)
 	}
 	for i := 1; i < 64; i++ {
-		if math.Abs(freq[i]) > 1e-9 {
-			t.Fatalf("AC coefficient %d = %f, want 0", i, freq[i])
+		if freq[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d, want 0", i, freq[i])
 		}
 	}
 }
@@ -70,18 +96,41 @@ func TestZigzagIsPermutation(t *testing.T) {
 }
 
 func TestQuantizeRoundTripLowQ(t *testing.T) {
-	var coefs [64]float64
+	// Coefficients carry coefScaleBits fractional bits, so a qstep-1 round
+	// trip may be off by at most half a true unit (half of 1<<coefScaleBits).
+	var coefs [64]int32
 	for i := range coefs {
-		coefs[i] = float64(i*7 - 200)
+		coefs[i] = int32(i*7-200) << coefScaleBits
 	}
 	var levels [64]int32
 	quantize(&coefs, 1, &levels)
-	var back [64]float64
+	var back [64]int32
 	dequantize(&levels, 1, &back)
 	for i := range coefs {
-		if math.Abs(coefs[i]-back[i]) > 0.51 {
-			t.Fatalf("q=1 round trip error %f at %d", coefs[i]-back[i], i)
+		d := coefs[i] - back[i]
+		if d < 0 {
+			d = -d
 		}
+		if d > 1<<(coefScaleBits-1) {
+			t.Fatalf("q=1 round trip error %d at %d", coefs[i]-back[i], i)
+		}
+	}
+}
+
+func TestQuantizeHalfStepDCExact(t *testing.T) {
+	// The DC quantizer step is qstep/2; with odd qsteps that is a half-unit
+	// value the fixed-point coefficient scale must represent exactly.
+	dcDiv, acDiv := quantDivisors(5)
+	if dcDiv != 5<<coefScaleBits/2 {
+		t.Errorf("dc divisor = %d, want %d", dcDiv, 5<<coefScaleBits/2)
+	}
+	if acDiv != 5<<coefScaleBits {
+		t.Errorf("ac divisor = %d, want %d", acDiv, 5<<coefScaleBits)
+	}
+	// qstep 1 clamps the DC step up to one full unit.
+	dcDiv, _ = quantDivisors(1)
+	if dcDiv != 1<<coefScaleBits {
+		t.Errorf("q=1 dc divisor = %d, want %d", dcDiv, 1<<coefScaleBits)
 	}
 }
 
@@ -115,6 +164,10 @@ func TestLevelsAllZeroIsOneByte(t *testing.T) {
 }
 
 func TestReadLevelsRejectsCorrupt(t *testing.T) {
+	// One pair whose zero-run uvarint is 1<<63: int(run) would wrap negative
+	// without the explicit run bound.
+	hugeRun := append([]byte{1}, binary.AppendUvarint(nil, 1<<63)...)
+	hugeRun = append(hugeRun, 2)
 	cases := [][]byte{
 		{},               // empty
 		{200},            // pair count > 64
@@ -122,6 +175,7 @@ func TestReadLevelsRejectsCorrupt(t *testing.T) {
 		{1, 70, 2},       // run beyond block
 		{2, 0, 2, 63, 2}, // second pair out of range
 		{1, 0, 0},        // explicit zero level
+		hugeRun,          // 64-bit run overflows int32 index
 	}
 	for i, c := range cases {
 		var levels [64]int32
@@ -324,11 +378,167 @@ func TestConfigValidation(t *testing.T) {
 		{Width: 10, Height: 10, QStep: 400, GOP: 5},
 		{Width: 10, Height: 10, QStep: 4, GOP: 0},
 		{Width: 10, Height: 10, QStep: 4, GOP: 5, SearchRange: 9},
+		{Width: 10, Height: 10, QStep: 4, GOP: 5, Workers: MaxWorkers + 1},
+		{Width: maxDim + 8, Height: 10, QStep: 4, GOP: 5}, // decoder would reject its own stream
+		{Width: 10, Height: maxDim + 8, QStep: 4, GOP: 5},
 	}
 	for i, c := range bad {
 		if _, err := NewEncoder(c); err == nil {
 			t.Errorf("config %d accepted: %+v", i, c)
 		}
+	}
+}
+
+func TestWorkerDefaultsAndClamp(t *testing.T) {
+	// <=0 means all CPUs; absurd counts are clamped to MaxWorkers. The
+	// decoder mirrors the encoder's clamping since it has no validate step.
+	for _, n := range []int{-1, 0, 1, 7, MaxWorkers, MaxWorkers + 1, 100000} {
+		got := normWorkers(n)
+		if got < 1 || got > MaxWorkers {
+			t.Errorf("normWorkers(%d) = %d, out of [1,%d]", n, got, MaxWorkers)
+		}
+		if n >= 1 && n <= MaxWorkers && got != n {
+			t.Errorf("normWorkers(%d) = %d, want unchanged", n, got)
+		}
+	}
+	if d := NewDecoder(100000); d.workers != MaxWorkers {
+		t.Errorf("NewDecoder(100000) workers = %d, want %d", d.workers, MaxWorkers)
+	}
+	enc, err := NewEncoder(Config{Width: 16, Height: 16, QStep: 4, GOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	if enc.cfg.Workers < 1 || enc.cfg.Workers > MaxWorkers {
+		t.Errorf("default encoder workers = %d, out of [1,%d]", enc.cfg.Workers, MaxWorkers)
+	}
+}
+
+func TestEncoderDecoderCloseStillUsable(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	dec := NewDecoder(4)
+	p0, err := enc.Encode(film.Render(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Close()
+	dec.Close()
+	p1, err := enc.Encode(film.Render(1)) // inline fallback after Close
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Packet{p0, p1} {
+		if _, err := dec.Decode(p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.Close() // idempotent
+	dec.Close()
+}
+
+func TestDecodeIntoRecyclesBuffer(t *testing.T) {
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	dec := NewDecoder(1)
+	var f raster.Frame
+	var firstPix []uint8
+	for i := 0; i < 6; i++ {
+		pkt, err := enc.Encode(film.Render(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeInto(&f, pkt.Data); err != nil {
+			t.Fatal(err)
+		}
+		if f.W != 96 || f.H != 64 {
+			t.Fatalf("frame %d size %dx%d", i, f.W, f.H)
+		}
+		if i == 0 {
+			firstPix = f.Pix[:1]
+		} else if &firstPix[0] != &f.Pix[0] {
+			t.Fatal("DecodeInto reallocated the pixel buffer")
+		}
+	}
+}
+
+func TestDecodeRejectsHugeFrameTinyPayload(t *testing.T) {
+	// A few header bytes claiming a 16384×16384 frame must be rejected
+	// before the decoder allocates gigabytes for the image planes.
+	var w byteWriter
+	w.bytes([]byte(magic))
+	w.u8(uint8(IFrame))
+	w.uvarint(16384)
+	w.uvarint(16384)
+	w.uvarint(4) // qstep
+	w.u8(0)      // search range
+	w.uvarint(2048)
+	if _, err := NewDecoder(1).Decode(w.buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tiny huge-frame packet: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestResetRecyclesImageBuffers(t *testing.T) {
+	// Seek-heavy playback calls Reset before every backward jump; with the
+	// two-slot free list, steady-state Reset+decode performs no image
+	// allocations.
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	pkt, err := enc.Encode(film.Render(0)) // I-frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(1)
+	for i := 0; i < 3; i++ { // warm up ref + free list
+		if err := dec.Advance(pkt.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dec.Reset()
+		if err := dec.Advance(pkt.Data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Errorf("Reset+Advance allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAdvanceMatchesDecode(t *testing.T) {
+	// Advancing through P-frames then decoding must land on the same pixels
+	// as decoding every frame.
+	film := testFilm(t)
+	enc, _ := NewEncoder(encCfg(96, 64))
+	var pkts []Packet
+	for i := 0; i < 8; i++ {
+		p, err := enc.Encode(film.Render(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	full := NewDecoder(1)
+	var want *raster.Frame
+	for _, p := range pkts {
+		f, err := full.Decode(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = f
+	}
+	skip := NewDecoder(1)
+	for _, p := range pkts[:len(pkts)-1] {
+		if err := skip.Advance(p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := skip.Decode(pkts[len(pkts)-1].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("Advance path diverged from Decode path")
 	}
 }
 

@@ -8,7 +8,13 @@
 // either intra (I) or predicted (P); P-frame blocks choose per-block between
 // SKIP (copy from the reference), motion compensation with coded residual,
 // and intra coding. Block rows are independent, so both encode and decode
-// fan out across worker goroutines.
+// fan out across persistent worker goroutines.
+//
+// The transform is a scaled fixed-point integer DCT (Loeffler-Ligtenberg-
+// Moshovitz butterfly, 13-bit constants): the hot path is pure int32/int64
+// arithmetic with no float conversions. Coefficients carry three fractional
+// bits (values are 8× the orthonormal DCT), which the quantizer folds into
+// its divisor, so DC steps of half a unit stay exactly representable.
 //
 // It substitutes for the DirectShow-era playback stack the paper relied on:
 // what the IVGBL runtime needs from a codec is random access at segment
@@ -16,74 +22,214 @@
 // provides.
 package vcodec
 
-import "math"
-
 const blockSize = 8
 
-// dctBasis[u][x] = C(u) * cos((2x+1)uπ/16) — the 1-D DCT-II basis, with the
-// orthonormalization constant folded in.
-var dctBasis [blockSize][blockSize]float64
+// coefScaleBits is the fixed-point fractional precision of transform
+// coefficients: fdct8x8 outputs (and idct8x8 inputs) are 2^3 = 8 times the
+// orthonormal 2-D DCT values.
+const coefScaleBits = 3
 
-func init() {
-	for u := 0; u < blockSize; u++ {
-		c := math.Sqrt(2.0 / blockSize)
-		if u == 0 {
-			c = math.Sqrt(1.0 / blockSize)
-		}
-		for x := 0; x < blockSize; x++ {
-			dctBasis[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize))
-		}
-	}
+// Fixed-point butterfly constants: round(c * 2^constBits) for the rotation
+// cosines of the Loeffler 8-point DCT.
+const (
+	constBits = 13
+	pass1Bits = 2
+
+	fix0_298631336 = 2446
+	fix0_390180644 = 3196
+	fix0_541196100 = 4433
+	fix0_765366865 = 6270
+	fix0_899976223 = 7373
+	fix1_175875602 = 9633
+	fix1_501321110 = 12299
+	fix1_847759065 = 15137
+	fix1_961570560 = 16069
+	fix2_053119869 = 16819
+	fix2_562915447 = 20995
+	fix3_072711026 = 25172
+)
+
+// descale rounds x to the nearest integer after dropping n fractional bits
+// (arithmetic shift, so negative values round correctly).
+func descale(x int64, n uint) int64 {
+	return (x + 1<<(n-1)) >> n
 }
 
 // fdct8x8 computes the 2-D forward DCT of src (row-major 64 samples) into
-// dst, using two 1-D passes.
-func fdct8x8(src *[64]float64, dst *[64]float64) {
-	var tmp [64]float64
-	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for u := 0; u < blockSize; u++ {
-			var s float64
-			for x := 0; x < blockSize; x++ {
-				s += src[y*blockSize+x] * dctBasis[u][x]
-			}
-			tmp[y*blockSize+u] = s
-		}
+// dst using two 1-D butterfly passes. Outputs are scaled by 2^coefScaleBits
+// relative to the orthonormal DCT (a constant block of value v produces
+// DC = 64·v, AC exactly 0).
+func fdct8x8(src *[64]int32, dst *[64]int32) {
+	var tmp [64]int64
+	// Rows. Outputs carry pass1Bits extra fractional bits, folded away in
+	// the column pass.
+	for i := 0; i < 64; i += 8 {
+		s0, s7 := int64(src[i+0]), int64(src[i+7])
+		s1, s6 := int64(src[i+1]), int64(src[i+6])
+		s2, s5 := int64(src[i+2]), int64(src[i+5])
+		s3, s4 := int64(src[i+3]), int64(src[i+4])
+
+		a0, a7 := s0+s7, s0-s7
+		a1, a6 := s1+s6, s1-s6
+		a2, a5 := s2+s5, s2-s5
+		a3, a4 := s3+s4, s3-s4
+
+		t10, t13 := a0+a3, a0-a3
+		t11, t12 := a1+a2, a1-a2
+		tmp[i+0] = (t10 + t11) << pass1Bits
+		tmp[i+4] = (t10 - t11) << pass1Bits
+		z1 := (t12 + t13) * fix0_541196100
+		tmp[i+2] = descale(z1+t13*fix0_765366865, constBits-pass1Bits)
+		tmp[i+6] = descale(z1-t12*fix1_847759065, constBits-pass1Bits)
+
+		z1 = a4 + a7
+		z2 := a5 + a6
+		z3 := a4 + a6
+		z4 := a5 + a7
+		z5 := (z3 + z4) * fix1_175875602
+		a4 *= fix0_298631336
+		a5 *= fix2_053119869
+		a6 *= fix3_072711026
+		a7 *= fix1_501321110
+		z1 *= -fix0_899976223
+		z2 *= -fix2_562915447
+		z3 = z3*(-fix1_961570560) + z5
+		z4 = z4*(-fix0_390180644) + z5
+		tmp[i+7] = descale(a4+z1+z3, constBits-pass1Bits)
+		tmp[i+5] = descale(a5+z2+z4, constBits-pass1Bits)
+		tmp[i+3] = descale(a6+z2+z3, constBits-pass1Bits)
+		tmp[i+1] = descale(a7+z1+z4, constBits-pass1Bits)
 	}
 	// Columns.
-	for u := 0; u < blockSize; u++ {
-		for v := 0; v < blockSize; v++ {
-			var s float64
-			for y := 0; y < blockSize; y++ {
-				s += tmp[y*blockSize+u] * dctBasis[v][y]
-			}
-			dst[v*blockSize+u] = s
-		}
+	for c := 0; c < 8; c++ {
+		s0, s7 := tmp[c], tmp[c+56]
+		s1, s6 := tmp[c+8], tmp[c+48]
+		s2, s5 := tmp[c+16], tmp[c+40]
+		s3, s4 := tmp[c+24], tmp[c+32]
+
+		a0, a7 := s0+s7, s0-s7
+		a1, a6 := s1+s6, s1-s6
+		a2, a5 := s2+s5, s2-s5
+		a3, a4 := s3+s4, s3-s4
+
+		t10, t13 := a0+a3, a0-a3
+		t11, t12 := a1+a2, a1-a2
+		dst[c] = int32(descale(t10+t11, pass1Bits))
+		dst[c+32] = int32(descale(t10-t11, pass1Bits))
+		z1 := (t12 + t13) * fix0_541196100
+		dst[c+16] = int32(descale(z1+t13*fix0_765366865, constBits+pass1Bits))
+		dst[c+48] = int32(descale(z1-t12*fix1_847759065, constBits+pass1Bits))
+
+		z1 = a4 + a7
+		z2 := a5 + a6
+		z3 := a4 + a6
+		z4 := a5 + a7
+		z5 := (z3 + z4) * fix1_175875602
+		a4 *= fix0_298631336
+		a5 *= fix2_053119869
+		a6 *= fix3_072711026
+		a7 *= fix1_501321110
+		z1 *= -fix0_899976223
+		z2 *= -fix2_562915447
+		z3 = z3*(-fix1_961570560) + z5
+		z4 = z4*(-fix0_390180644) + z5
+		dst[c+56] = int32(descale(a4+z1+z3, constBits+pass1Bits))
+		dst[c+40] = int32(descale(a5+z2+z4, constBits+pass1Bits))
+		dst[c+24] = int32(descale(a6+z2+z3, constBits+pass1Bits))
+		dst[c+8] = int32(descale(a7+z1+z4, constBits+pass1Bits))
 	}
 }
 
-// idct8x8 computes the 2-D inverse DCT of src into dst.
-func idct8x8(src *[64]float64, dst *[64]float64) {
-	var tmp [64]float64
+// idct8x8 computes the 2-D inverse DCT of src (coefficients scaled by
+// 2^coefScaleBits, as produced by fdct8x8/dequantize) into spatial samples.
+// The coefficient scale is folded into the first descale, so the extra
+// fractional bits improve (never hurt) reconstruction accuracy.
+func idct8x8(src *[64]int32, dst *[64]int32) {
+	var tmp [64]int64
 	// Columns.
-	for u := 0; u < blockSize; u++ {
-		for y := 0; y < blockSize; y++ {
-			var s float64
-			for v := 0; v < blockSize; v++ {
-				s += src[v*blockSize+u] * dctBasis[v][y]
-			}
-			tmp[y*blockSize+u] = s
-		}
+	for c := 0; c < 8; c++ {
+		e2, e6 := int64(src[c+16]), int64(src[c+48])
+		z1 := (e2 + e6) * fix0_541196100
+		t2 := z1 - e6*fix1_847759065
+		t3 := z1 + e2*fix0_765366865
+		e0, e4 := int64(src[c]), int64(src[c+32])
+		t0 := (e0 + e4) << constBits
+		t1 := (e0 - e4) << constBits
+		t10, t13 := t0+t3, t0-t3
+		t11, t12 := t1+t2, t1-t2
+
+		o0 := int64(src[c+56])
+		o1 := int64(src[c+40])
+		o2 := int64(src[c+24])
+		o3 := int64(src[c+8])
+		z1 = o0 + o3
+		z2 := o1 + o2
+		z3 := o0 + o2
+		z4 := o1 + o3
+		z5 := (z3 + z4) * fix1_175875602
+		o0 *= fix0_298631336
+		o1 *= fix2_053119869
+		o2 *= fix3_072711026
+		o3 *= fix1_501321110
+		z1 *= -fix0_899976223
+		z2 *= -fix2_562915447
+		z3 = z3*(-fix1_961570560) + z5
+		z4 = z4*(-fix0_390180644) + z5
+		o0 += z1 + z3
+		o1 += z2 + z4
+		o2 += z2 + z3
+		o3 += z1 + z4
+
+		const shift = constBits - pass1Bits + coefScaleBits
+		tmp[c] = descale(t10+o3, shift)
+		tmp[c+56] = descale(t10-o3, shift)
+		tmp[c+8] = descale(t11+o2, shift)
+		tmp[c+48] = descale(t11-o2, shift)
+		tmp[c+16] = descale(t12+o1, shift)
+		tmp[c+40] = descale(t12-o1, shift)
+		tmp[c+24] = descale(t13+o0, shift)
+		tmp[c+32] = descale(t13-o0, shift)
 	}
 	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for x := 0; x < blockSize; x++ {
-			var s float64
-			for u := 0; u < blockSize; u++ {
-				s += tmp[y*blockSize+u] * dctBasis[u][x]
-			}
-			dst[y*blockSize+x] = s
-		}
+	for i := 0; i < 64; i += 8 {
+		e2, e6 := tmp[i+2], tmp[i+6]
+		z1 := (e2 + e6) * fix0_541196100
+		t2 := z1 - e6*fix1_847759065
+		t3 := z1 + e2*fix0_765366865
+		e0, e4 := tmp[i], tmp[i+4]
+		t0 := (e0 + e4) << constBits
+		t1 := (e0 - e4) << constBits
+		t10, t13 := t0+t3, t0-t3
+		t11, t12 := t1+t2, t1-t2
+
+		o0, o1, o2, o3 := tmp[i+7], tmp[i+5], tmp[i+3], tmp[i+1]
+		z1 = o0 + o3
+		z2 := o1 + o2
+		z3 := o0 + o2
+		z4 := o1 + o3
+		z5 := (z3 + z4) * fix1_175875602
+		o0 *= fix0_298631336
+		o1 *= fix2_053119869
+		o2 *= fix3_072711026
+		o3 *= fix1_501321110
+		z1 *= -fix0_899976223
+		z2 *= -fix2_562915447
+		z3 = z3*(-fix1_961570560) + z5
+		z4 = z4*(-fix0_390180644) + z5
+		o0 += z1 + z3
+		o1 += z2 + z4
+		o2 += z2 + z3
+		o3 += z1 + z4
+
+		const shift = constBits + pass1Bits + coefScaleBits
+		dst[i+0] = int32(descale(t10+o3, shift))
+		dst[i+7] = int32(descale(t10-o3, shift))
+		dst[i+1] = int32(descale(t11+o2, shift))
+		dst[i+6] = int32(descale(t11-o2, shift))
+		dst[i+2] = int32(descale(t12+o1, shift))
+		dst[i+5] = int32(descale(t12-o1, shift))
+		dst[i+3] = int32(descale(t13+o0, shift))
+		dst[i+4] = int32(descale(t13-o0, shift))
 	}
 }
 
@@ -128,17 +274,35 @@ func buildZigzag() [64]int {
 	return zz
 }
 
-// quantize converts DCT coefficients to integer levels with a uniform step.
-// The DC coefficient uses half the step: DC errors are the most visible
-// (they shift the whole block's brightness).
-func quantize(coefs *[64]float64, qstep int, levels *[64]int32) {
-	dcStep := float64(qstep) / 2
-	if dcStep < 1 {
-		dcStep = 1
+// quantDivisors returns the integer divisors for the DC and AC coefficients
+// at the given quantizer step, in the 2^coefScaleBits coefficient domain.
+// The DC coefficient uses half the step (minimum 1): DC errors are the most
+// visible, they shift the whole block's brightness. Half-unit DC steps are
+// exact here — that is why the coefficient scale exists.
+func quantDivisors(qstep int) (dcDiv, acDiv int32) {
+	dcDiv = int32(qstep) << (coefScaleBits - 1)
+	if dcDiv < 1<<coefScaleBits {
+		dcDiv = 1 << coefScaleBits
 	}
-	levels[0] = int32(math.Round(coefs[zigzag[0]] / dcStep))
+	return dcDiv, int32(qstep) << coefScaleBits
+}
+
+// roundDiv divides rounding half away from zero (matching math.Round in the
+// seed's float path). d must be positive.
+func roundDiv(v, d int32) int32 {
+	if v >= 0 {
+		return (v + d/2) / d
+	}
+	return (v - d/2) / d
+}
+
+// quantize converts scaled DCT coefficients to integer levels with a
+// uniform step, rounding to nearest.
+func quantize(coefs *[64]int32, qstep int, levels *[64]int32) {
+	dcDiv, acDiv := quantDivisors(qstep)
+	levels[0] = roundDiv(coefs[zigzag[0]], dcDiv)
 	for i := 1; i < 64; i++ {
-		levels[i] = int32(math.Round(coefs[zigzag[i]] / float64(qstep)))
+		levels[i] = roundDiv(coefs[zigzag[i]], acDiv)
 	}
 }
 
@@ -146,30 +310,25 @@ func quantize(coefs *[64]float64, qstep int, levels *[64]int32) {
 // instead of rounding, giving a dead zone of ±qstep around zero. Without it,
 // P-frames endlessly re-code the previous frame's quantization noise and
 // static content never collapses to skip blocks.
-func quantizeDeadzone(coefs *[64]float64, qstep int, levels *[64]int32) {
-	dcStep := float64(qstep) / 2
-	if dcStep < 1 {
-		dcStep = 1
-	}
-	levels[0] = int32(coefs[zigzag[0]] / dcStep)
+func quantizeDeadzone(coefs *[64]int32, qstep int, levels *[64]int32) {
+	dcDiv, acDiv := quantDivisors(qstep)
+	levels[0] = coefs[zigzag[0]] / dcDiv
 	for i := 1; i < 64; i++ {
-		levels[i] = int32(coefs[zigzag[i]] / float64(qstep))
+		levels[i] = coefs[zigzag[i]] / acDiv
 	}
 }
 
-// dequantize reverses quantize into natural (row-major) coefficient order.
-func dequantize(levels *[64]int32, qstep int, coefs *[64]float64) {
-	dcStep := float64(qstep) / 2
-	if dcStep < 1 {
-		dcStep = 1
-	}
+// dequantize reverses quantize into natural (row-major) coefficient order,
+// producing coefficients at the 2^coefScaleBits scale idct8x8 expects.
+func dequantize(levels *[64]int32, qstep int, coefs *[64]int32) {
+	dcDiv, acDiv := quantDivisors(qstep)
 	for i := range coefs {
 		coefs[i] = 0
 	}
-	coefs[zigzag[0]] = float64(levels[0]) * dcStep
+	coefs[zigzag[0]] = levels[0] * dcDiv
 	for i := 1; i < 64; i++ {
 		if levels[i] != 0 {
-			coefs[zigzag[i]] = float64(levels[i]) * float64(qstep)
+			coefs[zigzag[i]] = levels[i] * acDiv
 		}
 	}
 }

@@ -16,9 +16,12 @@ type byteWriter struct {
 }
 
 func (w *byteWriter) u8(v uint8)       { w.buf = append(w.buf, v) }
-func (w *byteWriter) uvarint(v uint64) { w.buf = append(w.buf, binary.AppendUvarint(nil, v)...) }
-func (w *byteWriter) varint(v int64)   { w.buf = append(w.buf, binary.AppendVarint(nil, v)...) }
+func (w *byteWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *byteWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
 func (w *byteWriter) bytes(b []byte)   { w.buf = append(w.buf, b...) }
+
+// reset empties the writer, keeping its capacity for reuse.
+func (w *byteWriter) reset() { w.buf = w.buf[:0] }
 
 // byteReader consumes an encoded bitstream with bounds checking.
 type byteReader struct {
@@ -114,6 +117,11 @@ func readLevels(r *byteReader, levels *[64]int32) error {
 		run, err := r.uvarint()
 		if err != nil {
 			return err
+		}
+		// Bound the run before converting: a 64-bit run would wrap int(run)
+		// negative and walk off the front of the block.
+		if run > 63 {
+			return fmt.Errorf("%w: zero run %d out of range", ErrCorrupt, run)
 		}
 		lvl, err := r.varint()
 		if err != nil {

@@ -1,0 +1,77 @@
+package vcodec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/media/raster"
+)
+
+// fuzzSeeds builds one real I-frame and one real P-frame packet to seed the
+// corpus (and to prime decoders so fuzzed P-frames reach the block layer).
+var fuzzSeeds = sync.OnceValue(func() (pkts [2][]byte) {
+	f := raster.New(24, 16)
+	f.FillVGradient(raster.RGB{R: 200, G: 60, B: 40}, raster.RGB{R: 20, G: 80, B: 180})
+	enc, err := NewEncoder(Config{Width: 24, Height: 16, QStep: 4, GOP: 8, SearchRange: 2, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	i0, err := enc.Encode(f)
+	if err != nil {
+		panic(err)
+	}
+	f.FillCircle(12, 8, 5, raster.Yellow)
+	p1, err := enc.Encode(f)
+	if err != nil {
+		panic(err)
+	}
+	return [2][]byte{i0.Data, p1.Data}
+})
+
+// FuzzDecode feeds arbitrary packets to the decoder, both cold and primed
+// with a real reference frame. The invariant: Decode never panics, and every
+// rejection is an ErrCorrupt (so callers can rely on errors.Is to separate
+// bad data from programming errors).
+func FuzzDecode(f *testing.F) {
+	seeds := fuzzSeeds()
+	f.Add(seeds[0])
+	f.Add(seeds[1])
+	f.Add([]byte{})
+	f.Add([]byte("TKV1"))
+	f.Add([]byte("TKV1\x00\x18\x10\x04\x02"))
+	f.Add([]byte("TKV1\x07junkjunk"))
+	trunc := append([]byte(nil), seeds[0]...)
+	f.Add(trunc[:len(trunc)/2])
+	flip := append([]byte(nil), seeds[1]...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cold := NewDecoder(1)
+		if frame, err := cold.Decode(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cold decode error does not wrap ErrCorrupt: %v", err)
+			}
+			if frame != nil {
+				t.Fatal("cold decode returned frame alongside error")
+			}
+		}
+		primed := NewDecoder(1)
+		if _, err := primed.Decode(seeds[0]); err != nil {
+			t.Fatalf("seed I-frame rejected: %v", err)
+		}
+		if frame, err := primed.Decode(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("primed decode error does not wrap ErrCorrupt: %v", err)
+			}
+			if frame != nil {
+				t.Fatal("primed decode returned frame alongside error")
+			}
+			// A failed decode must not poison the reference: the real
+			// P-frame must still decode against it.
+			if _, err := primed.Decode(seeds[1]); err != nil {
+				t.Fatalf("reference lost after rejected packet: %v", err)
+			}
+		}
+	})
+}

@@ -26,6 +26,11 @@ func (p *plane) set(x, y int, v int32) {
 	p.pix[y*p.w+x] = v
 }
 
+// row returns the n samples of row y starting at column x0.
+func (p *plane) row(x0, y, n int) []int32 {
+	return p.pix[y*p.w+x0 : y*p.w+x0+n]
+}
+
 func clamp255(v int32) int32 {
 	if v < 0 {
 		return 0
@@ -44,16 +49,25 @@ type ycbcr struct {
 	w, h      int // true (unpadded) frame dimensions
 }
 
-// toYCbCr converts an RGB frame to padded planar 4:2:0 using BT.601 integer
-// coefficients. Padding replicates the edge sample so the DCT does not see
-// an artificial cliff at the border.
-func toYCbCr(f *raster.Frame) *ycbcr {
-	pw, ph := padUp(f.W), padUp(f.H)
-	cw, ch := padUp((f.W+1)/2), padUp((f.H+1)/2)
-	out := &ycbcr{y: newPlane(pw, ph), cb: newPlane(cw, ch), cr: newPlane(cw, ch), w: f.W, h: f.H}
+// newYCbCr allocates a zeroed image for a w×h frame.
+func newYCbCr(w, h int) *ycbcr {
+	return &ycbcr{
+		y:  newPlane(padUp(w), padUp(h)),
+		cb: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
+		cr: newPlane(padUp((w+1)/2), padUp((h+1)/2)),
+		w:  w, h: h,
+	}
+}
+
+// fromFrame converts an RGB frame into img (which must have been allocated
+// for the same dimensions) using BT.601 integer coefficients. Padding
+// replicates the edge sample so the DCT does not see an artificial cliff at
+// the border. fullCb/fullCr are caller-owned full-resolution scratch of at
+// least padUp(w)*padUp(h) samples, so steady-state conversion allocates
+// nothing.
+func (img *ycbcr) fromFrame(f *raster.Frame, fullCb, fullCr []int32) {
+	pw, ph := img.y.w, img.y.h
 	// Full-resolution conversion with edge replication for padding.
-	fullCb := make([]int32, pw*ph)
-	fullCr := make([]int32, pw*ph)
 	for y := 0; y < ph; y++ {
 		sy := y
 		if sy >= f.H {
@@ -69,12 +83,13 @@ func toYCbCr(f *raster.Frame) *ycbcr {
 			yy := (77*r + 150*g + 29*b) >> 8
 			cb := ((-43*r - 85*g + 128*b) >> 8) + 128
 			cr := ((128*r - 107*g - 21*b) >> 8) + 128
-			out.y.set(x, y, clamp255(yy))
+			img.y.set(x, y, clamp255(yy))
 			fullCb[y*pw+x] = clamp255(cb)
 			fullCr[y*pw+x] = clamp255(cr)
 		}
 	}
 	// 2×2 box subsample chroma, then replicate-pad to the chroma plane.
+	cw, ch := img.cb.w, img.cb.h
 	halfW, halfH := (f.W+1)/2, (f.H+1)/2
 	for y := 0; y < ch; y++ {
 		sy := y
@@ -96,72 +111,91 @@ func toYCbCr(f *raster.Frame) *ycbcr {
 			}
 			cb := (fullCb[y0*pw+x0] + fullCb[y0*pw+x1] + fullCb[y1*pw+x0] + fullCb[y1*pw+x1] + 2) / 4
 			cr := (fullCr[y0*pw+x0] + fullCr[y0*pw+x1] + fullCr[y1*pw+x0] + fullCr[y1*pw+x1] + 2) / 4
-			out.cb.set(x, y, cb)
-			out.cr.set(x, y, cr)
+			img.cb.set(x, y, cb)
+			img.cr.set(x, y, cr)
 		}
 	}
-	return out
 }
 
-// toFrame converts back to RGB, upsampling chroma bilinearly (nearest-
-// neighbor leaves visible blockiness on saturated gradients, especially at
-// small frame sizes).
-func (img *ycbcr) toFrame() *raster.Frame {
-	f := raster.New(img.w, img.h)
-	halfW, halfH := (img.w+1)/2, (img.h+1)/2
-	sample := func(p *plane, xf, yf float64) int32 {
-		x0 := int(xf)
-		y0 := int(yf)
-		tx := xf - float64(x0)
-		ty := yf - float64(y0)
-		x1, y1 := x0+1, y0+1
-		if x1 >= halfW {
-			x1 = halfW - 1
-		}
-		if y1 >= halfH {
-			y1 = halfH - 1
-		}
-		a := float64(p.at(x0, y0))*(1-tx) + float64(p.at(x1, y0))*tx
-		b := float64(p.at(x0, y1))*(1-tx) + float64(p.at(x1, y1))*tx
-		return int32(a*(1-ty) + b*ty + 0.5)
+// toYCbCr converts an RGB frame to padded planar 4:2:0, allocating the image
+// and scratch. The steady-state encoder path uses fromFrame with persistent
+// buffers instead; this remains for one-shot use and tests.
+func toYCbCr(f *raster.Frame) *ycbcr {
+	img := newYCbCr(f.W, f.H)
+	pw, ph := img.y.w, img.y.h
+	img.fromFrame(f, make([]int32, pw*ph), make([]int32, pw*ph))
+	return img
+}
+
+// toFrameInto converts back to RGB into dst, reusing dst's pixel buffer when
+// it is large enough. Chroma is upsampled bilinearly (nearest-neighbor
+// leaves visible blockiness on saturated gradients, especially at small
+// frame sizes).
+func (img *ycbcr) toFrameInto(dst *raster.Frame) {
+	dst.W, dst.H = img.w, img.h
+	need := 3 * img.w * img.h
+	if cap(dst.Pix) < need {
+		dst.Pix = make([]uint8, need)
+	} else {
+		dst.Pix = dst.Pix[:need]
 	}
+	halfW, halfH := (img.w+1)/2, (img.h+1)/2
+	// Chroma sits at half resolution with a half-sample phase offset, so
+	// every upsample position is an exact quarter-pixel: bilinear weights in
+	// quarter units (fixed point, 2+2 fractional bits) reproduce the exact
+	// interpolation with no float math.
 	for y := 0; y < img.h; y++ {
-		yf := (float64(y) - 0.5) / 2
-		if yf < 0 {
-			yf = 0
+		yq := 2*y - 1 // chroma row position in quarter units
+		if yq < 0 {
+			yq = 0
 		}
-		if yf > float64(halfH-1) {
-			yf = float64(halfH - 1)
+		if yq > 4*(halfH-1) {
+			yq = 4 * (halfH - 1)
 		}
+		cy0 := yq >> 2
+		ty := int32(yq & 3)
+		cy1 := cy0 + 1
+		if cy1 >= halfH {
+			cy1 = halfH - 1
+		}
+		cbr0, cbr1 := img.cb.row(0, cy0, halfW), img.cb.row(0, cy1, halfW)
+		crr0, crr1 := img.cr.row(0, cy0, halfW), img.cr.row(0, cy1, halfW)
+		yrow := img.y.row(0, y, img.w)
+		drow := dst.Pix[3*y*dst.W : 3*(y+1)*dst.W]
 		for x := 0; x < img.w; x++ {
-			xf := (float64(x) - 0.5) / 2
-			if xf < 0 {
-				xf = 0
+			xq := 2*x - 1
+			if xq < 0 {
+				xq = 0
 			}
-			if xf > float64(halfW-1) {
-				xf = float64(halfW - 1)
+			if xq > 4*(halfW-1) {
+				xq = 4 * (halfW - 1)
 			}
-			yy := img.y.at(x, y)
-			cb := sample(img.cb, xf, yf) - 128
-			cr := sample(img.cr, xf, yf) - 128
+			cx0 := xq >> 2
+			tx := int32(xq & 3)
+			cx1 := cx0 + 1
+			if cx1 >= halfW {
+				cx1 = halfW - 1
+			}
+			cb := ((cbr0[cx0]*(4-tx)+cbr0[cx1]*tx)*(4-ty) +
+				(cbr1[cx0]*(4-tx)+cbr1[cx1]*tx)*ty + 8) >> 4
+			cr := ((crr0[cx0]*(4-tx)+crr0[cx1]*tx)*(4-ty) +
+				(crr1[cx0]*(4-tx)+crr1[cx1]*tx)*ty + 8) >> 4
+			cb -= 128
+			cr -= 128
+			yy := yrow[x]
 			r := yy + (359 * cr >> 8)
 			g := yy - (88 * cb >> 8) - (183 * cr >> 8)
 			b := yy + (454 * cb >> 8)
-			i := 3 * (y*f.W + x)
-			f.Pix[i] = uint8(clamp255(r))
-			f.Pix[i+1] = uint8(clamp255(g))
-			f.Pix[i+2] = uint8(clamp255(b))
+			drow[3*x] = uint8(clamp255(r))
+			drow[3*x+1] = uint8(clamp255(g))
+			drow[3*x+2] = uint8(clamp255(b))
 		}
 	}
-	return f
 }
 
-// clone deep-copies the image (used for reference frames).
-func (img *ycbcr) clone() *ycbcr {
-	cp := func(p *plane) *plane {
-		q := newPlane(p.w, p.h)
-		copy(q.pix, p.pix)
-		return q
-	}
-	return &ycbcr{y: cp(img.y), cb: cp(img.cb), cr: cp(img.cr), w: img.w, h: img.h}
+// toFrame converts back to a freshly allocated RGB frame.
+func (img *ycbcr) toFrame() *raster.Frame {
+	f := raster.New(img.w, img.h)
+	img.toFrameInto(f)
+	return f
 }

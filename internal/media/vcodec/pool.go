@@ -1,0 +1,63 @@
+package vcodec
+
+import "sync"
+
+// rowTask is the unit of work a rowPool executes. Implementations live on
+// the Encoder/Decoder and are reused across planes and frames, so
+// dispatching a plane allocates nothing (a closure per plane would escape to
+// the heap three times per frame).
+type rowTask interface {
+	runRow(by int)
+}
+
+// rowPool is a persistent set of worker goroutines that execute per-block-
+// row tasks. One pool lives for the lifetime of an Encoder or Decoder
+// (started at construction), replacing the seed's per-plane-per-frame
+// goroutine spawning: feeding a row index through a channel is ~100× cheaper
+// than starting a goroutine, and the workers' stacks stay warm.
+//
+// run may not be called concurrently with itself — the Encoder and Decoder
+// are documented single-goroutine types, so each pool has one feeder.
+type rowPool struct {
+	work chan int
+	task rowTask // current per-row task; set by run before dispatch
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// maxBlockRows bounds the work queue: planes are at most maxDim pixels tall
+// (Config.validate and the decoder header check both enforce it), so at most
+// maxDim/blockSize rows. A queue this deep means the feeder never blocks
+// mid-dispatch.
+const maxBlockRows = maxDim / blockSize
+
+func newRowPool(workers int) *rowPool {
+	p := &rowPool{work: make(chan int, maxBlockRows)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for row := range p.work {
+				p.task.runRow(row)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes t.runRow(0) … t.runRow(rows-1) across the pool and waits for
+// all of them. The channel send/receive orders the p.task write before any
+// worker reads it, and wg.Wait orders every runRow call before run returns.
+func (p *rowPool) run(rows int, t rowTask) {
+	p.task = t
+	p.wg.Add(rows)
+	for r := 0; r < rows; r++ {
+		p.work <- r
+	}
+	p.wg.Wait()
+	p.task = nil
+}
+
+// stop shuts the workers down. Idempotent; the pool is unusable afterwards.
+func (p *rowPool) stop() {
+	p.once.Do(func() { close(p.work) })
+}

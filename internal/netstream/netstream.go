@@ -569,7 +569,13 @@ func (g *RemoteGame) FrameAt(i int) (*raster.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err = dec.Decode(pkt)
+		if j < i {
+			// Roll-forward frames are never presented; skip their RGB
+			// conversion.
+			err = dec.Advance(pkt)
+		} else {
+			out, err = dec.Decode(pkt)
+		}
 		if err != nil {
 			return nil, err
 		}

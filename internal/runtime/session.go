@@ -35,7 +35,11 @@ type Observer interface {
 
 // Options configures a session.
 type Options struct {
-	DecodeWorkers int      // video decode workers (default 1)
+	// DecodeWorkers is the video decode worker count. Sessions default to 1
+	// (inline decoding, no per-session goroutines) on purpose: deployments
+	// run many concurrent sessions, so parallelism comes from sessions, not
+	// from within one decoder. Set >1 only for single-viewer setups.
+	DecodeWorkers int
 	Observer      Observer // optional telemetry sink
 }
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo benchmark suite and write BENCH_<TAG>.json, the
+# machine-readable point in the perf trajectory (first point: PR 2).
+#
+# Usage:
+#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR2.json
+#   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
+#   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
+#
+# Environment:
+#   BENCH_PATTERN  -bench regex            (default: .)
+#   BENCH_COUNT    -count                  (default: 3)
+#   BENCH_TIME     -benchtime              (default: go's 1s)
+#   BENCH_TAG      output tag              (default: PR2)
+#   BENCH_OUT      output path             (default: BENCH_<TAG>.json)
+#
+# The JSON keeps the frozen seed-commit baselines for the acceptance-tracked
+# benchmarks alongside fresh results, so before/after stays reproducible
+# from one committed artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN=${BENCH_PATTERN:-.}
+COUNT=${BENCH_COUNT:-3}
+TAG=${BENCH_TAG:-PR2}
+OUT=${BENCH_OUT:-BENCH_${TAG}.json}
+TIMEFLAG=()
+if [ -n "${BENCH_TIME:-}" ]; then
+    TIMEFLAG=(-benchtime "${BENCH_TIME}")
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo ">> go test -run=NONE -bench=${PATTERN} -benchmem -count=${COUNT} ${TIMEFLAG[*]:-}" >&2
+go test -run=NONE -bench="${PATTERN}" -benchmem -count="${COUNT}" "${TIMEFLAG[@]}" . | tee "$RAW" >&2
+
+# Seed-commit (a41bd99, pre-PR2) numbers for the acceptance benchmarks,
+# measured on the same class of machine the fresh results come from.
+# ns_op/b_op/allocs_op are per benchmark op (BenchmarkDecode* ops cover a
+# 16-frame sequence).
+awk -v tag="$TAG" '
+function flush_baseline() {
+    print "  \"seed_baseline\": {"
+    print "    \"commit\": \"a41bd99+PR1\","
+    print "    \"cpu\": \"Intel(R) Xeon(R) Processor @ 2.70GHz (1 core)\","
+    print "    \"BenchmarkEncode160x120Q4W1\":  {\"ns_op\": 3956419,  \"b_op\": 477271,  \"allocs_op\": 4386},"
+    print "    \"BenchmarkEncode160x120Q4W4\":  {\"ns_op\": 3765738,  \"b_op\": 478234,  \"allocs_op\": 4402},"
+    print "    \"BenchmarkEncode320x240Q4W1\":  {\"ns_op\": 14569695, \"b_op\": 1812186, \"allocs_op\": 14672},"
+    print "    \"BenchmarkEncode160x120Q16W1\": {\"ns_op\": 3410944,  \"b_op\": 427586,  \"allocs_op\": 1069},"
+    print "    \"BenchmarkDecode160x120\":      {\"ns_op\": 14647293, \"b_op\": 3053613, \"allocs_op\": 433},"
+    print "    \"BenchmarkScenarioSwitchIndexed\": {\"ns_op\": 907776, \"b_op\": 250747, \"allocs_op\": 118},"
+    print "    \"BenchmarkStreamStartupProgressive\": {\"ns_op\": 778494, \"b_op\": 590723, \"allocs_op\": 831},"
+    print "    \"BenchmarkStreamFullDownload\": {\"ns_op\": 445510,  \"b_op\": 726081,  \"allocs_op\": 108},"
+    print "    \"BenchmarkFleet10\":            {\"ns_op\": 9954659,  \"b_op\": 2597027, \"allocs_op\": 21166}"
+    print "  },"
+}
+BEGIN {
+    print "{"
+    printf "  \"tag\": \"%s\",\n", tag
+    flush_baseline()
+    print "  \"results\": ["
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; allocs = ""; mbs = ""
+    extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bop = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) == "MB/s") mbs = $i
+        else if ($(i+1) ~ /\//) {
+            gsub(/"/, "", $(i+1))
+            extra = extra sprintf(", \"%s\": %s", $(i+1), $i)
+        }
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s", name, $2, ns
+    if (mbs != "")    printf ", \"mb_s\": %s", mbs
+    if (bop != "")    printf ", \"b_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "%s}", extra
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}
+' "$RAW" > "$OUT"
+
+echo ">> wrote $OUT ($(grep -c '"name"' "$OUT") results)" >&2
