@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/author"
 	"repro/internal/baseline"
 	"repro/internal/content"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/media/synth"
 	"repro/internal/media/vcodec"
 	"repro/internal/netstream"
+	"repro/internal/playsvc"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -389,6 +391,115 @@ func BenchmarkFleetIngest(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E12: play service -------------------------------------------------------
+
+// BenchmarkPlaysvcAct measures the play service's per-request hot paths on
+// one hosted session, without HTTP framing:
+//
+//   - act: a full interaction round (dialogue turn + self-contained reply
+//     assembly with state snapshot and event tail).
+//   - tick: the cheapest act (advance playback, assemble reply).
+//   - frame: the advance+render frame path — DecodeInto plus cached-sprite
+//     composition into the session-owned buffer. This path must report
+//     0 allocs/op (pinned by playsvc's TestFramePathZeroAlloc).
+func BenchmarkPlaysvcAct(b *testing.B) {
+	newHosted := func(b *testing.B) (*playsvc.Manager, string) {
+		b.Helper()
+		m := playsvc.NewManager(playsvc.Options{Shards: 4, TTL: -1})
+		b.Cleanup(m.Close)
+		if err := m.AddCourse("classroom", classroomPkg(b)); err != nil {
+			b.Fatal(err)
+		}
+		r, err := m.Create("classroom")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, r.Session
+	}
+	b.Run("act", func(b *testing.B) {
+		m, id := newHosted(b)
+		req := playsvc.ActRequest{Session: id, Kind: playsvc.ActTalk, Object: "teacher"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The reply tail stays O(1): claim the log as seen each round.
+			r, err := m.Act(&req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.SeenEvents, req.SeenMessages = r.EventCount, r.MessageCount
+		}
+	})
+	b.Run("tick", func(b *testing.B) {
+		m, id := newHosted(b)
+		req := playsvc.ActRequest{Session: id, Kind: playsvc.ActTick, Ticks: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Act(&req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frame", func(b *testing.B) {
+		m, id := newHosted(b)
+		noop := func(f *raster.Frame, tick int) error { return nil }
+		// Warm the sprite cache, frame buffer and decoder recycling.
+		for i := 0; i < 8; i++ {
+			if err := m.WithFrame(id, 1, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(3 * 160 * 120) // raw RGB bytes served per frame
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.WithFrame(id, 1, noop); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlaysvcRemoteLearner plays one full guided learner over the
+// wire per op — the end-to-end remote-play session cost E12 compares with
+// local simulation.
+func BenchmarkPlaysvcRemoteLearner(b *testing.B) {
+	m := playsvc.NewManager(playsvc.Options{Shards: 4, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomPkg(b)); err != nil {
+		b.Fatal(err)
+	}
+	srv := netstream.NewServer()
+	if err := srv.Mount("/play/", m.Handler()); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	proj := content.Classroom().Project
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := &analytics.Collector{}
+		c, err := playsvc.Dial(playsvc.ClientOptions{
+			BaseURL: ts.URL, Course: "classroom", Project: proj, Observer: col,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.RunGame(c, sim.GuidedFactory,
+			sim.Config{MaxSteps: 12, TicksPerStep: 1, Patience: 30, Seed: int64(i)}, col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steps == 0 {
+			b.Fatal("empty run")
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- E9: ablations ----------------------------------------------------------

@@ -33,12 +33,13 @@ func main() {
 		"e8":  experiments.E8,
 		"e9":  experiments.E9,
 		"e10": func() (string, error) { return experiments.E10(*fleetSize) },
+		"e12": func() (string, error) { return experiments.E12(*fleetSize) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e10")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e12")
 		os.Exit(2)
 	}
 	var selected []string

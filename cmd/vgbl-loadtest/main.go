@@ -2,14 +2,18 @@
 // the classroom-at-scale measurement. Pointed at a running vgbl-server it
 // load-tests that deployment; with no -server it brings up an in-process
 // server with the classroom course and exercises the full loop locally.
+// With -interactive the learners do not simulate locally: each one creates
+// a server-hosted session on the play service and plays the whole game
+// over the wire (optionally fetching rendered frames with -watch-every).
 //
 // Usage:
 //
 //	vgbl-loadtest -learners 500 -policy guided
 //	vgbl-loadtest -server http://127.0.0.1:8807 -pkg classroom -learners 1000
+//	vgbl-loadtest -interactive -learners 200 -watch-every 4
 //
 // The run prints the fleet's throughput/latency summary and the server's
-// final /telemetry/stats snapshot.
+// final /telemetry/stats (plus, interactively, /play/stats) snapshot.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/playsvc"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -40,6 +45,8 @@ func main() {
 	flushEvery := flag.Int("flush", 32, "telemetry batch size")
 	flushMS := flag.Int("flush-interval-ms", 250, "telemetry interval flush (0 disables)")
 	progressive := flag.Bool("progressive", false, "also measure ranged progressive startup per learner")
+	interactive := flag.Bool("interactive", false, "play server-hosted sessions over the wire instead of simulating locally")
+	watchEvery := flag.Int("watch-every", 0, "fetch the rendered frame every N steps (0 disables; interactive frame traffic)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
 
@@ -64,14 +71,19 @@ func main() {
 		fmt.Printf("serving %s in-process at %s\n", *pkgName, url)
 	}
 
-	fmt.Printf("driving %d learners (%s policy) against %s/pkg/%s ...\n", *learners, *policy, url, *pkgName)
+	mode := "local-sim"
+	if *interactive {
+		mode = "remote-play"
+	}
+	fmt.Printf("driving %d learners (%s policy, %s) against %s/pkg/%s ...\n", *learners, *policy, mode, url, *pkgName)
 	sum, err := fleet.Run(fleet.Config{
 		ServerURL:          url,
 		Package:            *pkgName,
 		Learners:           *learners,
 		Concurrency:        *concurrency,
+		Interactive:        *interactive,
 		Policy:             f,
-		Sim:                sim.Config{MaxSteps: *steps, TicksPerStep: 2, Patience: 20, RewardBoost: 10, Seed: *seed},
+		Sim:                sim.Config{MaxSteps: *steps, TicksPerStep: 2, Patience: 20, RewardBoost: 10, Seed: *seed, WatchEvery: *watchEvery},
 		FlushEvery:         *flushEvery,
 		FlushInterval:      time.Duration(*flushMS) * time.Millisecond,
 		ProgressiveStartup: *progressive,
@@ -90,7 +102,18 @@ func main() {
 	} else if err := waitForDrain(url); err != nil {
 		fmt.Fprintf(os.Stderr, "vgbl-loadtest: warning: %v; the stats snapshot below may be missing pending batches\n", err)
 	}
-	resp, err := http.Get(url + telemetry.StatsPath)
+	printStats(url, telemetry.StatsPath)
+	if *interactive {
+		printStats(url, playsvc.StatsPath)
+	}
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printStats fetches and prints one JSON stats endpoint.
+func printStats(url, path string) {
+	resp, err := http.Get(url + path)
 	if err != nil {
 		fail(err)
 	}
@@ -99,14 +122,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("\n%s:\n%s", telemetry.StatsPath, body)
-	if sum.Failed > 0 {
-		os.Exit(1)
-	}
+	fmt.Printf("\n%s:\n%s", path, body)
 }
 
-// serveInProcess builds the named bundled course, publishes it with a
-// telemetry service mounted, and returns the service and base URL.
+// serveInProcess builds the named bundled course and publishes it with the
+// telemetry and play services mounted, returning the telemetry service and
+// base URL.
 func serveInProcess(name string) (*telemetry.Service, string, error) {
 	courses := map[string]*content.Course{
 		"classroom": content.Classroom(),
@@ -131,6 +152,13 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 		return nil, "", err
 	}
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
+		return nil, "", err
+	}
+	play := playsvc.NewManager(playsvc.Options{})
+	if err := play.AddCourse(name, blob); err != nil {
+		return nil, "", err
+	}
+	if err := srv.Mount("/play/", play.Handler()); err != nil {
 		return nil, "", err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -2,9 +2,12 @@
 // "easily access these resources via network"). It serves the bundled demo
 // courses plus any .tkg files given on the command line, with range support
 // so the progressive client can start playing before the download finishes,
-// and mounts the telemetry ingest service so playing clients (and the
+// mounts the telemetry ingest service so playing clients (and the
 // vgbl-loadtest fleet) can report their sessions to /telemetry/ingest and
-// lecturers can read live aggregates from /telemetry/stats.
+// lecturers can read live aggregates from /telemetry/stats, and mounts the
+// play service so thin clients can play server-hosted sessions through
+// /play/create, /play/act, /play/state and /play/frame (live counters at
+// /play/stats).
 //
 // Usage:
 //
@@ -24,6 +27,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/playsvc"
 	"repro/internal/telemetry"
 )
 
@@ -32,9 +36,22 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 8, "telemetry ingest workers")
 	ingestQueue := flag.Int("ingest-queue", 512, "telemetry queue depth per worker (backpressure bound)")
 	ingestIdle := flag.Duration("ingest-idle-timeout", 30*time.Minute, "fold telemetry sessions idle this long (negative disables)")
+	playShards := flag.Int("play-shards", 32, "play service session shards")
+	playTTL := flag.Duration("play-ttl", 10*time.Minute, "evict hosted play sessions idle this long (negative disables)")
+	playMax := flag.Int("play-max-sessions", 16384, "cap on live hosted play sessions (negative disables)")
 	flag.Parse()
 
 	srv := netstream.NewServer()
+	play := playsvc.NewManager(playsvc.Options{Shards: *playShards, TTL: *playTTL, MaxSessions: *playMax})
+	defer play.Close()
+	publish := func(name string, blob []byte) {
+		if err := srv.AddPackage(name, blob); err != nil {
+			fail(err)
+		}
+		if err := play.AddCourse(name, blob); err != nil {
+			fail(err)
+		}
+	}
 	for name, course := range map[string]*content.Course{
 		"classroom": content.Classroom(),
 		"museum":    content.Museum(),
@@ -44,9 +61,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := srv.AddPackage(name, blob); err != nil {
-			fail(err)
-		}
+		publish(name, blob)
 	}
 	srv.AddResource("umbrella", "UMBRELLAS: PORTABLE RAIN PROTECTION SINCE 1000 BC")
 	srv.AddResource("ram", "RAM MODULES MUST MATCH THE BOARD'S SOCKET TYPE")
@@ -56,10 +71,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		name := strings.TrimSuffix(filepath.Base(path), ".tkg")
-		if err := srv.AddPackage(name, blob); err != nil {
-			fail(err)
-		}
+		publish(strings.TrimSuffix(filepath.Base(path), ".tkg"), blob)
 	}
 
 	svc := telemetry.NewService(telemetry.Options{Workers: *ingestWorkers, QueueDepth: *ingestQueue, IdleTimeout: *ingestIdle})
@@ -69,6 +81,9 @@ func main() {
 		fail(err)
 	}
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
+		fail(err)
+	}
+	if err := srv.Mount("/play/", play.Handler()); err != nil {
 		fail(err)
 	}
 
@@ -83,6 +98,7 @@ func main() {
 	}
 	fmt.Printf("  listing:  http://%s/list\n", ln.Addr())
 	fmt.Printf("  telemetry: http://%s%s (POST), http://%s%s\n", ln.Addr(), telemetry.IngestPath, ln.Addr(), telemetry.StatsPath)
+	fmt.Printf("  play:     http://%s%s (POST), %s, %s, %s\n", ln.Addr(), playsvc.CreatePath, playsvc.ActPath, playsvc.FramePath, playsvc.StatsPath)
 	fmt.Printf("  health:   http://%s%s\n", ln.Addr(), telemetry.HealthPath)
 	if err := http.Serve(ln, srv); err != nil {
 		fail(err)

@@ -109,3 +109,20 @@ func TestE10SmallFleet(t *testing.T) {
 		t.Errorf("E10 output:\n%s", out)
 	}
 }
+
+func TestE12SmallFleet(t *testing.T) {
+	out, err := E12(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each remote-play row must report outcomes identical to its local-sim
+	// counterpart, and both deployment shapes must appear.
+	if strings.Count(out, "| = local") != 2 || strings.Contains(out, "DIVERGED") {
+		t.Errorf("E12 output:\n%s", out)
+	}
+	for _, want := range []string{"local-sim", "remote-play"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E12 missing %q:\n%s", want, out)
+		}
+	}
+}

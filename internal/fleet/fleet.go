@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/core"
 	"repro/internal/gamepack"
 	"repro/internal/netstream"
+	"repro/internal/playsvc"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -32,6 +34,14 @@ type Config struct {
 	// TelemetryURL is the base URL of the telemetry ingest endpoints;
 	// empty means the package server also ingests (the usual mounting).
 	TelemetryURL string
+	// Interactive switches learners from local simulation to server-hosted
+	// play: each learner creates a session on the play service and drives
+	// the whole game over the wire, action by action, while still reporting
+	// through telemetry. This is the remote-play load measurement (E12).
+	Interactive bool
+	// PlayURL is the play service base URL; empty means the package server
+	// also hosts play sessions (the usual mounting).
+	PlayURL string
 	// Course labels the telemetry stream (default: the package name).
 	Course string
 	// RunID salts the fleet's session IDs. Defaults to a timestamp so
@@ -62,6 +72,9 @@ func (c *Config) defaults() (ownsTransport bool, err error) {
 	}
 	if c.TelemetryURL == "" {
 		c.TelemetryURL = c.ServerURL
+	}
+	if c.PlayURL == "" {
+		c.PlayURL = c.ServerURL
 	}
 	if c.Course == "" {
 		c.Course = c.Package
@@ -216,8 +229,6 @@ func Run(cfg Config) (*Summary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: prefetched package: %w", err)
 	}
-	start := pkg.Project.StartScenario
-
 	outcomes := make([]learnerOutcome, cfg.Learners)
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -228,7 +239,7 @@ func Run(cfg Config) (*Summary, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outcomes[i] = runLearner(&cfg, i, pkgURL, start, cache)
+			outcomes[i] = runLearner(&cfg, i, pkgURL, pkg.Project, cache)
 		}(i)
 	}
 	wg.Wait()
@@ -272,10 +283,12 @@ func Run(cfg Config) (*Summary, error) {
 	return sum, nil
 }
 
-// runLearner plays one learner end to end: fetch, open, play, report.
-func runLearner(cfg *Config, i int, pkgURL, start string, cache *netstream.PackageCache) learnerOutcome {
+// runLearner plays one learner end to end: fetch, open (locally or on the
+// play service), play, report.
+func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *netstream.PackageCache) learnerOutcome {
 	var o learnerOutcome
 	nc := &netstream.Client{HTTP: cfg.HTTP}
+	start := proj.StartScenario
 
 	startupBegan := time.Now()
 	if cfg.ProgressiveStartup {
@@ -294,7 +307,6 @@ func runLearner(cfg *Config, i int, pkgURL, start string, cache *netstream.Packa
 		return o
 	}
 	o.fetch.Add(st)
-	o.startup = time.Since(startupBegan)
 
 	tc, err := telemetry.NewClient(telemetry.ClientOptions{
 		BaseURL:    cfg.TelemetryURL,
@@ -312,11 +324,42 @@ func runLearner(cfg *Config, i int, pkgURL, start string, cache *netstream.Packa
 
 	simCfg := cfg.Sim
 	simCfg.Seed = cfg.Sim.Seed + int64(i)*7919
-	simCfg.Observer = tc
 
-	playBegan := time.Now()
-	res, err := sim.Run(blob, cfg.Policy, simCfg)
-	o.session = time.Since(playBegan)
+	var res *sim.Result
+	if cfg.Interactive {
+		// Remote play: the session lives on the play service; the learner
+		// drives it over the wire, and every server-emitted event flows
+		// through the client into the collector, the telemetry batcher and
+		// any caller-supplied observer — the same fan-out local mode gets.
+		col := &analytics.Collector{}
+		pc, dialErr := playsvc.Dial(playsvc.ClientOptions{
+			BaseURL:  cfg.PlayURL,
+			Course:   cfg.Package,
+			Project:  proj,
+			Observer: sim.Observers(col, tc, cfg.Sim.Observer),
+			HTTP:     cfg.HTTP,
+		})
+		if dialErr != nil {
+			tc.Close()
+			o.err = fmt.Errorf("play dial: %w", dialErr)
+			return o
+		}
+		o.startup = time.Since(startupBegan)
+		playBegan := time.Now()
+		res, err = sim.RunGame(pc, cfg.Policy, simCfg, col)
+		// Always leave: a failed run must not strand its hosted session on
+		// the server until TTL eviction (or forever with eviction disabled).
+		if closeErr := pc.Close(); err == nil {
+			err = closeErr
+		}
+		o.session = time.Since(playBegan)
+	} else {
+		o.startup = time.Since(startupBegan)
+		simCfg.Observer = tc
+		playBegan := time.Now()
+		res, err = sim.Run(blob, cfg.Policy, simCfg)
+		o.session = time.Since(playBegan)
+	}
 	if err != nil {
 		tc.Close()
 		o.err = fmt.Errorf("session: %w", err)

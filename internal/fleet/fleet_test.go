@@ -11,6 +11,7 @@ import (
 	"repro/internal/content"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/playsvc"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -32,9 +33,10 @@ func classroomBlob(t *testing.T) []byte {
 	return pkgBlob
 }
 
-// liveStack brings up a netstream.Server with the classroom package and a
-// mounted telemetry service — the deployment the load generator targets.
-func liveStack(t *testing.T, opts telemetry.Options) (*httptest.Server, *telemetry.Service) {
+// liveStack brings up a netstream.Server with the classroom package, a
+// mounted telemetry service and a mounted play service — the full
+// deployment the load generator targets.
+func liveStack(t *testing.T, opts telemetry.Options) (*httptest.Server, *telemetry.Service, *playsvc.Manager) {
 	t.Helper()
 	srv := netstream.NewServer()
 	if err := srv.AddPackage("classroom", classroomBlob(t)); err != nil {
@@ -49,9 +51,17 @@ func liveStack(t *testing.T, opts telemetry.Options) (*httptest.Server, *telemet
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
 		t.Fatal(err)
 	}
+	mgr := playsvc.NewManager(playsvc.Options{})
+	t.Cleanup(mgr.Close)
+	if err := mgr.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Mount("/play/", mgr.Handler()); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts, svc
+	return ts, svc, mgr
 }
 
 // TestFleet500StatsExact is the subsystem's acceptance test: 500 concurrent
@@ -59,7 +69,7 @@ func liveStack(t *testing.T, opts telemetry.Options) (*httptest.Server, *telemet
 // through batched telemetry, and the ingested course totals must equal the
 // sum of the 500 local per-session analytics reports — exactly.
 func TestFleet500StatsExact(t *testing.T) {
-	ts, svc := liveStack(t, telemetry.Options{Workers: 8, QueueDepth: 256})
+	ts, svc, _ := liveStack(t, telemetry.Options{Workers: 8, QueueDepth: 256})
 	const learners = 500
 	sum, err := Run(Config{
 		ServerURL:   ts.URL,
@@ -139,7 +149,7 @@ func TestFleet500StatsExact(t *testing.T) {
 // TestFleetProgressiveAndInterval exercises the ranged-startup measurement
 // and the interval flusher on a small fleet.
 func TestFleetProgressiveAndInterval(t *testing.T) {
-	ts, svc := liveStack(t, telemetry.Options{})
+	ts, svc, _ := liveStack(t, telemetry.Options{})
 	sum, err := Run(Config{
 		ServerURL:          ts.URL,
 		Package:            "classroom",
@@ -174,6 +184,127 @@ func TestFleetProgressiveAndInterval(t *testing.T) {
 	}
 	if sum.Startup.Max <= 0 || sum.Session.Max <= 0 {
 		t.Errorf("latency summaries empty: %+v / %+v", sum.Startup, sum.Session)
+	}
+}
+
+// TestPlaysvc200Learners is the play service's scale/race acceptance test:
+// 200 concurrent learners play the full game over the wire — every click,
+// quiz answer and scenario switch is an HTTP act against server-hosted
+// sessions — while reporting through telemetry. Session accounting on the
+// play service and ingested telemetry totals must both be exact.
+func TestPlaysvc200Learners(t *testing.T) {
+	ts, svc, mgr := liveStack(t, telemetry.Options{Workers: 8, QueueDepth: 256})
+	const learners = 200
+	sum, err := Run(Config{
+		ServerURL:   ts.URL,
+		Package:     "classroom",
+		Learners:    learners,
+		Concurrency: 64,
+		Interactive: true,
+		Policy:      sim.GuidedFactory,
+		Sim:         sim.Config{MaxSteps: 12, TicksPerStep: 1, Patience: 30, WatchEvery: 4},
+		FlushEvery:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("%d learners failed: %v", sum.Failed, sum.Errors)
+	}
+	if len(sum.Reports) != learners {
+		t.Fatalf("reports = %d", len(sum.Reports))
+	}
+	if sum.Completed == 0 {
+		t.Error("no remote guided learner completed the classroom mission")
+	}
+
+	// Exact session accounting on the play service: every learner created
+	// one hosted session and released it on the way out.
+	ps := mgr.Snapshot()
+	if ps.SessionsCreated != learners || ps.SessionsClosed != learners ||
+		ps.SessionsLive != 0 || ps.SessionsEvicted != 0 {
+		t.Fatalf("play service accounting: %+v", ps)
+	}
+	if ps.Acts < int64(learners)*12 {
+		t.Errorf("acts = %d, implausibly low for %d learners", ps.Acts, learners)
+	}
+	if ps.Frames == 0 {
+		t.Error("WatchEvery fetched no frames")
+	}
+	var sumCreated int64
+	for _, ss := range ps.Shards {
+		sumCreated += ss.Created
+	}
+	if sumCreated != ps.SessionsCreated {
+		t.Errorf("per-shard created sums to %d, total says %d", sumCreated, ps.SessionsCreated)
+	}
+
+	// Exact telemetry accounting, same bar as the local-sim fleet: the
+	// ingested course totals equal the sum of the local per-learner reports
+	// digested from the events the server emitted.
+	if !svc.Quiesce(30 * time.Second) {
+		t.Fatal("ingest queues did not drain")
+	}
+	var want analytics.Rolling
+	for _, r := range sum.Reports {
+		want.Add(r)
+	}
+	cs := svc.Store().Snapshot()["classroom"]
+	if cs.SessionsStarted != learners || cs.SessionsEnded != learners || cs.LiveSessions != 0 {
+		t.Fatalf("telemetry session accounting: %+v", cs)
+	}
+	if cs.Events != want.Events || cs.Decisions != want.Decisions ||
+		cs.Knowledge != want.Knowledge || cs.UniqueKnowledge != want.UniqueKnowledge ||
+		cs.Rewards != want.Rewards || cs.Completed != want.Completed ||
+		cs.Ticks != want.Ticks || cs.QuizAsked != want.QuizAsked ||
+		cs.QuizCorrect != want.QuizCorrect {
+		t.Errorf("ingested totals diverge from summed reports:\n got %+v\nwant %+v", cs, want)
+	}
+	if sum.EventsReported != want.Events {
+		t.Errorf("events reported = %d, want %d", sum.EventsReported, want.Events)
+	}
+}
+
+// TestFleetInteractiveMatchesLocalTotals runs the same seeded fleet twice —
+// local simulation vs remote play — and requires identical aggregate
+// learning outcomes: hosting the session server-side must not change what
+// learners experience.
+func TestFleetInteractiveMatchesLocalTotals(t *testing.T) {
+	run := func(interactive bool) *Summary {
+		ts, svc, _ := liveStack(t, telemetry.Options{Workers: 4, QueueDepth: 256})
+		sum, err := Run(Config{
+			ServerURL:   ts.URL,
+			Package:     "classroom",
+			Learners:    20,
+			Interactive: interactive,
+			Policy:      sim.GuidedFactory,
+			Sim:         sim.Config{MaxSteps: 10, TicksPerStep: 1, Patience: 30, Seed: 5},
+			FlushEvery:  8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 {
+			t.Fatalf("failures: %v", sum.Errors)
+		}
+		if !svc.Quiesce(10 * time.Second) {
+			t.Fatal("drain")
+		}
+		return sum
+	}
+	local, remote := run(false), run(true)
+	var localAgg, remoteAgg analytics.Rolling
+	for i := range local.Reports {
+		localAgg.Add(local.Reports[i])
+		remoteAgg.Add(remote.Reports[i])
+	}
+	if localAgg.Events != remoteAgg.Events || localAgg.Knowledge != remoteAgg.Knowledge ||
+		localAgg.Completed != remoteAgg.Completed || localAgg.Ticks != remoteAgg.Ticks ||
+		localAgg.QuizCorrect != remoteAgg.QuizCorrect {
+		t.Errorf("local and remote fleets diverge:\nlocal  %+v\nremote %+v", localAgg, remoteAgg)
+	}
+	if local.Steps != remote.Steps {
+		t.Errorf("steps: local %d, remote %d", local.Steps, remote.Steps)
 	}
 }
 

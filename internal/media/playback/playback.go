@@ -45,6 +45,10 @@ func OpenVideo(blob []byte, decodeWorkers int) (*Video, error) {
 	return &Video{r: r, dec: vcodec.NewDecoder(decodeWorkers), pos: -1, own: &raster.Frame{}}, nil
 }
 
+// Close releases the decoder's worker pool promptly (a finalizer releases
+// it otherwise). The Video remains usable; further decodes run inline.
+func (v *Video) Close() { v.dec.Close() }
+
 // Meta returns the container metadata.
 func (v *Video) Meta() container.Meta { return v.r.Meta() }
 

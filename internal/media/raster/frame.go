@@ -91,6 +91,20 @@ func (f *Frame) Clone() *Frame {
 	return g
 }
 
+// CopyFrom resizes f to g's dimensions and copies g's pixels, reusing f's
+// pixel buffer when its capacity suffices. Frame-recycling consumers (the
+// playback ring, the play service's per-session frame buffers) use it to
+// keep steady-state rendering allocation-free.
+func (f *Frame) CopyFrom(g *Frame) {
+	n := 3 * g.W * g.H
+	if cap(f.Pix) < n {
+		f.Pix = make([]uint8, n)
+	}
+	f.Pix = f.Pix[:n]
+	f.W, f.H = g.W, g.H
+	copy(f.Pix, g.Pix)
+}
+
 // Bounds reports whether (x, y) lies inside the frame.
 func (f *Frame) Bounds(x, y int) bool {
 	return x >= 0 && y >= 0 && x < f.W && y < f.H

@@ -1,0 +1,325 @@
+package playsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/media/raster"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// ClientOptions configures a play-service client.
+type ClientOptions struct {
+	BaseURL string // server base, e.g. "http://127.0.0.1:8807"
+	Course  string // published course name to create a session on
+	// Project is the course document (from the downloaded package); the
+	// client resolves scenarios, objects and quizzes against it locally so
+	// policies can plan without a round trip.
+	Project *core.Project
+	// Observer, when set, receives every remote event in arrival order —
+	// the hook the fleet plugs its analytics collector and telemetry
+	// client into, exactly as for a local session.
+	Observer runtime.Observer
+	HTTP     *http.Client // defaults to http.DefaultClient
+}
+
+// Client drives one server-hosted session over HTTP. It implements
+// sim.Game, so simulator policies (and sim.Replay) work against it
+// unchanged. A Client mirrors the hosted session's state after every act;
+// it is not safe for concurrent use — like a runtime.Session, one learner
+// drives it.
+type Client struct {
+	opts ClientOptions
+	id   string
+
+	w, h, fps int
+	tick      int
+	state     *core.State
+	messages  []string
+	seen      int    // events forwarded to the observer so far
+	quiz      string // pending quiz id ("" = none)
+
+	frame raster.Frame // reusable fetched-frame buffer
+	err   error        // sticky transport/session failure
+}
+
+// Interface check: the simulator must be able to drive a remote session
+// exactly like a local one.
+var _ sim.Game = (*Client)(nil)
+
+// Dial creates a hosted session on the server and returns a client bound
+// to it. Events emitted while entering the start scenario are delivered to
+// the observer before Dial returns, mirroring runtime.NewSession.
+func Dial(o ClientOptions) (*Client, error) {
+	if o.BaseURL == "" || o.Course == "" {
+		return nil, fmt.Errorf("playsvc: client needs BaseURL and Course")
+	}
+	if o.Project == nil {
+		return nil, fmt.Errorf("playsvc: client needs the course Project")
+	}
+	if o.HTTP == nil {
+		o.HTTP = http.DefaultClient
+	}
+	c := &Client{opts: o}
+	reply, err := c.post(c.opts.BaseURL+CreatePath, &CreateRequest{Course: o.Course})
+	if err != nil {
+		return nil, err
+	}
+	c.id = reply.Session
+	c.w, c.h, c.fps = reply.Width, reply.Height, reply.FPS
+	c.apply(reply)
+	return c, nil
+}
+
+// SessionID returns the server-issued session identifier.
+func (c *Client) SessionID() string { return c.id }
+
+// VideoMeta returns the hosted video's geometry (from the create reply).
+func (c *Client) VideoMeta() (w, h, fps int) { return c.w, c.h, c.fps }
+
+// Err returns the sticky failure ("" path errors like a wrong quiz answer
+// id are returned to the caller instead and do not stick).
+func (c *Client) Err() error { return c.err }
+
+// apply folds a server reply into the client mirror and forwards unseen
+// events to the observer.
+func (c *Client) apply(r *Reply) {
+	c.tick = r.Tick
+	if r.State != nil {
+		c.state = r.State
+	}
+	c.messages = append(c.messages, r.Messages...)
+	c.quiz = r.Quiz
+	if c.opts.Observer != nil {
+		for _, e := range r.Events {
+			c.opts.Observer.Record(e)
+		}
+	}
+	c.seen = r.EventCount
+}
+
+// fail records a sticky failure: the session is gone or unreachable, so
+// every later call fails fast with the same error.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// checkStatus turns a non-OK response into an error. Transport-level and
+// server-side failures (5xx, 404) stick; a 400 is the caller's mistake
+// (wrong quiz id, bad argument) and leaves the session usable. This rule
+// is load-bearing for the fleet's failure model — every response path
+// must go through here.
+func (c *Client) checkStatus(resp *http.Response, what string) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	err := errf(resp.StatusCode, "playsvc: %s: %s: %s", what, resp.Status, bytes.TrimSpace(msg))
+	if resp.StatusCode != http.StatusBadRequest {
+		c.fail(err)
+	}
+	return err
+}
+
+// post sends one JSON request and decodes the reply.
+func (c *Client) post(url string, body any) (*Reply, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.opts.HTTP.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	defer resp.Body.Close()
+	if err := c.checkStatus(resp, "request"); err != nil {
+		return nil, err
+	}
+	var r Reply
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, c.fail(err)
+	}
+	return &r, nil
+}
+
+// act posts one interaction and folds the reply in.
+func (c *Client) act(req *ActRequest) (*Reply, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	req.Session = c.id
+	req.SeenEvents = c.seen
+	req.SeenMessages = len(c.messages)
+	r, err := c.post(c.opts.BaseURL+ActPath, req)
+	if err != nil {
+		return nil, err
+	}
+	c.apply(r)
+	return r, nil
+}
+
+// Project implements sim.Game.
+func (c *Client) Project() *core.Project { return c.opts.Project }
+
+// State implements sim.Game: the mirrored server-side state after the
+// last act. Treat it as read-only.
+func (c *Client) State() *core.State { return c.state }
+
+// Scenario implements sim.Game.
+func (c *Client) Scenario() *core.Scenario {
+	return c.opts.Project.ScenarioByID(c.state.Scenario)
+}
+
+// Ended implements sim.Game.
+func (c *Client) Ended() bool { return c.state.Ended }
+
+// Outcome returns the end label ("" while running).
+func (c *Client) Outcome() string { return c.state.Outcome }
+
+// Ticks returns the hosted session's tick counter after the last act.
+func (c *Client) Ticks() int { return c.tick }
+
+// Messages implements sim.Game.
+func (c *Client) Messages() []string {
+	return append([]string(nil), c.messages...)
+}
+
+// PendingQuiz implements sim.Game.
+func (c *Client) PendingQuiz() (*core.Quiz, bool) {
+	if c.quiz == "" {
+		return nil, false
+	}
+	q := c.opts.Project.QuizByID(c.quiz)
+	return q, q != nil
+}
+
+// AnswerQuiz implements sim.Game.
+func (c *Client) AnswerQuiz(quizID string, choice int) (bool, error) {
+	r, err := c.act(&ActRequest{Kind: ActQuiz, Quiz: quizID, Choice: choice})
+	if err != nil {
+		return false, err
+	}
+	return r.Correct != nil && *r.Correct, nil
+}
+
+// Click implements sim.Game.
+func (c *Client) Click(vx, vy int) { c.act(&ActRequest{Kind: ActClick, X: vx, Y: vy}) }
+
+// Examine implements sim.Game.
+func (c *Client) Examine(objectID string) { c.act(&ActRequest{Kind: ActExamine, Object: objectID}) }
+
+// Talk implements sim.Game.
+func (c *Client) Talk(objectID string) { c.act(&ActRequest{Kind: ActTalk, Object: objectID}) }
+
+// Take implements sim.Game.
+func (c *Client) Take(objectID string) bool {
+	r, err := c.act(&ActRequest{Kind: ActTake, Object: objectID})
+	return err == nil && r.Took != nil && *r.Took
+}
+
+// UseItemOn implements sim.Game.
+func (c *Client) UseItemOn(item, objectID string) {
+	c.act(&ActRequest{Kind: ActUse, Item: item, Object: objectID})
+}
+
+// SelectItem implements sim.Game.
+func (c *Client) SelectItem(item string) error {
+	_, err := c.act(&ActRequest{Kind: ActSelect, Item: item})
+	return err
+}
+
+// ClearSelection implements sim.Game.
+func (c *Client) ClearSelection() { c.act(&ActRequest{Kind: ActClear}) }
+
+// GotoScenario implements sim.Game.
+func (c *Client) GotoScenario(id string) error {
+	_, err := c.act(&ActRequest{Kind: ActGoto, Object: id})
+	return err
+}
+
+// Advance implements sim.Game: one round trip regardless of tick count.
+func (c *Client) Advance(ticks int) error {
+	if ticks <= 0 {
+		return c.err
+	}
+	_, err := c.act(&ActRequest{Kind: ActTick, Ticks: ticks})
+	return err
+}
+
+// Watch implements sim.Game: it fetches the current presentation frame
+// into the client's reusable buffer (see Frame).
+func (c *Client) Watch() error {
+	_, err := c.Frame()
+	return err
+}
+
+// Frame fetches the hosted session's presentation frame. The returned
+// frame is client-owned and recycled by the next fetch.
+func (c *Client) Frame() (*raster.Frame, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	resp, err := c.opts.HTTP.Get(c.opts.BaseURL + FramePath + "?session=" + c.id)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	defer resp.Body.Close()
+	if err := c.checkStatus(resp, "frame"); err != nil {
+		return nil, err
+	}
+	w, _ := strconv.Atoi(resp.Header.Get("X-Frame-Width"))
+	h, _ := strconv.Atoi(resp.Header.Get("X-Frame-Height"))
+	if tick := resp.Header.Get("X-Frame-Tick"); tick != "" {
+		c.tick, _ = strconv.Atoi(tick)
+	}
+	n := 3 * w * h
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("playsvc: frame response missing geometry")
+	}
+	if cap(c.frame.Pix) < n {
+		c.frame.Pix = make([]uint8, n)
+	}
+	c.frame.Pix = c.frame.Pix[:n]
+	c.frame.W, c.frame.H = w, h
+	if _, err := io.ReadFull(resp.Body, c.frame.Pix); err != nil {
+		return nil, fmt.Errorf("playsvc: short frame body: %w", err)
+	}
+	return &c.frame, nil
+}
+
+// Close releases the hosted session (a "leave" act). Events emitted by the
+// final interactions are still delivered to the observer. Closing an
+// already-failed client still attempts the leave — if the session survived
+// whatever broke the client, it should not linger until TTL eviction —
+// and returns the sticky error.
+func (c *Client) Close() error {
+	if c.err == nil {
+		_, err := c.act(&ActRequest{Kind: ActLeave})
+		return err
+	}
+	sticky := c.err
+	if resp, err := c.opts.HTTP.Post(c.opts.BaseURL+ActPath, "application/json",
+		bytes.NewReader(mustJSON(&ActRequest{Session: c.id, Kind: ActLeave}))); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return sticky
+}
+
+// mustJSON marshals a value that cannot fail (plain request structs).
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,528 @@
+// Package playsvc hosts live game sessions server-side — the play service.
+//
+// The paper's interactive lessons are *played*, not just streamed: learners
+// click objects, answer quizzes and branch between scenarios. netstream
+// ships the package to the client; playsvc is the other deployment shape,
+// where the runtime.Session itself lives on the server and thin clients
+// drive it over HTTP (create/act/state/frame). A sharded, lock-striped
+// session manager hosts thousands of concurrent sessions, evicts idle ones
+// after a TTL, and exposes per-shard counters at /play/stats. Frame
+// responses ride the allocation-free decode path (Decoder.DecodeInto via
+// Session.FrameInto), so steady-state play allocates nothing per frame
+// request.
+//
+// Client implements the same surface as a local session (sim.Game), so the
+// simulator's policies — and the whole learner fleet — drive a remote
+// session unchanged.
+package playsvc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gamepack"
+	"repro/internal/media/raster"
+	"repro/internal/runtime"
+)
+
+// Options tunes a Manager.
+type Options struct {
+	Shards int // session shards (default 32)
+	// TTL bounds memory held for abandoned sessions: a session with no
+	// request for this long is evicted and its decode resources released.
+	// Default 10 minutes; negative disables eviction.
+	TTL time.Duration
+	// MaxSessions caps live sessions across all shards (creates beyond it
+	// answer 503). 0 means the default of 16384; negative disables the cap.
+	MaxSessions int
+	// DecodeWorkers is the per-session decode worker count (default 1:
+	// parallelism comes from hosting many sessions, not from within one).
+	DecodeWorkers int
+	// MaxTicks bounds a single tick act (default 1000) so one request
+	// cannot spin the server arbitrarily long.
+	MaxTicks int
+}
+
+func (o *Options) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	if o.TTL == 0 {
+		o.TTL = 10 * time.Minute
+	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 16384
+	}
+	if o.DecodeWorkers <= 0 {
+		o.DecodeWorkers = 1
+	}
+	if o.MaxTicks <= 0 {
+		o.MaxTicks = 1000
+	}
+}
+
+// hosted is one server-side live session. Every session access happens
+// under mu — one learner drives one session, so the lock is uncontended;
+// it exists so stats, eviction and a misbehaving client cannot race the
+// runtime. hosted implements runtime.Observer: each session event lands in
+// its log, from which replies serve the client's unseen tail.
+type hosted struct {
+	id     string
+	course *course
+
+	mu   sync.Mutex
+	sess *runtime.Session
+	// events holds the not-yet-acknowledged tail of the session's event
+	// log; eventBase is the absolute index of events[0]. The single
+	// driving client acknowledges a prefix with every request
+	// (seen_events), and reply trims it, so a long-lived session holds
+	// O(unacked) events rather than its whole history.
+	events    []runtime.Event
+	eventBase int
+	frame     raster.Frame // reusable frame-path buffer
+
+	// lastSeen (unix nanos) is atomic so the janitor can scan shards
+	// without taking every session lock.
+	lastSeen atomic.Int64
+}
+
+// Record implements runtime.Observer (called with mu held — all session
+// methods that emit events run under it).
+func (h *hosted) Record(e runtime.Event) { h.events = append(h.events, e) }
+
+func (h *hosted) touch() { h.lastSeen.Store(time.Now().UnixNano()) }
+
+// course is one published package, opened once and shared read-only by
+// every session hosted on it.
+type course struct {
+	name      string
+	pkg       *gamepack.Package
+	w, h, fps int
+}
+
+// shard is one stripe of the session map with its own lock and counters.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*hosted
+
+	created atomic.Int64
+	closed  atomic.Int64 // sessions released by a leave act
+	evicted atomic.Int64 // sessions reclaimed by the janitor (or Close)
+	acts    atomic.Int64
+	frames  atomic.Int64
+}
+
+// Manager is the sharded session host behind the play service HTTP
+// surface. All methods are safe for concurrent use.
+type Manager struct {
+	opts    Options
+	started time.Time
+
+	coursesMu sync.RWMutex
+	courses   map[string]*course
+
+	seq    atomic.Int64
+	shards []shard
+	// liveCount mirrors the summed shard map sizes; Create reserves a slot
+	// on it atomically so a create flood cannot overshoot MaxSessions
+	// between a count and an insert.
+	liveCount atomic.Int64
+
+	handlerOnce sync.Once
+	handler     http.Handler
+
+	closeOnce   sync.Once
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewManager builds a manager and starts its eviction janitor.
+func NewManager(o Options) *Manager {
+	o.defaults()
+	m := &Manager{
+		opts:        o,
+		started:     time.Now(),
+		courses:     map[string]*course{},
+		shards:      make([]shard, o.Shards),
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i].sessions = map[string]*hosted{}
+	}
+	if o.TTL > 0 {
+		go m.runJanitor(o.TTL)
+	} else {
+		close(m.janitorDone)
+	}
+	return m
+}
+
+func (m *Manager) runJanitor(ttl time.Duration) {
+	defer close(m.janitorDone)
+	every := ttl / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.ExpireIdle(time.Now().Add(-ttl))
+		case <-m.stopJanitor:
+			return
+		}
+	}
+}
+
+// AddCourse publishes a package for hosting. The blob is opened once; all
+// sessions on the course share the parsed package read-only.
+func (m *Manager) AddCourse(name string, pkgBlob []byte) error {
+	if name == "" {
+		return fmt.Errorf("playsvc: empty course name")
+	}
+	pkg, err := gamepack.Open(pkgBlob)
+	if err != nil {
+		return fmt.Errorf("playsvc: course %s: %w", name, err)
+	}
+	// Probe one session so a package that cannot start (missing start
+	// scenario, bad scripts) is rejected at publish time, not per create.
+	probe, err := runtime.NewSessionFromPackage(pkg, runtime.Options{})
+	if err != nil {
+		return fmt.Errorf("playsvc: course %s: %w", name, err)
+	}
+	probe.Close()
+	w, h, fps := probe.VideoMeta()
+	m.coursesMu.Lock()
+	defer m.coursesMu.Unlock()
+	m.courses[name] = &course{name: name, pkg: pkg, w: w, h: h, fps: fps}
+	return nil
+}
+
+// Courses lists published course names (unordered).
+func (m *Manager) Courses() []string {
+	m.coursesMu.RLock()
+	defer m.coursesMu.RUnlock()
+	out := make([]string, 0, len(m.courses))
+	for n := range m.courses {
+		out = append(out, n)
+	}
+	return out
+}
+
+// shardIndex stripes a session ID onto a shard.
+func shardIndex(session string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(session))
+	return int(h.Sum32() % uint32(n))
+}
+
+func (m *Manager) shardFor(session string) *shard {
+	return &m.shards[shardIndex(session, len(m.shards))]
+}
+
+// lookup resolves a live session and its shard.
+func (m *Manager) lookup(session string) (*hosted, *shard, error) {
+	sh := m.shardFor(session)
+	sh.mu.Lock()
+	h := sh.sessions[session]
+	sh.mu.Unlock()
+	if h == nil {
+		return nil, nil, errf(http.StatusNotFound, "playsvc: no session %q", session)
+	}
+	return h, sh, nil
+}
+
+// Live counts hosted sessions across all shards (including slots reserved
+// by in-flight creates).
+func (m *Manager) Live() int { return int(m.liveCount.Load()) }
+
+// Create opens a new hosted session on a published course and returns the
+// session's initial view (including any events the start scenario's
+// OnEnter script emitted).
+func (m *Manager) Create(courseName string) (*Reply, error) {
+	m.coursesMu.RLock()
+	c := m.courses[courseName]
+	m.coursesMu.RUnlock()
+	if c == nil {
+		return nil, errf(http.StatusNotFound, "playsvc: no course %q", courseName)
+	}
+	// Reserve the slot before building the session: concurrent creates
+	// racing a nearly-full cap must not all pass a read-then-insert check.
+	if n := m.liveCount.Add(1); m.opts.MaxSessions > 0 && n > int64(m.opts.MaxSessions) {
+		m.liveCount.Add(-1)
+		return nil, errf(http.StatusServiceUnavailable, "playsvc: session cap (%d) reached", m.opts.MaxSessions)
+	}
+	h := &hosted{id: fmt.Sprintf("%s-%08d", courseName, m.seq.Add(1)), course: c}
+	h.touch()
+	sess, err := runtime.NewSessionFromPackage(c.pkg, runtime.Options{
+		DecodeWorkers: m.opts.DecodeWorkers,
+		Observer:      h,
+	})
+	if err != nil {
+		m.liveCount.Add(-1)
+		return nil, err
+	}
+	h.sess = sess
+	sh := m.shardFor(h.id)
+	sh.mu.Lock()
+	sh.sessions[h.id] = h
+	sh.mu.Unlock()
+	sh.created.Add(1)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.reply(0, 0)
+	r.Course = c.name
+	r.Width, r.Height, r.FPS = c.w, c.h, c.fps
+	return r, nil
+}
+
+// reply assembles the client view and trims the event prefix the client
+// just acknowledged; h.mu must be held.
+func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
+	r := &Reply{
+		Session:      h.id,
+		Tick:         h.sess.Ticks(),
+		State:        h.sess.State().Clone(),
+		EventCount:   h.eventBase + len(h.events),
+		MessageCount: h.sess.MessageCount(),
+		Messages:     h.sess.MessagesFrom(seenMessages),
+	}
+	from := seenEvents - h.eventBase
+	if from < 0 {
+		// The client claims less than what it already acknowledged (a
+		// retried request); serve everything still retained.
+		from = 0
+	}
+	if from < len(h.events) {
+		r.Events = append([]runtime.Event(nil), h.events[from:]...)
+	} else {
+		from = len(h.events)
+	}
+	if from > 0 {
+		h.events = append(h.events[:0], h.events[from:]...)
+		h.eventBase += from
+	}
+	if q, ok := h.sess.PendingQuiz(); ok {
+		r.Quiz = q.ID
+	}
+	return r
+}
+
+// Act applies one interaction to a hosted session and returns the updated
+// view. A "leave" act releases the session after building its final view.
+func (m *Manager) Act(req *ActRequest) (*Reply, error) {
+	h, sh, err := m.lookup(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	sh.acts.Add(1)
+	h.touch()
+
+	if req.Kind == ActLeave {
+		// Remove from the shard before locking the session so the janitor
+		// (which locks shard → session) cannot deadlock against us.
+		sh.mu.Lock()
+		_, still := sh.sessions[req.Session]
+		delete(sh.sessions, req.Session)
+		sh.mu.Unlock()
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if still {
+			sh.closed.Add(1)
+			m.liveCount.Add(-1)
+			h.sess.Close()
+		}
+		return h.reply(req.SeenEvents, req.SeenMessages), nil
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var correct, took *bool
+	switch req.Kind {
+	case ActClick:
+		h.sess.Click(req.X, req.Y)
+	case ActExamine:
+		h.sess.Examine(req.Object)
+	case ActTalk:
+		h.sess.Talk(req.Object)
+	case ActTake:
+		ok := h.sess.Take(req.Object)
+		took = &ok
+	case ActUse:
+		h.sess.UseItemOn(req.Item, req.Object)
+	case ActSelect:
+		if err := h.sess.SelectItem(req.Item); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	case ActClear:
+		h.sess.ClearSelection()
+	case ActQuiz:
+		ok, err := h.sess.AnswerQuiz(req.Quiz, req.Choice)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		correct = &ok
+	case ActGoto:
+		if err := h.sess.GotoScenario(req.Object); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	case ActTick:
+		n := req.Ticks
+		if n <= 0 {
+			n = 1
+		}
+		if n > m.opts.MaxTicks {
+			return nil, errf(http.StatusBadRequest, "playsvc: %d ticks exceeds the per-act bound (%d)", n, m.opts.MaxTicks)
+		}
+		if err := h.sess.Advance(n); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(http.StatusBadRequest, "playsvc: unknown action kind %q", req.Kind)
+	}
+	r := h.reply(req.SeenEvents, req.SeenMessages)
+	r.Correct, r.Took = correct, took
+	return r, nil
+}
+
+// StateOf returns a session's current view without acting on it (it still
+// refreshes the idle clock and, like every reply, releases the event
+// prefix the caller acknowledges via seenEvents).
+func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply, error) {
+	h, _, err := m.lookup(session)
+	if err != nil {
+		return nil, err
+	}
+	h.touch()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reply(seenEvents, seenMessages), nil
+}
+
+// WithFrame advances the session's playback and renders its presentation
+// frame into the session-owned buffer, passing it to fn under the session
+// lock — the frame must not be retained past fn. This is the service's
+// allocation-free frame path: advance + DecodeInto + cached-sprite
+// composition allocate nothing in steady state.
+func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame, tick int) error) error {
+	h, sh, err := m.lookup(session)
+	if err != nil {
+		return err
+	}
+	sh.frames.Add(1)
+	h.touch()
+	if advance > m.opts.MaxTicks {
+		return errf(http.StatusBadRequest, "playsvc: advance %d exceeds the per-act bound (%d)", advance, m.opts.MaxTicks)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if advance > 0 {
+		if err := h.sess.Advance(advance); err != nil {
+			return err
+		}
+	}
+	if err := h.sess.FrameInto(&h.frame); err != nil {
+		return err
+	}
+	return fn(&h.frame, h.sess.Ticks())
+}
+
+// ExpireIdle evicts every session idle since before the cutoff, releasing
+// its decode resources, and reports how many it reclaimed. The janitor
+// calls this with now-TTL; tests call it directly.
+func (m *Manager) ExpireIdle(cutoff time.Time) int {
+	n := 0
+	cut := cutoff.UnixNano()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		var victims []*hosted
+		sh.mu.Lock()
+		for id, h := range sh.sessions {
+			if h.lastSeen.Load() < cut {
+				delete(sh.sessions, id)
+				victims = append(victims, h)
+			}
+		}
+		sh.mu.Unlock()
+		for _, h := range victims {
+			h.mu.Lock()
+			h.sess.Close()
+			h.mu.Unlock()
+		}
+		sh.evicted.Add(int64(len(victims)))
+		m.liveCount.Add(-int64(len(victims)))
+		n += len(victims)
+	}
+	return n
+}
+
+// Close stops the janitor and evicts every remaining session.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		close(m.stopJanitor)
+		<-m.janitorDone
+		m.ExpireIdle(time.Now().Add(24 * time.Hour))
+	})
+}
+
+// ShardStats is one shard's counters in a Stats snapshot.
+type ShardStats struct {
+	Live    int   `json:"live"`
+	Created int64 `json:"created"`
+	Closed  int64 `json:"closed"`
+	Evicted int64 `json:"evicted"`
+	Acts    int64 `json:"acts"`
+	Frames  int64 `json:"frames"`
+}
+
+// Stats is the /play/stats payload: totals plus the per-shard breakdown
+// (which also shows how evenly the session hash stripes load).
+type Stats struct {
+	UptimeSeconds   float64      `json:"uptime_seconds"`
+	Courses         []string     `json:"courses"`
+	SessionsLive    int          `json:"sessions_live"`
+	SessionsCreated int64        `json:"sessions_created"`
+	SessionsClosed  int64        `json:"sessions_closed"`
+	SessionsEvicted int64        `json:"sessions_evicted"`
+	Acts            int64        `json:"acts"`
+	Frames          int64        `json:"frames"`
+	Shards          []ShardStats `json:"shards"`
+}
+
+// Snapshot assembles the live counters.
+func (m *Manager) Snapshot() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Courses:       m.Courses(),
+		Shards:        make([]ShardStats, len(m.shards)),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		live := len(sh.sessions)
+		sh.mu.Unlock()
+		ss := ShardStats{
+			Live:    live,
+			Created: sh.created.Load(),
+			Closed:  sh.closed.Load(),
+			Evicted: sh.evicted.Load(),
+			Acts:    sh.acts.Load(),
+			Frames:  sh.frames.Load(),
+		}
+		st.Shards[i] = ss
+		st.SessionsLive += ss.Live
+		st.SessionsCreated += ss.Created
+		st.SessionsClosed += ss.Closed
+		st.SessionsEvicted += ss.Evicted
+		st.Acts += ss.Acts
+		st.Frames += ss.Frames
+	}
+	return st
+}

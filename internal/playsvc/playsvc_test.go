@@ -1,0 +1,531 @@
+package playsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/content"
+	"repro/internal/media/raster"
+	"repro/internal/media/studio"
+	"repro/internal/netstream"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+var (
+	onceBlob sync.Once
+	blob     []byte
+	blobErr  error
+)
+
+func classroomBlob(t testing.TB) []byte {
+	t.Helper()
+	onceBlob.Do(func() {
+		blob, blobErr = content.Classroom().BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	})
+	if blobErr != nil {
+		t.Fatal(blobErr)
+	}
+	return blob
+}
+
+// liveService mounts a play service on a netstream server — the deployment
+// shape vgbl-server uses.
+func liveService(t testing.TB, o Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(o)
+	t.Cleanup(m.Close)
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Mount("/play/", m.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+func dial(t testing.TB, ts *httptest.Server, obs runtime.Observer) *Client {
+	t.Helper()
+	c, err := Dial(ClientOptions{
+		BaseURL:  ts.URL,
+		Course:   "classroom",
+		Project:  content.Classroom().Project,
+		Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// recorder captures an event log for equality comparisons.
+type recorder struct {
+	mu     sync.Mutex
+	events []runtime.Event
+}
+
+func (r *recorder) Record(e runtime.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recorder) log() []runtime.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]runtime.Event(nil), r.events...)
+}
+
+// TestRemotePlayThroughProtocol drives the classroom mission entirely over
+// the wire: dialogue, taking, scenario switches, item use and quizzes all
+// happen in the hosted session, and the client mirror tracks it.
+func TestRemotePlayThroughProtocol(t *testing.T) {
+	ts, m := liveService(t, Options{Shards: 4})
+	var rec recorder
+	c := dial(t, ts, &rec)
+
+	if w, h, fps := c.VideoMeta(); w != 160 || h != 120 || fps != 10 {
+		t.Fatalf("video meta = %dx%d@%d", w, h, fps)
+	}
+	if c.Scenario() == nil || c.Scenario().ID != "classroom" {
+		t.Fatalf("scenario = %+v", c.Scenario())
+	}
+	// The OnEnter briefing arrived with the create reply.
+	if len(c.Messages()) == 0 {
+		t.Fatal("no OnEnter messages mirrored")
+	}
+
+	// Walk the mission by hand.
+	c.Examine("computer") // learn + quiz q-diagnosis
+	if q, ok := c.PendingQuiz(); !ok || q.ID != "q-diagnosis" {
+		t.Fatalf("pending quiz = %v %v", q, ok)
+	}
+	if correct, err := c.AnswerQuiz("q-diagnosis", 1); err != nil || !correct {
+		t.Fatalf("diagnosis answer: correct=%v err=%v", correct, err)
+	}
+	if !c.Take("desk-coin") {
+		t.Fatal("could not take the coin")
+	}
+	if !c.State().HasItem("coin") {
+		t.Fatal("coin not mirrored into inventory")
+	}
+	if err := c.GotoScenario("market"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Take("stall-ram") {
+		t.Fatal("could not buy the module")
+	}
+	if _, err := c.AnswerQuiz("q-shopping", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GotoScenario("classroom"); err != nil {
+		t.Fatal(err)
+	}
+	c.UseItemOn("ram module", "computer")
+	if _, err := c.AnswerQuiz("q-install", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ended() || c.Outcome() != "victory" {
+		t.Fatalf("ended=%v outcome=%q", c.Ended(), c.Outcome())
+	}
+	if err := c.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frame endpoint serves the composited presentation frame.
+	f, err := c.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 160 || f.H != 120 || len(f.Pix) != 3*160*120 {
+		t.Fatalf("frame = %dx%d (%d bytes)", f.W, f.H, len(f.Pix))
+	}
+
+	// Answering a non-pending quiz is a 400, not a session failure.
+	if _, err := c.AnswerQuiz("q-diagnosis", 0); err == nil {
+		t.Fatal("re-answering an answered quiz succeeded")
+	}
+	if c.Err() != nil {
+		t.Fatalf("bad request stuck: %v", c.Err())
+	}
+
+	// Leaving releases the hosted session; the stats agree.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.SessionsCreated != 1 || st.SessionsClosed != 1 || st.SessionsLive != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Acts == 0 || st.Frames != 1 {
+		t.Fatalf("acts=%d frames=%d", st.Acts, st.Frames)
+	}
+	// Every event the server emitted reached the client observer.
+	if len(rec.log()) == 0 {
+		t.Fatal("no events forwarded")
+	}
+
+	// Acting on the released session is a 404.
+	if err := c.Advance(1); err == nil {
+		t.Fatal("act on a left session succeeded")
+	}
+}
+
+// TestGoldenReplay is the determinism pin: a seeded sim run records its
+// action trace; replaying that trace through a fresh local session AND
+// through a play-service client must reproduce the original event log,
+// transcript and final state exactly.
+func TestGoldenReplay(t *testing.T) {
+	pkg := classroomBlob(t)
+
+	var golden recorder
+	res, err := sim.Run(pkg, sim.GuidedFactory, sim.Config{
+		MaxSteps: 40, Patience: 15, Seed: 7, RecordTrace: true, Observer: &golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Steps {
+		t.Fatalf("trace has %d steps, run took %d", len(res.Trace), res.Steps)
+	}
+	if !res.Completed {
+		t.Fatalf("guided seed run did not complete: %+v", res)
+	}
+	wantLog := golden.log()
+
+	// A trace survives serialization (it is a wire-shippable artifact).
+	traceJSON, err := json.Marshal(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []sim.TraceStep
+	if err := json.Unmarshal(traceJSON, &trace); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 1: replay through a fresh local session.
+	var localRec recorder
+	local, err := runtime.NewSession(pkg, runtime.Options{Observer: &localRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	if err := sim.Replay(local, trace); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(localRec.log(), wantLog) {
+		t.Fatalf("local replay event log diverged:\n got %v\nwant %v", localRec.log(), wantLog)
+	}
+
+	// Leg 2: replay through the play service.
+	ts, _ := liveService(t, Options{Shards: 4})
+	var remoteRec recorder
+	remote := dial(t, ts, &remoteRec)
+	if err := sim.Replay(remote, trace); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(remoteRec.log(), wantLog) {
+		t.Fatalf("remote replay event log diverged:\n got %v\nwant %v", remoteRec.log(), wantLog)
+	}
+
+	// Final states and transcripts agree across all three runs.
+	localState, err := local.State().Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteState, err := remote.State().Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localState) != string(remoteState) {
+		t.Fatalf("final states diverge:\nlocal  %s\nremote %s", localState, remoteState)
+	}
+	if !reflect.DeepEqual(local.Messages(), remote.Messages()) {
+		t.Fatalf("transcripts diverge:\nlocal  %q\nremote %q", local.Messages(), remote.Messages())
+	}
+	if !remote.Ended() || remote.Outcome() != "victory" {
+		t.Fatalf("remote replay ended=%v outcome=%q", remote.Ended(), remote.Outcome())
+	}
+}
+
+// TestRemoteGuidedRunMatchesLocal runs the same seeded policy locally and
+// remotely; steps, completion and the digested reports must agree.
+func TestRemoteGuidedRunMatchesLocal(t *testing.T) {
+	cfg := sim.Config{MaxSteps: 40, Patience: 15, Seed: 3}
+	localRes, err := sim.Run(classroomBlob(t), sim.GuidedFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := liveService(t, Options{})
+	col := &analytics.Collector{}
+	c, err := Dial(ClientOptions{
+		BaseURL: ts.URL, Course: "classroom",
+		Project: content.Classroom().Project, Observer: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteRes, err := sim.RunGame(c, sim.GuidedFactory, cfg, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if localRes.Steps != remoteRes.Steps || localRes.Completed != remoteRes.Completed ||
+		localRes.QuitReason != remoteRes.QuitReason {
+		t.Fatalf("runs diverged: local %+v, remote %+v", localRes, remoteRes)
+	}
+	if localRes.Report.String() != remoteRes.Report.String() {
+		t.Fatalf("reports diverge:\nlocal\n%s\nremote\n%s", localRes.Report, remoteRes.Report)
+	}
+}
+
+// TestEvictionTTL exercises the janitor path directly: idle sessions are
+// reclaimed, counted, and gone from the protocol.
+func TestEvictionTTL(t *testing.T) {
+	ts, m := liveService(t, Options{Shards: 2, TTL: -1})
+	c1 := dial(t, ts, nil)
+	c2 := dial(t, ts, nil)
+	c1.Advance(1)
+	c2.Advance(1)
+
+	if n := m.ExpireIdle(time.Now().Add(-time.Minute)); n != 0 {
+		t.Fatalf("expired %d fresh sessions", n)
+	}
+	if n := m.ExpireIdle(time.Now().Add(time.Minute)); n != 2 {
+		t.Fatalf("expired %d of 2 idle sessions", n)
+	}
+	st := m.Snapshot()
+	if st.SessionsEvicted != 2 || st.SessionsLive != 0 || st.SessionsCreated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := c1.Advance(1); err == nil {
+		t.Fatal("evicted session still answers acts")
+	}
+	if pe, ok := c1.Err().(*Error); !ok || pe.Status != http.StatusNotFound {
+		t.Fatalf("eviction error = %v", c1.Err())
+	}
+}
+
+// TestCreateErrors covers the create-side protocol errors.
+func TestCreateErrors(t *testing.T) {
+	ts, m := liveService(t, Options{MaxSessions: 1, TTL: -1})
+	if _, err := Dial(ClientOptions{BaseURL: ts.URL, Course: "nope", Project: content.Classroom().Project}); err == nil {
+		t.Fatal("unknown course accepted")
+	}
+	c := dial(t, ts, nil)
+	if _, err := Dial(ClientOptions{BaseURL: ts.URL, Course: "classroom", Project: content.Classroom().Project}); err == nil {
+		t.Fatal("session cap not enforced")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("live = %d", m.Live())
+	}
+	if err := m.AddCourse("", nil); err == nil {
+		t.Fatal("empty course name accepted")
+	}
+	if err := m.AddCourse("bad", []byte("not a package")); err == nil {
+		t.Fatal("garbage package accepted")
+	}
+}
+
+// TestFramePathZeroAlloc pins the acceptance criterion: once warmed, the
+// advance+render frame path allocates nothing per request.
+func TestFramePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(f *raster.Frame, tick int) error { return nil }
+	// Warm sprite cache, frame buffer and decoder recycling (one full loop
+	// of the segment so the wrap-around seek path is warm too).
+	for i := 0; i < 50; i++ {
+		if err := m.WithFrame(r.Session, 1, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.WithFrame(r.Session, 1, noop); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frame path allocates %.1f per request, want 0", allocs)
+	}
+}
+
+// TestShardStriping creates many sessions and checks they spread across
+// shards and that per-shard counters sum to the totals.
+func TestShardStriping(t *testing.T) {
+	ts, m := liveService(t, Options{Shards: 8, TTL: -1})
+	const n = 32
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = dial(t, ts, nil)
+		clients[i].Advance(1)
+	}
+	st := m.Snapshot()
+	if st.SessionsCreated != n || st.SessionsLive != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	populated := 0
+	var sumCreated, sumActs int64
+	for _, ss := range st.Shards {
+		if ss.Live > 0 {
+			populated++
+		}
+		sumCreated += ss.Created
+		sumActs += ss.Acts
+	}
+	if populated < 2 {
+		t.Fatalf("all %d sessions landed on %d shard(s)", n, populated)
+	}
+	if sumCreated != st.SessionsCreated || sumActs != st.Acts {
+		t.Fatalf("shard sums diverge from totals: %+v", st)
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Live() != 0 {
+		t.Fatalf("live = %d after closing all", m.Live())
+	}
+}
+
+// TestEventLogTrimming pins the ack-and-release side of the protocol: the
+// server retains only the event tail the client has not yet acknowledged,
+// and a retried request with a stale seen-count still gets the retained
+// tail instead of an error.
+func TestEventLogTrimming(t *testing.T) {
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := r.EventCount
+	var lastTail int
+	for i := 0; i < 6; i++ {
+		rr, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTalk, Object: "teacher", SeenEvents: seen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = rr.EventCount
+		lastTail = len(rr.Events)
+	}
+	h, _, err := m.lookup(r.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	retained, base := len(h.events), h.eventBase
+	h.mu.Unlock()
+	if base+retained != seen {
+		t.Fatalf("retained window [%d,%d) disagrees with total %d", base, base+retained, seen)
+	}
+	if retained != lastTail {
+		t.Fatalf("server retains %d events, want only the last unacked tail (%d)", retained, lastTail)
+	}
+	// A stale retry (seen-count lower than the trimmed base) is served the
+	// retained tail, not an error, and EventCount stays absolute.
+	rr, err := m.StateOf(r.Session, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.EventCount != seen || len(rr.Events) != retained {
+		t.Fatalf("stale read: count %d tail %d, want %d/%d", rr.EventCount, len(rr.Events), seen, retained)
+	}
+}
+
+// TestCreateCapUnderConcurrency hammers a cap-1 manager with parallel
+// creates: the atomic slot reservation must never let the live count
+// overshoot MaxSessions.
+func TestCreateCapUnderConcurrency(t *testing.T) {
+	m := NewManager(Options{Shards: 4, TTL: -1, MaxSessions: 8})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var created atomic.Int64
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Create("classroom"); err == nil {
+				created.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if created.Load() != 8 || m.Live() != 8 {
+		t.Fatalf("created %d live %d, cap is 8", created.Load(), m.Live())
+	}
+	if m.Snapshot().SessionsLive != 8 {
+		t.Fatalf("snapshot live = %d", m.Snapshot().SessionsLive)
+	}
+}
+
+// TestPackageSharing pins that hosted sessions share one parsed package:
+// the course is opened once, not per create.
+func TestPackageSharing(t *testing.T) {
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Session == r2.Session {
+		t.Fatalf("duplicate session id %q", r1.Session)
+	}
+	h1, _, err := m.lookup(r1.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := m.lookup(r2.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.course.pkg != h2.course.pkg {
+		t.Fatal("sessions do not share the parsed package")
+	}
+	if h1.sess.Project() != h2.sess.Project() {
+		t.Fatal("sessions do not share the project document")
+	}
+}

@@ -1,0 +1,104 @@
+package playsvc
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// Routes served by Manager.Handler. Mount the handler at "/play/" on a
+// netstream.Server (or any mux).
+const (
+	CreatePath = "/play/create" // POST CreateRequest → Reply
+	ActPath    = "/play/act"    // POST ActRequest → Reply
+	StatePath  = "/play/state"  // GET ?session=&events=N&messages=N → Reply
+	FramePath  = "/play/frame"  // GET ?session=&advance=N → raw RGB bytes
+	StatsPath  = "/play/stats"  // GET → Stats
+)
+
+// Action kinds accepted by ActPath. "tick" advances playback; "leave"
+// releases the session (the polite alternative to idle eviction).
+const (
+	ActClick   = "click"
+	ActExamine = "examine"
+	ActTalk    = "talk"
+	ActTake    = "take"
+	ActUse     = "use"
+	ActSelect  = "select"
+	ActClear   = "clear"
+	ActQuiz    = "quiz"
+	ActGoto    = "goto"
+	ActTick    = "tick"
+	ActLeave   = "leave"
+)
+
+// CreateRequest opens a server-hosted session on a published course.
+type CreateRequest struct {
+	Course string `json:"course"`
+}
+
+// ActRequest applies one interaction to a hosted session.
+type ActRequest struct {
+	Session string `json:"session"`
+	Kind    string `json:"kind"`
+	Object  string `json:"object,omitempty"` // examine/talk/take/use/goto target
+	Item    string `json:"item,omitempty"`   // use/select item
+	X       int    `json:"x,omitempty"`      // click coordinates
+	Y       int    `json:"y,omitempty"`
+	Quiz    string `json:"quiz,omitempty"` // quiz id being answered
+	Choice  int    `json:"choice"`
+	Ticks   int    `json:"ticks,omitempty"` // tick count (default 1)
+	// SeenEvents and SeenMessages tell the server how much of the session's
+	// event log and say-transcript the client already holds; the reply
+	// carries only the tails beyond these counts. SeenEvents is also an
+	// acknowledgment: the server releases the acked event prefix, so a
+	// long-lived session retains only unacknowledged events.
+	SeenEvents   int `json:"seen_events,omitempty"`
+	SeenMessages int `json:"seen_messages,omitempty"`
+}
+
+// Reply is the server's view of a hosted session after an operation. State
+// is a deep copy, and Events/Messages are the unseen tails, so a Reply is
+// self-contained: it stays valid after the session moves on.
+type Reply struct {
+	Session string `json:"session"`
+	Course  string `json:"course,omitempty"` // set on create
+	Width   int    `json:"w,omitempty"`      // video metadata, set on create
+	Height  int    `json:"h,omitempty"`
+	FPS     int    `json:"fps,omitempty"`
+
+	Tick         int             `json:"tick"`
+	State        *core.State     `json:"state"`
+	Events       []runtime.Event `json:"events,omitempty"`
+	Messages     []string        `json:"messages,omitempty"`
+	EventCount   int             `json:"event_count"`    // total events so far
+	MessageCount int             `json:"message_count"`  // total messages so far
+	Quiz         string          `json:"quiz,omitempty"` // pending quiz id
+
+	Correct *bool `json:"correct,omitempty"` // quiz act result
+	Took    *bool `json:"took,omitempty"`    // take act result
+}
+
+// Error is a protocol error carrying the HTTP status the handlers answer
+// with (and that Client saw when the server produced it).
+type Error struct {
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Msg }
+
+func errf(status int, format string, args ...any) *Error {
+	return &Error{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+// httpStatus maps an error to a response code (500 for non-protocol errors).
+func httpStatus(err error) int {
+	if pe, ok := err.(*Error); ok {
+		return pe.Status
+	}
+	return http.StatusInternalServerError
+}

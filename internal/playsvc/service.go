@@ -1,0 +1,121 @@
+package playsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/media/raster"
+)
+
+// maxBody bounds accepted request bodies; play requests are tiny.
+const maxBody = 1 << 20
+
+// Handler returns the play service's HTTP surface (CreatePath, ActPath,
+// StatePath, FramePath, StatsPath). Mount it at "/play/" on a
+// netstream.Server or any mux; repeated calls return the same handler.
+func (m *Manager) Handler() http.Handler {
+	m.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc(CreatePath, m.handleCreate)
+		mux.HandleFunc(ActPath, m.handleAct)
+		mux.HandleFunc(StatePath, m.handleState)
+		mux.HandleFunc(FramePath, m.handleFrame)
+		mux.HandleFunc(StatsPath, m.handleStats)
+		m.handler = mux
+	})
+	return m.handler
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	reply, err := m.Create(req.Course)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (m *Manager) handleAct(w http.ResponseWriter, r *http.Request) {
+	var req ActRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	reply, err := m.Act(&req)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (m *Manager) handleState(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seenE, _ := strconv.Atoi(q.Get("events"))
+	seenM, _ := strconv.Atoi(q.Get("messages"))
+	reply, err := m.StateOf(q.Get("session"), seenE, seenM)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, reply)
+}
+
+// handleFrame serves the session's presentation frame as raw 24-bit RGB
+// with the geometry in headers. ?advance=N ticks playback first, so a
+// steady client fetches "the next frame" in one request.
+func (m *Manager) handleFrame(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	advance, _ := strconv.Atoi(q.Get("advance"))
+	if advance < 0 {
+		http.Error(w, "negative advance", http.StatusBadRequest)
+		return
+	}
+	err := m.WithFrame(q.Get("session"), advance, func(f *raster.Frame, tick int) error {
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("X-Frame-Width", strconv.Itoa(f.W))
+		h.Set("X-Frame-Height", strconv.Itoa(f.H))
+		h.Set("X-Frame-Tick", strconv.Itoa(tick))
+		h.Set("Content-Length", strconv.Itoa(len(f.Pix)))
+		_, werr := w.Write(f.Pix)
+		return werr
+	})
+	if err != nil {
+		// Too late for a status line if the body started; ignore that case.
+		http.Error(w, err.Error(), httpStatus(err))
+	}
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

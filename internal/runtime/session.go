@@ -65,6 +65,12 @@ type Session struct {
 	opened    []string    // opened web resources
 	quizzes   []string    // pending quiz ids, FIFO
 	gotoDepth int
+
+	// sprites caches rendered object sprites so repeated frame composition
+	// (FrameInto) allocates nothing after the first render of each object.
+	sprites map[*core.Object]*raster.Frame
+	// watchFrame is the scratch buffer Watch renders into.
+	watchFrame raster.Frame
 }
 
 // NewSession loads a package blob and enters the start scenario.
@@ -73,6 +79,13 @@ func NewSession(pkgBlob []byte, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newSessionFromPackage(pkg, opts)
+}
+
+// NewSessionFromPackage starts a session over an already-opened package.
+// The package is shared read-only: a play service opens each course once
+// and hosts many concurrent sessions on it without re-parsing the blob.
+func NewSessionFromPackage(pkg *gamepack.Package, opts Options) (*Session, error) {
 	return newSessionFromPackage(pkg, opts)
 }
 
@@ -89,13 +102,14 @@ func newSessionFromPackage(pkg *gamepack.Package, opts Options) (*Session, error
 		return nil, fmt.Errorf("runtime: %w", err)
 	}
 	s := &Session{
-		pkg:    pkg,
-		video:  video,
-		cursor: playback.NewCursor(video, playback.Loop),
-		state:  core.NewState(pkg.Project),
-		progs:  progs,
-		obs:    opts.Observer,
-		npcPos: map[string]int{},
+		pkg:     pkg,
+		video:   video,
+		cursor:  playback.NewCursor(video, playback.Loop),
+		state:   core.NewState(pkg.Project),
+		progs:   progs,
+		obs:     opts.Observer,
+		npcPos:  map[string]int{},
+		sprites: map[*core.Object]*raster.Frame{},
 	}
 	s.sink = core.NewSink(pkg.Project, s.state)
 	s.sink.OnSay = func(msg string) {
@@ -166,19 +180,48 @@ func (s *Session) Tick() error {
 // Ticks returns the number of elapsed ticks.
 func (s *Session) Ticks() int { return s.tick }
 
+// Advance ticks playback n times — the watching time between interactions.
+func (s *Session) Advance(ticks int) error {
+	for i := 0; i < ticks; i++ {
+		if err := s.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Frame renders the current presentation frame: decoded video plus mounted
-// object sprites.
+// object sprites. The returned frame is caller-owned.
 func (s *Session) Frame() (*raster.Frame, error) {
-	f, err := s.cursor.Frame()
-	if err != nil {
+	f := &raster.Frame{}
+	if err := s.FrameInto(f); err != nil {
 		return nil, err
 	}
-	frame := f.Clone()
-	if sc := s.Scenario(); sc != nil {
-		compositeObjects(frame, sc, s.state)
-	}
-	return frame, nil
+	return f, nil
 }
+
+// FrameInto renders the presentation frame into dst, reusing dst's pixel
+// buffer when it is large enough. Together with the decoder's recycled
+// buffers and the session's sprite cache, the steady-state frame path
+// allocates nothing — the play service serves frames to many concurrent
+// hosted sessions through this.
+func (s *Session) FrameInto(dst *raster.Frame) error {
+	f, err := s.cursor.Frame()
+	if err != nil {
+		return err
+	}
+	dst.CopyFrom(f)
+	if sc := s.Scenario(); sc != nil {
+		s.compositeObjects(dst, sc)
+	}
+	return nil
+}
+
+// Watch renders the current frame into an internal scratch buffer — the
+// headless equivalent of presenting it to a viewer. The simulator calls it
+// to model learners actually watching the video between interactions; a
+// remote game fetches the same frame over the wire.
+func (s *Session) Watch() error { return s.FrameInto(&s.watchFrame) }
 
 // ObjectAt returns the topmost visible interactive object at video
 // coordinates, or nil.
@@ -447,6 +490,18 @@ func (s *Session) Messages() []string {
 	return append([]string(nil), s.messages...)
 }
 
+// MessageCount returns the length of the say-transcript.
+func (s *Session) MessageCount() int { return len(s.messages) }
+
+// MessagesFrom returns a copy of the transcript tail from index n on — the
+// part a remote client has not yet seen. Out-of-range n yields nil.
+func (s *Session) MessagesFrom(n int) []string {
+	if n < 0 || n >= len(s.messages) {
+		return nil
+	}
+	return append([]string(nil), s.messages[n:]...)
+}
+
 // LastMessage returns the most recent message ("" if none yet).
 func (s *Session) LastMessage() string {
 	if len(s.messages) == 0 {
@@ -548,3 +603,9 @@ func (s *Session) VideoMeta() (w, h, fps int) {
 	m := s.video.Meta()
 	return m.Width, m.Height, m.FPS
 }
+
+// Close releases the session's decode resources promptly (the video worker
+// pool; a finalizer releases it otherwise). The session stays usable —
+// further decodes run inline — so an evicted-then-revived session cannot
+// crash, it just decodes single-threaded.
+func (s *Session) Close() { s.video.Close() }

@@ -72,15 +72,21 @@ func renderSprite(o *core.Object) *raster.Frame {
 // compositeObjects mounts every visible object sprite onto the video frame.
 // Hotspots and NPCs have no sprite — they are part of the filmed scene —
 // but Items and NavButtons are image objects layered on top (paper §4.2).
-func compositeObjects(frame *raster.Frame, scenario *core.Scenario, state *core.State) {
+// Sprites depend only on the object definition, so each is rendered once
+// and cached on the session; steady-state composition allocates nothing.
+func (s *Session) compositeObjects(frame *raster.Frame, scenario *core.Scenario) {
 	for _, o := range scenario.Objects {
-		if !state.ObjectVisible(o) {
+		if !s.state.ObjectVisible(o) {
 			continue
 		}
 		if o.Kind != core.Item && o.Kind != core.NavButton {
 			continue
 		}
-		spr := renderSprite(o)
+		spr := s.sprites[o]
+		if spr == nil {
+			spr = renderSprite(o)
+			s.sprites[o] = spr
+		}
 		frame.BlitKeyed(spr, o.Region.X, o.Region.Y, spriteKey)
 	}
 }

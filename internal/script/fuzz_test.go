@@ -1,0 +1,62 @@
+package script_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/script"
+)
+
+// FuzzParseScript throws arbitrary source at the event-language frontend
+// (lexer + parser). The contract: every rejection is a positioned
+// *script.Error — never a panic, never an untyped error — and accepted
+// programs are non-nil. Seeds are the real scripts and conditions of the
+// bundled demo courses, so mutation starts from the grammar actually in
+// production, plus a few hand-picked pathological shapes.
+func FuzzParseScript(f *testing.F) {
+	for _, course := range []*content.Course{content.Classroom(), content.Museum(), content.StreetDemo()} {
+		p := course.Project
+		for _, sc := range p.Scenarios {
+			if sc.OnEnter != "" {
+				f.Add(sc.OnEnter)
+			}
+			for _, o := range sc.Objects {
+				for _, ev := range o.Events {
+					f.Add(ev.Script)
+					if ev.Condition != "" {
+						f.Add(ev.Condition + ";")
+					}
+				}
+			}
+		}
+	}
+	// Pathological shapes: truncation, nesting, operator runs, bad escapes.
+	for _, s := range []string{
+		"", ";", "say", `say "unterminated`, "if { }", "if x {", "}",
+		"if a { if b { if c { say 1; } } } else if d { } else { }",
+		"set x = ((((1))));", "set x = 1 + - ! 2;", "say 1 +;",
+		"setflag f true; goto; end", `say "\q";`, "popup 1 2 3;",
+		"say 99999999999999999999999999;", "x = 1;", "quiz quiz;",
+		"say \"a\" + \"b\" * 3 - -2 % 0;", "if 1 < 2 <= 3 != 4 { say 5; }",
+		"say 1 && 2 || ! 3;", "say (;", "say );", "say & | ~;",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := script.Compile(src)
+		if err != nil {
+			var se *script.Error
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection is not a *script.Error: %T %v", err, err)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("Compile returned nil program with nil error")
+		}
+		// A program the parser accepted must also survive static analysis
+		// against an empty project context without panicking.
+		_ = prog.Empty()
+	})
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "fmt"
+
+// TraceStep is one recorded simulator step: the chosen action, the quiz
+// answers given right after it, and the playback ticks watched before the
+// next action. A trace plus the package it was recorded against fully
+// determines a session.
+type TraceStep struct {
+	Action  Action       `json:"action"`
+	Answers []QuizAnswer `json:"answers,omitempty"`
+	Ticks   int          `json:"ticks"`
+}
+
+// QuizAnswer is one answered quiz within a trace step.
+type QuizAnswer struct {
+	Quiz   string `json:"quiz"`
+	Choice int    `json:"choice"`
+}
+
+// Replay re-applies a recorded trace to a fresh game. Run against the same
+// package, a replay reproduces the original run's event log, transcript
+// and final state exactly — whether the game is a local session or a
+// play-service client. The golden-replay tests pin that equivalence.
+func Replay(g Game, trace []TraceStep) error {
+	for i, step := range trace {
+		Apply(g, step.Action)
+		for _, ans := range step.Answers {
+			if _, err := g.AnswerQuiz(ans.Quiz, ans.Choice); err != nil {
+				return fmt.Errorf("sim: replay step %d: quiz %s: %w", i, ans.Quiz, err)
+			}
+		}
+		if err := g.Advance(step.Ticks); err != nil {
+			return fmt.Errorf("sim: replay step %d: %w", i, err)
+		}
+	}
+	return nil
+}

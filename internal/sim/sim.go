@@ -18,11 +18,38 @@ import (
 	"repro/internal/runtime"
 )
 
+// Game is the session surface the simulator drives. *runtime.Session
+// implements it directly (local play); playsvc.Client implements it over
+// HTTP (server-hosted play) — the same policies, boredom model and traces
+// work unchanged against either, which is what lets the fleet exercise a
+// remote play service with the exact learners it simulates locally.
+type Game interface {
+	Project() *core.Project
+	Scenario() *core.Scenario
+	State() *core.State
+	Ended() bool
+	Messages() []string
+	PendingQuiz() (*core.Quiz, bool)
+	AnswerQuiz(quizID string, choice int) (correct bool, err error)
+	Click(vx, vy int)
+	Examine(objectID string)
+	Talk(objectID string)
+	Take(objectID string) bool
+	UseItemOn(item, objectID string)
+	SelectItem(item string) error
+	ClearSelection()
+	GotoScenario(id string) error
+	// Advance ticks video playback (the watching time between actions).
+	Advance(ticks int) error
+	// Watch renders the current presentation frame (remotely: fetches it).
+	Watch() error
+}
+
 // Action is one interaction a learner can perform.
 type Action struct {
-	Kind   string // "talk", "examine", "take", "click", "use"
-	Object string
-	Item   string // for "use"
+	Kind   string `json:"kind"` // "talk", "examine", "take", "click", "use", "goto"
+	Object string `json:"object,omitempty"`
+	Item   string `json:"item,omitempty"` // for "use"
 }
 
 // String renders the action compactly ("use ram module on computer").
@@ -36,7 +63,7 @@ func (a Action) String() string {
 // AvailableActions enumerates every interaction currently possible, in
 // deterministic order: per visible object its kind-appropriate verbs, then
 // item×object use combinations.
-func AvailableActions(s *runtime.Session) []Action {
+func AvailableActions(s Game) []Action {
 	sc := s.Scenario()
 	if sc == nil || s.Ended() {
 		return nil
@@ -76,7 +103,7 @@ func AvailableActions(s *runtime.Session) []Action {
 }
 
 // Apply performs the action on the session.
-func Apply(s *runtime.Session, a Action) {
+func Apply(s Game, a Action) {
 	switch a.Kind {
 	case "talk":
 		s.Talk(a.Object)
@@ -90,6 +117,10 @@ func Apply(s *runtime.Session, a Action) {
 		}
 	case "use":
 		s.UseItemOn(a.Item, a.Object)
+	case "goto":
+		// Policies navigate via nav-button clicks; direct scenario jumps
+		// exist for hand-written and replayed traces.
+		_ = s.GotoScenario(a.Object)
 	}
 }
 
@@ -97,7 +128,7 @@ func Apply(s *runtime.Session, a Action) {
 // create one policy instance per run via a Factory.
 type Policy interface {
 	Name() string
-	Choose(s *runtime.Session, actions []Action, rng *rand.Rand) (Action, bool)
+	Choose(s Game, actions []Action, rng *rand.Rand) (Action, bool)
 }
 
 // Factory creates fresh policy instances for cohort runs.
@@ -114,7 +145,7 @@ type RandomWalker struct{}
 func (RandomWalker) Name() string { return "random" }
 
 // Choose implements Policy.
-func (RandomWalker) Choose(s *runtime.Session, actions []Action, rng *rand.Rand) (Action, bool) {
+func (RandomWalker) Choose(s Game, actions []Action, rng *rand.Rand) (Action, bool) {
 	if len(actions) == 0 {
 		return Action{}, false
 	}
@@ -134,7 +165,7 @@ func NewExplorer() *Explorer { return &Explorer{tried: map[string]bool{}} }
 func (e *Explorer) Name() string { return "explorer" }
 
 // Choose implements Policy.
-func (e *Explorer) Choose(s *runtime.Session, actions []Action, rng *rand.Rand) (Action, bool) {
+func (e *Explorer) Choose(s Game, actions []Action, rng *rand.Rand) (Action, bool) {
 	if len(actions) == 0 {
 		return Action{}, false
 	}
@@ -168,7 +199,7 @@ func NewGuided() *Guided { return &Guided{tried: map[string]bool{}} }
 func (g *Guided) Name() string { return "guided" }
 
 // Choose implements Policy.
-func (g *Guided) Choose(s *runtime.Session, actions []Action, rng *rand.Rand) (Action, bool) {
+func (g *Guided) Choose(s Game, actions []Action, rng *rand.Rand) (Action, bool) {
 	if len(actions) == 0 {
 		return Action{}, false
 	}
@@ -244,17 +275,41 @@ type Config struct {
 	// run's own analytics.Collector — the hook a remote telemetry client
 	// plugs into. It must be safe for the goroutine running the session.
 	Observer runtime.Observer
+	// WatchEvery renders the presentation frame every N steps (0 disables):
+	// locally a headless render, remotely a frame fetch over the wire —
+	// the knob that adds realistic frame traffic to interactive fleets.
+	WatchEvery int
+	// RecordTrace captures the action trace in Result.Trace so the exact
+	// run can be replayed through a fresh session (see Replay).
+	RecordTrace bool
 }
 
-// teeObserver forwards each event to both sinks.
-type teeObserver struct {
-	a, b runtime.Observer
-}
+// multiObserver forwards each event to every sink.
+type multiObserver []runtime.Observer
 
 // Record implements runtime.Observer.
-func (t teeObserver) Record(e runtime.Event) {
-	t.a.Record(e)
-	t.b.Record(e)
+func (m multiObserver) Record(e runtime.Event) {
+	for _, o := range m {
+		o.Record(e)
+	}
+}
+
+// Observers tees events to every non-nil observer. It returns nil when
+// none are given.
+func Observers(obs ...runtime.Observer) runtime.Observer {
+	var live multiObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
 }
 
 // Result is the outcome of one simulated session.
@@ -264,10 +319,28 @@ type Result struct {
 	Completed  bool
 	QuitReason string // "ended", "bored", "max-steps", "no-actions"
 	Report     *analytics.Report
+	Trace      []TraceStep // recorded when Config.RecordTrace is set
 }
 
 // Run plays one session with a fresh policy instance.
 func Run(pkgBlob []byte, f Factory, cfg Config) (*Result, error) {
+	col := &analytics.Collector{}
+	s, err := runtime.NewSession(pkgBlob, runtime.Options{Observer: Observers(col, cfg.Observer)})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return RunGame(s, f, cfg, col)
+}
+
+// RunGame drives one policy over an already-constructed game — a local
+// runtime.Session or a remote play-service client. col must already be
+// wired as (part of) the game's observer so the digested Report matches
+// the events the game actually emitted; Run and the fleet do exactly that.
+// Config.Observer is NOT consulted here: events flow from the game to the
+// observer it was constructed with, so wire any extra sink into the game
+// (Observers helps) before calling.
+func RunGame(s Game, f Factory, cfg Config, col *analytics.Collector) (*Result, error) {
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = 200
 	}
@@ -276,15 +349,6 @@ func Run(pkgBlob []byte, f Factory, cfg Config) (*Result, error) {
 	}
 	if cfg.TicksPerStep <= 0 {
 		cfg.TicksPerStep = 3
-	}
-	col := &analytics.Collector{}
-	var obs runtime.Observer = col
-	if cfg.Observer != nil {
-		obs = teeObserver{a: col, b: cfg.Observer}
-	}
-	s, err := runtime.NewSession(pkgBlob, runtime.Options{Observer: obs})
-	if err != nil {
-		return nil, err
 	}
 	policy := f.New()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -318,6 +382,11 @@ func Run(pkgBlob []byte, f Factory, cfg Config) (*Result, error) {
 			break
 		}
 		Apply(s, a)
+		var step *TraceStep
+		if cfg.RecordTrace {
+			res.Trace = append(res.Trace, TraceStep{Action: a, Ticks: cfg.TicksPerStep})
+			step = &res.Trace[len(res.Trace)-1]
+		}
 		// Answer any quiz the action triggered. Accuracy depends on whether
 		// the assessed knowledge unit was actually delivered to this
 		// learner: 90% when learned, chance level otherwise — this is what
@@ -335,13 +404,19 @@ func Run(pkgBlob []byte, f Factory, cfg Config) (*Result, error) {
 			if _, err := s.AnswerQuiz(quiz.ID, choice); err != nil {
 				return nil, err
 			}
+			if step != nil {
+				step.Answers = append(step.Answers, QuizAnswer{Quiz: quiz.ID, Choice: choice})
+			}
 		}
-		for i := 0; i < cfg.TicksPerStep; i++ {
-			if err := s.Tick(); err != nil {
+		if err := s.Advance(cfg.TicksPerStep); err != nil {
+			return nil, err
+		}
+		res.Steps++
+		if cfg.WatchEvery > 0 && res.Steps%cfg.WatchEvery == 0 {
+			if err := s.Watch(); err != nil {
 				return nil, err
 			}
 		}
-		res.Steps++
 		novelty := false
 		msgs := s.Messages()
 		for _, m := range msgs[msgCount:] {
