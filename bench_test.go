@@ -15,10 +15,12 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/author"
 	"repro/internal/baseline"
+	"repro/internal/blobstore"
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/gamepack"
 	"repro/internal/media/playback"
 	"repro/internal/media/raster"
 	"repro/internal/media/shotdetect"
@@ -311,6 +313,133 @@ func BenchmarkStreamFullDownload(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Download(ts.URL + "/pkg/c"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: content-addressed chunk store -------------------------------------
+
+// BenchmarkChunkGetHot is the delivery hot path: a chunk served from the
+// lock-striped LRU tier. Must stay 0 allocs/op — a fleet hammering one
+// popular course costs the server no garbage.
+func BenchmarkChunkGetHot(b *testing.B) {
+	store, err := blobstore.New(blobstore.Options{Backend: blobstore.NewMemory()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	h, _, err := store.Put(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Get(h); err != nil { // warm the tier
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Get(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkGetCold reads through to the on-disk backend with the hot
+// tier disabled: one file read plus SHA-256 verification per op.
+func BenchmarkChunkGetCold(b *testing.B) {
+	disk, err := blobstore.NewDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := blobstore.New(blobstore.Options{Backend: disk, CacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	h, _, err := store.Put(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Get(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaSync measures one client delta sync after a one-segment
+// course edit: conditional manifest fetch, the changed chunks over
+// loopback HTTP (hash-verified), unchanged chunks from the local cache,
+// and package reassembly. Bytes/op is the wire delta.
+func BenchmarkDeltaSync(b *testing.B) {
+	course := content.Classroom()
+	v1, err := course.BuildPackage(studio.Options{QStep: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	course.Film.Shots[1].Seed ^= 0xbeef
+	v2, err := course.BuildPackage(studio.Options{QStep: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := netstream.NewServer()
+	if err := srv.AddPackage("orig", v1); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.AddPackage("edited", v2); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &netstream.Client{}
+	cache := netstream.NewPackageCache()
+	if _, _, err := c.DownloadDelta(ts.URL+"/pkg/orig", cache); err != nil {
+		b.Fatal(err)
+	}
+	man1, err := gamepack.ExtractManifest(v1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	man2, err := gamepack.ExtractManifest(v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	old := man1.ChunkSet()
+	var diff []blobstore.Hash
+	deltaBytes := len(man2.Encode())
+	for h, size := range man2.ChunkSet() {
+		if _, ok := old[h]; !ok {
+			diff = append(diff, h)
+			deltaBytes += size
+		}
+	}
+	if len(diff) == 0 {
+		b.Fatal("fixture edit changed no chunks")
+	}
+	url := ts.URL + "/pkg/edited"
+	b.SetBytes(int64(deltaBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each op starts where a course update leaves a client: the old
+		// version cached, the edited chunks not yet local.
+		cache.Forget(url)
+		for _, h := range diff {
+			cache.Chunks().Remove(h)
+		}
+		if _, st, err := c.DownloadDelta(url, cache); err != nil {
+			b.Fatal(err)
+		} else if st.ChunksFetched != len(diff) {
+			b.Fatalf("fetched %d chunks, want %d", st.ChunksFetched, len(diff))
 		}
 	}
 }

@@ -9,6 +9,12 @@
 // /play/create, /play/act, /play/state and /play/frame (live counters at
 // /play/stats).
 //
+// All course bytes live in one content-addressed chunk store shared by the
+// package server and the play service (segments shared across courses are
+// stored once; -store-dir persists chunks on disk, -cache-bytes budgets
+// the hot-chunk LRU tier). Delta-syncing clients use /manifest/<name> and
+// /chunk/<hash> to transfer only chunks whose hashes changed.
+//
 // Usage:
 //
 //	vgbl-server -addr 127.0.0.1:8807 extra1.tkg extra2.tkg
@@ -24,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/content"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
@@ -33,6 +40,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8807", "listen address")
+	storeDir := flag.String("store-dir", "", "on-disk chunk store directory (empty = in-memory)")
+	cacheBytes := flag.Int64("cache-bytes", blobstore.DefaultCacheBytes, "hot-chunk LRU cache budget in bytes (negative disables)")
 	ingestWorkers := flag.Int("ingest-workers", 8, "telemetry ingest workers")
 	ingestQueue := flag.Int("ingest-queue", 512, "telemetry queue depth per worker (backpressure bound)")
 	ingestIdle := flag.Duration("ingest-idle-timeout", 30*time.Minute, "fold telemetry sessions idle this long (negative disables)")
@@ -41,8 +50,24 @@ func main() {
 	playMax := flag.Int("play-max-sessions", 16384, "cap on live hosted play sessions (negative disables)")
 	flag.Parse()
 
-	srv := netstream.NewServer()
-	play := playsvc.NewManager(playsvc.Options{Shards: *playShards, TTL: *playTTL, MaxSessions: *playMax})
+	// One content-addressed chunk store behind both the package server and
+	// the play service: segments shared across courses are stored once, hot
+	// chunks ride the LRU tier, and -store-dir persists the catalog.
+	var backend blobstore.Backend = blobstore.NewMemory()
+	if *storeDir != "" {
+		disk, err := blobstore.NewDisk(*storeDir)
+		if err != nil {
+			fail(err)
+		}
+		backend = disk
+	}
+	store, err := blobstore.New(blobstore.Options{Backend: backend, CacheBytes: *cacheBytes})
+	if err != nil {
+		fail(err)
+	}
+
+	srv := netstream.NewServerWith(store)
+	play := playsvc.NewManager(playsvc.Options{Shards: *playShards, TTL: *playTTL, MaxSessions: *playMax, Store: store})
 	defer play.Close()
 	publish := func(name string, blob []byte) {
 		if err := srv.AddPackage(name, blob); err != nil {
@@ -57,11 +82,18 @@ func main() {
 		"museum":    content.Museum(),
 		"street":    content.StreetDemo(),
 	} {
-		blob, err := course.BuildPackage(studio.Options{QStep: 8})
+		// Demo courses go through the store: chunks deposited once, then
+		// both services open them by manifest.
+		man, err := course.PublishTo(store, studio.Options{QStep: 8})
 		if err != nil {
 			fail(err)
 		}
-		publish(name, blob)
+		if err := srv.AddManifest(name, man); err != nil {
+			fail(err)
+		}
+		if err := play.AddCourseFromManifest(name, man); err != nil {
+			fail(err)
+		}
 	}
 	srv.AddResource("umbrella", "UMBRELLAS: PORTABLE RAIN PROTECTION SINCE 1000 BC")
 	srv.AddResource("ram", "RAM MODULES MUST MATCH THE BOARD'S SOCKET TYPE")
@@ -91,7 +123,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ss := srv.StoreStats()
 	fmt.Printf("vgbl-server listening on http://%s\n", ln.Addr())
+	fmt.Printf("  chunk store: %d chunks, %d bytes (%d dedup hits)\n", ss.Chunks, ss.StoredBytes, ss.DedupHits)
 	fmt.Println("  packages:")
 	for _, n := range srv.Names() {
 		fmt.Printf("    http://%s/pkg/%s\n", ln.Addr(), n)

@@ -126,3 +126,21 @@ func TestE12SmallFleet(t *testing.T) {
 		}
 	}
 }
+
+func TestE13DeltaSync(t *testing.T) {
+	out, err := E13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cold (empty cache)", "warm (unchanged)", "delta (1-seg edit)", "dedup hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 missing %q:\n%s", want, out)
+		}
+	}
+	// The warm row is a single conditional request with zero bytes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "warm (unchanged)") && !strings.Contains(line, "0.0%") {
+			t.Errorf("warm sync not free:\n%s", line)
+		}
+	}
+}

@@ -217,11 +217,12 @@ func Run(cfg Config) (*Summary, error) {
 	}
 	cache := netstream.NewPackageCache()
 	pkgURL := cfg.ServerURL + "/pkg/" + cfg.Package
-	// Prefetch once: warms the shared cache (every learner then revalidates
-	// with a 304 instead of re-shipping the package) and yields the start
-	// scenario the server-side digests need.
+	// Prefetch once: warms the shared package/chunk cache (every learner
+	// then revalidates the manifest with a 304 instead of re-shipping the
+	// package, and after a course update the fleet transfers only changed
+	// chunks) and yields the start scenario the server-side digests need.
 	nc := &netstream.Client{HTTP: cfg.HTTP}
-	blob, prefetch, err := nc.DownloadCached(pkgURL, cache)
+	blob, prefetch, err := nc.DownloadDelta(pkgURL, cache)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: prefetch %s: %w", pkgURL, err)
 	}
@@ -292,16 +293,17 @@ func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *ne
 
 	startupBegan := time.Now()
 	if cfg.ProgressiveStartup {
-		// The ranged startup path the progressive client would use on a
-		// thin link: its cost is the startup number E8 reports.
-		if _, st, err := nc.ProgressiveOpen(pkgURL); err != nil {
+		// The chunked startup path the progressive client would use on a
+		// thin link: its cost is the startup number E8 reports. The shared
+		// cache means learners after the first reuse fetched chunks.
+		if _, st, err := nc.ProgressiveOpenCached(pkgURL, cache); err != nil {
 			o.err = fmt.Errorf("progressive open: %w", err)
 			return o
 		} else {
 			o.fetch.Add(st)
 		}
 	}
-	blob, st, err := nc.DownloadCached(pkgURL, cache)
+	blob, st, err := nc.DownloadDelta(pkgURL, cache)
 	if err != nil {
 		o.err = fmt.Errorf("download: %w", err)
 		return o

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/content"
+	"repro/internal/gamepack"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
 	"repro/internal/playsvc"
@@ -127,13 +128,25 @@ func TestFleet500StatsExact(t *testing.T) {
 		t.Errorf("tick histogram holds %d sessions: %v", sessions, cs.TickHist)
 	}
 
-	// The ETag cache did its job: one full download (the prefetch), then
-	// one 304 revalidation per learner.
+	// The manifest cache did its job: one cold delta sync (the prefetch:
+	// manifest + every distinct chunk, exactly once), then one 304
+	// revalidation per learner.
 	if sum.Fetch.NotModified != learners {
 		t.Errorf("not-modified = %d, want %d", sum.Fetch.NotModified, learners)
 	}
-	if sum.Fetch.BytesFetched != len(classroomBlob(t)) {
-		t.Errorf("fetched %d bytes, want exactly one package (%d)", sum.Fetch.BytesFetched, len(classroomBlob(t)))
+	man, err := gamepack.ExtractManifest(classroomBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := len(man.Encode())
+	for _, size := range man.ChunkSet() {
+		wantBytes += size
+	}
+	if sum.Fetch.BytesFetched != wantBytes {
+		t.Errorf("fetched %d bytes, want exactly one manifest+chunk sync (%d)", sum.Fetch.BytesFetched, wantBytes)
+	}
+	if sum.Fetch.ChunksFetched != len(man.ChunkSet()) {
+		t.Errorf("fetched %d chunks, want %d", sum.Fetch.ChunksFetched, len(man.ChunkSet()))
 	}
 	if sum.EventsReported != want.Events {
 		t.Errorf("events reported = %d, want %d", sum.EventsReported, want.Events)

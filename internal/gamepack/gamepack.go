@@ -35,6 +35,9 @@ const (
 	// SectionMeta is a small JSON header with title/author (readable
 	// without parsing the full project).
 	SectionMeta = "meta"
+	// SectionManifest is the chunk manifest: the content-addressed
+	// description of the other sections (see manifest.go).
+	SectionManifest = "manifest"
 )
 
 // ErrBadPackage reports a malformed .tkg blob.
@@ -46,8 +49,37 @@ type Package struct {
 	Video   []byte // raw TKVC blob
 }
 
-// Build assembles a .tkg blob from a project and its video container.
-// The video blob is validated before inclusion.
+// section is one named payload of a package blob.
+type section struct {
+	name string
+	data []byte
+}
+
+// assemble serializes sections in order with the TKGP framing. It is
+// deterministic: the same payloads always produce the same bytes, which
+// is what lets a delta-syncing client reassemble a bit-identical blob
+// from the manifest's chunks.
+func assemble(sections []section) []byte {
+	var buf []byte
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(len(sections)))
+	for _, s := range sections {
+		buf = binary.AppendUvarint(buf, uint64(len(s.name)))
+		buf = append(buf, s.name...)
+		buf = binary.AppendUvarint(buf, uint64(len(s.data)))
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.data))
+		buf = append(buf, crc[:]...)
+		buf = append(buf, s.data...)
+	}
+	return buf
+}
+
+// Build assembles a .tkg blob from a project and its video container,
+// including a chunk manifest section (video chunks cut at segment
+// boundaries) so servers and caches can deduplicate and delta-sync the
+// package. The video blob is validated before inclusion.
 func Build(p *core.Project, video []byte) ([]byte, error) {
 	if p == nil {
 		return nil, errors.New("gamepack: nil project")
@@ -60,29 +92,23 @@ func Build(p *core.Project, video []byte) ([]byte, error) {
 		return nil, fmt.Errorf("gamepack: %w", err)
 	}
 	meta := fmt.Sprintf(`{"title":%q,"author":%q,"scenarios":%d}`, p.Title, p.Author, len(p.Scenarios))
-
-	var buf []byte
-	buf = append(buf, magic...)
-	buf = append(buf, version)
-	sections := []struct {
-		name string
-		data []byte
-	}{
+	payload := []section{
 		{SectionMeta, []byte(meta)},
 		{SectionProject, projJSON},
 		{SectionVideo, video},
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(sections)))
-	for _, s := range sections {
-		buf = binary.AppendUvarint(buf, uint64(len(s.name)))
-		buf = append(buf, s.name...)
-		buf = binary.AppendUvarint(buf, uint64(len(s.data)))
-		var crc [4]byte
-		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.data))
-		buf = append(buf, crc[:]...)
-		buf = append(buf, s.data...)
+	man, err := manifestFor(payload, true)
+	if err != nil {
+		return nil, err
 	}
-	return buf, nil
+	// The manifest rides just before the video (its placeholder position),
+	// keeping the video last for progressive loading.
+	sections := []section{
+		payload[0], payload[1],
+		{SectionManifest, man.Encode()},
+		payload[2],
+	}
+	return assemble(sections), nil
 }
 
 // ErrShortPrefix reports that a prefix did not contain the whole section

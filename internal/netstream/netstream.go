@@ -2,16 +2,31 @@
 // web-based deployment ("students can easily access these resources via
 // network", §2) and the substitution for its "web page" resources.
 //
-// The Server publishes .tkg packages with HTTP range support. The Client
-// offers two strategies, compared by experiment E8:
+// Since PR 4 the delivery path is content-addressed: the Server resolves
+// a package name to its chunk manifest and serves every payload byte out
+// of a blobstore.Store (deduplicated across courses, hot chunks in a
+// lock-striped LRU tier) instead of holding whole blobs resident. Three
+// routes expose the store:
+//
+//   - /pkg/<name>       — the classic byte-identical package (ranges,
+//     ETag/304), assembled on the fly from chunks.
+//   - /manifest/<name>  — the chunk manifest (ordered hashes + sizes).
+//   - /chunk/<hex>      — one immutable chunk by content address.
+//
+// The Client offers three strategies, compared by experiments E8/E13:
 //
 //   - Download: fetch the whole package, then play (the 2007 default).
-//   - ProgressiveOpen: ranged fetches of the section table, the project
-//     document, the video index, and only the packets of the start
-//     segment — play begins after a small, size-independent prefix.
+//   - ProgressiveOpen: manifest (or ranged) fetches of the metadata and
+//     only the start segment's chunks — play begins after a small,
+//     size-independent prefix.
+//   - DownloadDelta: manifest diff against the local chunk cache; on a
+//     course update only the chunks whose hashes changed cross the wire,
+//     each verified against its address on receipt.
 package netstream
 
 import (
+	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -22,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/gamepack"
 	"repro/internal/media/container"
@@ -29,61 +45,230 @@ import (
 	"repro/internal/media/vcodec"
 )
 
-// pkgEntry is one published package with its precomputed validator.
+// extent is one run of package bytes: either framing bytes kept inline
+// (section headers, CRCs, the small manifest section) or a reference into
+// the chunk store.
+type extent struct {
+	off    int64
+	size   int
+	hash   blobstore.Hash
+	inline []byte // nil → chunk
+}
+
+// pkgEntry is one published package: its manifest, its byte layout and
+// its validator. The payload bytes live in the chunk store; what remains
+// resident per package is a few hundred bytes of framing.
 type pkgEntry struct {
-	blob []byte
-	etag string
+	manifest []byte // encoded manifest, served at /manifest/<name>
+	extents  []extent
+	size     int64
+	etag     string
 }
 
 // Server publishes game packages under /pkg/<name> with range support, a
-// package listing under /list, and popup web resources under /res/<name>.
+// package listing under /list, chunk-level access under /manifest/<name>
+// and /chunk/<hash>, and popup web resources under /res/<name>.
 // Additional subsystems (the telemetry service, health checks) mount their
 // handlers with Mount. All methods are safe for concurrent use; a classroom
 // fleet hammers one Server from hundreds of goroutines.
 type Server struct {
 	mu        sync.RWMutex
-	packages  map[string]pkgEntry
+	packages  map[string]*pkgEntry
 	resources map[string]string
 	mounts    map[string]http.Handler // path (or prefix ending in "/") → handler
 	started   time.Time
+	store     *blobstore.Store
+	// chunkRefs counts extent references per chunk across all published
+	// packages, so replacing a package can release the chunks only its
+	// old version used instead of leaking a generation per course update.
+	chunkRefs map[blobstore.Hash]int
 }
 
-// NewServer creates an empty server.
+// NewServer creates an empty server with a private in-memory chunk store.
 func NewServer() *Server {
+	store, err := blobstore.New(blobstore.Options{Backend: blobstore.NewMemory()})
+	if err != nil {
+		panic(err) // unreachable: default options are valid
+	}
+	return NewServerWith(store)
+}
+
+// NewServerWith creates a server over a caller-owned chunk store — the
+// production shape, where the netstream server and the play service share
+// one store (and one on-disk backend) so common segments are paid for
+// once across the whole process.
+func NewServerWith(store *blobstore.Store) *Server {
 	return &Server{
-		packages:  map[string]pkgEntry{},
+		packages:  map[string]*pkgEntry{},
 		resources: map[string]string{},
 		mounts:    map[string]http.Handler{},
 		started:   time.Now(),
+		store:     store,
+		chunkRefs: map[blobstore.Hash]int{},
 	}
 }
 
-// AddPackage publishes a package blob under a name.
+// Store exposes the server's chunk store (shared with sibling services).
+func (s *Server) Store() *blobstore.Store { return s.store }
+
+// StoreStats snapshots the chunk store's counters.
+func (s *Server) StoreStats() blobstore.Stats { return s.store.Stats() }
+
+// AddPackage publishes a package blob under a name. The blob is split
+// into content-addressed chunks (deduplicated against everything already
+// published); the blob itself is not retained. Re-adding a name replaces
+// the package — delta-syncing clients then transfer only changed chunks,
+// and chunks referenced only by the replaced version are removed from
+// the store (an in-flight transfer of the old version may then fail; its
+// client re-syncs and gets the new one).
 func (s *Server) AddPackage(name string, blob []byte) error {
+	return s.publishBlob(name, blob, true)
+}
+
+// AddManifest publishes a package whose chunks are already in the store
+// (e.g. deposited by content.PublishTo) — no package blob ever exists on
+// the publish path except transiently for validation, and no chunk is
+// re-deposited (so store dedup counters reflect real sharing).
+func (s *Server) AddManifest(name string, man *gamepack.Manifest) error {
+	blob, err := man.Assemble(s.store.Get)
+	if err != nil {
+		return fmt.Errorf("netstream: %w", err)
+	}
+	return s.publishBlob(name, blob, false)
+}
+
+// publishBlob validates a package, then — atomically with respect to
+// other publishes — ingests its chunks and swaps it in. Ingest and
+// registration share the critical section so a concurrent replace of
+// another package cannot release a shared chunk between this package's
+// deposit and its refcount registration.
+func (s *Server) publishBlob(name string, blob []byte, deposit bool) error {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return fmt.Errorf("netstream: bad package name %q", name)
 	}
 	if _, err := gamepack.Open(blob); err != nil {
 		return fmt.Errorf("netstream: refusing to serve invalid package: %w", err)
 	}
-	sum := sha256.Sum256(blob)
+	man, err := gamepack.ManifestOf(blob)
+	if err != nil {
+		return fmt.Errorf("netstream: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.packages[name] = pkgEntry{blob: blob, etag: fmt.Sprintf(`"%x"`, sum[:16])}
+	ent, err := s.ingest(man, blob, deposit)
+	if err != nil {
+		return err
+	}
+	old := s.packages[name]
+	s.packages[name] = ent
+	for _, ext := range ent.extents {
+		if ext.inline == nil {
+			s.chunkRefs[ext.hash]++
+		}
+	}
+	if old != nil {
+		for _, ext := range old.extents {
+			if ext.inline != nil {
+				continue
+			}
+			if s.chunkRefs[ext.hash]--; s.chunkRefs[ext.hash] <= 0 {
+				delete(s.chunkRefs, ext.hash)
+				s.store.Remove(ext.hash)
+			}
+		}
+	}
 	return nil
+}
+
+// ingest verifies that the manifest tiles the blob and builds the serving
+// extents; with deposit set it also stores every chunk. s.mu must be
+// held. A rejection rolls back the chunks this call newly deposited (a
+// failed publish must not grow the store), sparing any that a published
+// package also references.
+func (s *Server) ingest(man *gamepack.Manifest, blob []byte, deposit bool) (*pkgEntry, error) {
+	secs, err := gamepack.Sections(blob)
+	if err != nil {
+		return nil, fmt.Errorf("netstream: %w", err)
+	}
+	ent := &pkgEntry{size: int64(len(blob))}
+	sum := sha256.Sum256(blob)
+	ent.etag = fmt.Sprintf(`"%x"`, sum[:16])
+	pos := 0
+	var added []blobstore.Hash // chunks this call deposited that were new
+	fail := func(err error) (*pkgEntry, error) {
+		for _, h := range added {
+			if s.chunkRefs[h] == 0 {
+				s.store.Remove(h)
+			}
+		}
+		return nil, err
+	}
+	addInline := func(data []byte) {
+		ent.extents = append(ent.extents, extent{
+			off: int64(pos), size: len(data), inline: append([]byte(nil), data...),
+		})
+		pos += len(data)
+	}
+	for _, sc := range man.Sections {
+		loc, ok := secs[sc.Name]
+		if !ok {
+			return fail(fmt.Errorf("netstream: manifest names missing section %q", sc.Name))
+		}
+		if loc[0] < pos {
+			return fail(fmt.Errorf("netstream: manifest section %q out of order", sc.Name))
+		}
+		addInline(blob[pos:loc[0]]) // framing before the payload
+		if sc.Name == gamepack.SectionManifest && len(sc.Chunks) == 0 {
+			ent.manifest = append([]byte(nil), blob[loc[0]:loc[0]+loc[1]]...)
+			addInline(ent.manifest)
+			continue
+		}
+		if sc.PayloadSize() != loc[1] {
+			return fail(fmt.Errorf("netstream: manifest section %q sums to %d bytes, payload is %d",
+				sc.Name, sc.PayloadSize(), loc[1]))
+		}
+		for _, c := range sc.Chunks {
+			data := blob[pos : pos+c.Size]
+			if blobstore.Sum(data) != c.Hash {
+				return fail(fmt.Errorf("netstream: manifest chunk hash mismatch in section %q", sc.Name))
+			}
+			if deposit {
+				if _, isNew, err := s.store.Put(data); err != nil {
+					return fail(fmt.Errorf("netstream: %w", err))
+				} else if isNew {
+					added = append(added, c.Hash)
+				}
+			} else if !s.store.Has(c.Hash) {
+				// Assemble just read this chunk; it can only vanish if a
+				// concurrent replace released it — the caller retries.
+				return fail(fmt.Errorf("netstream: chunk %s vanished from the store", c.Hash))
+			}
+			ent.extents = append(ent.extents, extent{off: int64(pos), size: c.Size, hash: c.Hash})
+			pos += c.Size
+		}
+	}
+	if pos != len(blob) {
+		addInline(blob[pos:]) // unreachable for valid packages; keep bytes exact
+	}
+	if ent.manifest == nil {
+		// Legacy package without an embedded manifest: serve the computed
+		// one at /manifest/<name> so delta clients still work.
+		ent.manifest = man.Encode()
+	}
+	return ent, nil
 }
 
 // Mount attaches a handler at a path. A pattern ending in "/" matches the
 // whole subtree ("/telemetry/" serves /telemetry/ingest and
 // /telemetry/stats); otherwise the match is exact ("/healthz"). Mounts take
 // precedence over the built-in routes, so a pattern that would capture any
-// /pkg/, /res/ or /list request is rejected.
+// /pkg/, /manifest/, /chunk/, /res/ or /list request is rejected.
 func (s *Server) Mount(pattern string, h http.Handler) error {
 	if pattern == "" || pattern[0] != '/' {
 		return fmt.Errorf("netstream: mount pattern %q must start with /", pattern)
 	}
 	subtree := strings.HasSuffix(pattern, "/")
-	for _, reserved := range []string{"/pkg/", "/res/", "/list"} {
+	for _, reserved := range []string{"/pkg/", "/manifest/", "/chunk/", "/res/", "/list"} {
 		shadows := pattern == reserved ||
 			// A mount inside a reserved subtree captures those requests
 			// ("/pkg/x" or "/pkg/x/" shadow package fetches)...
@@ -136,6 +321,12 @@ func (s *Server) Names() []string {
 	return out
 }
 
+func (s *Server) pkg(name string) *pkgEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.packages[name]
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h := s.mountFor(r.URL.Path); h != nil {
@@ -149,19 +340,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case strings.HasPrefix(r.URL.Path, "/pkg/"):
 		name := strings.TrimPrefix(r.URL.Path, "/pkg/")
-		s.mu.RLock()
-		ent, ok := s.packages[name]
-		s.mu.RUnlock()
-		if !ok {
+		ent := s.pkg(name)
+		if ent == nil {
 			http.NotFound(w, r)
 			return
 		}
 		// With the ETag header set, ServeContent answers If-None-Match with
 		// 304 (and still implements Range/If-Modified-Since for us) — repeat
 		// fleet fetches of an unchanged package cost a handshake, not
-		// megabytes.
+		// megabytes. The reader assembles the requested ranges from the
+		// chunk store on the fly; popular chunks ride the hot tier.
 		w.Header().Set("ETag", ent.etag)
-		http.ServeContent(w, r, name+".tkg", s.started, newByteReader(ent.blob))
+		http.ServeContent(w, r, name+".tkg", s.started, &extentReader{ent: ent, store: s.store})
+	case strings.HasPrefix(r.URL.Path, "/manifest/"):
+		name := strings.TrimPrefix(r.URL.Path, "/manifest/")
+		ent := s.pkg(name)
+		if ent == nil {
+			http.NotFound(w, r)
+			return
+		}
+		// The manifest shares the package's validator: a 304 here means
+		// "your whole cached package is current" — the delta client's
+		// cheapest round trip.
+		w.Header().Set("ETag", ent.etag)
+		http.ServeContent(w, r, name+".tkmf", s.started, bytes.NewReader(ent.manifest))
+	case strings.HasPrefix(r.URL.Path, "/chunk/"):
+		h, err := blobstore.ParseHash(strings.TrimPrefix(r.URL.Path, "/chunk/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		data, err := s.store.Get(h)
+		if errors.Is(err, blobstore.ErrNotFound) {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Chunks are immutable by construction: their name is their hash.
+		w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
 	case strings.HasPrefix(r.URL.Path, "/res/"):
 		name := strings.TrimPrefix(r.URL.Path, "/res/")
 		s.mu.RLock()
@@ -177,24 +398,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// byteReader adapts a []byte to io.ReadSeeker for http.ServeContent.
-type byteReader struct {
-	data []byte
-	pos  int64
+// extentReader adapts a package's extent table to io.ReadSeeker for
+// http.ServeContent, resolving chunk extents through the store. Each
+// reader is request-scoped; the store it reads from is shared.
+type extentReader struct {
+	ent   *pkgEntry
+	store *blobstore.Store
+	pos   int64
 }
 
-func newByteReader(b []byte) *byteReader { return &byteReader{data: b} }
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.pos >= int64(len(r.data)) {
+func (r *extentReader) Read(p []byte) (int, error) {
+	if r.pos >= r.ent.size {
 		return 0, io.EOF
 	}
-	n := copy(p, r.data[r.pos:])
+	// Find the extent containing pos (extents are sorted and tile the blob).
+	exts := r.ent.extents
+	i := sort.Search(len(exts), func(i int) bool {
+		return exts[i].off+int64(exts[i].size) > r.pos
+	})
+	if i == len(exts) {
+		return 0, io.EOF
+	}
+	ext := &exts[i]
+	src := ext.inline
+	if src == nil {
+		data, err := r.store.Get(ext.hash)
+		if err != nil {
+			return 0, fmt.Errorf("netstream: resolving extent at %d: %w", ext.off, err)
+		}
+		src = data
+	}
+	n := copy(p, src[r.pos-ext.off:])
 	r.pos += int64(n)
 	return n, nil
 }
 
-func (r *byteReader) Seek(offset int64, whence int) (int64, error) {
+func (r *extentReader) Seek(offset int64, whence int) (int64, error) {
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -202,7 +441,7 @@ func (r *byteReader) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		base = r.pos
 	case io.SeekEnd:
-		base = int64(len(r.data))
+		base = r.ent.size
 	default:
 		return 0, errors.New("netstream: bad whence")
 	}
@@ -215,10 +454,12 @@ func (r *byteReader) Seek(offset int64, whence int) (int64, error) {
 
 // Stats counts what a client transfer cost.
 type Stats struct {
-	Requests     int
-	BytesFetched int
-	NotModified  int // conditional GETs answered 304
-	Elapsed      time.Duration
+	Requests      int
+	BytesFetched  int
+	NotModified   int // conditional GETs answered 304
+	ChunksFetched int // chunks transferred over the wire
+	ChunkHits     int // chunks served from the local chunk cache
+	Elapsed       time.Duration
 }
 
 // Add accumulates another transfer's stats (fleet-level totals).
@@ -226,6 +467,8 @@ func (st *Stats) Add(o Stats) {
 	st.Requests += o.Requests
 	st.BytesFetched += o.BytesFetched
 	st.NotModified += o.NotModified
+	st.ChunksFetched += o.ChunksFetched
+	st.ChunkHits += o.ChunkHits
 	st.Elapsed += o.Elapsed
 }
 
@@ -263,29 +506,105 @@ func (c *Client) Download(url string) ([]byte, Stats, error) {
 	return blob, st, nil
 }
 
-// PackageCache remembers downloaded packages by URL together with the
-// validator the server sent, so repeat fetches can be conditional. It is
-// safe for concurrent use by a whole learner fleet.
+// DefaultCacheBudget bounds a PackageCache's assembled-package tier.
+const DefaultCacheBudget = 256 << 20
+
+// PackageCache is the client-side cache of the delivery layer: assembled
+// packages by URL (with the validator the server sent, so repeat fetches
+// can be conditional) over a shared content-addressed chunk cache. Both
+// tiers are byte-budgeted with LRU eviction — a fleet that walks a large
+// catalog no longer grows without bound. It is safe for concurrent use by
+// a whole learner fleet.
 type PackageCache struct {
 	mu      sync.Mutex
-	entries map[string]cachedPackage
+	budget  int64
+	used    int64
+	entries map[string]*list.Element // url -> element holding *pkgCacheEntry
+	lru     *list.List               // front = most recently used
+	evicted int64
+
+	chunks *blobstore.Store // cache-only store; shared across URLs
 }
 
-type cachedPackage struct {
+type pkgCacheEntry struct {
+	url  string
 	etag string
 	blob []byte
 }
 
-// NewPackageCache creates an empty cache.
+// NewPackageCache creates a cache with default budgets.
 func NewPackageCache() *PackageCache {
-	return &PackageCache{entries: map[string]cachedPackage{}}
+	return NewPackageCacheBudget(DefaultCacheBudget, blobstore.DefaultCacheBytes)
 }
 
-func (pc *PackageCache) get(url string) (cachedPackage, bool) {
+// NewPackageCacheBudget creates a cache with explicit byte budgets for
+// the assembled-package tier and the chunk tier (non-positive budgets
+// fall back to the defaults).
+func NewPackageCacheBudget(pkgBytes, chunkBytes int64) *PackageCache {
+	if pkgBytes <= 0 {
+		pkgBytes = DefaultCacheBudget
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = blobstore.DefaultCacheBytes
+	}
+	return &PackageCache{
+		budget:  pkgBytes,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		chunks:  blobstore.NewCache(chunkBytes),
+	}
+}
+
+// Chunks exposes the shared chunk cache (the delta-sync working set).
+func (pc *PackageCache) Chunks() *blobstore.Store { return pc.chunks }
+
+// Len reports cached package entries.
+func (pc *PackageCache) Len() int {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	e, ok := pc.entries[url]
-	return e, ok
+	return len(pc.entries)
+}
+
+// Bytes reports bytes held by the assembled-package tier.
+func (pc *PackageCache) Bytes() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.used
+}
+
+// Evicted reports packages dropped by the byte-budget LRU policy.
+func (pc *PackageCache) Evicted() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.evicted
+}
+
+// Forget drops a URL's assembled package (its chunks stay cached).
+func (pc *PackageCache) Forget(url string) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[url]; ok {
+		pc.drop(el)
+	}
+}
+
+// drop removes an element from both the list and the map; pc.mu held.
+func (pc *PackageCache) drop(el *list.Element) {
+	e := el.Value.(*pkgCacheEntry)
+	pc.lru.Remove(el)
+	delete(pc.entries, e.url)
+	pc.used -= int64(len(e.blob))
+}
+
+func (pc *PackageCache) get(url string) (*pkgCacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[url]
+	if !ok {
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	return el.Value.(*pkgCacheEntry), true
 }
 
 func (pc *PackageCache) put(url, etag string, blob []byte) {
@@ -294,7 +613,21 @@ func (pc *PackageCache) put(url, etag string, blob []byte) {
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	pc.entries[url] = cachedPackage{etag: etag, blob: blob}
+	if old, ok := pc.entries[url]; ok {
+		pc.drop(old)
+	}
+	el := pc.lru.PushFront(&pkgCacheEntry{url: url, etag: etag, blob: blob})
+	pc.entries[url] = el
+	pc.used += int64(len(blob))
+	// Evict past the budget, sparing the entry just inserted.
+	for pc.used > pc.budget {
+		back := pc.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		pc.drop(back)
+		pc.evicted++
+	}
 }
 
 // DownloadCached fetches a package through a shared cache. When the cache
@@ -336,6 +669,218 @@ func (c *Client) DownloadCached(url string, cache *PackageCache) ([]byte, Stats,
 	default:
 		return nil, st, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
 	}
+}
+
+// splitPkgURL resolves a /pkg/ URL into its server base and package name.
+func splitPkgURL(url string) (base, name string, ok bool) {
+	i := strings.LastIndex(url, "/pkg/")
+	if i < 0 {
+		return "", "", false
+	}
+	return url[:i], url[i+len("/pkg/"):], true
+}
+
+// fetchChunk transfers one chunk and verifies it against its address; a
+// chunk whose bytes do not hash to their name is rejected, so a corrupted
+// or hostile server cannot feed bytes into the decoder.
+func (c *Client) fetchChunk(base string, ref gamepack.ChunkRef, st *Stats) ([]byte, error) {
+	url := base + "/chunk/" + ref.Hash.String()
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	st.BytesFetched += len(data)
+	if len(data) != ref.Size {
+		return nil, fmt.Errorf("netstream: chunk %s is %d bytes, manifest says %d", ref.Hash, len(data), ref.Size)
+	}
+	if blobstore.Sum(data) != ref.Hash {
+		return nil, fmt.Errorf("netstream: chunk %s failed hash verification", ref.Hash)
+	}
+	st.ChunksFetched++
+	return data, nil
+}
+
+// getChunk serves a chunk from the cache or the wire (populating the
+// cache), counting hits and transfers.
+func (c *Client) getChunk(base string, ref gamepack.ChunkRef, cache *PackageCache, st *Stats) ([]byte, error) {
+	if cache != nil {
+		if data, err := cache.chunks.Get(ref.Hash); err == nil {
+			st.ChunkHits++
+			return data, nil
+		}
+	}
+	data, err := c.fetchChunk(base, ref, st)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.chunks.Put(data)
+	}
+	return data, nil
+}
+
+// fetchManifest GETs and parses a package's manifest, with the cached
+// validator attached when the cache already holds the URL. A nil manifest
+// with ok=true means 304 — the cached package is current.
+func (c *Client) fetchManifest(url, etag string, st *Stats) (man *gamepack.Manifest, respETag string, notModified bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	defer resp.Body.Close()
+	st.Requests++
+	switch {
+	case etag != "" && resp.StatusCode == http.StatusNotModified:
+		st.NotModified++
+		return nil, etag, true, nil
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", false, err
+		}
+		st.BytesFetched += len(data)
+		man, err := gamepack.ParseManifest(data)
+		if err != nil {
+			return nil, "", false, err
+		}
+		return man, resp.Header.Get("ETag"), false, nil
+	default:
+		return nil, "", false, fmt.Errorf("netstream: GET %s: %s", url, resp.Status)
+	}
+}
+
+// DownloadDelta fetches a package by manifest diff: only chunks absent
+// from the cache's chunk tier cross the wire (each hash-verified on
+// receipt), and the package is reassembled locally — on a course update
+// that edited one segment, the transfer is that segment plus the
+// manifest. Falls back to DownloadCached against servers that predate
+// chunk-level delivery. The returned blob must be treated as read-only.
+func (c *Client) DownloadDelta(url string, cache *PackageCache) ([]byte, Stats, error) {
+	base, name, ok := splitPkgURL(url)
+	if !ok {
+		return c.DownloadCached(url, cache)
+	}
+	var st Stats
+	began := time.Now()
+	var etag string
+	if cached, have := cache.get(url); have {
+		etag = cached.etag
+	}
+	man, respETag, notModified, err := c.fetchManifest(base+"/manifest/"+name, etag, &st)
+	if err != nil {
+		// A plain package server (404 on /manifest/) still speaks the
+		// legacy protocol; the conditional whole-package path handles it.
+		blob, lst, lerr := c.DownloadCached(url, cache)
+		lst.Requests += st.Requests
+		lst.BytesFetched += st.BytesFetched
+		return blob, lst, lerr
+	}
+	if notModified {
+		cached, _ := cache.get(url)
+		if cached != nil {
+			st.Elapsed = time.Since(began)
+			return cached.blob, st, nil
+		}
+		// Entry evicted between the conditional request and now; refetch.
+		man, respETag, _, err = c.fetchManifest(base+"/manifest/"+name, "", &st)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	blob, err := c.materialize(base, man, cache, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	// End-to-end integrity: the reassembled blob must match the server's
+	// whole-package validator (same construction as Server.AddPackage).
+	if respETag != "" {
+		sum := sha256.Sum256(blob)
+		if want := fmt.Sprintf(`"%x"`, sum[:16]); respETag != want {
+			return nil, st, fmt.Errorf("netstream: reassembled package does not match server validator")
+		}
+	}
+	cache.put(url, respETag, blob)
+	st.Elapsed = time.Since(began)
+	return blob, st, nil
+}
+
+// chunkFetchParallelism bounds concurrent chunk GETs during a sync, so a
+// many-chunk cold fetch costs a few round-trip waves instead of one
+// serial round trip per 64 KiB.
+const chunkFetchParallelism = 8
+
+// materialize assembles a manifest's package, fetching missing chunks.
+func (c *Client) materialize(base string, man *gamepack.Manifest, cache *PackageCache, st *Stats) ([]byte, error) {
+	// Resolve locally-cached chunks first, into an overlay: the cache
+	// tier may evict under pressure, but assembly must see every chunk
+	// exactly once.
+	overlay := map[blobstore.Hash][]byte{}
+	var missing []gamepack.ChunkRef
+	for _, sc := range man.Sections {
+		for _, ref := range sc.Chunks {
+			if _, ok := overlay[ref.Hash]; ok {
+				continue
+			}
+			overlay[ref.Hash] = nil
+			if cache != nil {
+				if data, err := cache.chunks.Get(ref.Hash); err == nil {
+					st.ChunkHits++
+					overlay[ref.Hash] = data
+					continue
+				}
+			}
+			missing = append(missing, ref)
+		}
+	}
+	// Fan the delta out over a bounded worker pool (per-goroutine Stats,
+	// merged after the wait, keep the counters race-free).
+	fetched := make([][]byte, len(missing))
+	stats := make([]Stats, len(missing))
+	errs := make([]error, len(missing))
+	sem := make(chan struct{}, chunkFetchParallelism)
+	var wg sync.WaitGroup
+	for i := range missing {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fetched[i], errs[i] = c.fetchChunk(base, missing[i], &stats[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range missing {
+		st.Add(stats[i])
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		overlay[missing[i].Hash] = fetched[i]
+		if cache != nil {
+			cache.chunks.Put(fetched[i])
+		}
+	}
+	return man.Assemble(func(h blobstore.Hash) ([]byte, error) {
+		if data, ok := overlay[h]; ok && data != nil {
+			return data, nil
+		}
+		return nil, blobstore.ErrNotFound
+	})
 }
 
 // fetchRange GETs bytes [from, to) of url.
@@ -384,7 +929,11 @@ func (c *Client) contentLength(url string, st *Stats) (int, error) {
 }
 
 // RemoteGame is a progressively loaded game: full project document, video
-// head, and packet data for the segments fetched so far.
+// head, and packet data for the segments fetched so far. Against a
+// chunk-serving server the packet data arrives as content-addressed
+// chunks (hash-verified, shared through the PackageCache across every
+// learner on the machine); against a legacy server it arrives as byte
+// ranges.
 type RemoteGame struct {
 	Project *core.Project
 	head    *container.Head
@@ -393,6 +942,12 @@ type RemoteGame struct {
 	url      string
 	videoOff int // absolute offset of the video section within the package
 
+	// Chunked mode (nil vchunks → legacy ranged mode).
+	base    string
+	vchunks []gamepack.ChunkRef
+	voffs   []int // vchunks[i] starts at voffs[i] within the video payload
+	cache   *PackageCache
+
 	mu     sync.Mutex
 	chunks map[int][]byte // first-packet index → raw packet bytes
 	starts []int          // sorted chunk keys
@@ -400,14 +955,112 @@ type RemoteGame struct {
 }
 
 // ProgressiveOpen fetches just enough of the package to start playing its
-// start scenario: section table → project → video head → start-segment
-// packets. The returned Stats are the startup cost E8 reports.
+// start scenario: manifest (or section table) → project → video head →
+// start-segment chunks. The returned Stats are the startup cost E8
+// reports.
 func (c *Client) ProgressiveOpen(url string) (*RemoteGame, Stats, error) {
+	return c.ProgressiveOpenCached(url, nil)
+}
+
+// ProgressiveOpenCached is ProgressiveOpen through a shared cache: chunks
+// already fetched by any learner on this cache (or by a previous
+// DownloadDelta) are reused instead of refetched, so the second learner's
+// startup often transfers nothing but the manifest.
+func (c *Client) ProgressiveOpenCached(url string, cache *PackageCache) (*RemoteGame, Stats, error) {
 	var st Stats
 	began := time.Now()
-	total, err := c.contentLength(url, &st)
+	if base, name, ok := splitPkgURL(url); ok {
+		man, _, _, err := c.fetchManifest(base+"/manifest/"+name, "", &st)
+		if err == nil {
+			g, err := c.openChunked(url, base, man, cache, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			st.Elapsed = time.Since(began)
+			return g, st, nil
+		}
+	}
+	g, err := c.openRanged(url, &st)
 	if err != nil {
 		return nil, st, err
+	}
+	st.Elapsed = time.Since(began)
+	return g, st, nil
+}
+
+// openChunked plans the progressive startup from the manifest alone: the
+// section layout is computable without touching the server, the project
+// arrives as its chunks, and the video head is parsed from the leading
+// video chunks (cut exactly at the head/data boundary).
+func (c *Client) openChunked(url, base string, man *gamepack.Manifest, cache *PackageCache, st *Stats) (*RemoteGame, error) {
+	vsec := man.Section(gamepack.SectionVideo)
+	psec := man.Section(gamepack.SectionProject)
+	if vsec == nil || psec == nil || len(vsec.Chunks) == 0 {
+		return nil, errors.New("netstream: manifest lacks project or video section")
+	}
+	projJSON, err := psec.AssembleSection(func(h blobstore.Hash) ([]byte, error) {
+		i := chunkIndex(psec.Chunks, h)
+		return c.getChunk(base, psec.Chunks[i], cache, st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.UnmarshalProject(projJSON)
+	if err != nil {
+		return nil, err
+	}
+	var videoOff int
+	locs, _ := man.Layout()
+	for _, loc := range locs {
+		if loc.Name == gamepack.SectionVideo {
+			videoOff = loc.Off
+		}
+	}
+	g := &RemoteGame{
+		Project:  proj,
+		client:   c,
+		url:      url,
+		videoOff: videoOff,
+		base:     base,
+		vchunks:  vsec.Chunks,
+		voffs:    chunkOffsets(vsec.Chunks),
+		cache:    cache,
+		chunks:   map[int][]byte{},
+		ends:     map[int]int{},
+	}
+	// Video head: the first chunk run covers [0, dataStart); grow chunk by
+	// chunk until the head parses (one chunk in the common case).
+	var headBuf []byte
+	for i := range g.vchunks {
+		data, err := c.getChunk(base, g.vchunks[i], cache, st)
+		if err != nil {
+			return nil, err
+		}
+		headBuf = append(headBuf, data...)
+		head, err := container.ParseHead(headBuf)
+		if err == nil {
+			g.head = head
+			break
+		}
+		if !errors.Is(err, container.ErrTruncated) {
+			return nil, err
+		}
+	}
+	if g.head == nil {
+		return nil, fmt.Errorf("%w: video head", container.ErrTruncated)
+	}
+	start := proj.ScenarioByID(proj.StartScenario)
+	if start == nil {
+		return nil, fmt.Errorf("netstream: start scenario %q missing", proj.StartScenario)
+	}
+	return g, g.ensureSegment(start.Segment, st)
+}
+
+// openRanged is the pre-chunk-store progressive path (legacy servers).
+func (c *Client) openRanged(url string, st *Stats) (*RemoteGame, error) {
+	total, err := c.contentLength(url, st)
+	if err != nil {
+		return nil, err
 	}
 	// 1. Section table (grow the prefix until it parses).
 	prefixLen := 4096
@@ -416,35 +1069,35 @@ func (c *Client) ProgressiveOpen(url string) (*RemoteGame, Stats, error) {
 		if prefixLen > total {
 			prefixLen = total
 		}
-		prefix, err := c.fetchRange(url, 0, prefixLen, &st)
+		prefix, err := c.fetchRange(url, 0, prefixLen, st)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		secs, err = gamepack.SectionsWithin(prefix, total)
 		if err == nil {
 			break
 		}
 		if !errors.Is(err, gamepack.ErrShortPrefix) || prefixLen == total {
-			return nil, st, err
+			return nil, err
 		}
 		prefixLen *= 4
 	}
 	projLoc, ok := secs[gamepack.SectionProject]
 	if !ok {
-		return nil, st, errors.New("netstream: package has no project section")
+		return nil, errors.New("netstream: package has no project section")
 	}
 	videoLoc, ok := secs[gamepack.SectionVideo]
 	if !ok {
-		return nil, st, errors.New("netstream: package has no video section")
+		return nil, errors.New("netstream: package has no video section")
 	}
 	// 2. Project document.
-	projJSON, err := c.fetchRange(url, projLoc[0], projLoc[0]+projLoc[1], &st)
+	projJSON, err := c.fetchRange(url, projLoc[0], projLoc[0]+projLoc[1], st)
 	if err != nil {
-		return nil, st, err
+		return nil, err
 	}
 	proj, err := core.UnmarshalProject(projJSON)
 	if err != nil {
-		return nil, st, err
+		return nil, err
 	}
 	// 3. Video head (grow until the index parses).
 	headLen := 16384
@@ -453,16 +1106,16 @@ func (c *Client) ProgressiveOpen(url string) (*RemoteGame, Stats, error) {
 		if headLen > videoLoc[1] {
 			headLen = videoLoc[1]
 		}
-		hb, err := c.fetchRange(url, videoLoc[0], videoLoc[0]+headLen, &st)
+		hb, err := c.fetchRange(url, videoLoc[0], videoLoc[0]+headLen, st)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		head, err = container.ParseHead(hb)
 		if err == nil {
 			break
 		}
 		if !errors.Is(err, container.ErrTruncated) || headLen == videoLoc[1] {
-			return nil, st, err
+			return nil, err
 		}
 		headLen *= 4
 	}
@@ -478,13 +1131,60 @@ func (c *Client) ProgressiveOpen(url string) (*RemoteGame, Stats, error) {
 	// 4. The start scenario's segment packets.
 	start := proj.ScenarioByID(proj.StartScenario)
 	if start == nil {
-		return nil, st, fmt.Errorf("netstream: start scenario %q missing", proj.StartScenario)
+		return nil, fmt.Errorf("netstream: start scenario %q missing", proj.StartScenario)
 	}
-	if err := g.ensureSegment(start.Segment, &st); err != nil {
-		return nil, st, err
+	return g, g.ensureSegment(start.Segment, st)
+}
+
+// chunkOffsets returns each chunk's start offset within its payload.
+func chunkOffsets(chunks []gamepack.ChunkRef) []int {
+	offs := make([]int, len(chunks))
+	pos := 0
+	for i, c := range chunks {
+		offs[i] = pos
+		pos += c.Size
 	}
-	st.Elapsed = time.Since(began)
-	return g, st, nil
+	return offs
+}
+
+// chunkIndex locates a hash in a chunk list (small lists; linear is fine).
+func chunkIndex(chunks []gamepack.ChunkRef, h blobstore.Hash) int {
+	for i := range chunks {
+		if chunks[i].Hash == h {
+			return i
+		}
+	}
+	return 0
+}
+
+// fetchVideoRange materializes bytes [lo, hi) of the video payload from
+// the chunks that cover it.
+func (g *RemoteGame) fetchVideoRange(lo, hi int, st *Stats) ([]byte, error) {
+	i := sort.Search(len(g.voffs), func(i int) bool {
+		return g.voffs[i]+g.vchunks[i].Size > lo
+	})
+	if i == len(g.voffs) {
+		return nil, fmt.Errorf("netstream: video range [%d,%d) beyond manifest", lo, hi)
+	}
+	var buf []byte
+	for ; i < len(g.vchunks) && g.voffs[i] < hi; i++ {
+		data, err := g.client.getChunk(g.base, g.vchunks[i], g.cache, st)
+		if err != nil {
+			return nil, err
+		}
+		from, to := 0, len(data)
+		if g.voffs[i] < lo {
+			from = lo - g.voffs[i]
+		}
+		if g.voffs[i]+to > hi {
+			to = hi - g.voffs[i]
+		}
+		buf = append(buf, data[from:to]...)
+	}
+	if len(buf) != hi-lo {
+		return nil, fmt.Errorf("netstream: video range [%d,%d): got %d bytes", lo, hi, len(buf))
+	}
+	return buf, nil
 }
 
 // ensureSegment fetches the byte range covering a segment (from its
@@ -509,7 +1209,12 @@ func (g *RemoteGame) ensureSegment(name string, st *Stats) error {
 	if err != nil {
 		return err
 	}
-	chunk, err := g.client.fetchRange(g.url, g.videoOff+lo, g.videoOff+hi, st)
+	var chunk []byte
+	if g.vchunks != nil {
+		chunk, err = g.fetchVideoRange(lo, hi, st)
+	} else {
+		chunk, err = g.client.fetchRange(g.url, g.videoOff+lo, g.videoOff+hi, st)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,19 @@
 package netstream
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/gamepack"
@@ -204,24 +210,21 @@ func TestFetchResource(t *testing.T) {
 	}
 }
 
-func TestByteReaderSeek(t *testing.T) {
-	r := newByteReader([]byte("hello world"))
-	if n, _ := r.Seek(6, 0); n != 6 {
-		t.Fatal("seek start")
-	}
-	buf := make([]byte, 5)
-	r.Read(buf)
-	if string(buf) != "world" {
-		t.Fatalf("read %q", buf)
-	}
-	if _, err := r.Seek(-100, 0); err == nil {
-		t.Error("negative seek accepted")
-	}
-	if n, _ := r.Seek(0, 2); n != 11 {
-		t.Error("seek end")
-	}
-	if _, err := r.Read(buf); err == nil {
-		t.Error("read past end")
+func TestExtentReaderSeek(t *testing.T) {
+	ts, blob := testServer(t)
+	// Ranged reads across extent boundaries must reproduce the exact bytes
+	// of the assembled package (the store-backed reader is what ServeContent
+	// sees for range requests).
+	c := &Client{}
+	var st Stats
+	for _, r := range [][2]int{{0, 16}, {5, len(blob)}, {len(blob) / 2, len(blob)/2 + 8192}, {len(blob) - 7, len(blob)}} {
+		got, err := c.fetchRange(ts.URL+"/pkg/classroom", r[0], r[1], &st)
+		if err != nil {
+			t.Fatalf("range [%d,%d): %v", r[0], r[1], err)
+		}
+		if string(got) != string(blob[r[0]:r[1]]) {
+			t.Fatalf("range [%d,%d) differs from blob", r[0], r[1])
+		}
 	}
 }
 
@@ -307,6 +310,12 @@ func TestMount(t *testing.T) {
 	if err := srv.Mount("/list", http.NotFoundHandler()); err == nil {
 		t.Error("shadowing /list accepted")
 	}
+	if err := srv.Mount("/chunk/", http.NotFoundHandler()); err == nil {
+		t.Error("shadowing /chunk/ accepted")
+	}
+	if err := srv.Mount("/manifest/x", http.NotFoundHandler()); err == nil {
+		t.Error("mount inside /manifest/ accepted")
+	}
 	if err := srv.Mount("/listing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})); err != nil {
 		t.Errorf("non-shadowing /listing rejected: %v", err)
 	}
@@ -347,5 +356,502 @@ func TestMount(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("/healthz/extra = %s, want 404", resp.Status)
+	}
+}
+
+// --- chunk store delivery (PR 4) -------------------------------------------
+
+// longCourse builds a 10-segment course; with edit set, segment 5 is
+// re-shot (same amplitude, different noise) — the single-segment edit a
+// delta client must sync.
+func longCourse(t testing.TB, edit bool) []byte {
+	t.Helper()
+	film := synth.Generate(synth.Spec{
+		W: 96, H: 64, FPS: 10,
+		Shots: 10, MinShotFrames: 20, MaxShotFrames: 24,
+		NoiseAmp: 1, Seed: 12,
+	})
+	if edit {
+		film.Shots[5].Seed ^= 0xbeef
+	}
+	video, err := studio.Record(film, studio.Options{QStep: 6, GOP: 10, ShotMarkers: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := container.Open(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProject("Long Course")
+	p.StartScenario = "s0"
+	for i, ch := range r.Chapters() {
+		p.Scenarios = append(p.Scenarios, &core.Scenario{
+			ID: fmt.Sprintf("s%d", i), Name: ch.Name, Segment: ch.Name,
+		})
+	}
+	blob, err := gamepack.Build(p, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestManifestEndpoint(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	body, _, err := c.FetchResource(ts.URL + "/manifest/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := gamepack.ParseManifest([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gamepack.ExtractManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Sections) != len(want.Sections) {
+		t.Fatalf("manifest has %d sections, want %d", len(man.Sections), len(want.Sections))
+	}
+	if _, _, err := c.FetchResource(ts.URL + "/manifest/ghost"); err == nil {
+		t.Error("missing manifest fetchable")
+	}
+}
+
+func TestChunkEndpoint(t *testing.T) {
+	ts, blob := testServer(t)
+	man, err := gamepack.ExtractManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := man.Section(gamepack.SectionVideo).Chunks[0]
+	c := &Client{}
+	var st Stats
+	data, err := c.fetchChunk(ts.URL, ref, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blobstore.Sum(data) != ref.Hash || len(data) != ref.Size {
+		t.Fatal("chunk bytes do not match manifest")
+	}
+	// Unknown chunk → 404; malformed hash → 400.
+	var ghost gamepack.ChunkRef
+	ghost.Hash[0] = 0xAB
+	ghost.Size = 1
+	if _, err := c.fetchChunk(ts.URL, ghost, &st); err == nil {
+		t.Error("unknown chunk served")
+	}
+	resp, err := http.Get(ts.URL + "/chunk/nothex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hash = %s, want 400", resp.Status)
+	}
+}
+
+func TestServerRejectsLyingManifest(t *testing.T) {
+	// A package whose embedded manifest does not describe its payload must
+	// be rejected at publish time.
+	_, blob := testServer(t)
+	secs, err := gamepack.Sections(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := secs[gamepack.SectionVideo]
+	bad := append([]byte(nil), blob...)
+	bad[loc[0]+loc[1]-1] ^= 0x01 // corrupt video payload (manifest now lies)
+	srv := NewServer()
+	if err := srv.AddPackage("liar", bad); err == nil {
+		t.Fatal("package with mismatched manifest accepted")
+	}
+
+	// A structurally valid package whose *manifest* lies (one video chunk
+	// hash flipped, section CRCs all correct) must also be rejected — and
+	// the chunks deposited before the mismatch must be rolled back.
+	man, err := gamepack.ExtractManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsec := man.Section(gamepack.SectionVideo)
+	vsec.Chunks[len(vsec.Chunks)-1].Hash[0] ^= 0xFF
+	lying := rebuildWithManifest(t, blob, man)
+	srv2 := NewServer()
+	if err := srv2.AddPackage("liar", lying); err == nil {
+		t.Fatal("package with lying manifest accepted")
+	}
+	if st := srv2.StoreStats(); st.Chunks != 0 || st.StoredBytes != 0 {
+		t.Errorf("failed publish leaked %d chunks (%d bytes)", st.Chunks, st.StoredBytes)
+	}
+}
+
+// rebuildWithManifest re-frames a package with a replacement manifest
+// section payload, recomputing section CRCs (the TKGP layout is public).
+func rebuildWithManifest(t *testing.T, blob []byte, man *gamepack.Manifest) []byte {
+	t.Helper()
+	secs, err := gamepack.Sections(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sec struct {
+		name string
+		data []byte
+	}
+	var ordered []sec
+	for name, loc := range secs {
+		data := blob[loc[0] : loc[0]+loc[1]]
+		if name == gamepack.SectionManifest {
+			data = man.Encode()
+		}
+		ordered = append(ordered, sec{name, data})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return secs[ordered[i].name][0] < secs[ordered[j].name][0] })
+	var out []byte
+	out = append(out, "TKGP"...)
+	out = append(out, 1)
+	out = binary.AppendUvarint(out, uint64(len(ordered)))
+	for _, s := range ordered {
+		out = binary.AppendUvarint(out, uint64(len(s.name)))
+		out = append(out, s.name...)
+		out = binary.AppendUvarint(out, uint64(len(s.data)))
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.data))
+		out = append(out, crc[:]...)
+		out = append(out, s.data...)
+	}
+	return out
+}
+
+// TestDedupAcrossCourses is the dedup acceptance: two courses sharing
+// synthesized footage are stored as shared chunks exactly once — the
+// store holds fewer bytes than the packages sum to.
+func TestDedupAcrossCourses(t *testing.T) {
+	course := content.Classroom()
+	video, err := course.RecordVideo(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobA, err := gamepack.Build(course.Project, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := content.Classroom()
+	other.Project.Title = "Remedial Repair Course"
+	other.Project.Quizzes = other.Project.Quizzes[:1]
+	blobB, err := gamepack.Build(other.Project, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.AddPackage("a", blobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddPackage("b", blobB); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.StoreStats()
+	total := len(blobA) + len(blobB)
+	if st.StoredBytes >= int64(total) {
+		t.Errorf("store holds %d bytes for %d bytes of packages — no dedup", st.StoredBytes, total)
+	}
+	if st.DedupHits == 0 {
+		t.Error("no dedup hits across shared-footage courses")
+	}
+	// Both packages still download byte-identical.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &Client{}
+	for name, want := range map[string][]byte{"a": blobA, "b": blobB} {
+		got, _, err := c.Download(ts.URL + "/pkg/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("package %q served differently than published", name)
+		}
+	}
+}
+
+func TestDownloadDeltaColdWarm(t *testing.T) {
+	ts, blob := testServer(t)
+	c := &Client{}
+	cache := NewPackageCache()
+	got, st, err := c.DownloadDelta(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("cold delta download differs from package")
+	}
+	if st.ChunksFetched == 0 || st.ChunkHits != 0 {
+		t.Errorf("cold stats = %+v", st)
+	}
+	// Warm: one conditional manifest request, no bytes.
+	got, st, err = c.DownloadDelta(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("warm delta download differs")
+	}
+	if st.Requests != 1 || st.BytesFetched != 0 || st.NotModified != 1 || st.ChunksFetched != 0 {
+		t.Errorf("warm stats = %+v", st)
+	}
+}
+
+// TestDeltaSyncSingleSegmentEdit is the delta acceptance: after a
+// one-segment course edit, a re-syncing client transfers only the chunks
+// whose hashes changed (every one verified), not the package.
+func TestDeltaSyncSingleSegmentEdit(t *testing.T) {
+	srv := NewServer()
+	v1 := longCourse(t, false)
+	if err := srv.AddPackage("long", v1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &Client{}
+	cache := NewPackageCache()
+	url := ts.URL + "/pkg/long"
+	if _, _, err := c.DownloadDelta(url, cache); err != nil {
+		t.Fatal(err)
+	}
+	// Publish the edited course under the same name.
+	v2 := longCourse(t, true)
+	if err := srv.AddPackage("long", v2); err != nil {
+		t.Fatal(err)
+	}
+	man1, _ := gamepack.ExtractManifest(v1)
+	man2, _ := gamepack.ExtractManifest(v2)
+	old := man1.ChunkSet()
+	wantBytes, wantChunks := 0, 0
+	for h, size := range man2.ChunkSet() {
+		if _, ok := old[h]; !ok {
+			wantBytes += size
+			wantChunks++
+		}
+	}
+	if wantChunks == 0 {
+		t.Fatal("fixture edit changed no chunks")
+	}
+	got, st, err := c.DownloadDelta(url, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(v2) {
+		t.Fatal("resynced package differs from v2")
+	}
+	if st.ChunksFetched != wantChunks {
+		t.Errorf("fetched %d chunks, manifest diff is %d", st.ChunksFetched, wantChunks)
+	}
+	manifestBytes := len(man2.Encode())
+	if st.BytesFetched != wantBytes+manifestBytes {
+		t.Errorf("fetched %d bytes, want %d chunk bytes + %d manifest bytes", st.BytesFetched, wantBytes, manifestBytes)
+	}
+	if st.BytesFetched >= len(v2)/2 {
+		t.Errorf("delta transferred %d of %d bytes — not a delta", st.BytesFetched, len(v2))
+	}
+	if st.ChunkHits == 0 {
+		t.Error("no chunk cache hits on unchanged segments")
+	}
+}
+
+// TestDeltaVerifiesChunkHashes: a server (or middlebox) that returns wrong
+// chunk bytes must be caught by per-chunk verification, never assembled.
+func TestDeltaVerifiesChunkHashes(t *testing.T) {
+	inner, _ := testServer(t)
+	// A proxy that forwards everything but flips one byte in every chunk
+	// response — a corrupted cache or hostile middlebox.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(inner.URL + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if strings.HasPrefix(r.URL.Path, "/chunk/") && len(body) > 0 {
+			body[len(body)/2] ^= 0x01
+		}
+		for k, v := range resp.Header {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}))
+	defer proxy.Close()
+	c := &Client{}
+	cache := NewPackageCache()
+	if _, _, err := c.DownloadDelta(proxy.URL+"/pkg/classroom", cache); err == nil {
+		t.Fatal("corrupted chunks assembled into a package")
+	} else if !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestPackageCacheByteBudget pins the satellite: the package cache evicts
+// by LRU once its byte budget is exceeded instead of growing per URL.
+func TestPackageCacheByteBudget(t *testing.T) {
+	srv := NewServer()
+	blobs := map[string][]byte{}
+	for _, name := range []string{"classroom", "museum", "street"} {
+		var course *content.Course
+		switch name {
+		case "classroom":
+			course = content.Classroom()
+		case "museum":
+			course = content.Museum()
+		default:
+			course = content.StreetDemo()
+		}
+		blob, err := course.BuildPackage(studio.Options{QStep: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[name] = blob
+		if err := srv.AddPackage(name, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	// Budget fits roughly one package: walking all three must evict.
+	budget := int64(len(blobs["classroom"]) + 1000)
+	cache := NewPackageCacheBudget(budget, 1<<20)
+	c := &Client{}
+	for _, name := range []string{"classroom", "museum", "street"} {
+		got, _, err := c.DownloadDelta(ts.URL+"/pkg/"+name, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(blobs[name]) {
+			t.Fatalf("package %q differs", name)
+		}
+	}
+	if cache.Bytes() > budget {
+		t.Errorf("cache holds %d bytes over budget %d", cache.Bytes(), budget)
+	}
+	if cache.Evicted() == 0 {
+		t.Error("no evictions after walking three packages")
+	}
+	if cache.Len() >= 3 {
+		t.Errorf("cache kept all %d packages despite budget", cache.Len())
+	}
+	// An evicted package re-syncs correctly (chunks may still be cached).
+	got, _, err := c.DownloadDelta(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blobs["classroom"]) {
+		t.Fatal("re-downloaded evicted package differs")
+	}
+}
+
+func TestProgressiveOpenCachedReusesChunks(t *testing.T) {
+	ts, _ := testServer(t)
+	c := &Client{}
+	cache := NewPackageCache()
+	_, st1, err := c.ProgressiveOpenCached(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ChunksFetched == 0 {
+		t.Fatalf("first open fetched no chunks: %+v", st1)
+	}
+	// Second learner on the same cache: same chunks, near-zero transfer
+	// (only the manifest crosses the wire again).
+	g, st2, err := c.ProgressiveOpenCached(ts.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ChunksFetched != 0 {
+		t.Errorf("second open refetched %d chunks", st2.ChunksFetched)
+	}
+	if st2.ChunkHits == 0 {
+		t.Error("second open hit no cached chunks")
+	}
+	if st2.BytesFetched >= st1.BytesFetched {
+		t.Errorf("second open fetched %d bytes, first %d", st2.BytesFetched, st1.BytesFetched)
+	}
+	if !g.HasSegment("seg-classroom") {
+		t.Error("start segment not available")
+	}
+}
+
+func TestLegacyServerFallback(t *testing.T) {
+	// A plain file server (no /manifest/, no ranges beyond stdlib) still
+	// works through DownloadDelta and ProgressiveOpen.
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/pkg/classroom" {
+			http.NotFound(w, r)
+			return
+		}
+		http.ServeContent(w, r, "classroom.tkg", time.Unix(0, 0), bytes.NewReader(blob))
+	}))
+	defer legacy.Close()
+	c := &Client{}
+	cache := NewPackageCache()
+	got, st, err := c.DownloadDelta(legacy.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatal("fallback download differs")
+	}
+	if st.BytesFetched < len(blob) {
+		t.Errorf("fallback fetched %d of %d bytes", st.BytesFetched, len(blob))
+	}
+	if g, _, err := c.ProgressiveOpen(legacy.URL + "/pkg/classroom"); err != nil {
+		t.Fatalf("progressive fallback: %v", err)
+	} else if !g.HasSegment("seg-classroom") {
+		t.Error("fallback progressive open missed start segment")
+	}
+}
+
+// TestPackageReplaceReleasesChunks: a course update must not leak the old
+// version's chunks — only chunks still referenced by some published
+// package stay in the store.
+func TestPackageReplaceReleasesChunks(t *testing.T) {
+	srv := NewServer()
+	v1 := longCourse(t, false)
+	v2 := longCourse(t, true)
+	if err := srv.AddPackage("long", v1); err != nil {
+		t.Fatal(err)
+	}
+	chunksAfterV1 := srv.StoreStats().Chunks
+	if err := srv.AddPackage("long", v2); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.StoreStats()
+	man2, _ := gamepack.ExtractManifest(v2)
+	if st.Chunks != len(man2.ChunkSet()) {
+		t.Errorf("store holds %d chunks after replace, v2 manifest has %d", st.Chunks, len(man2.ChunkSet()))
+	}
+	if st.Chunks >= chunksAfterV1+len(man2.ChunkSet()) {
+		t.Error("replacement leaked the old version's chunks")
+	}
+	// Old-only chunks are gone; shared and new chunks serve.
+	man1, _ := gamepack.ExtractManifest(v1)
+	newSet := man2.ChunkSet()
+	for h := range man1.ChunkSet() {
+		if _, shared := newSet[h]; !shared && srv.Store().Has(h) {
+			t.Errorf("old-only chunk %s still stored", h)
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &Client{}
+	got, _, err := c.Download(ts.URL + "/pkg/long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(v2) {
+		t.Fatal("replaced package serves wrong bytes")
 	}
 }

@@ -24,6 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blobstore"
+	"repro/internal/core"
 	"repro/internal/gamepack"
 	"repro/internal/media/raster"
 	"repro/internal/runtime"
@@ -45,6 +47,11 @@ type Options struct {
 	// MaxTicks bounds a single tick act (default 1000) so one request
 	// cannot spin the server arbitrarily long.
 	MaxTicks int
+	// Store is the content-addressed chunk store courses can be opened
+	// from (AddCourseFromManifest) — in production the same store the
+	// netstream server publishes into, so the two services share segment
+	// bytes. nil disables store-backed opening; AddCourse still works.
+	Store *blobstore.Store
 }
 
 func (o *Options) defaults() {
@@ -101,6 +108,7 @@ func (h *hosted) touch() { h.lastSeen.Store(time.Now().UnixNano()) }
 type course struct {
 	name      string
 	pkg       *gamepack.Package
+	videoKey  blobstore.Hash // content hash of the interned video buffer
 	w, h, fps int
 }
 
@@ -124,6 +132,11 @@ type Manager struct {
 
 	coursesMu sync.RWMutex
 	courses   map[string]*course
+	// videos interns video payloads by content hash: N courses sharing
+	// footage (or differing only in their project document) decode from
+	// one buffer instead of N.
+	videos map[blobstore.Hash][]byte
+	store  *blobstore.Store
 
 	seq    atomic.Int64
 	shards []shard
@@ -147,6 +160,8 @@ func NewManager(o Options) *Manager {
 		opts:        o,
 		started:     time.Now(),
 		courses:     map[string]*course{},
+		videos:      map[blobstore.Hash][]byte{},
+		store:       o.Store,
 		shards:      make([]shard, o.Shards),
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
@@ -180,8 +195,10 @@ func (m *Manager) runJanitor(ttl time.Duration) {
 	}
 }
 
-// AddCourse publishes a package for hosting. The blob is opened once; all
-// sessions on the course share the parsed package read-only.
+// AddCourse publishes a package for hosting. The blob is opened once and
+// its video payload interned by content hash: all sessions on the course
+// share the parsed package read-only, and courses sharing footage share
+// one video buffer (the caller's blob is not retained).
 func (m *Manager) AddCourse(name string, pkgBlob []byte) error {
 	if name == "" {
 		return fmt.Errorf("playsvc: empty course name")
@@ -190,6 +207,47 @@ func (m *Manager) AddCourse(name string, pkgBlob []byte) error {
 	if err != nil {
 		return fmt.Errorf("playsvc: course %s: %w", name, err)
 	}
+	return m.publish(name, pkg)
+}
+
+// AddCourseFromManifest opens a course directly out of the chunk store:
+// the project document and video are assembled from the manifest's
+// content-addressed chunks (deposited by e.g. content.PublishTo or the
+// netstream server), so no package blob is ever built on the hosting
+// path and shared segments are read once.
+func (m *Manager) AddCourseFromManifest(name string, man *gamepack.Manifest) error {
+	if name == "" {
+		return fmt.Errorf("playsvc: empty course name")
+	}
+	if m.store == nil {
+		return fmt.Errorf("playsvc: course %s: no chunk store configured", name)
+	}
+	psec := man.Section(gamepack.SectionProject)
+	vsec := man.Section(gamepack.SectionVideo)
+	if psec == nil || vsec == nil {
+		return fmt.Errorf("playsvc: course %s: manifest lacks project or video section", name)
+	}
+	projJSON, err := psec.AssembleSection(m.store.Get)
+	if err != nil {
+		return fmt.Errorf("playsvc: course %s: %w", name, err)
+	}
+	proj, err := core.UnmarshalProject(projJSON)
+	if err != nil {
+		return fmt.Errorf("playsvc: course %s: %w", name, err)
+	}
+	video, err := vsec.AssembleSection(m.store.Get)
+	if err != nil {
+		return fmt.Errorf("playsvc: course %s: %w", name, err)
+	}
+	return m.publish(name, &gamepack.Package{Project: proj, Video: video})
+}
+
+// publish probes a parsed course package, interns its video payload by
+// content hash (so courses sharing footage decode from one buffer, and
+// the caller's blob is not retained) and registers it. Video buffers no
+// longer referenced by any course — e.g. the previous footage of a
+// just-replaced course — are released.
+func (m *Manager) publish(name string, pkg *gamepack.Package) error {
 	// Probe one session so a package that cannot start (missing start
 	// scenario, bad scripts) is rejected at publish time, not per create.
 	probe, err := runtime.NewSessionFromPackage(pkg, runtime.Options{})
@@ -198,9 +256,25 @@ func (m *Manager) AddCourse(name string, pkgBlob []byte) error {
 	}
 	probe.Close()
 	w, h, fps := probe.VideoMeta()
+	key := blobstore.Sum(pkg.Video)
 	m.coursesMu.Lock()
 	defer m.coursesMu.Unlock()
-	m.courses[name] = &course{name: name, pkg: pkg, w: w, h: h, fps: fps}
+	if v, ok := m.videos[key]; ok {
+		pkg.Video = v
+	} else {
+		pkg.Video = append([]byte(nil), pkg.Video...)
+		m.videos[key] = pkg.Video
+	}
+	m.courses[name] = &course{name: name, pkg: pkg, videoKey: key, w: w, h: h, fps: fps}
+	used := map[blobstore.Hash]bool{}
+	for _, c := range m.courses {
+		used[c.videoKey] = true
+	}
+	for k := range m.videos {
+		if !used[k] {
+			delete(m.videos, k)
+		}
+	}
 	return nil
 }
 
@@ -487,6 +561,8 @@ type ShardStats struct {
 type Stats struct {
 	UptimeSeconds   float64      `json:"uptime_seconds"`
 	Courses         []string     `json:"courses"`
+	VideoBuffers    int          `json:"video_buffers"` // distinct video payloads resident
+	VideoBytes      int64        `json:"video_bytes"`   // bytes they hold (shared across courses)
 	SessionsLive    int          `json:"sessions_live"`
 	SessionsCreated int64        `json:"sessions_created"`
 	SessionsClosed  int64        `json:"sessions_closed"`
@@ -503,6 +579,12 @@ func (m *Manager) Snapshot() Stats {
 		Courses:       m.Courses(),
 		Shards:        make([]ShardStats, len(m.shards)),
 	}
+	m.coursesMu.RLock()
+	st.VideoBuffers = len(m.videos)
+	for _, v := range m.videos {
+		st.VideoBytes += int64(len(v))
+	}
+	m.coursesMu.RUnlock()
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/blobstore"
 	"repro/internal/content"
+	"repro/internal/gamepack"
 	"repro/internal/media/raster"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
@@ -527,5 +529,126 @@ func TestPackageSharing(t *testing.T) {
 	}
 	if h1.sess.Project() != h2.sess.Project() {
 		t.Fatal("sessions do not share the project document")
+	}
+}
+
+// --- chunk store hosting (PR 4) --------------------------------------------
+
+// TestCoursesShareVideo: N courses over the same footage hold one video
+// buffer — the "pay for the bytes once" property of the chunk-store
+// refactor.
+func TestCoursesShareVideo(t *testing.T) {
+	m := NewManager(Options{Shards: 2, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	// A second course: same footage, different project document.
+	other := content.Classroom()
+	other.Project.Title = "Remedial Repair"
+	video, err := other.RecordVideo(studio.Options{QStep: 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := gamepack.Build(other.Project, video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddCourse("remedial", blob2); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if len(st.Courses) != 2 {
+		t.Fatalf("courses = %v", st.Courses)
+	}
+	if st.VideoBuffers != 1 {
+		t.Errorf("video buffers = %d, want 1 (shared footage)", st.VideoBuffers)
+	}
+	// Both courses still play.
+	for _, course := range []string{"classroom", "remedial"} {
+		r, err := m.Create(course)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Act(&ActRequest{Session: r.Session, Kind: ActLeave}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAddCourseFromManifest hosts a course straight out of the chunk
+// store: the package blob exists only on the publisher's side.
+func TestAddCourseFromManifest(t *testing.T) {
+	store, err := blobstore.New(blobstore.Options{Backend: blobstore.NewMemory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deposit the package's chunks the way any publisher would: via a
+	// netstream server sharing the store.
+	srv := netstream.NewServerWith(store)
+	if err := srv.AddPackage("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	man, err := gamepack.ExtractManifest(classroomBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Options{Shards: 2, TTL: -1, Store: store})
+	defer m.Close()
+	if err := m.AddCourseFromManifest("classroom", man); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 160 || r.Height != 120 {
+		t.Errorf("video meta = %dx%d", r.Width, r.Height)
+	}
+	var frame raster.Frame
+	if err := m.WithFrame(r.Session, 1, func(f *raster.Frame, tick int) error {
+		frame.CopyFrom(f)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frame.W != 160 || frame.H != 120 {
+		t.Errorf("frame = %dx%d", frame.W, frame.H)
+	}
+	// A manager without a store rejects manifest-backed courses.
+	bare := NewManager(Options{Shards: 1, TTL: -1})
+	defer bare.Close()
+	if err := bare.AddCourseFromManifest("classroom", man); err == nil {
+		t.Error("store-less manager accepted a manifest course")
+	}
+}
+
+// TestCourseReplaceReleasesVideo: re-publishing a course with new footage
+// must drop the old video buffer instead of pinning a generation per edit.
+func TestCourseReplaceReleasesVideo(t *testing.T) {
+	m := NewManager(Options{Shards: 2, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	edited := content.Classroom()
+	edited.Film.Shots[1].Seed ^= 0xbeef
+	blob2, err := edited.BuildPackage(studio.Options{QStep: 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddCourse("classroom", blob2); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.VideoBuffers != 1 {
+		t.Errorf("video buffers = %d after replace, want 1", st.VideoBuffers)
+	}
+	r, err := m.Create("classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Act(&ActRequest{Session: r.Session, Kind: ActLeave}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -3,7 +3,7 @@
 # machine-readable point in the perf trajectory (first point: PR 2).
 #
 # Usage:
-#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR2.json
+#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR4.json
 #   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
 #   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
 #
@@ -22,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-3}
-TAG=${BENCH_TAG:-PR2}
+TAG=${BENCH_TAG:-PR4}
 OUT=${BENCH_OUT:-BENCH_${TAG}.json}
 TIMEFLAG=()
 if [ -n "${BENCH_TIME:-}" ]; then
