@@ -541,7 +541,7 @@ func BenchmarkPlaysvcAct(b *testing.B) {
 		if err := m.AddCourse("classroom", classroomPkg(b)); err != nil {
 			b.Fatal(err)
 		}
-		r, err := m.Create("classroom")
+		r, err := m.Create(&playsvc.CreateRequest{Course: "classroom"})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 //	vgbl-loadtest -learners 500 -policy guided
 //	vgbl-loadtest -server http://127.0.0.1:8807 -pkg classroom -learners 1000
 //	vgbl-loadtest -interactive -learners 200 -watch-every 4
+//	vgbl-loadtest -interactive -server http://pkg:8807 -play-server http://gateway:8808
 //
 // The run prints the fleet's throughput/latency summary and the server's
 // final /telemetry/stats (plus, interactively, /play/stats) snapshot.
@@ -37,6 +38,7 @@ import (
 
 func main() {
 	server := flag.String("server", "", "package server base URL (empty: serve the classroom course in-process)")
+	playServer := flag.String("play-server", "", "play service base URL when it differs from -server (e.g. a cluster gateway)")
 	pkgName := flag.String("pkg", "classroom", "package name under /pkg/")
 	learners := flag.Int("learners", 500, "fleet size")
 	concurrency := flag.Int("concurrency", 128, "max simultaneously playing learners")
@@ -78,6 +80,7 @@ func main() {
 	fmt.Printf("driving %d learners (%s policy, %s) against %s/pkg/%s ...\n", *learners, *policy, mode, url, *pkgName)
 	sum, err := fleet.Run(fleet.Config{
 		ServerURL:          url,
+		PlayURL:            *playServer,
 		Package:            *pkgName,
 		Learners:           *learners,
 		Concurrency:        *concurrency,
@@ -104,7 +107,11 @@ func main() {
 	}
 	printStats(url, telemetry.StatsPath)
 	if *interactive {
-		printStats(url, playsvc.StatsPath)
+		playURL := *playServer
+		if playURL == "" {
+			playURL = url
+		}
+		printStats(playURL, playsvc.StatsPath)
 	}
 	if sum.Failed > 0 {
 		os.Exit(1)

@@ -15,9 +15,17 @@
 // the hot-chunk LRU tier). Delta-syncing clients use /manifest/<name> and
 // /chunk/<hash> to transfer only chunks whose hashes changed.
 //
+// Hosted play sessions are durable: the TTL janitor snapshots-then-evicts
+// into the chunk store, -checkpoint-every bounds what a crash can lose,
+// and /play/create with resume=<session-id> reattaches a client to a
+// frozen session. With -cluster N the play service runs as N nodes behind
+// a consistent-hash gateway; session handoff between nodes rides the same
+// snapshots.
+//
 // Usage:
 //
 //	vgbl-server -addr 127.0.0.1:8807 extra1.tkg extra2.tkg
+//	vgbl-server -cluster 3 -checkpoint-every 10s
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/content"
+	"repro/internal/gamepack"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
 	"repro/internal/playsvc"
@@ -46,8 +55,10 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 512, "telemetry queue depth per worker (backpressure bound)")
 	ingestIdle := flag.Duration("ingest-idle-timeout", 30*time.Minute, "fold telemetry sessions idle this long (negative disables)")
 	playShards := flag.Int("play-shards", 32, "play service session shards")
-	playTTL := flag.Duration("play-ttl", 10*time.Minute, "evict hosted play sessions idle this long (negative disables)")
+	playTTL := flag.Duration("play-ttl", 10*time.Minute, "snapshot-and-evict hosted play sessions idle this long (negative disables)")
 	playMax := flag.Int("play-max-sessions", 16384, "cap on live hosted play sessions (negative disables)")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodically snapshot active play sessions so a crash loses at most this much progress (0 disables)")
+	cluster := flag.Int("cluster", 0, "run N play-service nodes behind a consistent-hash gateway instead of one in-process manager")
 	flag.Parse()
 
 	// One content-addressed chunk store behind both the package server and
@@ -67,13 +78,49 @@ func main() {
 	}
 
 	srv := netstream.NewServerWith(store)
-	play := playsvc.NewManager(playsvc.Options{Shards: *playShards, TTL: *playTTL, MaxSessions: *playMax, Store: store})
-	defer play.Close()
+	// Hosted sessions are durable: one snapshot directory (and the chunk
+	// store above) backs TTL snapshot-then-evict, crash checkpoints and —
+	// in cluster mode — handoff between nodes.
+	dir := playsvc.NewMemDir()
+	nodeOpts := playsvc.Options{
+		Shards:          *playShards,
+		TTL:             *playTTL,
+		MaxSessions:     *playMax,
+		Store:           store,
+		Dir:             dir,
+		CheckpointEvery: *checkpointEvery,
+	}
+	// The play surface is either one in-process manager or a gateway over
+	// N nodes; both publish courses the same way and mount at /play/.
+	var playHandler http.Handler
+	var addCourse func(name string, blob []byte) error
+	var addManifest func(name string, man *gamepack.Manifest) error
+	if *cluster > 0 {
+		cl, err := playsvc.NewCluster(playsvc.ClusterOptions{Store: store, Dir: dir, Node: nodeOpts})
+		if err != nil {
+			fail(err)
+		}
+		defer cl.Close()
+		for i := 0; i < *cluster; i++ {
+			if _, err := cl.StartNode(); err != nil {
+				fail(err)
+			}
+		}
+		playHandler = cl.Gateway().Handler()
+		addCourse = cl.AddCourse
+		addManifest = cl.AddManifest
+	} else {
+		play := playsvc.NewManager(nodeOpts)
+		defer play.Close()
+		playHandler = play.Handler()
+		addCourse = play.AddCourse
+		addManifest = play.AddCourseFromManifest
+	}
 	publish := func(name string, blob []byte) {
 		if err := srv.AddPackage(name, blob); err != nil {
 			fail(err)
 		}
-		if err := play.AddCourse(name, blob); err != nil {
+		if err := addCourse(name, blob); err != nil {
 			fail(err)
 		}
 	}
@@ -91,7 +138,7 @@ func main() {
 		if err := srv.AddManifest(name, man); err != nil {
 			fail(err)
 		}
-		if err := play.AddCourseFromManifest(name, man); err != nil {
+		if err := addManifest(name, man); err != nil {
 			fail(err)
 		}
 	}
@@ -115,7 +162,7 @@ func main() {
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
 		fail(err)
 	}
-	if err := srv.Mount("/play/", play.Handler()); err != nil {
+	if err := srv.Mount("/play/", playHandler); err != nil {
 		fail(err)
 	}
 
@@ -133,6 +180,9 @@ func main() {
 	fmt.Printf("  listing:  http://%s/list\n", ln.Addr())
 	fmt.Printf("  telemetry: http://%s%s (POST), http://%s%s\n", ln.Addr(), telemetry.IngestPath, ln.Addr(), telemetry.StatsPath)
 	fmt.Printf("  play:     http://%s%s (POST), %s, %s, %s\n", ln.Addr(), playsvc.CreatePath, playsvc.ActPath, playsvc.FramePath, playsvc.StatsPath)
+	if *cluster > 0 {
+		fmt.Printf("  cluster:  %d play nodes behind the /play/ gateway (checkpoint every %v)\n", *cluster, *checkpointEvery)
+	}
 	fmt.Printf("  health:   http://%s%s\n", ln.Addr(), telemetry.HealthPath)
 	if err := http.Serve(ln, srv); err != nil {
 		fail(err)

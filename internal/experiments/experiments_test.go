@@ -144,3 +144,19 @@ func TestE13DeltaSync(t *testing.T) {
 		}
 	}
 }
+
+func TestE14SmallChurn(t *testing.T) {
+	out, err := E14(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"learners failed       : 0 of 40",
+		"resumed at tick       : 9",
+		"freeze + thaw + act",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E14 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -181,6 +181,20 @@ func (c *Cursor) EnterRange(name string, start, end int) error {
 	return nil
 }
 
+// Seek positions the cursor on an absolute frame index inside the current
+// segment — the restore side of a session snapshot, which records the
+// segment name plus the exact frame the player was watching.
+func (c *Cursor) Seek(pos int) error {
+	if !c.entered {
+		return errors.New("playback: cursor has not entered a segment")
+	}
+	if pos < c.seg.Start || pos >= c.seg.End {
+		return fmt.Errorf("playback: seek to %d outside segment [%d,%d)", pos, c.seg.Start, c.seg.End)
+	}
+	c.pos = pos
+	return nil
+}
+
 // Segment returns the current segment.
 func (c *Cursor) Segment() container.Chapter { return c.seg }
 

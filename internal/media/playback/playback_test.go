@@ -159,6 +159,45 @@ func TestCursorLoop(t *testing.T) {
 	}
 }
 
+func TestCursorSeek(t *testing.T) {
+	blob, _ := testBlob(t)
+	v, _ := OpenVideo(blob, 1)
+	c := NewCursor(v, Loop)
+	if err := c.Seek(0); err == nil {
+		t.Fatal("seek before entering a segment accepted")
+	}
+	seg := v.Chapters()[1]
+	if err := c.EnterSegment(seg.Name); err != nil {
+		t.Fatal(err)
+	}
+	mid := seg.Start + (seg.End-seg.Start)/2
+	if err := c.Seek(mid); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pos() != mid {
+		t.Fatalf("pos = %d, want %d", c.Pos(), mid)
+	}
+	// The sought frame decodes identically to the same frame reached by
+	// random access.
+	want, err := v.FrameAt(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClone := want.Clone()
+	got, err := c.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Pix) != string(wantClone.Pix) {
+		t.Fatal("sought frame differs from random-access frame")
+	}
+	for _, bad := range []int{seg.Start - 1, seg.End, -5} {
+		if err := c.Seek(bad); err == nil {
+			t.Errorf("seek to %d outside %+v accepted", bad, seg)
+		}
+	}
+}
+
 func TestCursorEnterUnknownSegment(t *testing.T) {
 	blob, _ := testBlob(t)
 	v, _ := OpenVideo(blob, 1)

@@ -18,6 +18,11 @@ import (
 type ClientOptions struct {
 	BaseURL string // server base, e.g. "http://127.0.0.1:8807"
 	Course  string // published course name to create a session on
+	// Resume reattaches to an existing (possibly frozen) session instead
+	// of creating a new one: Dial sends a resume create and rebuilds the
+	// mirror from the returned state and full transcript. Course may be
+	// left empty; the reply names it.
+	Resume string
 	// Project is the course document (from the downloaded package); the
 	// client resolves scenarios, objects and quizzes against it locally so
 	// policies can plan without a round trip.
@@ -57,8 +62,8 @@ var _ sim.Game = (*Client)(nil)
 // to it. Events emitted while entering the start scenario are delivered to
 // the observer before Dial returns, mirroring runtime.NewSession.
 func Dial(o ClientOptions) (*Client, error) {
-	if o.BaseURL == "" || o.Course == "" {
-		return nil, fmt.Errorf("playsvc: client needs BaseURL and Course")
+	if o.BaseURL == "" || (o.Course == "" && o.Resume == "") {
+		return nil, fmt.Errorf("playsvc: client needs BaseURL and a Course or Resume id")
 	}
 	if o.Project == nil {
 		return nil, fmt.Errorf("playsvc: client needs the course Project")
@@ -67,11 +72,14 @@ func Dial(o ClientOptions) (*Client, error) {
 		o.HTTP = http.DefaultClient
 	}
 	c := &Client{opts: o}
-	reply, err := c.post(c.opts.BaseURL+CreatePath, &CreateRequest{Course: o.Course})
+	reply, err := c.post(c.opts.BaseURL+CreatePath, &CreateRequest{Course: o.Course, Resume: o.Resume})
 	if err != nil {
 		return nil, err
 	}
 	c.id = reply.Session
+	if reply.Course != "" {
+		c.opts.Course = reply.Course
+	}
 	c.w, c.h, c.fps = reply.Width, reply.Height, reply.FPS
 	c.apply(reply)
 	return c, nil
@@ -165,6 +173,32 @@ func (c *Client) act(req *ActRequest) (*Reply, error) {
 	}
 	c.apply(r)
 	return r, nil
+}
+
+// Sync fetches the session view without acting on it, folding in — and
+// thereby acknowledging — any event or message tail the server still
+// retains. After a Sync the server holds no unacknowledged state for this
+// client, which makes it the natural last call before a planned handoff.
+func (c *Client) Sync() error {
+	if c.err != nil {
+		return c.err
+	}
+	url := fmt.Sprintf("%s%s?session=%s&events=%d&messages=%d",
+		c.opts.BaseURL, StatePath, c.id, c.seen, len(c.messages))
+	resp, err := c.opts.HTTP.Get(url)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	if err := c.checkStatus(resp, "sync"); err != nil {
+		return err
+	}
+	var r Reply
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return c.fail(err)
+	}
+	c.apply(&r)
+	return nil
 }
 
 // Project implements sim.Game.

@@ -1,0 +1,333 @@
+package playsvc
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/content"
+)
+
+// liveCluster brings up an n-node cluster with the classroom course and a
+// gateway front.
+func liveCluster(t testing.TB, n int, node Options) (*Cluster, *httptest.Server) {
+	t.Helper()
+	if node.TTL == 0 {
+		node.TTL = -1
+	}
+	if node.Shards == 0 {
+		node.Shards = 4
+	}
+	cl, err := NewCluster(ClusterOptions{Node: node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cl.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(cl.Gateway().Handler())
+	t.Cleanup(ts.Close)
+	return cl, ts
+}
+
+// TestGatewayRouting: sessions created through the gateway spread across
+// nodes by consistent hashing, and every /play/* verb works through it.
+func TestGatewayRouting(t *testing.T) {
+	cl, ts := liveCluster(t, 3, Options{})
+	const n = 24
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = dial(t, ts, nil)
+		clients[i].Talk("teacher")
+		if err := clients[i].Advance(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each client landed on the node its id hashes to, and more than one
+	// node carries load.
+	populated := 0
+	total := 0
+	for _, name := range cl.NodeNames() {
+		live := cl.Node(name).Manager.Live()
+		total += live
+		if live > 0 {
+			populated++
+		}
+	}
+	if total != n {
+		t.Fatalf("cluster hosts %d sessions, want %d", total, n)
+	}
+	if populated < 2 {
+		t.Fatalf("all sessions landed on %d node(s)", populated)
+	}
+	gs := cl.Gateway().Stats()
+	if gs.Creates != n || gs.Sessions != n || gs.Cluster.SessionsLive != n {
+		t.Fatalf("gateway stats: %+v", gs)
+	}
+	// Frames work through the gateway too.
+	f, err := clients[0].Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 160 || f.H != 120 {
+		t.Fatalf("frame %dx%d", f.W, f.H)
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Gateway().SessionCount(); got != 0 {
+		t.Fatalf("gateway still tracks %d sessions", got)
+	}
+	if live := cl.Gateway().Stats().Cluster.SessionsLive; live != 0 {
+		t.Fatalf("cluster still hosts %d", live)
+	}
+}
+
+// TestGatewayGracefulNodeRemoval: stopping a node drains its sessions
+// into the shared store; clients keep playing, their sessions thawed by
+// the new owners.
+func TestGatewayGracefulNodeRemoval(t *testing.T) {
+	cl, ts := liveCluster(t, 3, Options{})
+	const n = 18
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = dial(t, ts, nil)
+		clients[i].Talk("teacher")
+	}
+	// Stop whichever node hosts the most sessions.
+	var victim string
+	most := -1
+	for _, name := range cl.NodeNames() {
+		if live := cl.Node(name).Manager.Live(); live > most {
+			victim, most = name, live
+		}
+	}
+	if most == 0 {
+		t.Fatal("no node hosts anything")
+	}
+	if err := cl.StopNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Every client continues: strayed sessions are rescued on demand.
+	for _, c := range clients {
+		c.Talk("teacher")
+		if err := c.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		if c.Err() != nil {
+			t.Fatalf("client failed after node removal: %v", c.Err())
+		}
+	}
+	gs := cl.Gateway().Stats()
+	if gs.Cluster.SessionsLive != n {
+		t.Fatalf("live = %d, want %d", gs.Cluster.SessionsLive, n)
+	}
+	if gs.Cluster.SessionsResumed == 0 {
+		t.Fatal("no session was thawed after the drain")
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGatewayNodeAdditionMigratesLazily: adding a node changes some ids'
+// owners; their next act is rescued off the old owner (freeze → thaw)
+// with no client-visible hiccup.
+func TestGatewayNodeAdditionMigratesLazily(t *testing.T) {
+	cl, ts := liveCluster(t, 1, Options{})
+	const n = 16
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = dial(t, ts, nil)
+		clients[i].Talk("teacher")
+	}
+	if _, err := cl.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		c.Talk("teacher")
+		if c.Err() != nil {
+			t.Fatalf("client failed after node addition: %v", c.Err())
+		}
+	}
+	gs := cl.Gateway().Stats()
+	if gs.Cluster.SessionsLive != n {
+		t.Fatalf("live = %d, want %d", gs.Cluster.SessionsLive, n)
+	}
+	// With 1→3 nodes roughly two thirds of the ids move; at least one
+	// must have (vanishingly unlikely otherwise).
+	if gs.Rescues == 0 {
+		t.Fatal("no session migrated to the new nodes")
+	}
+	spread := 0
+	for _, name := range cl.NodeNames() {
+		if cl.Node(name).Manager.Live() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("sessions on %d node(s) after expansion", spread)
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGatewayCrashRecovery: a killed node loses post-checkpoint progress
+// but nothing else — the gateway drops the dead node and the session
+// thaws from its last checkpoint on a survivor.
+func TestGatewayCrashRecovery(t *testing.T) {
+	cl, ts := liveCluster(t, 2, Options{})
+	c := dial(t, ts, nil)
+	if err := c.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := cl.Gateway().ownerOf(c.SessionID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cl.Node(owner.name).Manager.Checkpoint(); n != 1 {
+		t.Fatalf("checkpointed %d", n)
+	}
+	// Progress past the checkpoint, then the node dies WITHOUT telling
+	// anyone — its listener just stops answering.
+	if err := c.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	cl.Node(owner.name).srv.Close()
+	// The next act hits the dead node, the gateway drops it from the ring
+	// and retries on the survivor; the ticks since the last checkpoint
+	// are gone, which is exactly the advertised loss bound.
+	if err := c.Advance(1); err != nil {
+		t.Fatalf("act after crash: %v", err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("client stuck: %v", c.Err())
+	}
+	if got := c.Ticks(); got != 6 {
+		t.Fatalf("resumed ticks = %d, want 6 (5 checkpointed + 1 new; 3 lost)", got)
+	}
+	gs := cl.Gateway().Stats()
+	if gs.DeadRemoved != 1 {
+		t.Fatalf("dead nodes removed = %d", gs.DeadRemoved)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reap the crashed node's process-level remains.
+	if err := cl.KillNode(owner.name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayResumeAfterClusterRestart: a fresh client resumes by id
+// through the gateway after every original node is gone (replaced), as
+// long as store+dir survive.
+func TestGatewayResumeAfterClusterRestart(t *testing.T) {
+	cl, ts := liveCluster(t, 2, Options{})
+	c := dial(t, ts, nil)
+	c.Talk("teacher")
+	id := c.SessionID()
+	msgs := len(c.Messages())
+	// Rolling restart: start replacements, stop originals.
+	old := cl.NodeNames()
+	for i := 0; i < 2; i++ {
+		if _, err := cl.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range old {
+		if err := cl.StopNode(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2, err := Dial(ClientOptions{
+		BaseURL: ts.URL,
+		Resume:  id,
+		Project: content.Classroom().Project,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Messages()) != msgs {
+		t.Fatalf("resumed transcript has %d messages, want %d", len(c2.Messages()), msgs)
+	}
+	c2.Talk("teacher")
+	if c2.Err() != nil {
+		t.Fatal(c2.Err())
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsistentHashStability: removing one node only reassigns the ids
+// it owned; everyone else keeps their owner.
+func TestConsistentHashStability(t *testing.T) {
+	g := NewGateway(nil)
+	for i := 0; i < 4; i++ {
+		if err := g.AddNode(fmt.Sprintf("n%d", i), fmt.Sprintf("http://127.0.0.1:%d", 10000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddNode("n0", "http://x"); err == nil {
+		t.Fatal("duplicate node name accepted")
+	}
+	const ids = 1000
+	before := map[string]string{}
+	perNode := map[string]int{}
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("classroom-%08d", i)
+		n, err := g.ownerOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = n.name
+		perNode[n.name]++
+	}
+	// Reasonable balance: every node owns something substantial.
+	for name, count := range perNode {
+		if count < ids/16 {
+			t.Fatalf("node %s owns only %d/%d ids", name, count, ids)
+		}
+	}
+	g.RemoveNode("n2", false)
+	moved := 0
+	for id, owner := range before {
+		now, err := g.ownerOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == "n2" {
+			if now.name == "n2" {
+				t.Fatal("removed node still owns ids")
+			}
+			moved++
+			continue
+		}
+		if now.name != owner {
+			t.Fatalf("id %s moved %s→%s though its owner survived", id, owner, now.name)
+		}
+	}
+	if moved != perNode["n2"] {
+		t.Fatalf("moved %d ids, want exactly n2's %d", moved, perNode["n2"])
+	}
+	if err := g.RemoveNode("ghost", false); err == nil {
+		t.Fatal("removing an unknown node succeeded")
+	}
+}

@@ -1,0 +1,561 @@
+// The cluster gateway: one play service spread over N backend nodes.
+//
+// Gateway is a thin HTTP router in front of stock play-service nodes. It
+// speaks the exact /play/* protocol, so clients (and the whole learner
+// fleet) point at it unchanged. Session ids are assigned by the gateway
+// and routed by consistent hashing, so each session has one owner node
+// and adding or removing a node moves only ~1/N of the id space.
+//
+// Durability is what makes the routing safe to change: all nodes share
+// one content-addressed chunk store and one snapshot directory. When a
+// node is removed gracefully the gateway drains it (every hosted session
+// freezes into the store); when ownership moves — a drain, a node
+// addition, or a crash — the next request for a stray session triggers a
+// rescue: the gateway asks the other nodes to hand the session off
+// (freeze it), then retries the new owner, which thaws the snapshot and
+// carries on. A well-behaved client never notices; at worst a crashed
+// node loses the acts since its last checkpoint.
+package playsvc
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// vnodes is how many ring points each node gets; more points spread the
+// id space more evenly at the cost of a larger (still tiny) ring.
+const vnodes = 256
+
+// maxProxyBody bounds a relayed response (the largest is a raw RGB frame).
+const maxProxyBody = 64 << 20
+
+// gwNode is one backend node the gateway routes to.
+type gwNode struct {
+	name string
+	url  string // base URL, e.g. http://127.0.0.1:43211
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash uint32
+	node int // index into Gateway.nodes
+}
+
+// Gateway fans the play-service protocol out across backend nodes. All
+// methods are safe for concurrent use.
+type Gateway struct {
+	httpc *http.Client
+
+	mu       sync.RWMutex
+	nodes    []gwNode
+	ring     []ringPoint
+	sessions map[string]bool // gateway-assigned ids still believed live
+	// draining nodes are out of the ring (no new routes) but still
+	// serving while their sessions freeze; the rescue path must be able
+	// to reach them or acts for their sessions would 404 mid-drain.
+	draining []gwNode
+
+	creates     atomic.Int64 // sessions created through the gateway
+	rescues     atomic.Int64 // stray sessions handed off and re-owned
+	recoveries  atomic.Int64 // sessions revived from a crash checkpoint
+	retries     atomic.Int64 // requests replayed onto another node
+	deadRemoved atomic.Int64 // nodes dropped after transport failures
+
+	handlerOnce sync.Once
+	handler     http.Handler
+}
+
+// NewGateway returns an empty gateway; add nodes with AddNode. A nil
+// client uses http.DefaultClient.
+func NewGateway(client *http.Client) *Gateway {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Gateway{httpc: client, sessions: map[string]bool{}}
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// rebuildRing recomputes the ring from g.nodes; g.mu must be held.
+func (g *Gateway) rebuildRing() {
+	g.ring = g.ring[:0]
+	for i, n := range g.nodes {
+		for v := 0; v < vnodes; v++ {
+			g.ring = append(g.ring, ringPoint{hash32(fmt.Sprintf("%s#%d", n.name, v)), i})
+		}
+	}
+	sort.Slice(g.ring, func(a, b int) bool { return g.ring[a].hash < g.ring[b].hash })
+}
+
+// AddNode registers a backend. Sessions whose owner moves onto the new
+// node are migrated lazily: their next request 404s on the new owner, the
+// gateway rescues them off the old one, and the new owner thaws them.
+func (g *Gateway) AddNode(name, url string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.nodes {
+		if n.name == name {
+			return fmt.Errorf("playsvc: gateway already has a node %q", name)
+		}
+	}
+	g.nodes = append(g.nodes, gwNode{name: name, url: strings.TrimSuffix(url, "/")})
+	g.rebuildRing()
+	return nil
+}
+
+// RemoveNode takes a backend out of the ring. With drain set it then
+// freezes every session the node still hosts into the shared store
+// (graceful removal — zero loss); without, the node is presumed dead and
+// its sessions thaw from their last checkpoint.
+func (g *Gateway) RemoveNode(name string, drain bool) error {
+	g.mu.Lock()
+	var node *gwNode
+	kept := g.nodes[:0]
+	for i := range g.nodes {
+		if g.nodes[i].name == name {
+			n := g.nodes[i]
+			node = &n
+			continue
+		}
+		kept = append(kept, g.nodes[i])
+	}
+	g.nodes = kept
+	g.rebuildRing()
+	if node != nil && drain {
+		// Stay reachable for rescues until every session is in the store.
+		g.draining = append(g.draining, *node)
+	}
+	g.mu.Unlock()
+	if node == nil {
+		return fmt.Errorf("playsvc: gateway has no node %q", name)
+	}
+	if !drain {
+		return nil
+	}
+	resp, err := g.httpc.Post(node.url+DrainPath, "application/json", nil)
+	g.mu.Lock()
+	for i := range g.draining {
+		if g.draining[i] == *node {
+			g.draining = append(g.draining[:i], g.draining[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("playsvc: draining %s: %w", name, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("playsvc: draining %s: %s", name, resp.Status)
+	}
+	return nil
+}
+
+// dropDead removes a node the gateway failed to reach. It only drops the
+// exact (name, url) pair it tried, so a racing remove+re-add of the same
+// name is not clobbered.
+func (g *Gateway) dropDead(node gwNode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.nodes {
+		if g.nodes[i] == node {
+			g.nodes = append(g.nodes[:i], g.nodes[i+1:]...)
+			g.rebuildRing()
+			g.deadRemoved.Add(1)
+			return
+		}
+	}
+}
+
+// NodeNames lists the current backends in ring order of addition.
+func (g *Gateway) NodeNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// SessionCount is how many gateway-assigned sessions have not left yet.
+func (g *Gateway) SessionCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.sessions)
+}
+
+// ownerOf resolves a session id to its owning node.
+func (g *Gateway) ownerOf(session string) (gwNode, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.ring) == 0 {
+		return gwNode{}, fmt.Errorf("playsvc: gateway has no nodes")
+	}
+	h := hash32(session)
+	i := sort.Search(len(g.ring), func(i int) bool { return g.ring[i].hash >= h })
+	if i == len(g.ring) {
+		i = 0
+	}
+	return g.nodes[g.ring[i].node], nil
+}
+
+// otherNodes returns every backend except the named one — including
+// nodes mid-drain, whose sessions may not have reached the store yet.
+func (g *Gateway) otherNodes(except string) []gwNode {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]gwNode, 0, len(g.nodes)+len(g.draining))
+	for _, n := range g.nodes {
+		if n.name != except {
+			out = append(out, n)
+		}
+	}
+	for _, n := range g.draining {
+		if n.name != except {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// proxied is a fully-buffered backend response (replies are small and
+// frames are bounded, so buffering keeps the retry logic trivial).
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// send performs one request against one node.
+func (g *Gateway) send(node gwNode, method, path, rawQuery string, body []byte) (*proxied, error) {
+	url := node.url + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, err
+	}
+	return &proxied{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// rescue asks every node except the current owner to freeze the session
+// into the shared store; it reports whether any of them had it (live — a
+// handoff — or already frozen).
+func (g *Gateway) rescue(session, ownerName string) bool {
+	for _, n := range g.otherNodes(ownerName) {
+		body, _ := json.Marshal(&HandoffRequest{Session: session})
+		p, err := g.send(n, http.MethodPost, HandoffPath, "", body)
+		if err == nil && p.status == http.StatusOK {
+			return true
+		}
+	}
+	return false
+}
+
+// recover asks the owner to thaw the session from its last checkpoint —
+// the final fallback once no node admits to holding it, meaning its
+// owner crashed without draining.
+func (g *Gateway) recover(session string, owner gwNode) bool {
+	body, _ := json.Marshal(&HandoffRequest{Session: session})
+	p, err := g.send(owner, http.MethodPost, RecoverPath, "", body)
+	return err == nil && p.status == http.StatusOK
+}
+
+// doSession routes one session-scoped request to its owner, healing the
+// two ways a request can go astray:
+//
+//   - transport failure → the node is dead: drop it from the ring and
+//     retry on the id's new owner (which thaws the last checkpoint);
+//   - 404 → the session lives elsewhere (the ring changed): broadcast a
+//     handoff so the old owner freezes it, then retry the owner once.
+//
+// A 503 (node draining, or cap reached) retries only if re-resolution
+// finds a different owner.
+func (g *Gateway) doSession(method, path, rawQuery string, body []byte, session string) (*proxied, error) {
+	rescued := false
+	var last *proxied
+	for attempt := 0; attempt < 4; attempt++ {
+		node, err := g.ownerOf(session)
+		if err != nil {
+			return nil, err
+		}
+		p, err := g.send(node, method, path, rawQuery, body)
+		if err != nil {
+			g.dropDead(node)
+			g.retries.Add(1)
+			continue
+		}
+		last = p
+		switch p.status {
+		case http.StatusNotFound:
+			if rescued {
+				return p, nil
+			}
+			rescued = true
+			if g.rescue(session, node.name) {
+				g.rescues.Add(1)
+			} else if g.recover(session, node) {
+				// No node holds it live: its owner crashed. Revive from
+				// the last periodic checkpoint.
+				g.recoveries.Add(1)
+			} else {
+				return p, nil // genuinely unknown everywhere
+			}
+			g.retries.Add(1)
+			continue
+		case http.StatusServiceUnavailable:
+			if next, err := g.ownerOf(session); err == nil && next != node {
+				g.retries.Add(1)
+				continue
+			}
+			return p, nil
+		default:
+			return p, nil
+		}
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, fmt.Errorf("playsvc: no reachable node for session %q", session)
+}
+
+// newSessionID mints a gateway-assigned id. Ids carry the course name for
+// debuggability plus random hex so restarted gateways cannot collide.
+func newSessionID(course string) string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("playsvc: session id entropy: " + err.Error())
+	}
+	return course + "-" + hex.EncodeToString(b[:])
+}
+
+func (g *Gateway) track(session string) {
+	g.mu.Lock()
+	g.sessions[session] = true
+	g.mu.Unlock()
+}
+
+func (g *Gateway) untrack(session string) {
+	g.mu.Lock()
+	delete(g.sessions, session)
+	g.mu.Unlock()
+}
+
+// relay writes a buffered backend response to the client.
+func relay(w http.ResponseWriter, p *proxied) {
+	for _, k := range []string{"Content-Type", "X-Frame-Width", "X-Frame-Height", "X-Frame-Tick"} {
+		if v := p.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(p.status)
+	w.Write(p.body)
+}
+
+// Handler returns the gateway's HTTP surface — the same /play/* routes a
+// single node serves, so clients need no cluster awareness.
+func (g *Gateway) Handler() http.Handler {
+	g.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc(CreatePath, g.handleCreate)
+		mux.HandleFunc(ActPath, g.handleAct)
+		mux.HandleFunc(StatePath, g.handleSessionGet)
+		mux.HandleFunc(FramePath, g.handleSessionGet)
+		mux.HandleFunc(StatsPath, g.handleStats)
+		g.handler = mux
+	})
+	return g.handler
+}
+
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if v := r.URL.Query().Get("resume"); v != "" && req.Resume == "" {
+		req.Resume = v
+	}
+	session := req.Resume
+	if session != "" {
+		// An explicit resume may thaw a checkpoint entry on its owner, so
+		// first sweep any live copy off the other nodes (a no-op unless
+		// the ring changed under a dormant client).
+		if owner, err := g.ownerOf(session); err == nil {
+			g.rescue(session, owner.name)
+		}
+	}
+	if session == "" {
+		if req.Course == "" {
+			http.Error(w, "playsvc: create needs a course or a resume id", http.StatusBadRequest)
+			return
+		}
+		if req.Session == "" {
+			req.Session = newSessionID(req.Course)
+		}
+		session = req.Session
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p, err := g.doSession(http.MethodPost, CreatePath, "", body, session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if p.status == http.StatusOK {
+		g.track(session)
+		g.creates.Add(1)
+	}
+	relay(w, p)
+}
+
+func (g *Gateway) handleAct(w http.ResponseWriter, r *http.Request) {
+	var req ActRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		http.Error(w, "playsvc: act needs a session", http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p, err := g.doSession(http.MethodPost, ActPath, "", body, req.Session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if req.Kind == ActLeave && p.status == http.StatusOK {
+		g.untrack(req.Session)
+	}
+	relay(w, p)
+}
+
+// handleSessionGet proxies the GET routes (state, frame) by the session
+// query parameter.
+func (g *Gateway) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		http.Error(w, "playsvc: missing session", http.StatusBadRequest)
+		return
+	}
+	p, err := g.doSession(http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	relay(w, p)
+}
+
+// GatewayNodeStats is one backend's health in a GatewayStats snapshot.
+type GatewayNodeStats struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Live  int    `json:"live"`
+	Error string `json:"error,omitempty"`
+}
+
+// GatewayStats is the gateway's /play/stats payload: its own routing
+// counters, per-node health, and the summed cluster totals.
+type GatewayStats struct {
+	Sessions     int                `json:"sessions"` // gateway-tracked live ids
+	Creates      int64              `json:"creates"`
+	Rescues      int64              `json:"rescues"`
+	Recoveries   int64              `json:"recoveries"`
+	Retries      int64              `json:"retries"`
+	DeadRemoved  int64              `json:"dead_nodes_removed"`
+	Nodes        []GatewayNodeStats `json:"nodes"`
+	Cluster      Stats              `json:"cluster"` // summed over reachable nodes
+	NodesQueried int                `json:"nodes_queried"`
+}
+
+// Stats polls every node and assembles the cluster view.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.RLock()
+	nodes := append([]gwNode(nil), g.nodes...)
+	sessions := len(g.sessions)
+	g.mu.RUnlock()
+	st := GatewayStats{
+		Sessions:    sessions,
+		Creates:     g.creates.Load(),
+		Rescues:     g.rescues.Load(),
+		Recoveries:  g.recoveries.Load(),
+		Retries:     g.retries.Load(),
+		DeadRemoved: g.deadRemoved.Load(),
+	}
+	for _, n := range nodes {
+		ns := GatewayNodeStats{Name: n.name, URL: n.url}
+		p, err := g.send(n, http.MethodGet, StatsPath, "", nil)
+		if err != nil || p.status != http.StatusOK {
+			if err != nil {
+				ns.Error = err.Error()
+			} else {
+				ns.Error = fmt.Sprintf("status %d", p.status)
+			}
+			st.Nodes = append(st.Nodes, ns)
+			continue
+		}
+		var s Stats
+		if err := json.Unmarshal(p.body, &s); err != nil {
+			ns.Error = err.Error()
+			st.Nodes = append(st.Nodes, ns)
+			continue
+		}
+		ns.Live = s.SessionsLive
+		st.Nodes = append(st.Nodes, ns)
+		st.NodesQueried++
+		st.Cluster.SessionsLive += s.SessionsLive
+		st.Cluster.SessionsCreated += s.SessionsCreated
+		st.Cluster.SessionsClosed += s.SessionsClosed
+		st.Cluster.SessionsEvicted += s.SessionsEvicted
+		st.Cluster.SessionsFrozen += s.SessionsFrozen
+		st.Cluster.SessionsResumed += s.SessionsResumed
+		st.Cluster.Checkpoints += s.Checkpoints
+		st.Cluster.Acts += s.Acts
+		st.Cluster.Frames += s.Frames
+	}
+	return st
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

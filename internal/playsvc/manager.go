@@ -52,6 +52,17 @@ type Options struct {
 	// netstream server publishes into, so the two services share segment
 	// bytes. nil disables store-backed opening; AddCourse still works.
 	Store *blobstore.Store
+	// Dir is the snapshot directory. With both Store and Dir set, hosted
+	// sessions are durable: the TTL janitor snapshots-then-evicts instead
+	// of discarding, evicted and handed-off sessions thaw transparently on
+	// their next request, and /play/create resume=<id> reattaches a fresh
+	// client. A cluster shares one Store+Dir across all nodes. nil
+	// disables durability (the seed behavior).
+	Dir SnapshotDir
+	// CheckpointEvery periodically snapshots every active session so a
+	// crash loses at most one interval of progress. 0 disables periodic
+	// checkpoints (sessions are still snapshotted on eviction and drain).
+	CheckpointEvery time.Duration
 }
 
 func (o *Options) defaults() {
@@ -92,9 +103,18 @@ type hosted struct {
 	eventBase int
 	frame     raster.Frame // reusable frame-path buffer
 
+	// gone marks a session that has been released (left, evicted or
+	// frozen for handoff) after a concurrent request already resolved it;
+	// request paths re-check it under mu and answer 404 so the caller
+	// retries into the thaw path instead of acting on a zombie.
+	gone bool
+
 	// lastSeen (unix nanos) is atomic so the janitor can scan shards
 	// without taking every session lock.
 	lastSeen atomic.Int64
+	// checkpointed is the lastSeen value the periodic checkpointer last
+	// persisted; sessions idle since then are skipped.
+	checkpointed atomic.Int64
 }
 
 // Record implements runtime.Observer (called with mu held — all session
@@ -120,6 +140,8 @@ type shard struct {
 	created atomic.Int64
 	closed  atomic.Int64 // sessions released by a leave act
 	evicted atomic.Int64 // sessions reclaimed by the janitor (or Close)
+	frozen  atomic.Int64 // sessions snapshotted to the store on release
+	resumed atomic.Int64 // sessions thawed from a snapshot
 	acts    atomic.Int64
 	frames  atomic.Int64
 }
@@ -137,6 +159,13 @@ type Manager struct {
 	// one buffer instead of N.
 	videos map[blobstore.Hash][]byte
 	store  *blobstore.Store
+	dir    SnapshotDir
+
+	checkpoints atomic.Int64 // sessions persisted by the periodic checkpointer
+	// draining is set by DrainAll (node decommission): no new session may
+	// be created or thawed here, so an in-flight request racing the drain
+	// cannot resurrect a just-frozen session onto a node that is leaving.
+	draining atomic.Bool
 
 	seq    atomic.Int64
 	shards []shard
@@ -148,23 +177,26 @@ type Manager struct {
 	handlerOnce sync.Once
 	handler     http.Handler
 
-	closeOnce   sync.Once
-	stopJanitor chan struct{}
-	janitorDone chan struct{}
+	closeOnce      sync.Once
+	stopJanitor    chan struct{}
+	janitorDone    chan struct{}
+	checkpointDone chan struct{}
 }
 
 // NewManager builds a manager and starts its eviction janitor.
 func NewManager(o Options) *Manager {
 	o.defaults()
 	m := &Manager{
-		opts:        o,
-		started:     time.Now(),
-		courses:     map[string]*course{},
-		videos:      map[blobstore.Hash][]byte{},
-		store:       o.Store,
-		shards:      make([]shard, o.Shards),
-		stopJanitor: make(chan struct{}),
-		janitorDone: make(chan struct{}),
+		opts:           o,
+		started:        time.Now(),
+		courses:        map[string]*course{},
+		videos:         map[blobstore.Hash][]byte{},
+		store:          o.Store,
+		dir:            o.Dir,
+		shards:         make([]shard, o.Shards),
+		stopJanitor:    make(chan struct{}),
+		janitorDone:    make(chan struct{}),
+		checkpointDone: make(chan struct{}),
 	}
 	for i := range m.shards {
 		m.shards[i].sessions = map[string]*hosted{}
@@ -174,7 +206,27 @@ func NewManager(o Options) *Manager {
 	} else {
 		close(m.janitorDone)
 	}
+	if o.CheckpointEvery > 0 && m.canSnapshot() {
+		go m.runCheckpointer(o.CheckpointEvery)
+	} else {
+		close(m.checkpointDone)
+	}
 	return m
+}
+
+// runCheckpointer periodically persists active sessions (see Checkpoint).
+func (m *Manager) runCheckpointer(every time.Duration) {
+	defer close(m.checkpointDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Checkpoint()
+		case <-m.stopJanitor:
+			return
+		}
+	}
 }
 
 func (m *Manager) runJanitor(ttl time.Duration) {
@@ -316,15 +368,28 @@ func (m *Manager) lookup(session string) (*hosted, *shard, error) {
 // by in-flight creates).
 func (m *Manager) Live() int { return int(m.liveCount.Load()) }
 
-// Create opens a new hosted session on a published course and returns the
-// session's initial view (including any events the start scenario's
-// OnEnter script emitted).
-func (m *Manager) Create(courseName string) (*Reply, error) {
+// Create opens a new hosted session on a published course — or, when
+// req.Resume names a snapshotted session, thaws it — and returns the
+// session's view. New sessions include any events the start scenario's
+// OnEnter script emitted; a resumed reply carries the transcript and
+// event tail beyond the client's seen-counts, so a fresh client (seen
+// counts zero) rebuilds the full conversation. Cluster gateways may
+// supply req.Session so the id hashes onto the node they routed to.
+func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
+	if req.Resume != "" {
+		return m.resume(req.Resume, req.SeenEvents, req.SeenMessages)
+	}
+	if req.Course == "" {
+		return nil, errf(http.StatusBadRequest, "playsvc: create needs a course or a resume id")
+	}
+	if m.draining.Load() {
+		return nil, errf(http.StatusServiceUnavailable, "playsvc: node is draining")
+	}
 	m.coursesMu.RLock()
-	c := m.courses[courseName]
+	c := m.courses[req.Course]
 	m.coursesMu.RUnlock()
 	if c == nil {
-		return nil, errf(http.StatusNotFound, "playsvc: no course %q", courseName)
+		return nil, errf(http.StatusNotFound, "playsvc: no course %q", req.Course)
 	}
 	// Reserve the slot before building the session: concurrent creates
 	// racing a nearly-full cap must not all pass a read-then-insert check.
@@ -332,7 +397,11 @@ func (m *Manager) Create(courseName string) (*Reply, error) {
 		m.liveCount.Add(-1)
 		return nil, errf(http.StatusServiceUnavailable, "playsvc: session cap (%d) reached", m.opts.MaxSessions)
 	}
-	h := &hosted{id: fmt.Sprintf("%s-%08d", courseName, m.seq.Add(1)), course: c}
+	id := req.Session
+	if id == "" {
+		id = fmt.Sprintf("%s-%08d", req.Course, m.seq.Add(1))
+	}
+	h := &hosted{id: id, course: c}
 	h.touch()
 	sess, err := runtime.NewSessionFromPackage(c.pkg, runtime.Options{
 		DecodeWorkers: m.opts.DecodeWorkers,
@@ -345,6 +414,12 @@ func (m *Manager) Create(courseName string) (*Reply, error) {
 	h.sess = sess
 	sh := m.shardFor(h.id)
 	sh.mu.Lock()
+	if sh.sessions[h.id] != nil {
+		sh.mu.Unlock()
+		sess.Close()
+		m.liveCount.Add(-1)
+		return nil, errf(http.StatusConflict, "playsvc: session %q already exists", h.id)
+	}
 	sh.sessions[h.id] = h
 	sh.mu.Unlock()
 	sh.created.Add(1)
@@ -354,6 +429,33 @@ func (m *Manager) Create(courseName string) (*Reply, error) {
 	r := h.reply(0, 0)
 	r.Course = c.name
 	r.Width, r.Height, r.FPS = c.w, c.h, c.fps
+	return r, nil
+}
+
+// resume reattaches to a session by id: live sessions answer directly,
+// frozen ones are thawed first. An explicit resume may also thaw a
+// checkpoint entry — the client asserts its session's node is gone (a
+// cluster gateway pre-rescues live copies before letting this through).
+// The reply repeats the create-time course metadata so a reconnecting
+// client needs no other state.
+func (m *Manager) resume(session string, seenEvents, seenMessages int) (*Reply, error) {
+	h, _, err := m.lookup(session)
+	if err != nil {
+		h, _, err = m.thaw(session, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.touch()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gone {
+		return nil, errf(http.StatusNotFound, "playsvc: no session %q", session)
+	}
+	r := h.reply(seenEvents, seenMessages)
+	r.Course = h.course.name
+	r.Width, r.Height, r.FPS = h.course.w, h.course.h, h.course.fps
+	r.Resumed = true
 	return r, nil
 }
 
@@ -391,33 +493,70 @@ func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
 
 // Act applies one interaction to a hosted session and returns the updated
 // view. A "leave" act releases the session after building its final view.
+// A session this node does not host is thawed from the snapshot directory
+// first, so eviction and cluster handoff are invisible to the client.
 func (m *Manager) Act(req *ActRequest) (*Reply, error) {
-	h, sh, err := m.lookup(req.Session)
+	if req.Kind == ActLeave {
+		if h, sh, err := m.lookup(req.Session); err == nil {
+			return m.leave(req, h, sh)
+		}
+		// Leaving a frozen session needs no restore: discard its released
+		// snapshot and confirm. A checkpoint entry stays a 404 — the
+		// session may be live on another node, and the gateway's rescue
+		// must freeze that copy before the leave lands here again.
+		if m.canSnapshot() {
+			if ref, ok := m.dir.Lookup(req.Session); ok && !ref.Checkpoint {
+				m.dir.Delete(req.Session)
+				return &Reply{Session: req.Session}, nil
+			}
+		}
+		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
+	}
+
+	h, sh, err := m.lookupOrThaw(req.Session)
 	if err != nil {
 		return nil, err
 	}
 	sh.acts.Add(1)
 	h.touch()
 
-	if req.Kind == ActLeave {
-		// Remove from the shard before locking the session so the janitor
-		// (which locks shard → session) cannot deadlock against us.
-		sh.mu.Lock()
-		_, still := sh.sessions[req.Session]
-		delete(sh.sessions, req.Session)
-		sh.mu.Unlock()
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		if still {
-			sh.closed.Add(1)
-			m.liveCount.Add(-1)
-			h.sess.Close()
-		}
-		return h.reply(req.SeenEvents, req.SeenMessages), nil
-	}
-
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return m.actLocked(req, h)
+}
+
+// leave releases a live session after building its final view.
+func (m *Manager) leave(req *ActRequest, h *hosted, sh *shard) (*Reply, error) {
+	sh.acts.Add(1)
+	h.touch()
+	// Remove from the shard before locking the session so the janitor
+	// (which locks shard → session) cannot deadlock against us.
+	sh.mu.Lock()
+	_, still := sh.sessions[req.Session]
+	delete(sh.sessions, req.Session)
+	sh.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if still && !h.gone {
+		sh.closed.Add(1)
+		m.liveCount.Add(-1)
+		h.gone = true
+		h.sess.Close()
+	}
+	// A left session must not resurrect from an old snapshot.
+	if m.dir != nil {
+		m.dir.Delete(req.Session)
+	}
+	return h.reply(req.SeenEvents, req.SeenMessages), nil
+}
+
+// actLocked applies one non-leave interaction; h.mu must be held.
+func (m *Manager) actLocked(req *ActRequest, h *hosted) (*Reply, error) {
+	if h.gone {
+		// Frozen or released between lookup and lock; the caller retries
+		// and lands in the thaw path.
+		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
+	}
 	var correct, took *bool
 	switch req.Kind {
 	case ActClick:
@@ -470,13 +609,16 @@ func (m *Manager) Act(req *ActRequest) (*Reply, error) {
 // refreshes the idle clock and, like every reply, releases the event
 // prefix the caller acknowledges via seenEvents).
 func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply, error) {
-	h, _, err := m.lookup(session)
+	h, _, err := m.lookupOrThaw(session)
 	if err != nil {
 		return nil, err
 	}
 	h.touch()
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.gone {
+		return nil, errf(http.StatusNotFound, "playsvc: no session %q", session)
+	}
 	return h.reply(seenEvents, seenMessages), nil
 }
 
@@ -486,7 +628,7 @@ func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply,
 // allocation-free frame path: advance + DecodeInto + cached-sprite
 // composition allocate nothing in steady state.
 func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame, tick int) error) error {
-	h, sh, err := m.lookup(session)
+	h, sh, err := m.lookupOrThaw(session)
 	if err != nil {
 		return err
 	}
@@ -497,6 +639,9 @@ func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.gone {
+		return errf(http.StatusNotFound, "playsvc: no session %q", session)
+	}
 	if advance > 0 {
 		if err := h.sess.Advance(advance); err != nil {
 			return err
@@ -509,8 +654,11 @@ func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame
 }
 
 // ExpireIdle evicts every session idle since before the cutoff, releasing
-// its decode resources, and reports how many it reclaimed. The janitor
-// calls this with now-TTL; tests call it directly.
+// its decode resources, and reports how many it reclaimed. With a
+// snapshot store configured the janitor snapshots-then-evicts: the
+// session's progress survives in the store and its next request (or an
+// explicit resume) thaws it. The janitor calls this with now-TTL; tests
+// call it directly.
 func (m *Manager) ExpireIdle(cutoff time.Time) int {
 	n := 0
 	cut := cutoff.UnixNano()
@@ -518,31 +666,67 @@ func (m *Manager) ExpireIdle(cutoff time.Time) int {
 		sh := &m.shards[i]
 		var victims []*hosted
 		sh.mu.Lock()
-		for id, h := range sh.sessions {
+		for _, h := range sh.sessions {
 			if h.lastSeen.Load() < cut {
-				delete(sh.sessions, id)
 				victims = append(victims, h)
 			}
 		}
 		sh.mu.Unlock()
 		for _, h := range victims {
-			h.mu.Lock()
-			h.sess.Close()
-			h.mu.Unlock()
+			if m.canSnapshot() {
+				// A failed freeze (transient store error) leaves the
+				// session live for the next sweep: held is recoverable,
+				// evicted-without-a-snapshot is not.
+				if removed, err := m.freezeOut(sh, h); err == nil && removed {
+					sh.evicted.Add(1)
+					n++
+				}
+				continue
+			}
+			if m.evictOut(sh, h) {
+				sh.evicted.Add(1)
+				n++
+			}
 		}
-		sh.evicted.Add(int64(len(victims)))
-		m.liveCount.Add(-int64(len(victims)))
-		n += len(victims)
 	}
 	return n
 }
 
-// Close stops the janitor and evicts every remaining session.
+// Close stops the background goroutines and releases every remaining
+// session — gracefully: with a snapshot store configured, live sessions
+// are frozen first (via ExpireIdle), so a restart resumes them.
 func (m *Manager) Close() {
 	m.closeOnce.Do(func() {
 		close(m.stopJanitor)
 		<-m.janitorDone
+		<-m.checkpointDone
 		m.ExpireIdle(time.Now().Add(24 * time.Hour))
+	})
+}
+
+// Halt releases everything WITHOUT snapshotting — the crash simulation.
+// Sessions keep only whatever the last periodic checkpoint persisted,
+// which is exactly the loss bound -checkpoint-every promises. Tests and
+// the churn experiment use it; production code wants Close.
+func (m *Manager) Halt() {
+	m.closeOnce.Do(func() {
+		close(m.stopJanitor)
+		<-m.janitorDone
+		<-m.checkpointDone
+		for i := range m.shards {
+			sh := &m.shards[i]
+			sh.mu.Lock()
+			victims := make([]*hosted, 0, len(sh.sessions))
+			for _, h := range sh.sessions {
+				victims = append(victims, h)
+			}
+			sh.mu.Unlock()
+			for _, h := range victims {
+				if m.evictOut(sh, h) {
+					sh.evicted.Add(1)
+				}
+			}
+		}
 	})
 }
 
@@ -552,6 +736,8 @@ type ShardStats struct {
 	Created int64 `json:"created"`
 	Closed  int64 `json:"closed"`
 	Evicted int64 `json:"evicted"`
+	Frozen  int64 `json:"frozen"`
+	Resumed int64 `json:"resumed"`
 	Acts    int64 `json:"acts"`
 	Frames  int64 `json:"frames"`
 }
@@ -567,6 +753,9 @@ type Stats struct {
 	SessionsCreated int64        `json:"sessions_created"`
 	SessionsClosed  int64        `json:"sessions_closed"`
 	SessionsEvicted int64        `json:"sessions_evicted"`
+	SessionsFrozen  int64        `json:"sessions_frozen"`  // snapshotted on release
+	SessionsResumed int64        `json:"sessions_resumed"` // thawed from a snapshot
+	Checkpoints     int64        `json:"checkpoints"`      // periodic checkpoint persists
 	Acts            int64        `json:"acts"`
 	Frames          int64        `json:"frames"`
 	Shards          []ShardStats `json:"shards"`
@@ -595,6 +784,8 @@ func (m *Manager) Snapshot() Stats {
 			Created: sh.created.Load(),
 			Closed:  sh.closed.Load(),
 			Evicted: sh.evicted.Load(),
+			Frozen:  sh.frozen.Load(),
+			Resumed: sh.resumed.Load(),
 			Acts:    sh.acts.Load(),
 			Frames:  sh.frames.Load(),
 		}
@@ -603,8 +794,11 @@ func (m *Manager) Snapshot() Stats {
 		st.SessionsCreated += ss.Created
 		st.SessionsClosed += ss.Closed
 		st.SessionsEvicted += ss.Evicted
+		st.SessionsFrozen += ss.Frozen
+		st.SessionsResumed += ss.Resumed
 		st.Acts += ss.Acts
 		st.Frames += ss.Frames
 	}
+	st.Checkpoints = m.checkpoints.Load()
 	return st
 }

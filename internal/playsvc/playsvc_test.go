@@ -359,7 +359,7 @@ func TestFramePathZeroAlloc(t *testing.T) {
 	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Create("classroom")
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestEventLogTrimming(t *testing.T) {
 	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Create("classroom")
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +483,7 @@ func TestCreateCapUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := m.Create("classroom"); err == nil {
+			if _, err := m.Create(&CreateRequest{Course: "classroom"}); err == nil {
 				created.Add(1)
 			}
 		}()
@@ -505,11 +505,11 @@ func TestPackageSharing(t *testing.T) {
 	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
 		t.Fatal(err)
 	}
-	r1, err := m.Create("classroom")
+	r1, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := m.Create("classroom")
+	r2, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +566,7 @@ func TestCoursesShareVideo(t *testing.T) {
 	}
 	// Both courses still play.
 	for _, course := range []string{"classroom", "remedial"} {
-		r, err := m.Create(course)
+		r, err := m.Create(&CreateRequest{Course: course})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -598,7 +598,7 @@ func TestAddCourseFromManifest(t *testing.T) {
 	if err := m.AddCourseFromManifest("classroom", man); err != nil {
 		t.Fatal(err)
 	}
-	r, err := m.Create("classroom")
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -644,7 +644,7 @@ func TestCourseReplaceReleasesVideo(t *testing.T) {
 	if st.VideoBuffers != 1 {
 		t.Errorf("video buffers = %d after replace, want 1", st.VideoBuffers)
 	}
-	r, err := m.Create("classroom")
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
 	if err != nil {
 		t.Fatal(err)
 	}

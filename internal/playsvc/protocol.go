@@ -11,11 +11,14 @@ import (
 // Routes served by Manager.Handler. Mount the handler at "/play/" on a
 // netstream.Server (or any mux).
 const (
-	CreatePath = "/play/create" // POST CreateRequest → Reply
-	ActPath    = "/play/act"    // POST ActRequest → Reply
-	StatePath  = "/play/state"  // GET ?session=&events=N&messages=N → Reply
-	FramePath  = "/play/frame"  // GET ?session=&advance=N → raw RGB bytes
-	StatsPath  = "/play/stats"  // GET → Stats
+	CreatePath  = "/play/create"  // POST CreateRequest → Reply (create or resume)
+	ActPath     = "/play/act"     // POST ActRequest → Reply
+	StatePath   = "/play/state"   // GET ?session=&events=N&messages=N → Reply
+	FramePath   = "/play/frame"   // GET ?session=&advance=N → raw RGB bytes
+	StatsPath   = "/play/stats"   // GET → Stats
+	HandoffPath = "/play/handoff" // POST HandoffRequest → freeze one session to the shared store
+	DrainPath   = "/play/drain"   // POST → freeze every session (graceful node removal)
+	RecoverPath = "/play/recover" // POST HandoffRequest → thaw even from a checkpoint (crash recovery)
 )
 
 // Action kinds accepted by ActPath. "tick" advances playback; "leave"
@@ -34,9 +37,29 @@ const (
 	ActLeave   = "leave"
 )
 
-// CreateRequest opens a server-hosted session on a published course.
+// CreateRequest opens a server-hosted session on a published course, or —
+// with Resume set — reattaches to a snapshotted one.
 type CreateRequest struct {
 	Course string `json:"course"`
+	// Session optionally fixes the new session's id. Cluster gateways
+	// assign ids up front so consistent-hash routing owns them; normal
+	// clients leave it empty and let the server pick.
+	Session string `json:"session,omitempty"`
+	// Resume names a session to thaw instead of creating one: a session
+	// frozen by the TTL janitor, a drain, or a node handoff (or still
+	// live, in which case the server just reattaches). Course is ignored;
+	// the reply repeats the course and video metadata.
+	Resume string `json:"resume,omitempty"`
+	// SeenEvents/SeenMessages scope a resume reply exactly like on an
+	// act: a fresh client passes zero and receives the full transcript.
+	SeenEvents   int `json:"seen_events,omitempty"`
+	SeenMessages int `json:"seen_messages,omitempty"`
+}
+
+// HandoffRequest freezes one session into the shared snapshot store so
+// another node can thaw it — the gateway's migration primitive.
+type HandoffRequest struct {
+	Session string `json:"session"`
 }
 
 // ActRequest applies one interaction to a hosted session.
@@ -79,6 +102,9 @@ type Reply struct {
 
 	Correct *bool `json:"correct,omitempty"` // quiz act result
 	Took    *bool `json:"took,omitempty"`    // take act result
+
+	// Resumed marks a reply produced by a resume create.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // Error is a protocol error carrying the HTTP status the handlers answer

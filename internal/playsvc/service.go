@@ -22,6 +22,9 @@ func (m *Manager) Handler() http.Handler {
 		mux.HandleFunc(StatePath, m.handleState)
 		mux.HandleFunc(FramePath, m.handleFrame)
 		mux.HandleFunc(StatsPath, m.handleStats)
+		mux.HandleFunc(HandoffPath, m.handleHandoff)
+		mux.HandleFunc(DrainPath, m.handleDrain)
+		mux.HandleFunc(RecoverPath, m.handleRecover)
 		m.handler = mux
 	})
 	return m.handler
@@ -52,12 +55,56 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	reply, err := m.Create(req.Course)
+	// resume=<session-id> in the query is the curl-friendly spelling of
+	// the body field.
+	if v := r.URL.Query().Get("resume"); v != "" && req.Resume == "" {
+		req.Resume = v
+	}
+	reply, err := m.Create(&req)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
 	writeJSON(w, reply)
+}
+
+// handleHandoff freezes one session into the shared snapshot store (the
+// gateway calls this on a session's old owner when ownership moves).
+func (m *Manager) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	var req HandoffRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := m.Freeze(req.Session); err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, map[string]string{"session": req.Session, "state": "frozen"})
+}
+
+// handleRecover thaws a session even from a checkpoint entry; the caller
+// asserts its owning node crashed (see Manager.Recover).
+func (m *Manager) handleRecover(w http.ResponseWriter, r *http.Request) {
+	var req HandoffRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := m.Recover(req.Session); err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, map[string]string{"session": req.Session, "state": "recovered"})
+}
+
+// handleDrain freezes every hosted session — the graceful-removal step a
+// gateway runs before a node leaves the cluster.
+func (m *Manager) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]int{"drained": m.DrainAll()})
 }
 
 func (m *Manager) handleAct(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,507 @@
+// Durable hosted sessions: freeze, thaw and checkpoint.
+//
+// A hosted session is frozen by snapshotting its runtime state
+// (runtime.Session.Snapshot) plus the play-service envelope around it —
+// the session id, its course, and the unacknowledged event tail a client
+// retry may still need. Both blobs land in the content-addressed chunk
+// store: the runtime snapshot carries no identity, so two sessions in the
+// same logical state (and repeated checkpoints of an idle session) dedup
+// to one stored blob; the tiny envelope references it by hash. A
+// SnapshotDir maps session ids to their latest envelope so eviction,
+// crash-recovery and cluster handoff can find them again.
+//
+// Thawing is the reverse and is wired into session lookup: an act, state
+// or frame request for a session this manager does not host falls through
+// to the directory, restores the snapshot, and proceeds — TTL eviction and
+// node handoff are invisible to a well-behaved client.
+package playsvc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"sync"
+
+	"repro/internal/blobstore"
+	"repro/internal/runtime"
+)
+
+// SnapshotRef is one directory entry: where a session's latest snapshot
+// lives, and whether it is a released state or crash insurance.
+type SnapshotRef struct {
+	Envelope blobstore.Hash
+	// Checkpoint marks a periodic-checkpoint entry: the session was still
+	// live on its node when this was persisted, so the snapshot may lag
+	// the truth. A released entry (freeze/drain/handoff/eviction) is the
+	// exact final state and is always safe to thaw; a checkpoint entry
+	// must only be thawed once the owning node is known to be gone (the
+	// gateway's recover step), or the stale copy would fork the session.
+	Checkpoint bool
+}
+
+// SnapshotDir maps live session ids to their latest snapshot in the
+// shared chunk store. Every node of a cluster shares one directory (and
+// one store): that pair is the whole coordination surface session handoff
+// needs. Implementations must be safe for concurrent use.
+type SnapshotDir interface {
+	Save(session string, ref SnapshotRef)
+	Lookup(session string) (SnapshotRef, bool)
+	Delete(session string)
+}
+
+// MemDir is the in-process SnapshotDir: a mutex-guarded map. It backs
+// single-node durability (TTL eviction → resume) and in-process clusters;
+// a multi-host deployment would implement SnapshotDir over its own
+// metadata service.
+type MemDir struct {
+	mu sync.RWMutex
+	m  map[string]SnapshotRef
+}
+
+// NewMemDir returns an empty directory.
+func NewMemDir() *MemDir { return &MemDir{m: map[string]SnapshotRef{}} }
+
+// Save implements SnapshotDir.
+func (d *MemDir) Save(session string, ref SnapshotRef) {
+	d.mu.Lock()
+	d.m[session] = ref
+	d.mu.Unlock()
+}
+
+// Lookup implements SnapshotDir.
+func (d *MemDir) Lookup(session string) (SnapshotRef, bool) {
+	d.mu.RLock()
+	ref, ok := d.m[session]
+	d.mu.RUnlock()
+	return ref, ok
+}
+
+// Delete implements SnapshotDir.
+func (d *MemDir) Delete(session string) {
+	d.mu.Lock()
+	delete(d.m, session)
+	d.mu.Unlock()
+}
+
+// Len reports how many sessions currently have a snapshot on file.
+func (d *MemDir) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.m)
+}
+
+// envelope is the play-service wrapper around a runtime snapshot.
+type envelope struct {
+	Session   string
+	Course    string
+	EventBase int
+	Events    []runtime.Event
+	Snapshot  blobstore.Hash
+}
+
+// Envelope wire format mirrors the runtime snapshot's: magic, version,
+// tagged records, CRC32.
+const (
+	envMagic   = "VSNE"
+	envVersion = 1
+
+	envTagSession   = 1
+	envTagCourse    = 2
+	envTagEventBase = 3
+	envTagEvents    = 4 // JSON []runtime.Event
+	envTagSnapshot  = 5 // 32-byte hash of the runtime snapshot blob
+
+	maxEnvelopeField = 16 << 20
+)
+
+func envAppend(b []byte, tag uint64, payload []byte) []byte {
+	b = binary.AppendUvarint(b, tag)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func (e *envelope) encode() []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, envMagic...)
+	b = binary.AppendUvarint(b, envVersion)
+	b = envAppend(b, envTagSession, []byte(e.Session))
+	b = envAppend(b, envTagCourse, []byte(e.Course))
+	b = envAppend(b, envTagEventBase, binary.AppendUvarint(nil, uint64(e.EventBase)))
+	if len(e.Events) > 0 {
+		evs, err := json.Marshal(e.Events)
+		if err != nil {
+			panic("playsvc: event tail marshal: " + err.Error())
+		}
+		b = envAppend(b, envTagEvents, evs)
+	}
+	b = envAppend(b, envTagSnapshot, e.Snapshot[:])
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func envBadf(format string, args ...any) error {
+	return fmt.Errorf("%w: envelope: %s", runtime.ErrBadSnapshot, fmt.Sprintf(format, args...))
+}
+
+// decodeEnvelope parses envelope bytes; every rejection wraps
+// runtime.ErrBadSnapshot.
+func decodeEnvelope(data []byte) (*envelope, error) {
+	if len(data) < len(envMagic)+1+4 {
+		return nil, envBadf("truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(envMagic)]) != envMagic {
+		return nil, envBadf("bad magic")
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, envBadf("checksum mismatch")
+	}
+	rest := body[len(envMagic):]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, envBadf("malformed version")
+	}
+	if version == 0 || version > envVersion {
+		return nil, envBadf("unsupported version %d", version)
+	}
+	rest = rest[n:]
+	e := &envelope{}
+	var hasSession, hasCourse, hasSnapshot bool
+	for len(rest) > 0 {
+		tag, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, envBadf("malformed record tag")
+		}
+		rest = rest[n:]
+		size, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, envBadf("malformed record length")
+		}
+		rest = rest[n:]
+		if size > maxEnvelopeField || size > uint64(len(rest)) {
+			return nil, envBadf("record %d claims %d bytes, %d remain", tag, size, len(rest))
+		}
+		payload := rest[:size]
+		rest = rest[size:]
+		switch tag {
+		case envTagSession:
+			e.Session, hasSession = string(payload), true
+		case envTagCourse:
+			e.Course, hasCourse = string(payload), true
+		case envTagEventBase:
+			v, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || v > math.MaxInt32 {
+				return nil, envBadf("malformed event base")
+			}
+			e.EventBase = int(v)
+		case envTagEvents:
+			if err := json.Unmarshal(payload, &e.Events); err != nil {
+				return nil, envBadf("event tail: %v", err)
+			}
+		case envTagSnapshot:
+			if len(payload) != len(e.Snapshot) {
+				return nil, envBadf("snapshot hash is %d bytes", len(payload))
+			}
+			copy(e.Snapshot[:], payload)
+			hasSnapshot = true
+		default:
+			// Additive extension from a newer writer; skip.
+		}
+	}
+	if !hasSession || !hasCourse || !hasSnapshot {
+		return nil, envBadf("missing required fields")
+	}
+	return e, nil
+}
+
+// canSnapshot reports whether this manager has somewhere to freeze to.
+func (m *Manager) canSnapshot() bool { return m.store != nil && m.dir != nil }
+
+// freezeOut freezes one live session: persist to the store, publish the
+// released directory entry, mark gone, release decode resources, and only
+// THEN remove it from the shard map. The ordering is load-bearing: at
+// every instant the session is either live in the map or has a released
+// snapshot on file, so a concurrent request (or a gateway rescue) can
+// never observe a gap and fall back to a stale checkpoint. removed
+// reports whether this call did the removal (false when another path —
+// leave, another freeze — released the session first).
+func (m *Manager) freezeOut(sh *shard, h *hosted) (removed bool, err error) {
+	h.mu.Lock()
+	if h.gone {
+		h.mu.Unlock()
+		return false, nil
+	}
+	env, err := m.persistLocked(h)
+	if err != nil {
+		h.mu.Unlock()
+		return false, err // session stays live; better held than lost
+	}
+	m.dir.Save(h.id, SnapshotRef{Envelope: env})
+	h.gone = true
+	h.sess.Close()
+	h.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.sessions, h.id)
+	sh.mu.Unlock()
+	m.liveCount.Add(-1)
+	sh.frozen.Add(1)
+	return true, nil
+}
+
+// evictOut discards one live session without snapshotting (no store, or
+// the store failed). Same map ordering as freezeOut.
+func (m *Manager) evictOut(sh *shard, h *hosted) (removed bool) {
+	h.mu.Lock()
+	if h.gone {
+		h.mu.Unlock()
+		return false
+	}
+	h.gone = true
+	h.sess.Close()
+	h.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.sessions, h.id)
+	sh.mu.Unlock()
+	m.liveCount.Add(-1)
+	return true
+}
+
+// persistLocked writes h's current state (runtime snapshot + envelope)
+// into the store and returns the envelope hash; h.mu must be held.
+func (m *Manager) persistLocked(h *hosted) (blobstore.Hash, error) {
+	snap := h.sess.Snapshot()
+	snapHash, _, err := m.store.Put(snap)
+	if err != nil {
+		return blobstore.Hash{}, errf(http.StatusInternalServerError, "playsvc: persist snapshot: %v", err)
+	}
+	env := &envelope{
+		Session:   h.id,
+		Course:    h.course.name,
+		EventBase: h.eventBase,
+		Events:    h.events,
+		Snapshot:  snapHash,
+	}
+	envHash, _, err := m.store.Put(env.encode())
+	if err != nil {
+		return blobstore.Hash{}, errf(http.StatusInternalServerError, "playsvc: persist envelope: %v", err)
+	}
+	return envHash, nil
+}
+
+// Freeze snapshots one live session to the shared store and releases it —
+// the handoff primitive a cluster gateway calls on the old owner before
+// the new owner restores. Freezing an already-frozen session is a no-op;
+// a session this node neither hosts nor has a snapshot for is an error.
+func (m *Manager) Freeze(session string) error {
+	if !m.canSnapshot() {
+		return errf(http.StatusNotImplemented, "playsvc: no snapshot store configured")
+	}
+	sh := m.shardFor(session)
+	sh.mu.Lock()
+	h := sh.sessions[session]
+	sh.mu.Unlock()
+	if h == nil {
+		// Only a RELEASED entry means "already frozen"; a checkpoint entry
+		// is stale insurance for a session this node does not hold.
+		if ref, ok := m.dir.Lookup(session); ok && !ref.Checkpoint {
+			return nil
+		}
+		return errf(http.StatusNotFound, "playsvc: no session %q", session)
+	}
+	_, err := m.freezeOut(sh, h)
+	return err
+}
+
+// DrainAll freezes every hosted session (graceful shutdown / node
+// removal) and reports how many it processed. Without a snapshot store it
+// degrades to plain eviction. Draining is one-way: the node stops
+// creating and thawing sessions, so a request racing the drain cannot
+// strand a fresh session on a node that is about to disappear.
+func (m *Manager) DrainAll() int {
+	m.draining.Store(true)
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		victims := make([]*hosted, 0, len(sh.sessions))
+		for _, h := range sh.sessions {
+			victims = append(victims, h)
+		}
+		sh.mu.Unlock()
+		for _, h := range victims {
+			if m.canSnapshot() {
+				if removed, err := m.freezeOut(sh, h); err == nil {
+					if removed {
+						n++
+					}
+					continue
+				}
+			}
+			if m.evictOut(sh, h) {
+				sh.evicted.Add(1)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Checkpoint snapshots every session with activity since its last
+// checkpoint, bounding what a crash can lose to one checkpoint interval.
+// Sessions are persisted without being released; identical consecutive
+// states dedup in the content-addressed store. Returns how many sessions
+// were persisted.
+func (m *Manager) Checkpoint() int {
+	if !m.canSnapshot() {
+		return 0
+	}
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		live := make([]*hosted, 0, len(sh.sessions))
+		for _, h := range sh.sessions {
+			live = append(live, h)
+		}
+		sh.mu.Unlock()
+		for _, h := range live {
+			seen := h.lastSeen.Load()
+			if seen <= h.checkpointed.Load() {
+				continue // idle since the last checkpoint
+			}
+			h.mu.Lock()
+			if h.gone {
+				h.mu.Unlock()
+				continue
+			}
+			env, err := m.persistLocked(h)
+			if err == nil {
+				// Under h.mu, like every dir write for a held session: a
+				// concurrent leave (which deletes the entry under the same
+				// lock) must not be overwritten by a checkpoint of the
+				// state it just retired.
+				m.dir.Save(h.id, SnapshotRef{Envelope: env, Checkpoint: true})
+				h.checkpointed.Store(seen)
+			}
+			h.mu.Unlock()
+			if err != nil {
+				continue // transient store failure; next pass retries
+			}
+			n++
+		}
+	}
+	m.checkpoints.Add(int64(n))
+	return n
+}
+
+// thaw restores a frozen session from the shared store, inserts it into
+// the shard map and returns it — the lookup fallback that makes eviction
+// and handoff invisible. Checkpoint entries are refused unless
+// allowCheckpoint is set: a checkpoint means the session may still be
+// live on another node, and thawing it would fork the session and roll
+// its progress back; the gateway first rescues the live copy and only
+// recovers from a checkpoint once no node has it. Concurrent thaws of one
+// session race benignly: the first insert wins and the loser's restore is
+// discarded.
+func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, error) {
+	notFound := errf(http.StatusNotFound, "playsvc: no session %q", session)
+	if !m.canSnapshot() {
+		return nil, nil, notFound
+	}
+	if m.draining.Load() {
+		return nil, nil, errf(http.StatusServiceUnavailable, "playsvc: node is draining")
+	}
+	ref, ok := m.dir.Lookup(session)
+	if !ok {
+		return nil, nil, notFound
+	}
+	if ref.Checkpoint && !allowCheckpoint {
+		return nil, nil, notFound
+	}
+	envBytes, err := m.store.Get(ref.Envelope)
+	if err != nil {
+		return nil, nil, errf(http.StatusNotFound, "playsvc: session %q envelope: %v", session, err)
+	}
+	env, err := decodeEnvelope(envBytes)
+	if err != nil {
+		return nil, nil, errf(http.StatusInternalServerError, "playsvc: session %q: %v", session, err)
+	}
+	if env.Session != session {
+		return nil, nil, errf(http.StatusInternalServerError, "playsvc: envelope names session %q, wanted %q", env.Session, session)
+	}
+	m.coursesMu.RLock()
+	c := m.courses[env.Course]
+	m.coursesMu.RUnlock()
+	if c == nil {
+		return nil, nil, errf(http.StatusNotFound, "playsvc: session %q course %q is no longer published", session, env.Course)
+	}
+	snap, err := m.store.Get(env.Snapshot)
+	if err != nil {
+		return nil, nil, errf(http.StatusNotFound, "playsvc: session %q snapshot: %v", session, err)
+	}
+	// Thawing re-occupies a live slot; the cap applies exactly as on create.
+	if n := m.liveCount.Add(1); m.opts.MaxSessions > 0 && n > int64(m.opts.MaxSessions) {
+		m.liveCount.Add(-1)
+		return nil, nil, errf(http.StatusServiceUnavailable, "playsvc: session cap (%d) reached", m.opts.MaxSessions)
+	}
+	h := &hosted{id: session, course: c, events: env.Events, eventBase: env.EventBase}
+	h.touch()
+	sess, err := runtime.RestoreSessionFromPackage(c.pkg, snap, runtime.Options{
+		DecodeWorkers: m.opts.DecodeWorkers,
+		Observer:      h,
+	})
+	if err != nil {
+		m.liveCount.Add(-1)
+		return nil, nil, errf(http.StatusInternalServerError, "playsvc: restore %q: %v", session, err)
+	}
+	h.sess = sess
+	h.checkpointed.Store(h.lastSeen.Load())
+	// The released entry is about to be consumed: this node now owns the
+	// live truth, and the entry degrades to crash insurance. Leaving it
+	// marked released would let a later ring change thaw the stale bytes
+	// into a second live copy. The downgrade happens BEFORE the session
+	// becomes visible in the shard map: once it is held, every directory
+	// write for it happens under h.mu (freeze, checkpoint, leave-delete),
+	// and a late write here could clobber a concurrent leave's delete.
+	m.dir.Save(session, SnapshotRef{Envelope: ref.Envelope, Checkpoint: true})
+	sh := m.shardFor(session)
+	sh.mu.Lock()
+	if cur := sh.sessions[session]; cur != nil {
+		sh.mu.Unlock()
+		sess.Close()
+		m.liveCount.Add(-1)
+		return cur, sh, nil
+	}
+	sh.sessions[session] = h
+	sh.mu.Unlock()
+	sh.resumed.Add(1)
+	return h, sh, nil
+}
+
+// lookupOrThaw resolves a session, restoring it from the snapshot
+// directory when it is not live on this node. Only released snapshots
+// thaw implicitly; checkpoint entries need Recover.
+func (m *Manager) lookupOrThaw(session string) (*hosted, *shard, error) {
+	h, sh, err := m.lookup(session)
+	if err == nil {
+		return h, sh, nil
+	}
+	return m.thaw(session, false)
+}
+
+// Recover thaws a session even from a checkpoint entry — the crash path.
+// The caller (a cluster gateway, or an operator on a single node) asserts
+// that no node still hosts the live session; what the last checkpoint
+// captured is all that is left of it. Recovering an already-live or
+// released session degrades to the normal lookup.
+func (m *Manager) Recover(session string) error {
+	h, _, err := m.lookup(session)
+	if err == nil {
+		h.touch()
+		return nil
+	}
+	_, _, err = m.thaw(session, true)
+	return err
+}

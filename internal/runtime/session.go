@@ -90,6 +90,29 @@ func NewSessionFromPackage(pkg *gamepack.Package, opts Options) (*Session, error
 }
 
 func newSessionFromPackage(pkg *gamepack.Package, opts Options) (*Session, error) {
+	s, err := buildSession(pkg, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := pkg.Project.ScenarioByID(pkg.Project.StartScenario)
+	if start == nil {
+		s.Close()
+		return nil, fmt.Errorf("runtime: start scenario %q missing", pkg.Project.StartScenario)
+	}
+	if err := s.cursor.EnterSegment(start.Segment); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	s.runEnter(start)
+	return s, nil
+}
+
+// buildSession assembles a session over a package — video, compiled
+// scripts, state and sink wiring — without entering any scenario. The
+// normal constructor enters the start scenario and runs its OnEnter;
+// RestoreSessionFromPackage instead installs a snapshot's state and seeks
+// the cursor to the saved position (the player resumes, not re-arrives).
+func buildSession(pkg *gamepack.Package, opts Options) (*Session, error) {
 	if opts.DecodeWorkers <= 0 {
 		opts.DecodeWorkers = 1
 	}
@@ -136,14 +159,6 @@ func newSessionFromPackage(pkg *gamepack.Package, opts Options) (*Session, error
 		s.quizzes = append(s.quizzes, id)
 		s.record("quiz-asked", id)
 	}
-	start := pkg.Project.ScenarioByID(pkg.Project.StartScenario)
-	if start == nil {
-		return nil, fmt.Errorf("runtime: start scenario %q missing", pkg.Project.StartScenario)
-	}
-	if err := s.cursor.EnterSegment(start.Segment); err != nil {
-		return nil, fmt.Errorf("runtime: %w", err)
-	}
-	s.runEnter(start)
 	return s, nil
 }
 

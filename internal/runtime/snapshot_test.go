@@ -1,0 +1,414 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/gamepack"
+	"repro/internal/media/studio"
+)
+
+var (
+	snapOnce    sync.Once
+	snapBlob    []byte
+	snapBlobErr error
+)
+
+func snapPackage(t testing.TB) []byte {
+	t.Helper()
+	snapOnce.Do(func() {
+		snapBlob, snapBlobErr = content.Classroom().BuildPackage(studio.Options{QStep: 8, Workers: 2})
+	})
+	if snapBlobErr != nil {
+		t.Fatal(snapBlobErr)
+	}
+	return snapBlob
+}
+
+// playFirstHalf drives a session through the first leg of the classroom
+// mission, leaving rich mid-game state: inventory, dialogue positions,
+// pending selection, transcript, tick clock, a non-start scenario.
+func playFirstHalf(s *Session) {
+	s.Talk("teacher")
+	s.Talk("teacher")
+	s.Examine("computer") // learn + quiz
+	if q, ok := s.PendingQuiz(); ok {
+		s.AnswerQuiz(q.ID, q.Answer)
+	}
+	s.Take("desk-coin")
+	s.Advance(5)
+	s.GotoScenario("market")
+	s.Advance(3)
+}
+
+// playSecondHalf finishes the mission from the market.
+func playSecondHalf(s *Session) {
+	s.Take("stall-ram")
+	if q, ok := s.PendingQuiz(); ok {
+		s.AnswerQuiz(q.ID, q.Answer)
+	}
+	s.GotoScenario("classroom")
+	s.Advance(2)
+	s.UseItemOn("ram module", "computer")
+	if q, ok := s.PendingQuiz(); ok {
+		s.AnswerQuiz(q.ID, q.Answer)
+	}
+	s.Advance(4)
+}
+
+// TestSnapshotResumeEquivalence is the runtime half of the golden
+// snapshot-fidelity contract: play half the mission, snapshot, restore on
+// a fresh session, finish — the combined event log, the transcript and the
+// final state must be identical to the uninterrupted run.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	blob := snapPackage(t)
+
+	// Uninterrupted reference run.
+	ref := &recorder{}
+	full, err := NewSession(blob, Options{Observer: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	playFirstHalf(full)
+	playSecondHalf(full)
+
+	// Interrupted run: first half, snapshot, restore, second half.
+	firstRec := &recorder{}
+	first, err := NewSession(blob, Options{Observer: firstRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	playFirstHalf(first)
+	snap := first.Snapshot()
+	first.Close()
+
+	secondRec := &recorder{}
+	second, err := RestoreSession(blob, snap, Options{Observer: secondRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	// Restore emits no events and re-runs no OnEnter.
+	if len(secondRec.events) != 0 {
+		t.Fatalf("restore emitted %d events: %v", len(secondRec.events), secondRec.events)
+	}
+	playSecondHalf(second)
+
+	combined := append(append([]Event(nil), firstRec.events...), secondRec.events...)
+	if !reflect.DeepEqual(combined, ref.events) {
+		t.Fatalf("event logs diverge:\n got %v\nwant %v", combined, ref.events)
+	}
+	if !reflect.DeepEqual(second.Messages(), full.Messages()) {
+		t.Fatalf("transcripts diverge:\n got %q\nwant %q", second.Messages(), full.Messages())
+	}
+	gotState, _ := second.State().Save()
+	wantState, _ := full.State().Save()
+	if !bytes.Equal(gotState, wantState) {
+		t.Fatalf("final states diverge:\n got %s\nwant %s", gotState, wantState)
+	}
+	if second.Ticks() != full.Ticks() {
+		t.Fatalf("ticks = %d, want %d", second.Ticks(), full.Ticks())
+	}
+	if !second.Ended() || second.Outcome() != full.Outcome() {
+		t.Fatalf("ended=%v outcome=%q", second.Ended(), second.Outcome())
+	}
+	if !reflect.DeepEqual(second.OpenedResources(), full.OpenedResources()) {
+		t.Fatalf("opened resources diverge: %v vs %v", second.OpenedResources(), full.OpenedResources())
+	}
+
+	// The restored video cursor presents the exact frame the original
+	// session would.
+	wantFrame, err := full.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFrame, err := second.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotFrame.Pix, wantFrame.Pix) {
+		t.Fatal("restored session renders a different frame")
+	}
+}
+
+// TestSnapshotDeterministic: identical logical states encode to identical
+// bytes — the property the content-addressed store's dedup rides on.
+func TestSnapshotDeterministic(t *testing.T) {
+	blob := snapPackage(t)
+	make1 := func() []byte {
+		s, err := NewSession(blob, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		playFirstHalf(s)
+		return s.Snapshot()
+	}
+	a, b := make1(), make1()
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal states produced different snapshot bytes")
+	}
+	// And back-to-back snapshots of one untouched session agree too.
+	s, err := RestoreSession(blob, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !bytes.Equal(s.Snapshot(), a) {
+		t.Fatal("restore→snapshot is not a fixed point")
+	}
+}
+
+// TestSnapshotSelectedItem covers the armed-item path (selection must be
+// restored, and a selected item missing from the inventory is rejected).
+func TestSnapshotSelectedItem(t *testing.T) {
+	blob := snapPackage(t)
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Take("desk-coin")
+	if err := s.SelectItem("coin"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSession(blob, s.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.SelectedItem() != "coin" {
+		t.Fatalf("selected = %q", r.SelectedItem())
+	}
+}
+
+// corrupt returns a copy of snap transformed by fn.
+func corrupt(snap []byte, fn func([]byte) []byte) []byte {
+	return fn(append([]byte(nil), snap...))
+}
+
+// reseal recomputes the trailing CRC so structural corruptions are tested
+// on their own merits rather than all failing the checksum gate.
+func reseal(snap []byte) []byte {
+	body := snap[:len(snap)-4]
+	return binary.BigEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+// TestRestoreRejectsCorruptSnapshots is the table-driven corruption suite:
+// every rejection must wrap ErrBadSnapshot, and none may panic or produce
+// a session.
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	blob := snapPackage(t)
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	playFirstHalf(s)
+	good := s.Snapshot()
+	if _, err := RestoreSession(blob, good, Options{}); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	// A snapshot of a different course's footage, for the digest check.
+	otherCourse := content.Museum()
+	otherVideo, err := otherCourse.RecordVideo(studio.Options{QStep: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBlob, err := gamepack.Build(otherCourse.Project, otherVideo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		snap []byte
+	}{
+		{"empty", nil},
+		{"tiny", []byte("VS")},
+		{"bad magic", corrupt(good, func(b []byte) []byte { b[0] ^= 0xff; return b })},
+		{"truncated head", good[:6]},
+		{"truncated middle", reseal(corrupt(good, func(b []byte) []byte { return b[:len(b)/2] }))},
+		{"bit flip unsealed", corrupt(good, func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b })},
+		{"version zero", reseal(corrupt(good, func(b []byte) []byte { b[4] = 0; return b }))},
+		{"version from the future", reseal(corrupt(good, func(b []byte) []byte { b[4] = 99; return b }))},
+		{"record overruns buffer", reseal(corrupt(good, func(b []byte) []byte {
+			// First record starts after magic+version: tag at 5, length at 6.
+			b[6] = 0xff
+			b[7] = 0xff
+			return b
+		}))},
+		{"garbage", bytes.Repeat([]byte{0x5a}, 128)},
+		{"wrong footage", func() []byte {
+			o, err := NewSession(otherBlob, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer o.Close()
+			return o.Snapshot()
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := RestoreSession(blob, tc.snap, Options{})
+			if err == nil {
+				sess.Close()
+				t.Fatal("corrupt snapshot restored")
+			}
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("error %v does not wrap ErrBadSnapshot", err)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsSemanticCorruption flips state inside otherwise
+// well-formed snapshots: unknown scenarios, out-of-range cursors and
+// undefined quizzes must all be rejected whole.
+func TestRestoreRejectsSemanticCorruption(t *testing.T) {
+	blob := snapPackage(t)
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	playFirstHalf(s)
+	good := s.Snapshot()
+
+	rewrite := func(tag uint64, payload []byte) []byte {
+		// Re-encode the snapshot with one record replaced.
+		d, err := decodeSnapshot(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 0, len(good))
+		b = append(b, snapMagic...)
+		b = binary.AppendUvarint(b, snapVersion)
+		put := func(tg uint64, p []byte) {
+			if tg == tag {
+				p = payload
+			}
+			b = appendRecord(b, tg, p)
+		}
+		put(tagVideoSum, d.videoSum)
+		put(tagState, d.stateRaw)
+		put(tagTick, binary.AppendUvarint(nil, uint64(d.tick)))
+		put(tagSelected, nil)
+		put(tagNPCPos, mustJSON(d.npcPos))
+		put(tagMessages, mustJSON(d.messages))
+		put(tagQuizzes, mustJSON(d.quizzes))
+		put(tagSegment, []byte(d.segment))
+		put(tagCursor, binary.AppendUvarint(nil, uint64(d.cursor)))
+		return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	}
+	cases := []struct {
+		name string
+		snap []byte
+	}{
+		{"unknown scenario", rewrite(tagState, []byte(`{"scenario":"nowhere"}`))},
+		{"state not JSON", rewrite(tagState, []byte(`{"scenario":`))},
+		{"unknown segment", rewrite(tagSegment, []byte("void"))},
+		{"cursor out of range", rewrite(tagCursor, binary.AppendUvarint(nil, 1<<20))},
+		{"undefined quiz", rewrite(tagQuizzes, []byte(`["q-imaginary"]`))},
+		{"negative npc position", rewrite(tagNPCPos, []byte(`{"teacher":-3}`))},
+		{"selected item not carried", rewrite(tagSelected, []byte("phantom"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := RestoreSession(blob, tc.snap, Options{})
+			if err == nil {
+				sess.Close()
+				t.Fatal("semantically corrupt snapshot restored")
+			}
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("error %v does not wrap ErrBadSnapshot", err)
+			}
+		})
+	}
+}
+
+// FuzzRestoreSession hammers the decoder: any byte string must either
+// restore a fully-valid session or be rejected with ErrBadSnapshot —
+// never panic, never half-restore.
+func FuzzRestoreSession(f *testing.F) {
+	blob := snapPackage(f)
+	pkg, err := gamepack.Open(blob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := NewSessionFromPackage(pkg, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	fresh := s.Snapshot()
+	playFirstHalf(s)
+	mid := s.Snapshot()
+	f.Add(fresh)
+	f.Add(mid)
+	f.Add(mid[:len(mid)-5])
+	f.Add([]byte("VSNP"))
+	f.Fuzz(func(t *testing.T, snap []byte) {
+		sess, err := RestoreSessionFromPackage(pkg, snap, Options{})
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("error %v does not wrap ErrBadSnapshot", err)
+			}
+			return
+		}
+		// A snapshot the decoder accepts must behave like a session: it
+		// snapshots again deterministically and survives a tick.
+		defer sess.Close()
+		if err := sess.Tick(); err != nil {
+			t.Fatalf("restored session cannot tick: %v", err)
+		}
+		_ = sess.Snapshot()
+	})
+}
+
+func BenchmarkSessionSnapshot(b *testing.B) {
+	blob := snapPackage(b)
+	s, err := NewSession(blob, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	playFirstHalf(s)
+	b.ReportAllocs()
+	var snap []byte
+	for i := 0; i < b.N; i++ {
+		snap = s.Snapshot()
+	}
+	b.SetBytes(int64(len(snap)))
+}
+
+func BenchmarkSessionRestore(b *testing.B) {
+	blob := snapPackage(b)
+	pkg, err := gamepack.Open(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSessionFromPackage(pkg, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	playFirstHalf(s)
+	snap := s.Snapshot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := RestoreSessionFromPackage(pkg, snap, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
