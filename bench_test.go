@@ -28,6 +28,7 @@ import (
 	"repro/internal/media/synth"
 	"repro/internal/media/vcodec"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/playsvc"
 	"repro/internal/runtime"
 	"repro/internal/sim"
@@ -716,5 +717,24 @@ func TestExperimentTablesSmoke(t *testing.T) {
 		if len(out) < 100 {
 			t.Errorf("%s output suspiciously small:\n%s", fn.id, out)
 		}
+	}
+}
+
+// --- Observability -----------------------------------------------------------
+
+// BenchmarkObsHistogramObserve is the metrics layer's hot-path cost: one
+// latency observation is a binary search over the bucket bounds plus two
+// atomic adds, and must stay allocation-free — it sits inside the act and
+// frame paths whose own allocation counts are pinned by tests.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewHistogram(obs.LatencyBounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Values sweep the bucket range so the search depth is averaged,
+		// not pinned to one bucket.
+		h.Observe(int64(i%1000)*10_000 + 57)
+	}
+	if h.Snapshot().Count != int64(b.N) {
+		b.Fatal("lost observations")
 	}
 }

@@ -36,12 +36,13 @@ func main() {
 		"e12": func() (string, error) { return experiments.E12(*fleetSize) },
 		"e13": experiments.E13,
 		"e14": func() (string, error) { return experiments.E14(*fleetSize) },
+		"e15": func() (string, error) { return experiments.E15(*fleetSize) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e14")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e15")
 		os.Exit(2)
 	}
 	var selected []string

@@ -31,6 +31,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/playsvc"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -112,6 +113,11 @@ func main() {
 			playURL = url
 		}
 		printStats(playURL, playsvc.StatsPath)
+		// The per-node act-latency percentiles come from the histograms each
+		// play node serves at /metrics — against a cluster gateway this is
+		// one row per backend, against a single manager one row.
+		fmt.Printf("\nper-node act latency (scraped from /metrics):\n")
+		fmt.Print(fleet.FormatLatencyTable(fleet.ScrapeActLatencies(nil, playURL)))
 	}
 	if sum.Failed > 0 {
 		os.Exit(1)
@@ -166,6 +172,18 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 		return nil, "", err
 	}
 	if err := srv.Mount("/play/", play.Handler()); err != nil {
+		return nil, "", err
+	}
+	// Same observability surface as vgbl-server: the in-process run is
+	// scrapeable too, and the end-of-run latency table reads from it.
+	reg := obs.NewRegistry("vgbl")
+	srv.Register(reg)
+	svc.Register(reg)
+	play.Register(reg)
+	if err := srv.Mount("/metrics", reg.Handler()); err != nil {
+		return nil, "", err
+	}
+	if err := srv.Mount("/debug/traces", play.Ring().Handler()); err != nil {
 		return nil, "", err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -22,6 +22,12 @@
 // a consistent-hash gateway; session handoff between nodes rides the same
 // snapshots.
 //
+// Every subsystem reports into one metrics registry served at /metrics
+// (Prometheus text; ?format=json for the structured snapshot), request
+// traces are inspectable at /debug/traces?trace=<id>, and -pprof mounts
+// the standard profiler at /debug/pprof/. In cluster mode each play node
+// additionally serves its own /metrics, /debug/traces and /healthz.
+//
 // Usage:
 //
 //	vgbl-server -addr 127.0.0.1:8807 extra1.tkg extra2.tkg
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux; mounted only with -pprof
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +50,7 @@ import (
 	"repro/internal/gamepack"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/playsvc"
 	"repro/internal/telemetry"
 )
@@ -59,6 +67,7 @@ func main() {
 	playMax := flag.Int("play-max-sessions", 16384, "cap on live hosted play sessions (negative disables)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodically snapshot active play sessions so a crash loses at most this much progress (0 disables)")
 	cluster := flag.Int("cluster", 0, "run N play-service nodes behind a consistent-hash gateway instead of one in-process manager")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	flag.Parse()
 
 	// One content-addressed chunk store behind both the package server and
@@ -78,6 +87,12 @@ func main() {
 	}
 
 	srv := netstream.NewServerWith(store)
+	// One process-wide metric namespace: every subsystem registers its
+	// families here and /metrics scrapes them all. In cluster mode each
+	// play node additionally serves its own /metrics on its node URL.
+	reg := obs.NewRegistry("vgbl")
+	store.Register(reg)
+	srv.Register(reg)
 	// Hosted sessions are durable: one snapshot directory (and the chunk
 	// store above) backs TTL snapshot-then-evict, crash checkpoints and —
 	// in cluster mode — handoff between nodes.
@@ -93,8 +108,10 @@ func main() {
 	// The play surface is either one in-process manager or a gateway over
 	// N nodes; both publish courses the same way and mount at /play/.
 	var playHandler http.Handler
+	var traceHandler http.Handler
 	var addCourse func(name string, blob []byte) error
 	var addManifest func(name string, man *gamepack.Manifest) error
+	var nodeURLs []string
 	if *cluster > 0 {
 		cl, err := playsvc.NewCluster(playsvc.ClusterOptions{Store: store, Dir: dir, Node: nodeOpts})
 		if err != nil {
@@ -102,17 +119,23 @@ func main() {
 		}
 		defer cl.Close()
 		for i := 0; i < *cluster; i++ {
-			if _, err := cl.StartNode(); err != nil {
+			n, err := cl.StartNode()
+			if err != nil {
 				fail(err)
 			}
+			nodeURLs = append(nodeURLs, n.URL)
 		}
+		cl.Gateway().Register(reg)
 		playHandler = cl.Gateway().Handler()
+		traceHandler = cl.Gateway().Ring().Handler()
 		addCourse = cl.AddCourse
 		addManifest = cl.AddManifest
 	} else {
 		play := playsvc.NewManager(nodeOpts)
 		defer play.Close()
+		play.Register(reg)
 		playHandler = play.Handler()
+		traceHandler = play.Ring().Handler()
 		addCourse = play.AddCourse
 		addManifest = play.AddCourseFromManifest
 	}
@@ -155,6 +178,7 @@ func main() {
 
 	svc := telemetry.NewService(telemetry.Options{Workers: *ingestWorkers, QueueDepth: *ingestQueue, IdleTimeout: *ingestIdle})
 	defer svc.Close()
+	svc.Register(reg)
 	h := svc.Handler()
 	if err := srv.Mount("/telemetry/", h); err != nil {
 		fail(err)
@@ -164,6 +188,18 @@ func main() {
 	}
 	if err := srv.Mount("/play/", playHandler); err != nil {
 		fail(err)
+	}
+	if err := srv.Mount("/metrics", reg.Handler()); err != nil {
+		fail(err)
+	}
+	if err := srv.Mount("/debug/traces", traceHandler); err != nil {
+		fail(err)
+	}
+	if *pprofOn {
+		// net/http/pprof registered itself on the default mux at import.
+		if err := srv.Mount("/debug/pprof/", http.DefaultServeMux); err != nil {
+			fail(err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -182,6 +218,13 @@ func main() {
 	fmt.Printf("  play:     http://%s%s (POST), %s, %s, %s\n", ln.Addr(), playsvc.CreatePath, playsvc.ActPath, playsvc.FramePath, playsvc.StatsPath)
 	if *cluster > 0 {
 		fmt.Printf("  cluster:  %d play nodes behind the /play/ gateway (checkpoint every %v)\n", *cluster, *checkpointEvery)
+		for _, u := range nodeURLs {
+			fmt.Printf("            %s/metrics\n", u)
+		}
+	}
+	fmt.Printf("  metrics:  http://%s/metrics (?format=json), traces at /debug/traces\n", ln.Addr())
+	if *pprofOn {
+		fmt.Printf("  pprof:    http://%s/debug/pprof/\n", ln.Addr())
 	}
 	fmt.Printf("  health:   http://%s%s\n", ln.Addr(), telemetry.HealthPath)
 	if err := http.Serve(ln, srv); err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -41,6 +43,15 @@ func main() {
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
 		log.Fatal(err)
 	}
+	// Server- and client-side metrics share one registry: the netstream
+	// and telemetry services register their families, and the fleet (via
+	// Config.Obs below) adds the learners' delta-sync histograms.
+	reg := obs.NewRegistry("vgbl")
+	srv.Register(reg)
+	svc.Register(reg)
+	if err := srv.Mount("/metrics", reg.Handler()); err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -58,6 +69,7 @@ func main() {
 		Sim:           sim.Config{MaxSteps: 30, TicksPerStep: 2, Patience: 20, RewardBoost: 10, Seed: 42},
 		FlushEvery:    16,
 		FlushInterval: 50 * time.Millisecond,
+		Obs:           reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,5 +105,37 @@ func main() {
 			label = fmt.Sprintf("<= %d", bounds[i])
 		}
 		fmt.Printf("    %-8s %d\n", label, n)
+	}
+
+	// 4. The operator's view: the same numbers, scraped from /metrics the
+	// way a Prometheus deployment would read them (JSON form here).
+	resp, err := http.Get(url + "/metrics?format=json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap obs.RegistrySnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	value := func(name string) int64 {
+		if m := snap.Metric(name); m != nil && len(m.Series) > 0 && m.Series[0].Value != nil {
+			return *m.Series[0].Value
+		}
+		return 0
+	}
+	fmt.Println("\n== /metrics?format=json (server + fleet families)")
+	fmt.Printf("  netstream: %d requests, %d bytes served, %d not-modified\n",
+		value("vgbl_netstream_requests_total"), value("vgbl_netstream_bytes_total"),
+		value("vgbl_netstream_not_modified_total"))
+	fmt.Printf("  telemetry: %d batches accepted, %d rejected, %d applied\n",
+		value("vgbl_telemetry_batches_accepted_total"), value("vgbl_telemetry_batches_rejected_total"),
+		value("vgbl_telemetry_batches_applied_total"))
+	if m := snap.Metric("vgbl_netstream_delta_seconds"); m != nil && len(m.Series) > 0 && m.Series[0].Histogram != nil {
+		h := *m.Series[0].Histogram
+		fmt.Printf("  delta-sync downloads: %d, p50 %v  p99 %v\n", h.Count,
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
 	}
 }

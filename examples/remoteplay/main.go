@@ -8,15 +8,18 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/content"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/playsvc"
 	"repro/internal/sim"
 )
@@ -38,6 +41,14 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := srv.Mount("/play/", play.Handler()); err != nil {
+		log.Fatal(err)
+	}
+	// The operator surface: every subsystem registers its metric families
+	// and the scrape endpoint serves them all.
+	reg := obs.NewRegistry("vgbl")
+	srv.Register(reg)
+	play.Register(reg)
+	if err := srv.Mount("/metrics", reg.Handler()); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -90,7 +101,44 @@ func main() {
 	if err := client.Close(); err != nil {
 		log.Fatal(err)
 	}
-	st := play.Snapshot()
-	fmt.Printf("   server: %d session(s) hosted, %d acts, %d frames served, %d live after leave\n",
-		st.SessionsCreated, st.Acts, st.Frames, st.SessionsLive)
+
+	// 4. The operator's view: scrape the same /metrics endpoint a
+	// Prometheus deployment would (here in its JSON form) and read the act
+	// latency distribution out of the play-service family.
+	snap := scrapeMetrics(url)
+	fmt.Println("\n== /metrics?format=json (play-service family)")
+	fmt.Printf("   sessions: %d created, %d live after leave\n",
+		counter(snap, "vgbl_playsvc_sessions_created_total"), counter(snap, "vgbl_playsvc_sessions_live"))
+	fmt.Printf("   served:   %d acts, %d frames\n",
+		counter(snap, "vgbl_playsvc_acts_total"), counter(snap, "vgbl_playsvc_frames_total"))
+	if m := snap.Metric("vgbl_playsvc_act_seconds"); m != nil && len(m.Series) > 0 && m.Series[0].Histogram != nil {
+		h := *m.Series[0].Histogram
+		fmt.Printf("   act latency: p50 %v  p95 %v  p99 %v over %d acts\n",
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond), h.Count)
+	}
+}
+
+// scrapeMetrics fetches the registry snapshot the metrics endpoint serves
+// with ?format=json.
+func scrapeMetrics(base string) *obs.RegistrySnapshot {
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	return &snap
+}
+
+// counter reads a single-series counter or gauge value from the snapshot.
+func counter(snap *obs.RegistrySnapshot, name string) int64 {
+	if m := snap.Metric(name); m != nil && len(m.Series) > 0 && m.Series[0].Value != nil {
+		return *m.Series[0].Value
+	}
+	return 0
 }

@@ -24,6 +24,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // HashSize is the size of a chunk address in bytes.
@@ -313,6 +316,15 @@ type Store struct {
 	evictions   atomic.Int64
 	bytesServed atomic.Int64
 	dedupHits   atomic.Int64
+
+	// getHot/getCold are the chunk-get latency histograms. The hot tier
+	// serves in tens of nanoseconds, so timing every hit would dominate
+	// the path being measured; hotSample admits one hit in 64 (the
+	// histogram is a sampled distribution, the hits counter stays exact).
+	// Cold gets pay backend I/O and are always timed.
+	getHot    *obs.Histogram
+	getCold   *obs.Histogram
+	hotSample *obs.Sampler
 }
 
 // New builds a Store.
@@ -327,9 +339,12 @@ func New(o Options) (*Store, error) {
 		return nil, errors.New("blobstore: cache-only store needs a cache budget")
 	}
 	s := &Store{
-		backend:  o.Backend,
-		shards:   make([]cacheShard, o.Shards),
-		perShard: o.CacheBytes / int64(o.Shards),
+		backend:   o.Backend,
+		shards:    make([]cacheShard, o.Shards),
+		perShard:  o.CacheBytes / int64(o.Shards),
+		getHot:    obs.NewHistogram(obs.LatencyBounds),
+		getCold:   obs.NewHistogram(obs.LatencyBounds),
+		hotSample: obs.NewSampler(64),
 	}
 	if o.CacheBytes > 0 && s.perShard == 0 {
 		s.perShard = 1 // tiny budgets still cache the newest chunk per shard
@@ -433,6 +448,11 @@ func (s *Store) Put(data []byte) (Hash, bool, error) {
 func (s *Store) Get(h Hash) ([]byte, error) {
 	sh := s.shardFor(h)
 	if s.perShard > 0 || s.backend == nil {
+		var t0 time.Time
+		sampled := s.hotSample.Tick()
+		if sampled {
+			t0 = time.Now()
+		}
 		sh.mu.Lock()
 		if e, ok := sh.m[h]; ok {
 			if sh.head != e {
@@ -442,6 +462,9 @@ func (s *Store) Get(h Hash) ([]byte, error) {
 			sh.mu.Unlock()
 			s.hits.Add(1)
 			s.bytesServed.Add(int64(len(e.data)))
+			if sampled {
+				s.getHot.ObserveSince(t0)
+			}
 			return e.data, nil
 		}
 		sh.mu.Unlock()
@@ -450,6 +473,7 @@ func (s *Store) Get(h Hash) ([]byte, error) {
 	if s.backend == nil {
 		return nil, ErrNotFound
 	}
+	t0 := time.Now()
 	data, err := s.backend.Get(h)
 	if err != nil {
 		return nil, err
@@ -463,6 +487,7 @@ func (s *Store) Get(h Hash) ([]byte, error) {
 		sh.mu.Unlock()
 	}
 	s.bytesServed.Add(int64(len(data)))
+	s.getCold.ObserveSince(t0)
 	return data, nil
 }
 
@@ -496,6 +521,24 @@ func (s *Store) Remove(h Hash) error {
 		return nil
 	}
 	return s.backend.Remove(h)
+}
+
+// Register exposes the store's counters and chunk-get latency histograms
+// on a metrics registry. All exported counters are monotonic; the chunk
+// and byte totals are gauges (they shrink when chunks are removed). The
+// hot-tier histogram is a 1-in-64 sampled distribution — see the field
+// comment — while the hits/misses counters remain exact.
+func (s *Store) Register(reg *obs.Registry) {
+	reg.CounterFunc("blobstore_hits_total", "chunk gets served from the hot tier", s.hits.Load)
+	reg.CounterFunc("blobstore_misses_total", "chunk gets that fell through the hot tier", s.misses.Load)
+	reg.CounterFunc("blobstore_evictions_total", "hot-tier LRU evictions", s.evictions.Load)
+	reg.CounterFunc("blobstore_dedup_hits_total", "puts of chunks the store already held", s.dedupHits.Load)
+	reg.CounterFunc("blobstore_bytes_served_total", "chunk bytes handed to readers", s.bytesServed.Load)
+	reg.GaugeFunc("blobstore_chunks", "chunks resident in the durable tier", func() int64 { return int64(s.Stats().Chunks) })
+	reg.GaugeFunc("blobstore_stored_bytes", "bytes resident in the durable tier", func() int64 { return s.Stats().StoredBytes })
+	reg.GaugeFunc("blobstore_cache_bytes", "bytes resident in the hot tier", func() int64 { return s.Stats().CacheBytes })
+	reg.RegisterHistogram("blobstore_get_seconds", "chunk get latency by tier (hot is 1/64 sampled)", "seconds", s.getHot, obs.L("tier", "hot"))
+	reg.RegisterHistogram("blobstore_get_seconds", "chunk get latency by tier (hot is 1/64 sampled)", "seconds", s.getCold, obs.L("tier", "cold"))
 }
 
 // Stats is a counter snapshot of a Store.

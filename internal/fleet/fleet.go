@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gamepack"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/playsvc"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -63,7 +64,16 @@ type Config struct {
 	// download.
 	ProgressiveStartup bool
 
+	// Obs, when set, receives the fleet's client-side transfer histograms
+	// (netstream_delta_bytes / netstream_delta_seconds): every learner's
+	// delta-sync download is observed into one shared family on this
+	// registry.
+	Obs *obs.Registry
+
 	HTTP *http.Client // shared transport (default http.DefaultClient)
+
+	// metrics is the shared per-download instrument set built from Obs.
+	metrics *netstream.ClientMetrics
 }
 
 func (c *Config) defaults() (ownsTransport bool, err error) {
@@ -107,6 +117,10 @@ func (c *Config) defaults() (ownsTransport bool, err error) {
 		tr.MaxIdleConnsPerHost = c.Concurrency
 		c.HTTP = &http.Client{Transport: tr}
 		ownsTransport = true
+	}
+	if c.Obs != nil {
+		c.metrics = netstream.NewClientMetrics()
+		c.metrics.Register(c.Obs)
 	}
 	return ownsTransport, nil
 }
@@ -221,7 +235,7 @@ func Run(cfg Config) (*Summary, error) {
 	// then revalidates the manifest with a 304 instead of re-shipping the
 	// package, and after a course update the fleet transfers only changed
 	// chunks) and yields the start scenario the server-side digests need.
-	nc := &netstream.Client{HTTP: cfg.HTTP}
+	nc := &netstream.Client{HTTP: cfg.HTTP, Metrics: cfg.metrics}
 	blob, prefetch, err := nc.DownloadDelta(pkgURL, cache)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: prefetch %s: %w", pkgURL, err)
@@ -288,7 +302,7 @@ func Run(cfg Config) (*Summary, error) {
 // play service), play, report.
 func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *netstream.PackageCache) learnerOutcome {
 	var o learnerOutcome
-	nc := &netstream.Client{HTTP: cfg.HTTP}
+	nc := &netstream.Client{HTTP: cfg.HTTP, Metrics: cfg.metrics}
 	start := proj.StartScenario
 
 	startupBegan := time.Now()

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blobstore"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/media/container"
 	"repro/internal/media/raster"
 	"repro/internal/media/vcodec"
+	"repro/internal/obs"
 )
 
 // extent is one run of package bytes: either framing bytes kept inline
@@ -82,6 +84,12 @@ type Server struct {
 	// packages, so replacing a package can release the chunks only its
 	// old version used instead of leaking a generation per course update.
 	chunkRefs map[blobstore.Hash]int
+
+	// Delivery counters for the built-in routes (mounted subsystems keep
+	// their own). All monotonic.
+	requests    atomic.Int64
+	bytesServed atomic.Int64
+	notModified atomic.Int64 // conditional GETs answered 304
 }
 
 // NewServer creates an empty server with a private in-memory chunk store.
@@ -327,12 +335,48 @@ func (s *Server) pkg(name string) *pkgEntry {
 	return s.packages[name]
 }
 
+// countingWriter tallies the bytes and 304s of one built-in-route
+// response into the server's delivery counters.
+type countingWriter struct {
+	http.ResponseWriter
+	srv *Server
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if code == http.StatusNotModified {
+		cw.srv.notModified.Add(1)
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.srv.bytesServed.Add(int64(n))
+	return n, err
+}
+
+// Register exposes the server's delivery counters on a metrics registry.
+// requests/bytes/not_modified count only the built-in routes — mounted
+// subsystems (telemetry, the play service) register their own families.
+func (s *Server) Register(reg *obs.Registry) {
+	reg.CounterFunc("netstream_requests_total", "requests served by the delivery routes", s.requests.Load)
+	reg.CounterFunc("netstream_bytes_total", "response bytes written by the delivery routes", s.bytesServed.Load)
+	reg.CounterFunc("netstream_not_modified_total", "conditional GETs answered 304", s.notModified.Load)
+	reg.GaugeFunc("netstream_packages", "packages currently published", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.packages))
+	})
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h := s.mountFor(r.URL.Path); h != nil {
 		h.ServeHTTP(w, r)
 		return
 	}
+	s.requests.Add(1)
+	w = &countingWriter{ResponseWriter: w, srv: s}
 	switch {
 	case r.URL.Path == "/list":
 		for _, n := range s.Names() {
@@ -472,9 +516,34 @@ func (st *Stats) Add(o Stats) {
 	st.Elapsed += o.Elapsed
 }
 
+// ClientMetrics holds the optional delta-sync instruments a Client
+// observes into: how many bytes each sync transferred and how long it
+// took. A Client with nil Metrics records nothing.
+type ClientMetrics struct {
+	DeltaBytes   *obs.Histogram // bytes fetched per DownloadDelta call
+	DeltaSeconds *obs.Histogram // wall time per DownloadDelta call
+}
+
+// NewClientMetrics builds the delta-sync histograms.
+func NewClientMetrics() *ClientMetrics {
+	return &ClientMetrics{
+		DeltaBytes:   obs.NewHistogram(obs.SizeBounds),
+		DeltaSeconds: obs.NewHistogram(obs.LatencyBounds),
+	}
+}
+
+// Register attaches the histograms to a metrics registry.
+func (m *ClientMetrics) Register(reg *obs.Registry) {
+	reg.RegisterHistogram("netstream_delta_bytes", "bytes transferred per delta sync", "bytes", m.DeltaBytes)
+	reg.RegisterHistogram("netstream_delta_seconds", "wall time per delta sync", "seconds", m.DeltaSeconds)
+}
+
 // Client fetches packages from a Server (or anything speaking HTTP ranges).
 type Client struct {
 	HTTP *http.Client // defaults to http.DefaultClient
+	// Metrics, when set, receives delta-sync observations (see
+	// ClientMetrics). Shared safely by concurrent transfers.
+	Metrics *ClientMetrics
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -771,12 +840,17 @@ func (c *Client) fetchManifest(url, etag string, st *Stats) (man *gamepack.Manif
 // that edited one segment, the transfer is that segment plus the
 // manifest. Falls back to DownloadCached against servers that predate
 // chunk-level delivery. The returned blob must be treated as read-only.
-func (c *Client) DownloadDelta(url string, cache *PackageCache) ([]byte, Stats, error) {
+func (c *Client) DownloadDelta(url string, cache *PackageCache) (blob []byte, st Stats, err error) {
+	if c.Metrics != nil {
+		defer func(t0 time.Time) {
+			c.Metrics.DeltaSeconds.ObserveSince(t0)
+			c.Metrics.DeltaBytes.Observe(int64(st.BytesFetched))
+		}(time.Now())
+	}
 	base, name, ok := splitPkgURL(url)
 	if !ok {
 		return c.DownloadCached(url, cache)
 	}
-	var st Stats
 	began := time.Now()
 	var etag string
 	if cached, have := cache.get(url); have {
@@ -803,7 +877,7 @@ func (c *Client) DownloadDelta(url string, cache *PackageCache) ([]byte, Stats, 
 			return nil, st, err
 		}
 	}
-	blob, err := c.materialize(base, man, cache, &st)
+	blob, err = c.materialize(base, man, cache, &st)
 	if err != nil {
 		return nil, st, err
 	}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health is the shared /healthz readiness handler: a fixed status+uptime
+// preamble plus whatever live fields the owning service contributes
+// (telemetry adds queue saturation and pending batches, play nodes add
+// live-session counts). Field order is Set order, so payloads are stable
+// for tests and humans alike.
+type Health struct {
+	started time.Time
+
+	mu     sync.Mutex
+	keys   []string
+	fields map[string]func() any
+}
+
+// NewHealth starts the uptime clock.
+func NewHealth() *Health {
+	return &Health{started: time.Now(), fields: map[string]func() any{}}
+}
+
+// Set adds (or replaces) one readiness field, evaluated per request.
+// It returns h for chaining.
+func (h *Health) Set(key string, fn func() any) *Health {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.fields[key]; !ok {
+		h.keys = append(h.keys, key)
+	}
+	h.fields[key] = fn
+	return h
+}
+
+// ServeHTTP implements http.Handler, answering
+// {"status":"ok","uptime_seconds":...,<fields...>}.
+func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	keys := append([]string(nil), h.keys...)
+	fns := make([]func() any, len(keys))
+	for i, k := range keys {
+		fns[i] = h.fields[k]
+	}
+	h.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.1f`, time.Since(h.started).Seconds())
+	for i, k := range keys {
+		v, err := json.Marshal(fns[i]())
+		if err != nil {
+			v = []byte(`"` + err.Error() + `"`)
+		}
+		fmt.Fprintf(w, `,%q:%s`, k, v)
+	}
+	fmt.Fprintln(w, "}")
+}

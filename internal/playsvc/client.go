@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/media/raster"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 )
@@ -31,7 +32,12 @@ type ClientOptions struct {
 	// the hook the fleet plugs its analytics collector and telemetry
 	// client into, exactly as for a local session.
 	Observer runtime.Observer
-	HTTP     *http.Client // defaults to http.DefaultClient
+	// Trace, when valid, is injected into every request's X-Vgbl-Trace
+	// header (a fresh child span per request), so the spans the gateway
+	// and nodes record all link back to this client's trace id. The zero
+	// value disables tracing; servers mint their own roots.
+	Trace obs.TraceContext
+	HTTP  *http.Client // defaults to http.DefaultClient
 }
 
 // Client drives one server-hosted session over HTTP. It implements
@@ -138,13 +144,31 @@ func (c *Client) checkStatus(resp *http.Response, what string) error {
 	return err
 }
 
+// newRequest builds a request carrying the client's trace context (as a
+// fresh child span) when one is configured.
+func (c *Client) newRequest(method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
+	}
+	return req, nil
+}
+
 // post sends one JSON request and decodes the reply.
 func (c *Client) post(url string, body any) (*Reply, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.opts.HTTP.Post(url, "application/json", bytes.NewReader(payload))
+	req, err := c.newRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTP.Do(req)
 	if err != nil {
 		return nil, c.fail(err)
 	}
@@ -185,7 +209,11 @@ func (c *Client) Sync() error {
 	}
 	url := fmt.Sprintf("%s%s?session=%s&events=%d&messages=%d",
 		c.opts.BaseURL, StatePath, c.id, c.seen, len(c.messages))
-	resp, err := c.opts.HTTP.Get(url)
+	req, err := c.newRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return c.fail(err)
+	}
+	resp, err := c.opts.HTTP.Do(req)
 	if err != nil {
 		return c.fail(err)
 	}
@@ -302,7 +330,11 @@ func (c *Client) Frame() (*raster.Frame, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	resp, err := c.opts.HTTP.Get(c.opts.BaseURL + FramePath + "?session=" + c.id)
+	req, err := c.newRequest(http.MethodGet, c.opts.BaseURL+FramePath+"?session="+c.id, nil)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	resp, err := c.opts.HTTP.Do(req)
 	if err != nil {
 		return nil, c.fail(err)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/gamepack"
+	"repro/internal/obs"
 )
 
 // ClusterOptions configures a Cluster.
@@ -45,8 +46,11 @@ type ClusterNode struct {
 	Name    string
 	URL     string
 	Manager *Manager
-	srv     *http.Server
-	ln      net.Listener
+	// Registry is the node's metric namespace, served at <URL>/metrics
+	// (Prometheus text; ?format=json for the structured snapshot).
+	Registry *obs.Registry
+	srv      *http.Server
+	ln       net.Listener
 }
 
 // publishedCourse remembers a course so nodes started later host it too.
@@ -138,6 +142,7 @@ func (c *Cluster) StartNode() (*ClusterNode, error) {
 	nodeOpts := c.opts.Node
 	nodeOpts.Store = c.store
 	nodeOpts.Dir = c.dir
+	nodeOpts.Node = name
 	mgr := NewManager(nodeOpts)
 	for _, course := range c.courses {
 		var err error
@@ -156,16 +161,29 @@ func (c *Cluster) StartNode() (*ClusterNode, error) {
 		mgr.Close()
 		return nil, err
 	}
+	// Each node is its own scrape target: play-service counters plus the
+	// shared store's (every node reports the same store totals — it is
+	// one store), a span ring, and a readiness payload.
+	reg := obs.NewRegistry("vgbl")
+	mgr.Register(reg)
+	c.store.Register(reg)
+	health := obs.NewHealth().
+		Set("node", func() any { return name }).
+		Set("sessions_live", func() any { return mgr.Live() })
 	mux := http.NewServeMux()
 	mux.Handle("/play/", mgr.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", mgr.Ring().Handler())
+	mux.Handle("/healthz", health)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	n := &ClusterNode{
-		Name:    name,
-		URL:     "http://" + ln.Addr().String(),
-		Manager: mgr,
-		srv:     srv,
-		ln:      ln,
+		Name:     name,
+		URL:      "http://" + ln.Addr().String(),
+		Manager:  mgr,
+		Registry: reg,
+		srv:      srv,
+		ln:       ln,
 	}
 	if err := c.gw.AddNode(name, n.URL); err != nil {
 		srv.Close()

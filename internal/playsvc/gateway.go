@@ -29,7 +29,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // vnodes is how many ring points each node gets; more points spread the
@@ -65,11 +67,19 @@ type Gateway struct {
 	// to reach them or acts for their sessions would 404 mid-drain.
 	draining []gwNode
 
-	creates     atomic.Int64 // sessions created through the gateway
-	rescues     atomic.Int64 // stray sessions handed off and re-owned
-	recoveries  atomic.Int64 // sessions revived from a crash checkpoint
-	retries     atomic.Int64 // requests replayed onto another node
-	deadRemoved atomic.Int64 // nodes dropped after transport failures
+	creates     *obs.Counter // sessions created through the gateway
+	rescues     *obs.Counter // stray sessions handed off and re-owned
+	recoveries  *obs.Counter // sessions revived from a crash checkpoint
+	retries     *obs.Counter // requests replayed onto another node
+	deadRemoved *obs.Counter // nodes dropped after transport failures
+
+	// hops counts how many backend requests one routed call took (1 =
+	// clean hit; more = rescue/retry healing); rescueNs times successful
+	// rescue sweeps. spans records one span per routed call, so a trace
+	// shows the gateway hop above the node spans it caused.
+	hops     *obs.Histogram
+	rescueNs *obs.Histogram
+	spans    *obs.SpanRing
 
 	handlerOnce sync.Once
 	handler     http.Handler
@@ -81,7 +91,35 @@ func NewGateway(client *http.Client) *Gateway {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Gateway{httpc: client, sessions: map[string]bool{}}
+	return &Gateway{
+		httpc:       client,
+		sessions:    map[string]bool{},
+		creates:     obs.NewCounter(),
+		rescues:     obs.NewCounter(),
+		recoveries:  obs.NewCounter(),
+		retries:     obs.NewCounter(),
+		deadRemoved: obs.NewCounter(),
+		hops:        obs.NewHistogram(obs.CountBounds),
+		rescueNs:    obs.NewHistogram(obs.LatencyBounds),
+		spans:       obs.NewSpanRing("gateway", 0),
+	}
+}
+
+// Ring exposes the gateway's span ring (mounted at /debug/traces).
+func (g *Gateway) Ring() *obs.SpanRing { return g.spans }
+
+// Register exposes the gateway's routing counters and histograms on a
+// metrics registry. All *_total families are monotonic; gateway_sessions
+// is a gauge (tracked ids leave on a leave act).
+func (g *Gateway) Register(reg *obs.Registry) {
+	reg.GaugeFunc("gateway_sessions", "gateway-tracked live session ids", func() int64 { return int64(g.SessionCount()) })
+	reg.CounterFunc("gateway_creates_total", "sessions created through the gateway", g.creates.Value)
+	reg.CounterFunc("gateway_rescues_total", "stray sessions handed off and re-owned", g.rescues.Value)
+	reg.CounterFunc("gateway_recoveries_total", "sessions revived from a crash checkpoint", g.recoveries.Value)
+	reg.CounterFunc("gateway_retries_total", "requests replayed onto another node", g.retries.Value)
+	reg.CounterFunc("gateway_dead_nodes_removed_total", "nodes dropped after transport failures", g.deadRemoved.Value)
+	reg.RegisterHistogram("gateway_hops", "backend requests per routed call", "", g.hops)
+	reg.RegisterHistogram("gateway_rescue_seconds", "successful rescue sweep duration", "seconds", g.rescueNs)
 }
 
 func hash32(s string) uint32 {
@@ -242,8 +280,9 @@ type proxied struct {
 	body   []byte
 }
 
-// send performs one request against one node.
-func (g *Gateway) send(node gwNode, method, path, rawQuery string, body []byte) (*proxied, error) {
+// send performs one request against one node, propagating the trace
+// context so the node's spans share the gateway's trace id.
+func (g *Gateway) send(tc obs.TraceContext, node gwNode, method, path, rawQuery string, body []byte) (*proxied, error) {
 	url := node.url + path
 	if rawQuery != "" {
 		url += "?" + rawQuery
@@ -255,6 +294,7 @@ func (g *Gateway) send(node gwNode, method, path, rawQuery string, body []byte) 
 	if method == http.MethodPost {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	tc.Inject(req.Header)
 	resp, err := g.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -269,12 +309,15 @@ func (g *Gateway) send(node gwNode, method, path, rawQuery string, body []byte) 
 
 // rescue asks every node except the current owner to freeze the session
 // into the shared store; it reports whether any of them had it (live — a
-// handoff — or already frozen).
-func (g *Gateway) rescue(session, ownerName string) bool {
+// handoff — or already frozen). A successful sweep's duration lands in
+// the rescue histogram.
+func (g *Gateway) rescue(tc obs.TraceContext, session, ownerName string) bool {
+	t0 := time.Now()
 	for _, n := range g.otherNodes(ownerName) {
 		body, _ := json.Marshal(&HandoffRequest{Session: session})
-		p, err := g.send(n, http.MethodPost, HandoffPath, "", body)
+		p, err := g.send(tc.Child(), n, http.MethodPost, HandoffPath, "", body)
 		if err == nil && p.status == http.StatusOK {
+			g.rescueNs.ObserveSince(t0)
 			return true
 		}
 	}
@@ -284,9 +327,9 @@ func (g *Gateway) rescue(session, ownerName string) bool {
 // recover asks the owner to thaw the session from its last checkpoint —
 // the final fallback once no node admits to holding it, meaning its
 // owner crashed without draining.
-func (g *Gateway) recover(session string, owner gwNode) bool {
+func (g *Gateway) recover(tc obs.TraceContext, session string, owner gwNode) bool {
 	body, _ := json.Marshal(&HandoffRequest{Session: session})
-	p, err := g.send(owner, http.MethodPost, RecoverPath, "", body)
+	p, err := g.send(tc.Child(), owner, http.MethodPost, RecoverPath, "", body)
 	return err == nil && p.status == http.StatusOK
 }
 
@@ -300,7 +343,16 @@ func (g *Gateway) recover(session string, owner gwNode) bool {
 //
 // A 503 (node draining, or cap reached) retries only if re-resolution
 // finds a different owner.
-func (g *Gateway) doSession(method, path, rawQuery string, body []byte, session string) (*proxied, error) {
+//
+// The routed call is one gateway span ("gw /play/act"); every backend
+// request under it is a child of tc, so the node-side spans chain onto
+// this hop. The hop count (1 = clean hit) lands in the hops histogram.
+func (g *Gateway) doSession(tc obs.TraceContext, method, path, rawQuery string, body []byte, session string) (p *proxied, err error) {
+	hops := 0
+	defer func(t0 time.Time) {
+		g.hops.Observe(int64(hops))
+		g.spans.Record(tc, "gw "+path, t0, err)
+	}(time.Now())
 	rescued := false
 	var last *proxied
 	for attempt := 0; attempt < 4; attempt++ {
@@ -308,7 +360,8 @@ func (g *Gateway) doSession(method, path, rawQuery string, body []byte, session 
 		if err != nil {
 			return nil, err
 		}
-		p, err := g.send(node, method, path, rawQuery, body)
+		hops++
+		p, err := g.send(tc.Child(), node, method, path, rawQuery, body)
 		if err != nil {
 			g.dropDead(node)
 			g.retries.Add(1)
@@ -321,9 +374,9 @@ func (g *Gateway) doSession(method, path, rawQuery string, body []byte, session 
 				return p, nil
 			}
 			rescued = true
-			if g.rescue(session, node.name) {
+			if g.rescue(tc, session, node.name) {
 				g.rescues.Add(1)
-			} else if g.recover(session, node) {
+			} else if g.recover(tc, session, node) {
 				// No node holds it live: its owner crashed. Revive from
 				// the last periodic checkpoint.
 				g.recoveries.Add(1)
@@ -396,6 +449,15 @@ func (g *Gateway) Handler() http.Handler {
 	return g.handler
 }
 
+// traceOf extracts the request's trace context, minting a fresh root
+// when the client sent none — the gateway is where cluster traces begin.
+func traceOf(r *http.Request) obs.TraceContext {
+	if tc := obs.TraceFromRequest(r); tc.Valid() {
+		return tc
+	}
+	return obs.NewTrace()
+}
+
 func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
 	if !decodeBody(w, r, &req) {
@@ -404,13 +466,14 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("resume"); v != "" && req.Resume == "" {
 		req.Resume = v
 	}
+	tc := traceOf(r)
 	session := req.Resume
 	if session != "" {
 		// An explicit resume may thaw a checkpoint entry on its owner, so
 		// first sweep any live copy off the other nodes (a no-op unless
 		// the ring changed under a dormant client).
 		if owner, err := g.ownerOf(session); err == nil {
-			g.rescue(session, owner.name)
+			g.rescue(tc, session, owner.name)
 		}
 	}
 	if session == "" {
@@ -428,7 +491,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	p, err := g.doSession(http.MethodPost, CreatePath, "", body, session)
+	p, err := g.doSession(tc, http.MethodPost, CreatePath, "", body, session)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -454,7 +517,7 @@ func (g *Gateway) handleAct(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	p, err := g.doSession(http.MethodPost, ActPath, "", body, req.Session)
+	p, err := g.doSession(traceOf(r), http.MethodPost, ActPath, "", body, req.Session)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -473,7 +536,7 @@ func (g *Gateway) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "playsvc: missing session", http.StatusBadRequest)
 		return
 	}
-	p, err := g.doSession(http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, session)
+	p, err := g.doSession(traceOf(r), http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, session)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -487,6 +550,10 @@ type GatewayNodeStats struct {
 	URL   string `json:"url"`
 	Live  int    `json:"live"`
 	Error string `json:"error,omitempty"`
+	// Stats is the node's full snapshot (nil when the node was
+	// unreachable), so /play/stats reports per-node counters alongside
+	// the cluster aggregate.
+	Stats *Stats `json:"stats,omitempty"`
 }
 
 // GatewayStats is the gateway's /play/stats payload: its own routing
@@ -511,15 +578,15 @@ func (g *Gateway) Stats() GatewayStats {
 	g.mu.RUnlock()
 	st := GatewayStats{
 		Sessions:    sessions,
-		Creates:     g.creates.Load(),
-		Rescues:     g.rescues.Load(),
-		Recoveries:  g.recoveries.Load(),
-		Retries:     g.retries.Load(),
-		DeadRemoved: g.deadRemoved.Load(),
+		Creates:     g.creates.Value(),
+		Rescues:     g.rescues.Value(),
+		Recoveries:  g.recoveries.Value(),
+		Retries:     g.retries.Value(),
+		DeadRemoved: g.deadRemoved.Value(),
 	}
 	for _, n := range nodes {
 		ns := GatewayNodeStats{Name: n.name, URL: n.url}
-		p, err := g.send(n, http.MethodGet, StatsPath, "", nil)
+		p, err := g.send(obs.TraceContext{}, n, http.MethodGet, StatsPath, "", nil)
 		if err != nil || p.status != http.StatusOK {
 			if err != nil {
 				ns.Error = err.Error()
@@ -536,17 +603,10 @@ func (g *Gateway) Stats() GatewayStats {
 			continue
 		}
 		ns.Live = s.SessionsLive
+		ns.Stats = &s
 		st.Nodes = append(st.Nodes, ns)
 		st.NodesQueried++
-		st.Cluster.SessionsLive += s.SessionsLive
-		st.Cluster.SessionsCreated += s.SessionsCreated
-		st.Cluster.SessionsClosed += s.SessionsClosed
-		st.Cluster.SessionsEvicted += s.SessionsEvicted
-		st.Cluster.SessionsFrozen += s.SessionsFrozen
-		st.Cluster.SessionsResumed += s.SessionsResumed
-		st.Cluster.Checkpoints += s.Checkpoints
-		st.Cluster.Acts += s.Acts
-		st.Cluster.Frames += s.Frames
+		st.Cluster.Merge(s)
 	}
 	return st
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gamepack"
 	"repro/internal/media/raster"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -63,6 +64,9 @@ type Options struct {
 	// crash loses at most one interval of progress. 0 disables periodic
 	// checkpoints (sessions are still snapshotted on eviction and drain).
 	CheckpointEvery time.Duration
+	// Node names this manager in recorded trace spans — "node-3" in a
+	// cluster, empty for a standalone service (spans then say "play").
+	Node string
 }
 
 func (o *Options) defaults() {
@@ -152,6 +156,18 @@ type Manager struct {
 	opts    Options
 	started time.Time
 
+	// Observability: request-latency and lifecycle-duration histograms
+	// (always recording; Register attaches them to a scrape registry) and
+	// the bounded span ring behind /debug/traces. Histogram values are
+	// nanoseconds; the registry exports them as seconds.
+	actNs     *obs.Histogram
+	stateNs   *obs.Histogram
+	frameNs   *obs.Histogram
+	freezeNs  *obs.Histogram
+	thawNs    *obs.Histogram
+	restoreNs *obs.Histogram
+	ring      *obs.SpanRing
+
 	coursesMu sync.RWMutex
 	courses   map[string]*course
 	// videos interns video payloads by content hash: N courses sharing
@@ -186,9 +202,20 @@ type Manager struct {
 // NewManager builds a manager and starts its eviction janitor.
 func NewManager(o Options) *Manager {
 	o.defaults()
+	node := o.Node
+	if node == "" {
+		node = "play"
+	}
 	m := &Manager{
 		opts:           o,
 		started:        time.Now(),
+		actNs:          obs.NewHistogram(obs.LatencyBounds),
+		stateNs:        obs.NewHistogram(obs.LatencyBounds),
+		frameNs:        obs.NewHistogram(obs.LatencyBounds),
+		freezeNs:       obs.NewHistogram(obs.LatencyBounds),
+		thawNs:         obs.NewHistogram(obs.LatencyBounds),
+		restoreNs:      obs.NewHistogram(obs.LatencyBounds),
+		ring:           obs.NewSpanRing(node, 0),
 		courses:        map[string]*course{},
 		videos:         map[blobstore.Hash][]byte{},
 		store:          o.Store,
@@ -377,7 +404,7 @@ func (m *Manager) Live() int { return int(m.liveCount.Load()) }
 // supply req.Session so the id hashes onto the node they routed to.
 func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 	if req.Resume != "" {
-		return m.resume(req.Resume, req.SeenEvents, req.SeenMessages)
+		return m.resume(req.Trace, req.Resume, req.SeenEvents, req.SeenMessages)
 	}
 	if req.Course == "" {
 		return nil, errf(http.StatusBadRequest, "playsvc: create needs a course or a resume id")
@@ -438,10 +465,10 @@ func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 // cluster gateway pre-rescues live copies before letting this through).
 // The reply repeats the create-time course metadata so a reconnecting
 // client needs no other state.
-func (m *Manager) resume(session string, seenEvents, seenMessages int) (*Reply, error) {
+func (m *Manager) resume(tc obs.TraceContext, session string, seenEvents, seenMessages int) (*Reply, error) {
 	h, _, err := m.lookup(session)
 	if err != nil {
-		h, _, err = m.thaw(session, true)
+		h, _, err = m.thaw(tc, session, true)
 	}
 	if err != nil {
 		return nil, err
@@ -495,7 +522,17 @@ func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
 // view. A "leave" act releases the session after building its final view.
 // A session this node does not host is thawed from the snapshot directory
 // first, so eviction and cluster handoff are invisible to the client.
+// Latency lands in the act histogram; when the request carries a trace
+// context a "play.act" span is recorded.
 func (m *Manager) Act(req *ActRequest) (*Reply, error) {
+	t0 := time.Now()
+	r, err := m.act(req)
+	m.actNs.ObserveSince(t0)
+	m.ring.Record(req.Trace, "play.act", t0, err)
+	return r, err
+}
+
+func (m *Manager) act(req *ActRequest) (*Reply, error) {
 	if req.Kind == ActLeave {
 		if h, sh, err := m.lookup(req.Session); err == nil {
 			return m.leave(req, h, sh)
@@ -513,7 +550,7 @@ func (m *Manager) Act(req *ActRequest) (*Reply, error) {
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
 	}
 
-	h, sh, err := m.lookupOrThaw(req.Session)
+	h, sh, err := m.lookupOrThaw(req.Trace, req.Session)
 	if err != nil {
 		return nil, err
 	}
@@ -609,7 +646,19 @@ func (m *Manager) actLocked(req *ActRequest, h *hosted) (*Reply, error) {
 // refreshes the idle clock and, like every reply, releases the event
 // prefix the caller acknowledges via seenEvents).
 func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply, error) {
-	h, _, err := m.lookupOrThaw(session)
+	return m.stateOf(obs.TraceContext{}, session, seenEvents, seenMessages)
+}
+
+func (m *Manager) stateOf(tc obs.TraceContext, session string, seenEvents, seenMessages int) (*Reply, error) {
+	t0 := time.Now()
+	r, err := m.stateOfInner(tc, session, seenEvents, seenMessages)
+	m.stateNs.ObserveSince(t0)
+	m.ring.Record(tc, "play.state", t0, err)
+	return r, err
+}
+
+func (m *Manager) stateOfInner(tc obs.TraceContext, session string, seenEvents, seenMessages int) (*Reply, error) {
+	h, _, err := m.lookupOrThaw(tc, session)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +677,19 @@ func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply,
 // allocation-free frame path: advance + DecodeInto + cached-sprite
 // composition allocate nothing in steady state.
 func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame, tick int) error) error {
-	h, sh, err := m.lookupOrThaw(session)
+	return m.withFrame(obs.TraceContext{}, session, advance, fn)
+}
+
+func (m *Manager) withFrame(tc obs.TraceContext, session string, advance int, fn func(f *raster.Frame, tick int) error) error {
+	t0 := time.Now()
+	err := m.withFrameInner(tc, session, advance, fn)
+	m.frameNs.ObserveSince(t0)
+	m.ring.Record(tc, "play.frame", t0, err)
+	return err
+}
+
+func (m *Manager) withFrameInner(tc obs.TraceContext, session string, advance int, fn func(f *raster.Frame, tick int) error) error {
+	h, sh, err := m.lookupOrThaw(tc, session)
 	if err != nil {
 		return err
 	}
@@ -730,6 +791,51 @@ func (m *Manager) Halt() {
 	})
 }
 
+// Ring exposes the manager's span ring (mounted at /debug/traces).
+func (m *Manager) Ring() *obs.SpanRing { return m.ring }
+
+// sumShards totals one counter across the shards.
+func (m *Manager) sumShards(read func(sh *shard) int64) func() int64 {
+	return func() int64 {
+		var n int64
+		for i := range m.shards {
+			n += read(&m.shards[i])
+		}
+		return n
+	}
+}
+
+// Register exposes the manager's counters and histograms on a metrics
+// registry. The playsvc_sessions_*_total families are monotonic counters
+// (summed over the shards at scrape time); playsvc_sessions_live and
+// playsvc_video_bytes are gauges.
+func (m *Manager) Register(reg *obs.Registry) {
+	reg.GaugeFunc("playsvc_sessions_live", "hosted sessions right now", func() int64 { return m.liveCount.Load() })
+	reg.CounterFunc("playsvc_sessions_created_total", "sessions opened", m.sumShards(func(sh *shard) int64 { return sh.created.Load() }))
+	reg.CounterFunc("playsvc_sessions_closed_total", "sessions released by a leave act", m.sumShards(func(sh *shard) int64 { return sh.closed.Load() }))
+	reg.CounterFunc("playsvc_sessions_evicted_total", "sessions reclaimed by the janitor", m.sumShards(func(sh *shard) int64 { return sh.evicted.Load() }))
+	reg.CounterFunc("playsvc_sessions_frozen_total", "sessions snapshotted on release", m.sumShards(func(sh *shard) int64 { return sh.frozen.Load() }))
+	reg.CounterFunc("playsvc_sessions_resumed_total", "sessions thawed from a snapshot", m.sumShards(func(sh *shard) int64 { return sh.resumed.Load() }))
+	reg.CounterFunc("playsvc_acts_total", "interactions applied", m.sumShards(func(sh *shard) int64 { return sh.acts.Load() }))
+	reg.CounterFunc("playsvc_frames_total", "frames rendered", m.sumShards(func(sh *shard) int64 { return sh.frames.Load() }))
+	reg.CounterFunc("playsvc_checkpoints_total", "periodic checkpoint persists", m.checkpoints.Load)
+	reg.GaugeFunc("playsvc_video_bytes", "resident video payload bytes", func() int64 {
+		m.coursesMu.RLock()
+		defer m.coursesMu.RUnlock()
+		var n int64
+		for _, v := range m.videos {
+			n += int64(len(v))
+		}
+		return n
+	})
+	reg.RegisterHistogram("playsvc_act_seconds", "act request latency", "seconds", m.actNs)
+	reg.RegisterHistogram("playsvc_state_seconds", "state request latency", "seconds", m.stateNs)
+	reg.RegisterHistogram("playsvc_frame_seconds", "frame request latency", "seconds", m.frameNs)
+	reg.RegisterHistogram("playsvc_freeze_seconds", "session freeze duration", "seconds", m.freezeNs)
+	reg.RegisterHistogram("playsvc_thaw_seconds", "session thaw duration (restore included)", "seconds", m.thawNs)
+	reg.RegisterHistogram("playsvc_restore_seconds", "runtime snapshot restore duration", "seconds", m.restoreNs)
+}
+
 // ShardStats is one shard's counters in a Stats snapshot.
 type ShardStats struct {
 	Live    int   `json:"live"`
@@ -759,6 +865,24 @@ type Stats struct {
 	Acts            int64        `json:"acts"`
 	Frames          int64        `json:"frames"`
 	Shards          []ShardStats `json:"shards"`
+}
+
+// Merge accumulates another node's snapshot into this one — how a
+// gateway folds per-node stats into the cluster view. Every Sessions*,
+// Checkpoints, Acts and Frames field except SessionsLive is a monotonic
+// counter and sums cleanly; SessionsLive is a gauge whose sum is the
+// cluster's current total. Uptime, courses, video totals and the shard
+// breakdown are per-node facts and are left alone.
+func (st *Stats) Merge(o Stats) {
+	st.SessionsLive += o.SessionsLive
+	st.SessionsCreated += o.SessionsCreated
+	st.SessionsClosed += o.SessionsClosed
+	st.SessionsEvicted += o.SessionsEvicted
+	st.SessionsFrozen += o.SessionsFrozen
+	st.SessionsResumed += o.SessionsResumed
+	st.Checkpoints += o.Checkpoints
+	st.Acts += o.Acts
+	st.Frames += o.Frames
 }
 
 // Snapshot assembles the live counters.

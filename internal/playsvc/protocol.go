@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -54,6 +55,10 @@ type CreateRequest struct {
 	// act: a fresh client passes zero and receives the full transcript.
 	SeenEvents   int `json:"seen_events,omitempty"`
 	SeenMessages int `json:"seen_messages,omitempty"`
+
+	// Trace is the request's trace context. It rides the X-Vgbl-Trace
+	// header, not the JSON body; the HTTP handlers fill it in.
+	Trace obs.TraceContext `json:"-"`
 }
 
 // HandoffRequest freezes one session into the shared snapshot store so
@@ -80,6 +85,10 @@ type ActRequest struct {
 	// long-lived session retains only unacknowledged events.
 	SeenEvents   int `json:"seen_events,omitempty"`
 	SeenMessages int `json:"seen_messages,omitempty"`
+
+	// Trace is the request's trace context. It rides the X-Vgbl-Trace
+	// header, not the JSON body; the HTTP handlers fill it in.
+	Trace obs.TraceContext `json:"-"`
 }
 
 // Reply is the server's view of a hosted session after an operation. State

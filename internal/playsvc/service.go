@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/media/raster"
+	"repro/internal/obs"
 )
 
 // maxBody bounds accepted request bodies; play requests are tiny.
@@ -60,7 +62,10 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("resume"); v != "" && req.Resume == "" {
 		req.Resume = v
 	}
+	req.Trace = obs.TraceFromRequest(r)
+	t0 := time.Now()
 	reply, err := m.Create(&req)
+	m.ring.Record(req.Trace, "play.create", t0, err)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
@@ -75,7 +80,10 @@ func (m *Manager) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := m.Freeze(req.Session); err != nil {
+	t0 := time.Now()
+	err := m.Freeze(req.Session)
+	m.ring.Record(obs.TraceFromRequest(r), "play.handoff", t0, err)
+	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
@@ -89,7 +97,10 @@ func (m *Manager) handleRecover(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := m.Recover(req.Session); err != nil {
+	t0 := time.Now()
+	err := m.Recover(req.Session)
+	m.ring.Record(obs.TraceFromRequest(r), "play.recover", t0, err)
+	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
 	}
@@ -112,6 +123,7 @@ func (m *Manager) handleAct(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	req.Trace = obs.TraceFromRequest(r)
 	reply, err := m.Act(&req)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
@@ -124,7 +136,7 @@ func (m *Manager) handleState(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	seenE, _ := strconv.Atoi(q.Get("events"))
 	seenM, _ := strconv.Atoi(q.Get("messages"))
-	reply, err := m.StateOf(q.Get("session"), seenE, seenM)
+	reply, err := m.stateOf(obs.TraceFromRequest(r), q.Get("session"), seenE, seenM)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatus(err))
 		return
@@ -142,7 +154,7 @@ func (m *Manager) handleFrame(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "negative advance", http.StatusBadRequest)
 		return
 	}
-	err := m.WithFrame(q.Get("session"), advance, func(f *raster.Frame, tick int) error {
+	err := m.withFrame(obs.TraceFromRequest(r), q.Get("session"), advance, func(f *raster.Frame, tick int) error {
 		h := w.Header()
 		h.Set("Content-Type", "application/octet-stream")
 		h.Set("X-Frame-Width", strconv.Itoa(f.W))

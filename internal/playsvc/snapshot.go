@@ -24,8 +24,10 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/blobstore"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -228,6 +230,7 @@ func (m *Manager) canSnapshot() bool { return m.store != nil && m.dir != nil }
 // reports whether this call did the removal (false when another path —
 // leave, another freeze — released the session first).
 func (m *Manager) freezeOut(sh *shard, h *hosted) (removed bool, err error) {
+	t0 := time.Now()
 	h.mu.Lock()
 	if h.gone {
 		h.mu.Unlock()
@@ -247,6 +250,7 @@ func (m *Manager) freezeOut(sh *shard, h *hosted) (removed bool, err error) {
 	sh.mu.Unlock()
 	m.liveCount.Add(-1)
 	sh.frozen.Add(1)
+	m.freezeNs.ObserveSince(t0)
 	return true, nil
 }
 
@@ -404,8 +408,15 @@ func (m *Manager) Checkpoint() int {
 // its progress back; the gateway first rescues the live copy and only
 // recovers from a checkpoint once no node has it. Concurrent thaws of one
 // session race benignly: the first insert wins and the loser's restore is
-// discarded.
-func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, error) {
+// discarded. A valid tc records the restore as a "play.thaw" child span,
+// so a handed-off act shows its thaw cost under the same trace id.
+func (m *Manager) thaw(tc obs.TraceContext, session string, allowCheckpoint bool) (h *hosted, sh *shard, err error) {
+	defer func(t0 time.Time) {
+		if err == nil {
+			m.thawNs.ObserveSince(t0)
+		}
+		m.ring.Record(tc.Child(), "play.thaw", t0, err)
+	}(time.Now())
 	notFound := errf(http.StatusNotFound, "playsvc: no session %q", session)
 	if !m.canSnapshot() {
 		return nil, nil, notFound
@@ -446,8 +457,9 @@ func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, e
 		m.liveCount.Add(-1)
 		return nil, nil, errf(http.StatusServiceUnavailable, "playsvc: session cap (%d) reached", m.opts.MaxSessions)
 	}
-	h := &hosted{id: session, course: c, events: env.Events, eventBase: env.EventBase}
+	h = &hosted{id: session, course: c, events: env.Events, eventBase: env.EventBase}
 	h.touch()
+	restoreStart := time.Now()
 	sess, err := runtime.RestoreSessionFromPackage(c.pkg, snap, runtime.Options{
 		DecodeWorkers: m.opts.DecodeWorkers,
 		Observer:      h,
@@ -456,6 +468,7 @@ func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, e
 		m.liveCount.Add(-1)
 		return nil, nil, errf(http.StatusInternalServerError, "playsvc: restore %q: %v", session, err)
 	}
+	m.restoreNs.ObserveSince(restoreStart)
 	h.sess = sess
 	h.checkpointed.Store(h.lastSeen.Load())
 	// The released entry is about to be consumed: this node now owns the
@@ -466,7 +479,7 @@ func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, e
 	// write for it happens under h.mu (freeze, checkpoint, leave-delete),
 	// and a late write here could clobber a concurrent leave's delete.
 	m.dir.Save(session, SnapshotRef{Envelope: ref.Envelope, Checkpoint: true})
-	sh := m.shardFor(session)
+	sh = m.shardFor(session)
 	sh.mu.Lock()
 	if cur := sh.sessions[session]; cur != nil {
 		sh.mu.Unlock()
@@ -483,12 +496,12 @@ func (m *Manager) thaw(session string, allowCheckpoint bool) (*hosted, *shard, e
 // lookupOrThaw resolves a session, restoring it from the snapshot
 // directory when it is not live on this node. Only released snapshots
 // thaw implicitly; checkpoint entries need Recover.
-func (m *Manager) lookupOrThaw(session string) (*hosted, *shard, error) {
+func (m *Manager) lookupOrThaw(tc obs.TraceContext, session string) (*hosted, *shard, error) {
 	h, sh, err := m.lookup(session)
 	if err == nil {
 		return h, sh, nil
 	}
-	return m.thaw(session, false)
+	return m.thaw(tc, session, false)
 }
 
 // Recover thaws a session even from a checkpoint entry — the crash path.
@@ -502,6 +515,6 @@ func (m *Manager) Recover(session string) error {
 		h.touch()
 		return nil
 	}
-	_, _, err = m.thaw(session, true)
+	_, _, err = m.thaw(obs.TraceContext{}, session, true)
 	return err
 }

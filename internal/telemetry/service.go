@@ -2,11 +2,13 @@ package telemetry
 
 import (
 	"encoding/json"
-	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options tunes a Service.
@@ -51,6 +53,8 @@ type Service struct {
 	wg      sync.WaitGroup
 	started time.Time
 	maxBody int64
+	shards  int
+	health  *obs.Health
 
 	closeOnce   sync.Once
 	closed      atomic.Bool
@@ -81,8 +85,17 @@ func NewService(o Options) *Service {
 		queues:      make([]chan Batch, o.Workers),
 		started:     time.Now(),
 		maxBody:     int64(o.MaxBody),
+		shards:      o.Shards,
 		stopJanitor: make(chan struct{}),
 	}
+	// The readiness payload every sibling service shares (obs.Health):
+	// uptime plus ingest-specific load signals. "pending" is load-bearing —
+	// the load generator's drain wait polls it.
+	s.health = obs.NewHealth().
+		Set("pending", func() any { return s.Pending() }).
+		Set("queue_saturation", func() any { return s.QueueSaturation() }).
+		Set("queues", func() any { return len(s.queues) }).
+		Set("shards", func() any { return s.shards })
 	for i := range s.queues {
 		q := make(chan Batch, o.QueueDepth)
 		s.queues[i] = q
@@ -168,6 +181,51 @@ func (s *Service) Pending() int {
 		n = 0
 	}
 	return int(n)
+}
+
+// QueueSaturation reports the fullest ingest queue as a fraction of its
+// bound, rounded to hundredths — the readiness signal for backpressure
+// (1.0 means at least one queue is shedding into 429s).
+func (s *Service) QueueSaturation() float64 {
+	worst := 0.0
+	for _, q := range s.queues {
+		if c := cap(q); c > 0 {
+			if f := float64(len(q)) / float64(c); f > worst {
+				worst = f
+			}
+		}
+	}
+	return math.Round(worst*100) / 100
+}
+
+// queueDepth sums batches currently sitting in the ingest queues.
+func (s *Service) queueDepth() int64 {
+	var n int64
+	for _, q := range s.queues {
+		n += int64(len(q))
+	}
+	return n
+}
+
+// Register exposes the service's counters on a metrics registry. The
+// *_total families are monotonic counters; pending and queue depth are
+// gauges (they fall as workers drain).
+func (s *Service) Register(reg *obs.Registry) {
+	reg.CounterFunc("telemetry_batches_accepted_total", "batches enqueued (202)", s.accepted.Load)
+	reg.CounterFunc("telemetry_batches_rejected_total", "batches shed by a full queue (429)", s.rejected.Load)
+	reg.CounterFunc("telemetry_batches_applied_total", "batches processed off the queues", s.applied.Load)
+	reg.CounterFunc("telemetry_bad_requests_total", "malformed ingest requests", s.badRequests.Load)
+	reg.CounterFunc("telemetry_apply_errors_total", "accepted batches the store refused", s.applyErrors.Load)
+	reg.CounterFunc("telemetry_sessions_expired_total", "sessions reclaimed by the janitor", s.expired.Load)
+	reg.GaugeFunc("telemetry_pending", "accepted batches not yet applied", func() int64 { return int64(s.Pending()) })
+	reg.GaugeFunc("telemetry_queue_depth", "batches sitting in the ingest queues", s.queueDepth)
+	reg.GaugeFunc("telemetry_live_sessions", "sessions the store currently tracks", func() int64 {
+		live := 0
+		for _, cs := range s.store.Snapshot() {
+			live += cs.LiveSessions
+		}
+		return int64(live)
+	})
 }
 
 // Snapshot is the /telemetry/stats payload.
@@ -285,7 +343,5 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.1f,"pending":%d}`+"\n",
-		time.Since(s.started).Seconds(), s.Pending())
+	s.health.ServeHTTP(w, r)
 }

@@ -4,21 +4,86 @@
 #
 # Usage:
 #   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR4.json
+#   scripts/bench.sh --check             # regression smoke vs BENCH_PR4.json
 #   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
 #   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
 #
 # Environment:
-#   BENCH_PATTERN  -bench regex            (default: .)
-#   BENCH_COUNT    -count                  (default: 3)
-#   BENCH_TIME     -benchtime              (default: go's 1s)
+#   BENCH_PATTERN  -bench regex            (default: . | check's key benches)
+#   BENCH_COUNT    -count                  (default: 3 | 2 in --check)
+#   BENCH_TIME     -benchtime              (default: go's 1s | 0.5s in --check)
 #   BENCH_TAG      output tag              (default: PR2)
 #   BENCH_OUT      output path             (default: BENCH_<TAG>.json)
+#   BENCH_BASELINE --check baseline file   (default: BENCH_PR4.json)
+#   BENCH_THRESHOLD --check slowdown gate  (default: 1.6)
 #
 # The JSON keeps the frozen seed-commit baselines for the acceptance-tracked
 # benchmarks alongside fresh results, so before/after stays reproducible
 # from one committed artifact.
+#
+# --check reruns the key benchmarks (the play-service act family, hot chunk
+# gets, codec encode/decode, the obs histogram) and compares each best-of-N
+# ns/op against the frozen baseline file. The threshold is deliberately
+# generous: CI machines differ from the baseline machine, so only a large
+# regression (default >1.6x) fails. Benchmarks without a baseline entry are
+# reported but never fail the check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--check" ]; then
+    BASELINE=${BENCH_BASELINE:-BENCH_PR4.json}
+    THRESHOLD=${BENCH_THRESHOLD:-1.6}
+    PATTERN=${BENCH_PATTERN:-'^BenchmarkPlaysvcAct$|^BenchmarkChunkGetHot$|^BenchmarkEncode160x120Q4W1$|^BenchmarkDecode160x120$|^BenchmarkObsHistogramObserve$'}
+    COUNT=${BENCH_COUNT:-2}
+    TIME=${BENCH_TIME:-0.5s}
+    RAW=$(mktemp)
+    trap 'rm -f "$RAW"' EXIT
+    echo ">> regression check: -bench=${PATTERN} -count=${COUNT} -benchtime=${TIME} vs ${BASELINE} (threshold ${THRESHOLD}x)" >&2
+    go test -run=NONE -bench="${PATTERN}" -count="${COUNT}" -benchtime="${TIME}" . | tee "$RAW" >&2
+    awk -v thr="$THRESHOLD" -v baseline="$BASELINE" '
+    # Pass 1: the baseline file. Results are line-structured JSON; pick the
+    # "name"/"ns_op" pairs out of the results array (seed_baseline entries
+    # carry no "name" key and are skipped).
+    NR == FNR {
+        if ($0 ~ /"name"/) {
+            line = $0
+            sub(/.*"name": "/, "", line); name = line; sub(/".*/, "", name)
+            line = $0
+            sub(/.*"ns_op": /, "", line); sub(/[,}].*/, "", line)
+            base[name] = line + 0
+        }
+        next
+    }
+    # Pass 2: fresh benchmark output; keep the best (minimum) ns/op per
+    # name so scheduler noise only ever flatters the new code.
+    /^Benchmark/ && $3 ~ /^[0-9.]+$/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = $3 + 0
+        if (!(name in cur) || ns < cur[name]) cur[name] = ns
+    }
+    END {
+        bad = 0
+        printf "%-36s %12s %12s %8s\n", "benchmark", "baseline", "current", "ratio"
+        for (name in cur) {
+            if (name in base) {
+                ratio = cur[name] / base[name]
+                verdict = (ratio > thr) ? "REGRESSION" : "ok"
+                if (ratio > thr) bad++
+                printf "%-36s %12.0f %12.0f %7.2fx  %s\n", name, base[name], cur[name], ratio, verdict
+            } else {
+                printf "%-36s %12s %12.0f %8s  (no baseline)\n", name, "-", cur[name], "-"
+            }
+        }
+        if (bad) {
+            printf "bench check: %d benchmark(s) regressed beyond %.2fx of %s\n", bad, thr, baseline > "/dev/stderr"
+            exit 1
+        }
+        print "bench check: ok"
+    }
+    ' "$BASELINE" "$RAW"
+    exit $?
+fi
 
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-3}
