@@ -37,12 +37,13 @@ func main() {
 		"e13": experiments.E13,
 		"e14": func() (string, error) { return experiments.E14(*fleetSize) },
 		"e15": func() (string, error) { return experiments.E15(*fleetSize) },
+		"e16": func() (string, error) { return experiments.E16(*fleetSize) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e15")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e16")
 		os.Exit(2)
 	}
 	var selected []string

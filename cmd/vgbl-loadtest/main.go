@@ -25,9 +25,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/content"
+	"repro/internal/faultnet"
 	"repro/internal/fleet"
 	"repro/internal/media/studio"
 	"repro/internal/netstream"
@@ -51,6 +53,8 @@ func main() {
 	interactive := flag.Bool("interactive", false, "play server-hosted sessions over the wire instead of simulating locally")
 	watchEvery := flag.Int("watch-every", 0, "fetch the rendered frame every N steps (0 disables; interactive frame traffic)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	faultProfile := flag.String("fault", "", fmt.Sprintf("inject a named fault profile into the fleet's HTTP path (%s)", strings.Join(faultnet.ProfileNames(), ", ")))
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection RNG seed (deterministic per seed)")
 	flag.Parse()
 
 	factories := map[string]sim.Factory{
@@ -78,6 +82,18 @@ func main() {
 	if *interactive {
 		mode = "remote-play"
 	}
+	// With -fault, every fleet request crosses a deterministic fault
+	// injector: same profile + seed, same misbehavior, run after run.
+	var faultHTTP *http.Client
+	if *faultProfile != "" {
+		profile, ok := faultnet.Lookup(*faultProfile)
+		if !ok {
+			fail(fmt.Errorf("unknown fault profile %q (have: %s)", *faultProfile, strings.Join(faultnet.ProfileNames(), ", ")))
+		}
+		base := &http.Client{Transport: faultnet.NewHTTPTransport(*concurrency)}
+		faultHTTP = faultnet.WrapClient(base, profile, *faultSeed)
+		fmt.Printf("injecting fault profile %q (seed %d) into the fleet's HTTP path\n", profile.Name, *faultSeed)
+	}
 	fmt.Printf("driving %d learners (%s policy, %s) against %s/pkg/%s ...\n", *learners, *policy, mode, url, *pkgName)
 	sum, err := fleet.Run(fleet.Config{
 		ServerURL:          url,
@@ -91,6 +107,7 @@ func main() {
 		FlushEvery:         *flushEvery,
 		FlushInterval:      time.Duration(*flushMS) * time.Millisecond,
 		ProgressiveStartup: *progressive,
+		HTTP:               faultHTTP,
 	})
 	if err != nil {
 		fail(err)

@@ -65,6 +65,7 @@ func main() {
 	playShards := flag.Int("play-shards", 32, "play service session shards")
 	playTTL := flag.Duration("play-ttl", 10*time.Minute, "snapshot-and-evict hosted play sessions idle this long (negative disables)")
 	playMax := flag.Int("play-max-sessions", 16384, "cap on live hosted play sessions (negative disables)")
+	playInflight := flag.Int("play-max-inflight", 0, "shed play requests (429 + Retry-After) beyond this many in flight per node (0 disables)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodically snapshot active play sessions so a crash loses at most this much progress (0 disables)")
 	cluster := flag.Int("cluster", 0, "run N play-service nodes behind a consistent-hash gateway instead of one in-process manager")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
@@ -101,6 +102,7 @@ func main() {
 		Shards:          *playShards,
 		TTL:             *playTTL,
 		MaxSessions:     *playMax,
+		MaxInflight:     *playInflight,
 		Store:           store,
 		Dir:             dir,
 		CheckpointEvery: *checkpointEvery,

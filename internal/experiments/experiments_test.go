@@ -145,6 +145,21 @@ func TestE13DeltaSync(t *testing.T) {
 	}
 }
 
+func TestE16SmallFaultSweep(t *testing.T) {
+	out, err := E16(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E16 itself enforces zero failed learners and exact telemetry
+	// accounting per profile (it errors otherwise); the smoke test checks
+	// every condition actually ran.
+	for _, want := range []string{"clean", "wifi-flaky", "partition", "zero failed learners"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E16 missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestE14SmallChurn(t *testing.T) {
 	out, err := E14(40)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/gamepack"
 	"repro/internal/netstream"
 	"repro/internal/obs"
@@ -70,7 +71,7 @@ type Config struct {
 	// registry.
 	Obs *obs.Registry
 
-	HTTP *http.Client // shared transport (default http.DefaultClient)
+	HTTP *http.Client // shared transport (default: pooled faultnet transport with timeouts)
 
 	// metrics is the shared per-download instrument set built from Obs.
 	metrics *netstream.ClientMetrics
@@ -111,11 +112,9 @@ func (c *Config) defaults() (ownsTransport bool, err error) {
 		// http.DefaultClient keeps only 2 idle connections per host — a
 		// whole fleet hammering one server would then churn a TCP
 		// connection per request and measure handshakes, not the server.
-		// Clone the default transport so proxy/dial/TLS settings survive.
-		tr := http.DefaultTransport.(*http.Transport).Clone()
-		tr.MaxIdleConns = c.Concurrency
-		tr.MaxIdleConnsPerHost = c.Concurrency
-		c.HTTP = &http.Client{Transport: tr}
+		// The shared transport also carries real dial/response-header
+		// timeouts, so one stalled server cannot park the fleet.
+		c.HTTP = &http.Client{Transport: faultnet.NewHTTPTransport(c.Concurrency)}
 		ownsTransport = true
 	}
 	if c.Obs != nil {

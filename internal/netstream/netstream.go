@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/gamepack"
 	"repro/internal/media/container"
 	"repro/internal/media/raster"
@@ -540,7 +541,7 @@ func (m *ClientMetrics) Register(reg *obs.Registry) {
 
 // Client fetches packages from a Server (or anything speaking HTTP ranges).
 type Client struct {
-	HTTP *http.Client // defaults to http.DefaultClient
+	HTTP *http.Client // defaults to faultnet.DefaultHTTPClient
 	// Metrics, when set, receives delta-sync observations (see
 	// ClientMetrics). Shared safely by concurrent transfers.
 	Metrics *ClientMetrics
@@ -550,14 +551,56 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return faultnet.DefaultHTTPClient()
+}
+
+// doRetry issues one idempotent request (all Client requests are GETs or
+// HEADs), retrying transport failures and retryable statuses (429/5xx,
+// honoring a server Retry-After) with jittered backoff. On success the
+// returned response's body is open and the caller owns it; terminal
+// statuses (200/206/304/404…) pass through for normal handling.
+func (c *Client) doRetry(method, url string, header http.Header) (*http.Response, error) {
+	httpc := c.httpClient()
+	// The wall-clock budget rides out brief correlated outages (a network
+	// partition) that an attempt-counted budget cannot.
+	policy := faultnet.RetryPolicy{Budget: 2 * time.Second}
+	var resp *http.Response
+	err := policy.Do(func(int) (error, bool) {
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			return err, false
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		r, err := httpc.Do(req)
+		if err != nil {
+			return err, true
+		}
+		if faultnet.RetryableStatus(r.StatusCode) {
+			after, hasAfter := faultnet.RetryAfterDelay(r.Header)
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			err := fmt.Errorf("netstream: %s %s: %s", method, url, r.Status)
+			if hasAfter {
+				return &faultnet.Delayed{After: after, Err: err}, true
+			}
+			return err, true
+		}
+		resp = r
+		return nil, false
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // Download fetches a whole package.
 func (c *Client) Download(url string) ([]byte, Stats, error) {
 	var st Stats
 	began := time.Now()
-	resp, err := c.httpClient().Get(url)
+	resp, err := c.doRetry(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, st, err
 	}
@@ -707,15 +750,12 @@ func (pc *PackageCache) put(url, etag string, blob []byte) {
 func (c *Client) DownloadCached(url string, cache *PackageCache) ([]byte, Stats, error) {
 	var st Stats
 	began := time.Now()
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, st, err
-	}
+	var header http.Header
 	cached, have := cache.get(url)
 	if have {
-		req.Header.Set("If-None-Match", cached.etag)
+		header = http.Header{"If-None-Match": {cached.etag}}
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.doRetry(http.MethodGet, url, header)
 	if err != nil {
 		return nil, st, err
 	}
@@ -754,7 +794,7 @@ func splitPkgURL(url string) (base, name string, ok bool) {
 // or hostile server cannot feed bytes into the decoder.
 func (c *Client) fetchChunk(base string, ref gamepack.ChunkRef, st *Stats) ([]byte, error) {
 	url := base + "/chunk/" + ref.Hash.String()
-	resp, err := c.httpClient().Get(url)
+	resp, err := c.doRetry(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -801,14 +841,11 @@ func (c *Client) getChunk(base string, ref gamepack.ChunkRef, cache *PackageCach
 // validator attached when the cache already holds the URL. A nil manifest
 // with ok=true means 304 — the cached package is current.
 func (c *Client) fetchManifest(url, etag string, st *Stats) (man *gamepack.Manifest, respETag string, notModified bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, "", false, err
-	}
+	var header http.Header
 	if etag != "" {
-		req.Header.Set("If-None-Match", etag)
+		header = http.Header{"If-None-Match": {etag}}
 	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.doRetry(http.MethodGet, url, header)
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -839,7 +876,9 @@ func (c *Client) fetchManifest(url, etag string, st *Stats) (man *gamepack.Manif
 // receipt), and the package is reassembled locally — on a course update
 // that edited one segment, the transfer is that segment plus the
 // manifest. Falls back to DownloadCached against servers that predate
-// chunk-level delivery. The returned blob must be treated as read-only.
+// chunk-level delivery, and degrades to the same whole-package path when
+// chunk fetches keep failing (a lossy link must slow a sync down, not
+// kill it). The returned blob must be treated as read-only.
 func (c *Client) DownloadDelta(url string, cache *PackageCache) (blob []byte, st Stats, err error) {
 	if c.Metrics != nil {
 		defer func(t0 time.Time) {
@@ -879,7 +918,16 @@ func (c *Client) DownloadDelta(url string, cache *PackageCache) (blob []byte, st
 	}
 	blob, err = c.materialize(base, man, cache, &st)
 	if err != nil {
-		return nil, st, err
+		// Chunk fetches kept failing even after their own retries (a lossy
+		// or partitioned link, a mid-update server). Degrade to the
+		// whole-package path — one request, one retry budget — instead of
+		// failing the sync outright.
+		blob, lst, lerr := c.DownloadCached(url, cache)
+		lst.Requests += st.Requests
+		lst.BytesFetched += st.BytesFetched
+		lst.ChunksFetched += st.ChunksFetched
+		lst.ChunkHits += st.ChunkHits
+		return blob, lst, lerr
 	}
 	// End-to-end integrity: the reassembled blob must match the server's
 	// whole-package validator (same construction as Server.AddPackage).
@@ -959,12 +1007,8 @@ func (c *Client) materialize(base string, man *gamepack.Manifest, cache *Package
 
 // fetchRange GETs bytes [from, to) of url.
 func (c *Client) fetchRange(url string, from, to int, st *Stats) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to-1))
-	resp, err := c.httpClient().Do(req)
+	header := http.Header{"Range": {fmt.Sprintf("bytes=%d-%d", from, to-1)}}
+	resp, err := c.doRetry(http.MethodGet, url, header)
 	if err != nil {
 		return nil, err
 	}
@@ -987,7 +1031,7 @@ func (c *Client) fetchRange(url string, from, to int, st *Stats) ([]byte, error)
 
 // contentLength HEADs the url.
 func (c *Client) contentLength(url string, st *Stats) (int, error) {
-	resp, err := c.httpClient().Head(url)
+	resp, err := c.doRetry(http.MethodHead, url, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -1381,7 +1425,7 @@ func (g *RemoteGame) chunkFor(i int) (int, []byte, error) {
 func (c *Client) FetchResource(url string) (string, Stats, error) {
 	var st Stats
 	began := time.Now()
-	resp, err := c.httpClient().Get(url)
+	resp, err := c.doRetry(http.MethodGet, url, nil)
 	if err != nil {
 		return "", st, err
 	}

@@ -684,10 +684,29 @@ func TestDeltaVerifiesChunkHashes(t *testing.T) {
 	defer proxy.Close()
 	c := &Client{}
 	cache := NewPackageCache()
-	if _, _, err := c.DownloadDelta(proxy.URL+"/pkg/classroom", cache); err == nil {
-		t.Fatal("corrupted chunks assembled into a package")
-	} else if !strings.Contains(err.Error(), "hash") {
-		t.Fatalf("unexpected error: %v", err)
+	// Per-chunk verification rejects every corrupted chunk; the sync then
+	// degrades to the whole-package path (uncorrupted here) instead of
+	// failing outright.
+	blob, st, err := c.DownloadDelta(proxy.URL+"/pkg/classroom", cache)
+	if err != nil {
+		t.Fatalf("delta did not fall back past corrupted chunks: %v", err)
+	}
+	want, _, err := (&Client{}).Download(inner.URL + "/pkg/classroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("fallback package differs from the server's")
+	}
+	// The corrupted bytes never entered the shared chunk cache: a later
+	// delta sync against the honest server assembles from scratch.
+	if st.ChunksFetched != 0 {
+		t.Fatalf("%d corrupted chunks counted as fetched", st.ChunksFetched)
+	}
+	if blob2, _, err := c.DownloadDelta(inner.URL+"/pkg/classroom", NewPackageCache()); err != nil {
+		t.Fatal(err)
+	} else if !bytes.Equal(blob2, want) {
+		t.Fatal("honest delta sync differs from the server's package")
 	}
 }
 

@@ -2,13 +2,16 @@ package playsvc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/media/raster"
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -37,7 +40,18 @@ type ClientOptions struct {
 	// and nodes record all link back to this client's trace id. The zero
 	// value disables tracing; servers mint their own roots.
 	Trace obs.TraceContext
-	HTTP  *http.Client // defaults to http.DefaultClient
+	// HTTP defaults to faultnet.DefaultHTTPClient() — a client with real
+	// connect/header timeouts, not the timeout-free http.DefaultClient.
+	HTTP *http.Client
+	// Retry tunes the per-request retry policy (backoff with full
+	// jitter). nil means the faultnet defaults: 4 attempts, 10ms base,
+	// 1s cap. Retries are safe by construction: Dial mints the session id
+	// client-side so creates are idempotent, and every act carries a
+	// sequence number the server deduplicates on.
+	Retry *faultnet.RetryPolicy
+	// Timeout bounds each HTTP attempt (not the whole retried operation).
+	// 0 means 10s; negative disables the deadline.
+	Timeout time.Duration
 }
 
 // Client drives one server-hosted session over HTTP. It implements
@@ -46,8 +60,9 @@ type ClientOptions struct {
 // it is not safe for concurrent use — like a runtime.Session, one learner
 // drives it.
 type Client struct {
-	opts ClientOptions
-	id   string
+	opts  ClientOptions
+	id    string
+	retry faultnet.RetryPolicy
 
 	w, h, fps int
 	tick      int
@@ -55,6 +70,9 @@ type Client struct {
 	messages  []string
 	seen      int    // events forwarded to the observer so far
 	quiz      string // pending quiz id ("" = none)
+	seq       int64  // act sequence number (server-side retry dedup)
+
+	resumes int // successful auto-resumes (session survived a dead node)
 
 	frame raster.Frame // reusable fetched-frame buffer
 	err   error        // sticky transport/session failure
@@ -64,9 +82,21 @@ type Client struct {
 // exactly like a local one.
 var _ sim.Game = (*Client)(nil)
 
+// clientTimeout is the default per-attempt request deadline.
+const clientTimeout = 10 * time.Second
+
+// clientRetryBudget is the default wall-clock retry budget: long enough
+// that a brief full partition (hundreds of milliseconds) always sees one
+// attempt land after connectivity returns.
+const clientRetryBudget = 2 * time.Second
+
 // Dial creates a hosted session on the server and returns a client bound
 // to it. Events emitted while entering the start scenario are delivered to
 // the observer before Dial returns, mirroring runtime.NewSession.
+//
+// Dial mints the session id itself (unless resuming): the create request
+// names it, so a retried create whose first reply was lost reattaches to
+// the session the server already built instead of leaking a duplicate.
 func Dial(o ClientOptions) (*Client, error) {
 	if o.BaseURL == "" || (o.Course == "" && o.Resume == "") {
 		return nil, fmt.Errorf("playsvc: client needs BaseURL and a Course or Resume id")
@@ -75,10 +105,28 @@ func Dial(o ClientOptions) (*Client, error) {
 		return nil, fmt.Errorf("playsvc: client needs the course Project")
 	}
 	if o.HTTP == nil {
-		o.HTTP = http.DefaultClient
+		o.HTTP = faultnet.DefaultHTTPClient()
 	}
 	c := &Client{opts: o}
-	reply, err := c.post(c.opts.BaseURL+CreatePath, &CreateRequest{Course: o.Course, Resume: o.Resume})
+	if o.Retry != nil {
+		c.retry = faultnet.RetryPolicy{
+			Attempts:  o.Retry.Attempts,
+			BaseDelay: o.Retry.BaseDelay,
+			MaxDelay:  o.Retry.MaxDelay,
+			Budget:    o.Retry.Budget,
+			Seed:      o.Retry.Seed,
+			Sleep:     o.Retry.Sleep,
+		}
+	} else {
+		// An interactive client rides out brief correlated outages (a
+		// network partition) by wall-clock, not attempt count.
+		c.retry = faultnet.RetryPolicy{Budget: clientRetryBudget}
+	}
+	req := &CreateRequest{Course: o.Course, Resume: o.Resume}
+	if req.Resume == "" {
+		req.Session = newSessionID(o.Course)
+	}
+	reply, err := c.postRetry(c.opts.BaseURL+CreatePath, req)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +139,7 @@ func Dial(o ClientOptions) (*Client, error) {
 	return c, nil
 }
 
-// SessionID returns the server-issued session identifier.
+// SessionID returns the session identifier.
 func (c *Client) SessionID() string { return c.id }
 
 // VideoMeta returns the hosted video's geometry (from the create reply).
@@ -100,6 +148,10 @@ func (c *Client) VideoMeta() (w, h, fps int) { return c.w, c.h, c.fps }
 // Err returns the sticky failure ("" path errors like a wrong quiz answer
 // id are returned to the caller instead and do not stick).
 func (c *Client) Err() error { return c.err }
+
+// Resumes reports how many times the client transparently resumed its
+// session after losing the hosting node.
+func (c *Client) Resumes() int { return c.resumes }
 
 // apply folds a server reply into the client mirror and forwards unseen
 // events to the observer.
@@ -127,63 +179,155 @@ func (c *Client) fail(err error) error {
 	return err
 }
 
-// checkStatus turns a non-OK response into an error. Transport-level and
-// server-side failures (5xx, 404) stick; a 400 is the caller's mistake
-// (wrong quiz id, bad argument) and leaves the session usable. This rule
-// is load-bearing for the fleet's failure model — every response path
-// must go through here.
-func (c *Client) checkStatus(resp *http.Response, what string) error {
-	if resp.StatusCode == http.StatusOK {
+// finalize applies the sticky-failure rule after retries (and the resume
+// fallback) are spent. A 400 is the caller's mistake (wrong quiz id, bad
+// argument) and leaves the session usable; every other failure sticks.
+// This rule is load-bearing for the fleet's failure model.
+func (c *Client) finalize(err error) error {
+	if err == nil {
 		return nil
 	}
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	err := errf(resp.StatusCode, "playsvc: %s: %s: %s", what, resp.Status, bytes.TrimSpace(msg))
-	if resp.StatusCode != http.StatusBadRequest {
-		c.fail(err)
+	if pe, ok := err.(*Error); ok && pe.Status == http.StatusBadRequest {
+		return err
 	}
-	return err
+	return c.fail(err)
 }
 
-// newRequest builds a request carrying the client's trace context (as a
-// fresh child span) when one is configured.
-func (c *Client) newRequest(method, url string, body io.Reader) (*http.Request, error) {
-	req, err := http.NewRequest(method, url, body)
+// timeout resolves the per-attempt deadline.
+func (c *Client) timeout() time.Duration {
+	switch {
+	case c.opts.Timeout < 0:
+		return 0
+	case c.opts.Timeout == 0:
+		return clientTimeout
+	}
+	return c.opts.Timeout
+}
+
+// responseError turns a non-OK response into a typed error, wrapping it
+// with the server's advertised Retry-After delay when the status is
+// retryable (load shedding, transient 5xx).
+func responseError(resp *http.Response, what string) (error, bool) {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	err := errf(resp.StatusCode, "playsvc: %s: %s: %s", what, resp.Status, bytes.TrimSpace(msg))
+	if !faultnet.RetryableStatus(resp.StatusCode) && resp.StatusCode != http.StatusNotFound {
+		return err, false
+	}
+	if after, ok := faultnet.RetryAfterDelay(resp.Header); ok {
+		return &faultnet.Delayed{After: after, Err: err}, true
+	}
+	return err, true
+}
+
+// attempt performs one HTTP attempt under the per-attempt deadline and
+// decodes the reply. The returned bool reports whether the failure is
+// retryable. It never sticks — the caller decides after the budget.
+func (c *Client) attempt(method, url string, payload []byte, what string) (*Reply, error, bool) {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return nil, err
+		return nil, err, false
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.opts.Trace.Valid() {
 		c.opts.Trace.Child().Inject(req.Header)
 	}
-	return req, nil
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		// Transport-level failure. Retrying is safe for every request this
+		// client sends: GETs are idempotent, creates carry a client-minted
+		// id, and acts carry a sequence number the server dedups on.
+		return nil, err, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err, retryable := responseError(resp, what)
+		return nil, err, retryable
+	}
+	var r Reply
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, fmt.Errorf("playsvc: %s: decode: %w", what, err), true
+	}
+	return &r, nil, false
 }
 
-// post sends one JSON request and decodes the reply.
-func (c *Client) post(url string, body any) (*Reply, error) {
+// postRetry sends one JSON request with the retry policy.
+func (c *Client) postRetry(url string, body any) (*Reply, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	req, err := c.newRequest(http.MethodPost, url, bytes.NewReader(payload))
+	var reply *Reply
+	err = c.retry.Do(func(int) (error, bool) {
+		r, aerr, retryable := c.attempt(http.MethodPost, url, payload, "request")
+		reply = r
+		return aerr, retryable
+	})
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.opts.HTTP.Do(req)
-	if err != nil {
-		return nil, c.fail(err)
-	}
-	defer resp.Body.Close()
-	if err := c.checkStatus(resp, "request"); err != nil {
-		return nil, err
-	}
-	var r Reply
-	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
-		return nil, c.fail(err)
-	}
-	return &r, nil
+	return reply, nil
 }
 
-// act posts one interaction and folds the reply in.
+// getRetry fetches one JSON reply with the retry policy.
+func (c *Client) getRetry(url, what string) (*Reply, error) {
+	var reply *Reply
+	err := c.retry.Do(func(int) (error, bool) {
+		r, aerr, retryable := c.attempt(http.MethodGet, url, nil, what)
+		reply = r
+		return aerr, retryable
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// recoverable reports whether a terminal error may mean "the hosting
+// node died but the session snapshot survives" — the case the resume
+// fallback exists for. Client mistakes (400), conflicts and explicit
+// shedding are not session loss.
+func recoverable(err error) bool {
+	if pe, ok := err.(*Error); ok {
+		return pe.Status == http.StatusNotFound || pe.Status == http.StatusServiceUnavailable
+	}
+	// Transport-class failure: the node (or path to it) is gone.
+	return true
+}
+
+// resumeOnce reattaches to the session via the snapshot path: a resume
+// create thaws the latest released-or-checkpoint snapshot (the gateway
+// re-routes it to the session's current ring owner) and the reply
+// refreshes the mirror.
+func (c *Client) resumeOnce() error {
+	r, err := c.postRetry(c.opts.BaseURL+CreatePath, &CreateRequest{
+		Resume:       c.id,
+		SeenEvents:   c.seen,
+		SeenMessages: len(c.messages),
+	})
+	if err != nil {
+		return err
+	}
+	c.resumes++
+	c.apply(r)
+	return nil
+}
+
+// act posts one interaction and folds the reply in. Every act carries a
+// fresh sequence number; retries (and the post-resume replay) reuse it,
+// so the server applies the act at most once. If the session's node died
+// mid-act, the client resumes from the snapshot path and replays.
 func (c *Client) act(req *ActRequest) (*Reply, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -191,9 +335,20 @@ func (c *Client) act(req *ActRequest) (*Reply, error) {
 	req.Session = c.id
 	req.SeenEvents = c.seen
 	req.SeenMessages = len(c.messages)
-	r, err := c.post(c.opts.BaseURL+ActPath, req)
+	c.seq++
+	req.Seq = c.seq
+	r, err := c.postRetry(c.opts.BaseURL+ActPath, req)
+	if err != nil && recoverable(err) {
+		if rerr := c.resumeOnce(); rerr == nil {
+			// The mirror moved (resume refreshed seen-counts); re-stamp
+			// the act's view before replaying it under the same seq.
+			req.SeenEvents = c.seen
+			req.SeenMessages = len(c.messages)
+			r, err = c.postRetry(c.opts.BaseURL+ActPath, req)
+		}
+	}
 	if err != nil {
-		return nil, err
+		return nil, c.finalize(err)
 	}
 	c.apply(r)
 	return r, nil
@@ -209,23 +364,17 @@ func (c *Client) Sync() error {
 	}
 	url := fmt.Sprintf("%s%s?session=%s&events=%d&messages=%d",
 		c.opts.BaseURL, StatePath, c.id, c.seen, len(c.messages))
-	req, err := c.newRequest(http.MethodGet, url, nil)
+	r, err := c.getRetry(url, "sync")
+	if err != nil && recoverable(err) {
+		if rerr := c.resumeOnce(); rerr == nil {
+			// The resume reply IS the synced view.
+			return nil
+		}
+	}
 	if err != nil {
-		return c.fail(err)
+		return c.finalize(err)
 	}
-	resp, err := c.opts.HTTP.Do(req)
-	if err != nil {
-		return c.fail(err)
-	}
-	defer resp.Body.Close()
-	if err := c.checkStatus(resp, "sync"); err != nil {
-		return err
-	}
-	var r Reply
-	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
-		return c.fail(err)
-	}
-	c.apply(&r)
+	c.apply(r)
 	return nil
 }
 
@@ -330,36 +479,77 @@ func (c *Client) Frame() (*raster.Frame, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	req, err := c.newRequest(http.MethodGet, c.opts.BaseURL+FramePath+"?session="+c.id, nil)
+	f, err := c.frameRetry()
+	if err != nil && recoverable(err) {
+		if rerr := c.resumeOnce(); rerr == nil {
+			f, err = c.frameRetry()
+		}
+	}
 	if err != nil {
-		return nil, c.fail(err)
+		return nil, c.finalize(err)
+	}
+	return f, nil
+}
+
+// frameRetry fetches the frame under the retry policy (a frame GET is
+// idempotent; re-fetching after a lost response just renders again).
+func (c *Client) frameRetry() (*raster.Frame, error) {
+	var frame *raster.Frame
+	err := c.retry.Do(func(int) (error, bool) {
+		f, aerr, retryable := c.frameAttempt()
+		frame = f
+		return aerr, retryable
+	})
+	if err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (c *Client) frameAttempt() (*raster.Frame, error, bool) {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+FramePath+"?session="+c.id, nil)
+	if err != nil {
+		return nil, err, false
+	}
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
 	}
 	resp, err := c.opts.HTTP.Do(req)
 	if err != nil {
-		return nil, c.fail(err)
+		return nil, err, true
 	}
 	defer resp.Body.Close()
-	if err := c.checkStatus(resp, "frame"); err != nil {
-		return nil, err
+	if resp.StatusCode != http.StatusOK {
+		err, retryable := responseError(resp, "frame")
+		return nil, err, retryable
 	}
 	w, _ := strconv.Atoi(resp.Header.Get("X-Frame-Width"))
 	h, _ := strconv.Atoi(resp.Header.Get("X-Frame-Height"))
-	if tick := resp.Header.Get("X-Frame-Tick"); tick != "" {
-		c.tick, _ = strconv.Atoi(tick)
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("playsvc: frame response missing geometry"), false
+	}
+	tick := c.tick
+	if v := resp.Header.Get("X-Frame-Tick"); v != "" {
+		tick, _ = strconv.Atoi(v)
 	}
 	n := 3 * w * h
-	if w <= 0 || h <= 0 {
-		return nil, fmt.Errorf("playsvc: frame response missing geometry")
-	}
 	if cap(c.frame.Pix) < n {
 		c.frame.Pix = make([]uint8, n)
 	}
 	c.frame.Pix = c.frame.Pix[:n]
 	c.frame.W, c.frame.H = w, h
 	if _, err := io.ReadFull(resp.Body, c.frame.Pix); err != nil {
-		return nil, fmt.Errorf("playsvc: short frame body: %w", err)
+		// A truncated body (reset mid-stream) re-fetches cleanly.
+		return nil, fmt.Errorf("playsvc: short frame body: %w", err), true
 	}
-	return &c.frame, nil
+	c.tick = tick
+	return &c.frame, nil, false
 }
 
 // Close releases the hosted session (a "leave" act). Events emitted by the
@@ -373,8 +563,9 @@ func (c *Client) Close() error {
 		return err
 	}
 	sticky := c.err
+	c.seq++
 	if resp, err := c.opts.HTTP.Post(c.opts.BaseURL+ActPath, "application/json",
-		bytes.NewReader(mustJSON(&ActRequest{Session: c.id, Kind: ActLeave}))); err == nil {
+		bytes.NewReader(mustJSON(&ActRequest{Session: c.id, Kind: ActLeave, Seq: c.seq}))); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}

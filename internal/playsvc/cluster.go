@@ -37,7 +37,8 @@ type ClusterOptions struct {
 	// Node is the per-node Manager template; Store and Dir are overridden
 	// with the shared ones.
 	Node Options
-	// HTTP is the gateway's transport (defaults to http.DefaultClient).
+	// HTTP is the gateway's transport (defaults to the shared
+	// faultnet.DefaultHTTPClient; tests inject fault transports here).
 	HTTP *http.Client
 }
 

@@ -19,6 +19,7 @@ package playsvc
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -31,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/obs"
 )
 
@@ -40,6 +42,16 @@ const vnodes = 256
 
 // maxProxyBody bounds a relayed response (the largest is a raw RGB frame).
 const maxProxyBody = 64 << 20
+
+// hopTimeout bounds one gateway→node request: a stalled node must not
+// hold a routed call (and its client) hostage.
+const hopTimeout = 10 * time.Second
+
+// deadNodeLimit is how many consecutive transport failures it takes for
+// the gateway to remove a node from the ring outright. Short failure
+// runs open the node's circuit breaker (traffic routes around it, probes
+// keep checking); only a node that stays dead this long is dropped.
+const deadNodeLimit = 32
 
 // gwNode is one backend node the gateway routes to.
 type gwNode struct {
@@ -67,6 +79,12 @@ type Gateway struct {
 	// to reach them or acts for their sessions would 404 mid-drain.
 	draining []gwNode
 
+	// breakers holds one circuit breaker per node name. An open breaker
+	// diverts routing to the ring's next node; Allow() past the cooldown
+	// admits the routed request itself as the half-open probe.
+	brMu     sync.Mutex
+	breakers map[string]*faultnet.Breaker
+
 	creates     *obs.Counter // sessions created through the gateway
 	rescues     *obs.Counter // stray sessions handed off and re-owned
 	recoveries  *obs.Counter // sessions revived from a crash checkpoint
@@ -86,14 +104,16 @@ type Gateway struct {
 }
 
 // NewGateway returns an empty gateway; add nodes with AddNode. A nil
-// client uses http.DefaultClient.
+// client uses faultnet.DefaultHTTPClient (real timeouts — never the
+// timeout-free http.DefaultClient).
 func NewGateway(client *http.Client) *Gateway {
 	if client == nil {
-		client = http.DefaultClient
+		client = faultnet.DefaultHTTPClient()
 	}
 	return &Gateway{
 		httpc:       client,
 		sessions:    map[string]bool{},
+		breakers:    map[string]*faultnet.Breaker{},
 		creates:     obs.NewCounter(),
 		rescues:     obs.NewCounter(),
 		recoveries:  obs.NewCounter(),
@@ -118,8 +138,46 @@ func (g *Gateway) Register(reg *obs.Registry) {
 	reg.CounterFunc("gateway_recoveries_total", "sessions revived from a crash checkpoint", g.recoveries.Value)
 	reg.CounterFunc("gateway_retries_total", "requests replayed onto another node", g.retries.Value)
 	reg.CounterFunc("gateway_dead_nodes_removed_total", "nodes dropped after transport failures", g.deadRemoved.Value)
+	reg.CounterFunc("gateway_breaker_trips_total", "circuit breaker opens across all nodes", g.breakerTrips)
+	reg.GaugeFunc("gateway_breakers_open", "node breakers currently open or probing", g.breakersOpen)
 	reg.RegisterHistogram("gateway_hops", "backend requests per routed call", "", g.hops)
 	reg.RegisterHistogram("gateway_rescue_seconds", "successful rescue sweep duration", "seconds", g.rescueNs)
+}
+
+// breakerFor returns (creating on first use) the node's circuit breaker.
+func (g *Gateway) breakerFor(name string) *faultnet.Breaker {
+	g.brMu.Lock()
+	defer g.brMu.Unlock()
+	b := g.breakers[name]
+	if b == nil {
+		b = &faultnet.Breaker{}
+		g.breakers[name] = b
+	}
+	return b
+}
+
+// breakerTrips sums breaker opens across all nodes (a monotonic counter).
+func (g *Gateway) breakerTrips() int64 {
+	g.brMu.Lock()
+	defer g.brMu.Unlock()
+	var n int64
+	for _, b := range g.breakers {
+		n += b.Trips()
+	}
+	return n
+}
+
+// breakersOpen counts breakers not in the closed state right now.
+func (g *Gateway) breakersOpen() int64 {
+	g.brMu.Lock()
+	defer g.brMu.Unlock()
+	var n int64
+	for _, b := range g.breakers {
+		if b.Open() {
+			n++
+		}
+	}
+	return n
 }
 
 func hash32(s string) uint32 {
@@ -253,6 +311,46 @@ func (g *Gateway) ownerOf(session string) (gwNode, error) {
 	return g.nodes[g.ring[i].node], nil
 }
 
+// routeFor resolves the node to try for a session: the ring owner,
+// unless its breaker (or an exclusion from an earlier failed hop of the
+// same routed call) says otherwise, in which case the walk continues to
+// the ring's next distinct node. When every candidate is refused the
+// primary owner is returned anyway — a request must go somewhere, and on
+// an all-open ring it doubles as the probe.
+func (g *Gateway) routeFor(session string, exclude map[string]bool) (gwNode, error) {
+	g.mu.RLock()
+	if len(g.ring) == 0 {
+		g.mu.RUnlock()
+		return gwNode{}, fmt.Errorf("playsvc: gateway has no nodes")
+	}
+	h := hash32(session)
+	i := sort.Search(len(g.ring), func(i int) bool { return g.ring[i].hash >= h })
+	if i == len(g.ring) {
+		i = 0
+	}
+	// Distinct nodes in ring order from the owner onward — the same
+	// preference order every gateway computes for this id.
+	order := make([]gwNode, 0, len(g.nodes))
+	seen := make(map[int]bool, len(g.nodes))
+	for k := 0; k < len(g.ring) && len(order) < len(g.nodes); k++ {
+		pt := g.ring[(i+k)%len(g.ring)]
+		if !seen[pt.node] {
+			seen[pt.node] = true
+			order = append(order, g.nodes[pt.node])
+		}
+	}
+	g.mu.RUnlock()
+	for _, n := range order {
+		if exclude[n.name] {
+			continue
+		}
+		if g.breakerFor(n.name).Allow() {
+			return n, nil
+		}
+	}
+	return order[0], nil
+}
+
 // otherNodes returns every backend except the named one — including
 // nodes mid-drain, whose sessions may not have reached the store yet.
 func (g *Gateway) otherNodes(except string) []gwNode {
@@ -287,7 +385,9 @@ func (g *Gateway) send(tc obs.TraceContext, node gwNode, method, path, rawQuery 
 	if rawQuery != "" {
 		url += "?" + rawQuery
 	}
-	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), hopTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +415,7 @@ func (g *Gateway) rescue(tc obs.TraceContext, session, ownerName string) bool {
 	t0 := time.Now()
 	for _, n := range g.otherNodes(ownerName) {
 		body, _ := json.Marshal(&HandoffRequest{Session: session})
-		p, err := g.send(tc.Child(), n, http.MethodPost, HandoffPath, "", body)
+		p, err := g.sendRetry(tc, n, http.MethodPost, HandoffPath, body)
 		if err == nil && p.status == http.StatusOK {
 			g.rescueNs.ObserveSince(t0)
 			return true
@@ -329,20 +429,46 @@ func (g *Gateway) rescue(tc obs.TraceContext, session, ownerName string) bool {
 // owner crashed without draining.
 func (g *Gateway) recover(tc obs.TraceContext, session string, owner gwNode) bool {
 	body, _ := json.Marshal(&HandoffRequest{Session: session})
-	p, err := g.send(tc.Child(), owner, http.MethodPost, RecoverPath, "", body)
+	p, err := g.sendRetry(tc, owner, http.MethodPost, RecoverPath, body)
 	return err == nil && p.status == http.StatusOK
 }
 
+// sendRetry sends one control request (handoff/recover — both idempotent)
+// with a small retry budget covering transport failures AND transient
+// statuses (an injected or load-shed 503 never came from the manager).
+// These sends decide whether the gateway believes a live session exists,
+// so a single dropped packet or fault-synthesized 503 on a lossy link
+// must not read as "node does not hold it" — that misread would thaw a
+// stale duplicate next to a live session.
+func (g *Gateway) sendRetry(tc obs.TraceContext, n gwNode, method, path string, body []byte) (p *proxied, err error) {
+	for try := 0; try < 3; try++ {
+		p, err = g.send(tc.Child(), n, method, path, "", body)
+		if err == nil && !faultnet.RetryableStatus(p.status) {
+			return p, nil
+		}
+	}
+	return p, err
+}
+
 // doSession routes one session-scoped request to its owner, healing the
-// two ways a request can go astray:
+// ways a request can go astray:
 //
-//   - transport failure → the node is dead: drop it from the ring and
-//     retry on the id's new owner (which thaws the last checkpoint);
+//   - transport failure → record it on the node's breaker and retry the
+//     SAME node: on a lossy link one dropped packet usually means
+//     nothing, and diverting to another node would thaw a stale
+//     duplicate next to a live session. Only once the breaker opens
+//     (consecutive failures — the node really looks dead) is it excluded
+//     for the rest of this call so the retry lands on the ring's next
+//     node, which rescues or thaws the session. A node dead long enough
+//     (deadNodeLimit consecutive failures) is dropped from the ring
+//     outright;
 //   - 404 → the session lives elsewhere (the ring changed): broadcast a
-//     handoff so the old owner freezes it, then retry the owner once.
+//     handoff so the old owner freezes it, then retry the owner once;
+//     failing that, ask the contacted node to recover the last crash
+//     checkpoint.
 //
 // A 503 (node draining, or cap reached) retries only if re-resolution
-// finds a different owner.
+// finds a different node.
 //
 // The routed call is one gateway span ("gw /play/act"); every backend
 // request under it is a child of tc, so the node-side spans chain onto
@@ -355,18 +481,32 @@ func (g *Gateway) doSession(tc obs.TraceContext, method, path, rawQuery string, 
 	}(time.Now())
 	rescued := false
 	var last *proxied
-	for attempt := 0; attempt < 4; attempt++ {
-		node, err := g.ownerOf(session)
+	var failed map[string]bool
+	for attempt := 0; attempt < 5; attempt++ {
+		node, err := g.routeFor(session, failed)
 		if err != nil {
 			return nil, err
 		}
 		hops++
 		p, err := g.send(tc.Child(), node, method, path, rawQuery, body)
 		if err != nil {
-			g.dropDead(node)
+			br := g.breakerFor(node.name)
+			br.Failure()
+			if br.ConsecutiveFailures() >= deadNodeLimit {
+				g.dropDead(node)
+			}
+			if br.Open() {
+				// The node looks dead (not just a lost packet): divert
+				// the rest of this call around it.
+				if failed == nil {
+					failed = map[string]bool{}
+				}
+				failed[node.name] = true
+			}
 			g.retries.Add(1)
 			continue
 		}
+		g.breakerFor(node.name).Success()
 		last = p
 		switch p.status {
 		case http.StatusNotFound:
@@ -386,7 +526,7 @@ func (g *Gateway) doSession(tc obs.TraceContext, method, path, rawQuery string, 
 			g.retries.Add(1)
 			continue
 		case http.StatusServiceUnavailable:
-			if next, err := g.ownerOf(session); err == nil && next != node {
+			if next, err := g.routeFor(session, failed); err == nil && next != node {
 				g.retries.Add(1)
 				continue
 			}
@@ -411,6 +551,12 @@ func newSessionID(course string) string {
 	return course + "-" + hex.EncodeToString(b[:])
 }
 
+func (g *Gateway) tracked(session string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.sessions[session]
+}
+
 func (g *Gateway) track(session string) {
 	g.mu.Lock()
 	g.sessions[session] = true
@@ -425,7 +571,7 @@ func (g *Gateway) untrack(session string) {
 
 // relay writes a buffered backend response to the client.
 func relay(w http.ResponseWriter, p *proxied) {
-	for _, k := range []string{"Content-Type", "X-Frame-Width", "X-Frame-Height", "X-Frame-Tick"} {
+	for _, k := range []string{"Content-Type", "Retry-After", "X-Frame-Width", "X-Frame-Height", "X-Frame-Tick"} {
 		if v := p.header.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -468,14 +614,6 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	tc := traceOf(r)
 	session := req.Resume
-	if session != "" {
-		// An explicit resume may thaw a checkpoint entry on its owner, so
-		// first sweep any live copy off the other nodes (a no-op unless
-		// the ring changed under a dormant client).
-		if owner, err := g.ownerOf(session); err == nil {
-			g.rescue(tc, session, owner.name)
-		}
-	}
 	if session == "" {
 		if req.Course == "" {
 			http.Error(w, "playsvc: create needs a course or a resume id", http.StatusBadRequest)
@@ -485,6 +623,22 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 			req.Session = newSessionID(req.Course)
 		}
 		session = req.Session
+		if g.tracked(session) {
+			// A retried create whose first reply was lost in flight: the
+			// cluster already holds this id. Convert it to a resume so a
+			// ring move between the two attempts reattaches to the
+			// existing session instead of minting a duplicate on the new
+			// owner.
+			req.Resume = session
+		}
+	}
+	if req.Resume != "" {
+		// A resume may thaw a checkpoint entry on its owner, so first
+		// sweep any live copy off the other nodes (a no-op unless the
+		// ring changed under a dormant client).
+		if owner, err := g.ownerOf(session); err == nil {
+			g.rescue(tc, session, owner.name)
+		}
 	}
 	body, err := json.Marshal(&req)
 	if err != nil {
@@ -565,6 +719,8 @@ type GatewayStats struct {
 	Recoveries   int64              `json:"recoveries"`
 	Retries      int64              `json:"retries"`
 	DeadRemoved  int64              `json:"dead_nodes_removed"`
+	BreakerTrips int64              `json:"breaker_trips"`
+	BreakersOpen int64              `json:"breakers_open"`
 	Nodes        []GatewayNodeStats `json:"nodes"`
 	Cluster      Stats              `json:"cluster"` // summed over reachable nodes
 	NodesQueried int                `json:"nodes_queried"`
@@ -577,12 +733,14 @@ func (g *Gateway) Stats() GatewayStats {
 	sessions := len(g.sessions)
 	g.mu.RUnlock()
 	st := GatewayStats{
-		Sessions:    sessions,
-		Creates:     g.creates.Value(),
-		Rescues:     g.rescues.Value(),
-		Recoveries:  g.recoveries.Value(),
-		Retries:     g.retries.Value(),
-		DeadRemoved: g.deadRemoved.Value(),
+		Sessions:     sessions,
+		Creates:      g.creates.Value(),
+		Rescues:      g.rescues.Value(),
+		Recoveries:   g.recoveries.Value(),
+		Retries:      g.retries.Value(),
+		DeadRemoved:  g.deadRemoved.Value(),
+		BreakerTrips: g.breakerTrips(),
+		BreakersOpen: g.breakersOpen(),
 	}
 	for _, n := range nodes {
 		ns := GatewayNodeStats{Name: n.name, URL: n.url}

@@ -48,6 +48,12 @@ type Options struct {
 	// MaxTicks bounds a single tick act (default 1000) so one request
 	// cannot spin the server arbitrarily long.
 	MaxTicks int
+	// MaxInflight caps concurrently-executing play requests (acts, state
+	// reads, frames). Requests beyond the cap are shed immediately with
+	// 429 + Retry-After instead of queueing without bound — overload
+	// degrades into explicit backpressure clients know how to honor.
+	// 0 disables admission control.
+	MaxInflight int
 	// Store is the content-addressed chunk store courses can be opened
 	// from (AddCourseFromManifest) — in production the same store the
 	// netstream server publishes into, so the two services share segment
@@ -112,6 +118,15 @@ type hosted struct {
 	// request paths re-check it under mu and answer 404 so the caller
 	// retries into the thaw path instead of acting on a zombie.
 	gone bool
+
+	// lastSeq/lastReply memoize the most recent act carrying a non-zero
+	// client sequence number (guarded by mu). A network-level retry of an
+	// act whose reply was lost re-sends the same seq and receives the
+	// cached reply — exactly-once act semantics over an at-least-once
+	// transport. Replies are self-contained (deep-copied state), so
+	// serving one twice is safe.
+	lastSeq   int64
+	lastReply *Reply
 
 	// lastSeen (unix nanos) is atomic so the janitor can scan shards
 	// without taking every session lock.
@@ -185,6 +200,10 @@ type Manager struct {
 
 	seq    atomic.Int64
 	shards []shard
+	// inflight counts executing play requests; shed counts the ones
+	// admission control refused (MaxInflight).
+	inflight atomic.Int64
+	shed     atomic.Int64
 	// liveCount mirrors the summed shard map sizes; Create reserves a slot
 	// on it atomically so a create flood cannot overshoot MaxSessions
 	// between a count and an insert.
@@ -395,6 +414,22 @@ func (m *Manager) lookup(session string) (*hosted, *shard, error) {
 // by in-flight creates).
 func (m *Manager) Live() int { return int(m.liveCount.Load()) }
 
+// LiveSessions lists the ids of the sessions this node currently hosts —
+// an introspection hook for operators (and cluster tests) chasing where a
+// session physically lives.
+func (m *Manager) LiveSessions() []string {
+	var ids []string
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id := range sh.sessions {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	return ids
+}
+
 // Create opens a new hosted session on a published course — or, when
 // req.Resume names a snapshotted session, thaws it — and returns the
 // session's view. New sessions include any events the start scenario's
@@ -441,10 +476,24 @@ func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 	h.sess = sess
 	sh := m.shardFor(h.id)
 	sh.mu.Lock()
-	if sh.sessions[h.id] != nil {
+	if prev := sh.sessions[h.id]; prev != nil {
 		sh.mu.Unlock()
 		sess.Close()
 		m.liveCount.Add(-1)
+		if prev.course == c {
+			// A retried create whose first reply was lost in flight:
+			// client-generated ids make create idempotent, so answer from
+			// the session the first attempt already built.
+			prev.touch()
+			prev.mu.Lock()
+			defer prev.mu.Unlock()
+			if !prev.gone {
+				r := prev.reply(req.SeenEvents, req.SeenMessages)
+				r.Course = c.name
+				r.Width, r.Height, r.FPS = c.w, c.h, c.fps
+				return r, nil
+			}
+		}
 		return nil, errf(http.StatusConflict, "playsvc: session %q already exists", h.id)
 	}
 	sh.sessions[h.id] = h
@@ -453,6 +502,16 @@ func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// Checkpoint the newborn session before the client learns its id: a
+	// node crash right after this reply would otherwise strand a session
+	// the client holds a confirmed id for but no snapshot exists of —
+	// the one loss the chaos soak's "zero lost sessions" bound forbids.
+	if m.canSnapshot() {
+		if env, perr := m.persistLocked(h); perr == nil {
+			m.dir.Save(h.id, SnapshotRef{Envelope: env, Checkpoint: true})
+			h.checkpointed.Store(h.lastSeen.Load())
+		}
+	}
 	r := h.reply(0, 0)
 	r.Course = c.name
 	r.Width, r.Height, r.FPS = c.w, c.h, c.fps
@@ -525,11 +584,45 @@ func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
 // Latency lands in the act histogram; when the request carries a trace
 // context a "play.act" span is recorded.
 func (m *Manager) Act(req *ActRequest) (*Reply, error) {
+	if !m.admit() {
+		return nil, errShed
+	}
 	t0 := time.Now()
 	r, err := m.act(req)
+	m.release()
 	m.actNs.ObserveSince(t0)
 	m.ring.Record(req.Trace, "play.act", t0, err)
 	return r, err
+}
+
+// errShed is the preallocated load-shedding answer (the act path stays
+// allocation-free even while refusing work). RetryAfter tells honoring
+// clients how long to stand down.
+var errShed = &Error{
+	Status:     http.StatusTooManyRequests,
+	Msg:        "playsvc: node over capacity, retry later",
+	RetryAfter: 1,
+}
+
+// admit reserves an execution slot under MaxInflight; a refused request
+// is counted as shed. Reservation is an atomic add so a request burst
+// racing a nearly-full node cannot overshoot the cap.
+func (m *Manager) admit() bool {
+	if m.opts.MaxInflight <= 0 {
+		return true
+	}
+	if n := m.inflight.Add(1); n > int64(m.opts.MaxInflight) {
+		m.inflight.Add(-1)
+		m.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (m *Manager) release() {
+	if m.opts.MaxInflight > 0 {
+		m.inflight.Add(-1)
+	}
 }
 
 func (m *Manager) act(req *ActRequest) (*Reply, error) {
@@ -542,10 +635,25 @@ func (m *Manager) act(req *ActRequest) (*Reply, error) {
 		// session may be live on another node, and the gateway's rescue
 		// must freeze that copy before the leave lands here again.
 		if m.canSnapshot() {
-			if ref, ok := m.dir.Lookup(req.Session); ok && !ref.Checkpoint {
-				m.dir.Delete(req.Session)
-				return &Reply{Session: req.Session}, nil
+			if ref, ok := m.dir.Lookup(req.Session); ok {
+				if !ref.Checkpoint {
+					m.dir.Delete(req.Session)
+					return &Reply{Session: req.Session}, nil
+				}
+				// A checkpoint entry means the session still exists —
+				// typically live on the node that owned it before a ring
+				// move. Confirming the leave here would strand that copy
+				// forever; 404 instead so the gateway's rescue freezes it
+				// and the retried leave lands where the session really is.
+				return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
 			}
+		}
+		if req.Seq > 0 {
+			// A sequenced leave for a session nobody hosts is a retry of a
+			// leave that already applied (its reply was lost): confirm
+			// instead of sending the client into a rescue spiral for a
+			// session that is correctly gone.
+			return &Reply{Session: req.Session}, nil
 		}
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
 	}
@@ -594,6 +702,12 @@ func (m *Manager) actLocked(req *ActRequest, h *hosted) (*Reply, error) {
 		// and lands in the thaw path.
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
 	}
+	if req.Seq != 0 && req.Seq == h.lastSeq && h.lastReply != nil {
+		// Same sequence number as the last applied act: the reply was
+		// lost in flight and this is its retry. Serve the cached reply
+		// instead of double-applying.
+		return h.lastReply, nil
+	}
 	var correct, took *bool
 	switch req.Kind {
 	case ActClick:
@@ -639,6 +753,9 @@ func (m *Manager) actLocked(req *ActRequest, h *hosted) (*Reply, error) {
 	}
 	r := h.reply(req.SeenEvents, req.SeenMessages)
 	r.Correct, r.Took = correct, took
+	if req.Seq != 0 {
+		h.lastSeq, h.lastReply = req.Seq, r
+	}
 	return r, nil
 }
 
@@ -650,6 +767,10 @@ func (m *Manager) StateOf(session string, seenEvents, seenMessages int) (*Reply,
 }
 
 func (m *Manager) stateOf(tc obs.TraceContext, session string, seenEvents, seenMessages int) (*Reply, error) {
+	if !m.admit() {
+		return nil, errShed
+	}
+	defer m.release()
 	t0 := time.Now()
 	r, err := m.stateOfInner(tc, session, seenEvents, seenMessages)
 	m.stateNs.ObserveSince(t0)
@@ -681,8 +802,12 @@ func (m *Manager) WithFrame(session string, advance int, fn func(f *raster.Frame
 }
 
 func (m *Manager) withFrame(tc obs.TraceContext, session string, advance int, fn func(f *raster.Frame, tick int) error) error {
+	if !m.admit() {
+		return errShed
+	}
 	t0 := time.Now()
 	err := m.withFrameInner(tc, session, advance, fn)
+	m.release()
 	m.frameNs.ObserveSince(t0)
 	m.ring.Record(tc, "play.frame", t0, err)
 	return err
@@ -819,6 +944,8 @@ func (m *Manager) Register(reg *obs.Registry) {
 	reg.CounterFunc("playsvc_acts_total", "interactions applied", m.sumShards(func(sh *shard) int64 { return sh.acts.Load() }))
 	reg.CounterFunc("playsvc_frames_total", "frames rendered", m.sumShards(func(sh *shard) int64 { return sh.frames.Load() }))
 	reg.CounterFunc("playsvc_checkpoints_total", "periodic checkpoint persists", m.checkpoints.Load)
+	reg.CounterFunc("playsvc_shed_total", "requests refused by admission control", m.shed.Load)
+	reg.GaugeFunc("playsvc_inflight", "play requests executing right now", m.inflight.Load)
 	reg.GaugeFunc("playsvc_video_bytes", "resident video payload bytes", func() int64 {
 		m.coursesMu.RLock()
 		defer m.coursesMu.RUnlock()
@@ -864,6 +991,7 @@ type Stats struct {
 	Checkpoints     int64        `json:"checkpoints"`      // periodic checkpoint persists
 	Acts            int64        `json:"acts"`
 	Frames          int64        `json:"frames"`
+	Shed            int64        `json:"shed"` // requests refused by admission control
 	Shards          []ShardStats `json:"shards"`
 }
 
@@ -883,6 +1011,7 @@ func (st *Stats) Merge(o Stats) {
 	st.Checkpoints += o.Checkpoints
 	st.Acts += o.Acts
 	st.Frames += o.Frames
+	st.Shed += o.Shed
 }
 
 // Snapshot assembles the live counters.
@@ -924,5 +1053,6 @@ func (m *Manager) Snapshot() Stats {
 		st.Frames += ss.Frames
 	}
 	st.Checkpoints = m.checkpoints.Load()
+	st.Shed = m.shed.Load()
 	return st
 }

@@ -78,6 +78,12 @@ type ActRequest struct {
 	Quiz    string `json:"quiz,omitempty"` // quiz id being answered
 	Choice  int    `json:"choice"`
 	Ticks   int    `json:"ticks,omitempty"` // tick count (default 1)
+	// Seq is the client's per-session act sequence number (1, 2, 3…).
+	// The server remembers the last applied seq and its reply: a retry of
+	// an already-applied act (its response was lost in flight) returns the
+	// cached reply instead of applying the act twice. Zero disables
+	// deduplication (hand-written curl requests keep working).
+	Seq int64 `json:"seq,omitempty"`
 	// SeenEvents and SeenMessages tell the server how much of the session's
 	// event log and say-transcript the client already holds; the reply
 	// carries only the tails beyond these counts. SeenEvents is also an
@@ -121,6 +127,10 @@ type Reply struct {
 type Error struct {
 	Status int
 	Msg    string
+	// RetryAfter, when positive, is the server's advertised backoff in
+	// whole seconds (a 429/503 load-shed answer). The HTTP handlers emit
+	// it as a Retry-After header; clients honor it instead of jittering.
+	RetryAfter int
 }
 
 // Error implements error.

@@ -39,6 +39,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// writeError answers with the error's status; a protocol error carrying
+// a Retry-After hint (load shedding) advertises it so clients and the
+// gateway back off for a bounded, server-chosen interval instead of
+// guessing.
+func writeError(w http.ResponseWriter, err error) {
+	if pe, ok := err.(*Error); ok && pe.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(pe.RetryAfter))
+	}
+	http.Error(w, err.Error(), httpStatus(err))
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -67,7 +78,7 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	reply, err := m.Create(&req)
 	m.ring.Record(req.Trace, "play.create", t0, err)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, reply)
@@ -84,7 +95,7 @@ func (m *Manager) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	err := m.Freeze(req.Session)
 	m.ring.Record(obs.TraceFromRequest(r), "play.handoff", t0, err)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"session": req.Session, "state": "frozen"})
@@ -101,7 +112,7 @@ func (m *Manager) handleRecover(w http.ResponseWriter, r *http.Request) {
 	err := m.Recover(req.Session)
 	m.ring.Record(obs.TraceFromRequest(r), "play.recover", t0, err)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"session": req.Session, "state": "recovered"})
@@ -126,7 +137,7 @@ func (m *Manager) handleAct(w http.ResponseWriter, r *http.Request) {
 	req.Trace = obs.TraceFromRequest(r)
 	reply, err := m.Act(&req)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, reply)
@@ -138,7 +149,7 @@ func (m *Manager) handleState(w http.ResponseWriter, r *http.Request) {
 	seenM, _ := strconv.Atoi(q.Get("messages"))
 	reply, err := m.stateOf(obs.TraceFromRequest(r), q.Get("session"), seenE, seenM)
 	if err != nil {
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, reply)
@@ -166,7 +177,7 @@ func (m *Manager) handleFrame(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		// Too late for a status line if the body started; ignore that case.
-		http.Error(w, err.Error(), httpStatus(err))
+		writeError(w, err)
 	}
 }
 

@@ -356,6 +356,7 @@ func TestSnapshotDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 8
+	before := store.Stats()
 	ids := make([]string, n)
 	for i := range ids {
 		r, err := m.Create(&CreateRequest{Course: "classroom"})
@@ -364,20 +365,22 @@ func TestSnapshotDedup(t *testing.T) {
 		}
 		ids[i] = r.Session
 	}
-	before := store.Stats()
 	if evicted := m.ExpireIdle(time.Now().Add(time.Minute)); evicted != n {
 		t.Fatalf("froze %d, want %d", evicted, n)
 	}
 	after := store.Stats()
-	// n envelopes (unique: they carry the session id) + ONE shared
-	// runtime snapshot blob: all sessions sit in the identical start
-	// state, so the store deduplicates n-1 of the snapshot puts.
+	// Creates checkpoint each newborn session; freezing re-persists the
+	// identical state. Across both passes the store holds n envelopes
+	// (unique: they carry the session id) + ONE shared runtime snapshot
+	// blob: every other put deduplicates — the content-addressed payoff.
 	newChunks := after.Chunks - before.Chunks
 	if newChunks != n+1 {
-		t.Fatalf("freezing %d identical sessions added %d chunks, want %d (n envelopes + 1 shared snapshot)", n, newChunks, n+1)
+		t.Fatalf("checkpoint+freeze of %d identical sessions added %d chunks, want %d (n envelopes + 1 shared snapshot)", n, newChunks, n+1)
 	}
-	if after.DedupHits-before.DedupHits != n-1 {
-		t.Fatalf("dedup hits = %d, want %d", after.DedupHits-before.DedupHits, n-1)
+	// n-1 snapshot hits at create, then n envelope + n snapshot hits at
+	// freeze (nothing changed since the create-time checkpoint).
+	if hits := after.DedupHits - before.DedupHits; hits != 3*n-1 {
+		t.Fatalf("dedup hits = %d, want %d", hits, 3*n-1)
 	}
 }
 
@@ -424,11 +427,14 @@ func TestLeaveDeletesSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := m.Checkpoint(); n != 1 {
-		t.Fatalf("checkpoint = %d", n)
-	}
+	// Create already checkpointed the newborn session (crash safety for
+	// confirmed ids), so the directory holds it and the periodic pass
+	// finds nothing dirty.
 	if dir.Len() != 1 {
-		t.Fatalf("dir holds %d entries", dir.Len())
+		t.Fatalf("dir holds %d entries, want the create-time checkpoint", dir.Len())
+	}
+	if n := m.Checkpoint(); n != 0 {
+		t.Fatalf("checkpoint = %d, want 0 (session idle since create)", n)
 	}
 	if _, err := m.Act(&ActRequest{Session: r.Session, Kind: ActLeave}); err != nil {
 		t.Fatal(err)

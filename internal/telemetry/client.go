@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultnet"
 	"repro/internal/runtime"
 )
 
@@ -21,8 +22,8 @@ type ClientOptions struct {
 
 	FlushEvery int           // flush when this many events are buffered (default 64)
 	Interval   time.Duration // also flush this often (0 disables the timer)
-	MaxRetries int           // attempts per batch when the server sheds load (default 64)
-	HTTP       *http.Client  // defaults to http.DefaultClient
+	MaxRetries int           // attempts per flush when the server sheds load (default 64)
+	HTTP       *http.Client  // defaults to faultnet.DefaultHTTPClient
 }
 
 // ClientStats counts what reporting cost.
@@ -31,9 +32,19 @@ type ClientStats struct {
 	Events    int           // events delivered
 	Dropped   int           // events discarded because delivery failed
 	Posts     int           // HTTP posts including retries
-	Retries   int           // posts re-sent after a 429
+	Retries   int           // posts re-sent after a shed or transport error
 	FlushTime time.Duration // total time spent posting
 	MaxFlush  time.Duration // slowest single flush
+}
+
+// pendingBatch is a fully built batch the server has not acked yet. It is
+// retried verbatim — same sequence number, same payload — so at-least-once
+// delivery stays safe under the server's sequence dedup: a re-sent batch
+// is either applied or recognized as a duplicate, and newer events can
+// never fold into an already-issued sequence number.
+type pendingBatch struct {
+	payload []byte
+	events  int // event count, for stats
 }
 
 // Client is a batching runtime.Observer: Record buffers events and flushes
@@ -43,11 +54,13 @@ type ClientStats struct {
 // interval timer flushes from its own; per-session batch order is preserved
 // by a single-flight post lock.
 type Client struct {
-	opts ClientOptions
-	url  string
+	opts  ClientOptions
+	url   string
+	sleep func(time.Duration) // time.Sleep; injectable for tests
 
-	postMu sync.Mutex // serializes posts, preserving batch order
-	seq    int        // last batch sequence number issued (guarded by postMu)
+	postMu  sync.Mutex    // serializes posts, preserving batch order
+	seq     int           // last batch sequence number issued (guarded by postMu)
+	pending *pendingBatch // unacked batch awaiting redelivery (guarded by postMu)
 
 	mu     sync.Mutex // guards buf, stats, err, closed
 	buf    []runtime.Event
@@ -77,6 +90,7 @@ func NewClient(o ClientOptions) (*Client, error) {
 	c := &Client{
 		opts:      o,
 		url:       o.BaseURL + IngestPath,
+		sleep:     time.Sleep,
 		stopTimer: make(chan struct{}),
 		timerDone: make(chan struct{}),
 	}
@@ -170,11 +184,15 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// flushLocked runs with postMu held: it drains the buffer and posts one
-// batch, retrying with exponential backoff while the service sheds load.
-// Batches carry a per-session sequence number, so a retry after a lost ack
-// cannot double-count on the server; after a sticky delivery failure no
-// further batches are sent (the server would reject the sequence gap).
+// flushLocked runs with postMu held: it redelivers any batch still pending
+// from an earlier shed, then cuts the buffered events into a new batch and
+// posts it. A batch the server keeps shedding (429/503, honoring its
+// Retry-After) or that the network keeps eating is re-queued for the next
+// flush instead of being dropped — the error it returns is NOT sticky.
+// Only a definitive rejection (any other non-2xx, or a failed Close) goes
+// sticky; after that no further batches are sent (the server would reject
+// the sequence gap anyway, and buffering forever would grow memory without
+// bound).
 func (c *Client) flushLocked(done bool) error {
 	c.mu.Lock()
 	if c.err != nil {
@@ -188,6 +206,39 @@ func (c *Client) flushLocked(done bool) error {
 	events := c.buf
 	c.buf = nil
 	c.mu.Unlock()
+	err := c.deliver(events, done)
+	if err != nil && done {
+		// Closing with an undeliverable backlog: nothing will retry it.
+		c.mu.Lock()
+		if c.pending != nil {
+			c.stats.Dropped += c.pending.events
+		}
+		c.stats.Dropped += len(c.buf)
+		c.buf = nil
+		c.mu.Unlock()
+		c.pending = nil
+		return c.fail(err)
+	}
+	return err
+}
+
+// deliver posts the pending batch first (order and sequence numbering
+// require it to land, or be deduplicated, before anything newer is cut),
+// then builds and posts a new batch from events. On a retriable failure
+// the undelivered batch stays pending and any uncut events return to the
+// front of the buffer — nothing is dropped.
+func (c *Client) deliver(events []runtime.Event, done bool) error {
+	if c.pending != nil {
+		if err := c.post(c.pending); err != nil {
+			if len(events) > 0 {
+				c.mu.Lock()
+				c.buf = append(events, c.buf...)
+				c.mu.Unlock()
+			}
+			return err
+		}
+		c.pending = nil
+	}
 	if len(events) == 0 && !done {
 		return nil
 	}
@@ -204,28 +255,47 @@ func (c *Client) flushLocked(done bool) error {
 	if err != nil {
 		return c.fail(err)
 	}
+	p := &pendingBatch{payload: payload, events: len(events)}
+	if err := c.post(p); err != nil {
+		c.pending = p
+		return err
+	}
+	return nil
+}
+
+// post sends one batch, retrying while the server sheds load (429/503 —
+// sleeping the server's advertised Retry-After when it sends one, the
+// exponential backoff otherwise) or the transport fails. Exhausting the
+// retry budget returns a non-sticky error: the caller keeps the batch
+// pending. A definitive rejection drops the batch and goes sticky.
+func (c *Client) post(p *pendingBatch) error {
 	httpc := c.opts.HTTP
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = faultnet.DefaultHTTPClient()
 	}
 	began := time.Now()
 	var lastErr error
+	var wait time.Duration
 	for attempt := 0; attempt < c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			backoff := time.Millisecond << uint(min(attempt-1, 5)) // 1ms..32ms
-			time.Sleep(backoff)
+			if wait <= 0 {
+				wait = time.Millisecond << uint(min(attempt-1, 5)) // 1ms..32ms
+			}
+			c.sleep(wait)
 			c.mu.Lock()
 			c.stats.Retries++
 			c.mu.Unlock()
 		}
+		wait = 0
 		c.mu.Lock()
 		c.stats.Posts++
 		c.mu.Unlock()
-		resp, err := httpc.Post(c.url, "application/json", bytes.NewReader(payload))
+		resp, err := httpc.Post(c.url, "application/json", bytes.NewReader(p.payload))
 		if err != nil {
 			lastErr = err
 			continue
 		}
+		retryAfter, _ := faultnet.RetryAfterDelay(resp.Header)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		switch resp.StatusCode {
@@ -233,27 +303,25 @@ func (c *Client) flushLocked(done bool) error {
 			took := time.Since(began)
 			c.mu.Lock()
 			c.stats.Batches++
-			c.stats.Events += len(events)
+			c.stats.Events += p.events
 			c.stats.FlushTime += took
 			if took > c.stats.MaxFlush {
 				c.stats.MaxFlush = took
 			}
 			c.mu.Unlock()
 			return nil
-		case http.StatusTooManyRequests:
-			lastErr = fmt.Errorf("telemetry: server shedding load (429)")
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("telemetry: server shedding load (%d)", resp.StatusCode)
+			wait = retryAfter
 			continue
 		default:
 			c.mu.Lock()
-			c.stats.Dropped += len(events)
+			c.stats.Dropped += p.events
 			c.mu.Unlock()
 			return c.fail(fmt.Errorf("telemetry: ingest %s: %s", c.url, resp.Status))
 		}
 	}
-	c.mu.Lock()
-	c.stats.Dropped += len(events)
-	c.mu.Unlock()
-	return c.fail(fmt.Errorf("telemetry: batch undelivered after %d attempts: %w", c.opts.MaxRetries, lastErr))
+	return fmt.Errorf("telemetry: batch undelivered after %d attempts: %w", c.opts.MaxRetries, lastErr)
 }
 
 // fail records the first sticky error.

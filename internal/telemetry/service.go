@@ -326,9 +326,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 	default:
 		s.closeMu.RUnlock()
-		// Bounded queue full: shed the batch and tell the client to retry.
+		// Bounded queue full: shed the batch and tell the client when to
+		// retry. The queue just proved itself saturated, so advertise a
+		// real pause — clients honor this over their own backoff.
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "0")
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 	}
 }

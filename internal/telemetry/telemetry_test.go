@@ -298,21 +298,58 @@ func TestClientRetriesOn429(t *testing.T) {
 	}
 }
 
-func TestClientGivesUpEventually(t *testing.T) {
+// TestClientRequeuesAfterExhaustedShed: a batch the server keeps shedding
+// is held (honoring the advertised Retry-After), not dropped — once the
+// server recovers, the pending batch lands first and every event is
+// accounted for exactly once.
+func TestClientRequeuesAfterExhaustedShed(t *testing.T) {
+	s := NewService(Options{Workers: 1, QueueDepth: 8})
+	defer s.Close()
+	inner := s.Handler()
+	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		http.Error(w, "full", http.StatusTooManyRequests)
+		if r.URL.Path == IngestPath && calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
 	}))
 	defer ts.Close()
-	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1, MaxRetries: 3})
+	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1, MaxRetries: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Record(runtime.Event{Kind: "click"})
-	if c.Err() == nil {
-		t.Fatal("no sticky error after exhausted retries")
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.Record(runtime.Event{Tick: 1, Kind: "click", Detail: "door"})
+	// The first flush exhausted its retry budget against the shedding
+	// server: the batch is re-queued, not dropped, and the error is not
+	// sticky.
+	if err := c.Err(); err != nil {
+		t.Fatalf("sticky error after shed: %v", err)
 	}
-	if st := c.Stats(); st.Posts != 3 {
-		t.Errorf("posts = %d, want 3", st.Posts)
+	if st := c.Stats(); st.Dropped != 0 || st.Batches != 0 || st.Posts != 2 {
+		t.Fatalf("stats after shed = %+v", st)
+	}
+	// The retry slept the server's Retry-After, not the default backoff.
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Fatalf("slept %v, want [1s]", slept)
+	}
+	// The next flush delivers the pending batch first, then the new one;
+	// Close lands the done marker.
+	c.Record(runtime.Event{Tick: 2, Kind: "click", Detail: "desk"})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Quiesce(5 * time.Second) {
+		t.Fatal("drain")
+	}
+	if cs := s.Store().Snapshot()["c"]; cs.Events != 2 || cs.SessionsEnded != 1 {
+		t.Errorf("store stats = %+v", cs)
+	}
+	if st := c.Stats(); st.Dropped != 0 || st.Events != 2 {
+		t.Errorf("client stats = %+v", st)
 	}
 }
 
@@ -408,8 +445,10 @@ func TestStoreDuplicateDeliveryDropped(t *testing.T) {
 }
 
 func TestClientStopsAfterStickyError(t *testing.T) {
+	// A definitive rejection (not a shed) is sticky: the client stops
+	// posting — the server would refuse the sequence gap anyway.
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		http.Error(w, "full", http.StatusTooManyRequests)
+		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer ts.Close()
 	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 1, MaxRetries: 2})
@@ -541,8 +580,11 @@ func TestServiceJanitorReclaimsIdleSessions(t *testing.T) {
 }
 
 func TestClientShedsBufferAfterStickyError(t *testing.T) {
+	// Once delivery fails definitively, buffering is pointless (the server
+	// would reject the sequence gap): everything recorded after the sticky
+	// error is shed and counted.
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		http.Error(w, "full", http.StatusTooManyRequests)
+		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer ts.Close()
 	c, err := NewClient(ClientOptions{BaseURL: ts.URL, Course: "c", Session: "s", FlushEvery: 2, MaxRetries: 2})
