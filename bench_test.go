@@ -632,6 +632,89 @@ func BenchmarkPlaysvcRemoteLearner(b *testing.B) {
 	}
 }
 
+// --- E17: binary wire protocol ----------------------------------------------
+
+func newHostedBench(b *testing.B) (*playsvc.Manager, string) {
+	b.Helper()
+	m := playsvc.NewManager(playsvc.Options{Shards: 4, TTL: -1})
+	b.Cleanup(m.Close)
+	if err := m.AddCourse("classroom", classroomPkg(b)); err != nil {
+		b.Fatal(err)
+	}
+	r, err := m.Create(&playsvc.CreateRequest{Course: "classroom"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, r.Session
+}
+
+// BenchmarkPlaysvcActBinary measures one framed act round without HTTP:
+// encode the act frame, parse it (the server's ingress), apply the batch
+// of one, then encode and parse the reply frame (the client's ingress).
+// The JSON-route equivalent is BenchmarkPlaysvcAct/act plus two
+// json.Marshal/Unmarshal pairs; the delta is the serialization win E17
+// banks per request.
+func BenchmarkPlaysvcActBinary(b *testing.B) {
+	m, id := newHostedBench(b)
+	req := playsvc.BatchRequest{
+		Session: id,
+		Acts:    []playsvc.ActRequest{{Kind: playsvc.ActTalk, Object: "teacher"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.BaseSeq = int64(i + 1)
+		parsed, err := playsvc.ParseActFrame(playsvc.EncodeActFrame(&req))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := m.ActBatch(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := playsvc.ParseReplyFrame(playsvc.EncodeReplyFrame(out))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.SeenEvents, req.SeenMessages = rt.Reply.EventCount, rt.Reply.MessageCount
+	}
+}
+
+// BenchmarkPlaysvcActPipelined measures a framed batch of N acts per op —
+// the pipelining amortization: one frame, one batch apply, one coalesced
+// reply tail regardless of depth. ns/op divided by the depth in the
+// sub-benchmark name gives the per-act cost.
+func BenchmarkPlaysvcActPipelined(b *testing.B) {
+	for _, depth := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			m, id := newHostedBench(b)
+			acts := make([]playsvc.ActRequest, depth)
+			for i := range acts {
+				acts[i] = playsvc.ActRequest{Kind: playsvc.ActTalk, Object: "teacher"}
+			}
+			req := playsvc.BatchRequest{Session: id, Acts: acts}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req.BaseSeq = int64(i*depth + 1)
+				parsed, err := playsvc.ParseActFrame(playsvc.EncodeActFrame(&req))
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := m.ActBatch(parsed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := playsvc.ParseReplyFrame(playsvc.EncodeReplyFrame(out))
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.SeenEvents, req.SeenMessages = rt.Reply.EventCount, rt.Reply.MessageCount
+			}
+		})
+	}
+}
+
 // --- E9: ablations ----------------------------------------------------------
 
 func BenchmarkHitTest(b *testing.B) {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -18,7 +19,17 @@ import (
 func main() {
 	cohort := flag.Int("cohort", 30, "simulated learners per cohort (e6/e7)")
 	fleetSize := flag.Int("fleet", 200, "largest learner fleet (e10)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	runs := map[string]func() (string, error){
 		"f1":  experiments.F1,
@@ -38,12 +49,13 @@ func main() {
 		"e14": func() (string, error) { return experiments.E14(*fleetSize) },
 		"e15": func() (string, error) { return experiments.E15(*fleetSize) },
 		"e16": func() (string, error) { return experiments.E16(*fleetSize) },
+		"e17": func() (string, error) { return experiments.E17(*fleetSize) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e16")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e17")
 		os.Exit(2)
 	}
 	var selected []string

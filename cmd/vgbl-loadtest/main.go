@@ -51,6 +51,9 @@ func main() {
 	flushMS := flag.Int("flush-interval-ms", 250, "telemetry interval flush (0 disables)")
 	progressive := flag.Bool("progressive", false, "also measure ranged progressive startup per learner")
 	interactive := flag.Bool("interactive", false, "play server-hosted sessions over the wire instead of simulating locally")
+	playBinary := flag.Bool("play-binary", false, "interactive acts ride the framed binary route (/play/actv2)")
+	playPipeline := flag.Int("play-pipeline", 0, "pipeline up to N fire-and-forget acts per framed batch (implies -play-binary)")
+	playMirror := flag.Bool("play-mirror", false, "thick-client mode: a local replica answers reads and frames; acts ship as reconciled batches (implies -play-binary)")
 	watchEvery := flag.Int("watch-every", 0, "fetch the rendered frame every N steps (0 disables; interactive frame traffic)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	faultProfile := flag.String("fault", "", fmt.Sprintf("inject a named fault profile into the fleet's HTTP path (%s)", strings.Join(faultnet.ProfileNames(), ", ")))
@@ -102,6 +105,9 @@ func main() {
 		Learners:           *learners,
 		Concurrency:        *concurrency,
 		Interactive:        *interactive,
+		PlayBinary:         *playBinary,
+		PlayPipeline:       *playPipeline,
+		PlayMirror:         *playMirror,
 		Policy:             f,
 		Sim:                sim.Config{MaxSteps: *steps, TicksPerStep: 2, Patience: 20, RewardBoost: 10, Seed: *seed, WatchEvery: *watchEvery},
 		FlushEvery:         *flushEvery,

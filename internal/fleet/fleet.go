@@ -18,9 +18,9 @@ import (
 	"time"
 
 	"repro/internal/analytics"
-	"repro/internal/core"
 	"repro/internal/faultnet"
 	"repro/internal/gamepack"
+	"repro/internal/media/playback"
 	"repro/internal/netstream"
 	"repro/internal/obs"
 	"repro/internal/playsvc"
@@ -44,6 +44,19 @@ type Config struct {
 	// PlayURL is the play service base URL; empty means the package server
 	// also hosts play sessions (the usual mounting).
 	PlayURL string
+	// PlayBinary switches interactive learners to the framed binary act
+	// route (/play/actv2) instead of per-act JSON.
+	PlayBinary bool
+	// PlayPipeline > 1 additionally pipelines fire-and-forget acts, up to
+	// this many per framed batch (implies PlayBinary; see
+	// playsvc.ClientOptions.PipelineDepth).
+	PlayPipeline int
+	// PlayMirror runs each interactive learner as a thick client: a local
+	// deterministic replica answers reads, act results and frames, and
+	// acts ship to the hosted session purely as pipelined batches that
+	// are reconciled reply by reply (see playsvc.ClientOptions.LocalMirror).
+	// Learners share one decoded-frame cache for their replicas.
+	PlayMirror bool
 	// Course labels the telemetry stream (default: the package name).
 	Course string
 	// RunID salts the fleet's session IDs. Defaults to a timestamp so
@@ -243,6 +256,11 @@ func Run(cfg Config) (*Summary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: prefetched package: %w", err)
 	}
+	var mirrorFrames *playback.FrameCache
+	if cfg.Interactive && cfg.PlayMirror {
+		// All mirror replicas render the same footage; share one cache.
+		mirrorFrames = playback.NewFrameCache(0)
+	}
 	outcomes := make([]learnerOutcome, cfg.Learners)
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -253,7 +271,7 @@ func Run(cfg Config) (*Summary, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outcomes[i] = runLearner(&cfg, i, pkgURL, pkg.Project, cache)
+			outcomes[i] = runLearner(&cfg, i, pkgURL, pkg, mirrorFrames, cache)
 		}(i)
 	}
 	wg.Wait()
@@ -299,9 +317,10 @@ func Run(cfg Config) (*Summary, error) {
 
 // runLearner plays one learner end to end: fetch, open (locally or on the
 // play service), play, report.
-func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *netstream.PackageCache) learnerOutcome {
+func runLearner(cfg *Config, i int, pkgURL string, pkg *gamepack.Package, mirrorFrames *playback.FrameCache, cache *netstream.PackageCache) learnerOutcome {
 	var o learnerOutcome
 	nc := &netstream.Client{HTTP: cfg.HTTP, Metrics: cfg.metrics}
+	proj := pkg.Project
 	start := proj.StartScenario
 
 	startupBegan := time.Now()
@@ -348,11 +367,16 @@ func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *ne
 		// any caller-supplied observer — the same fan-out local mode gets.
 		col := &analytics.Collector{}
 		pc, dialErr := playsvc.Dial(playsvc.ClientOptions{
-			BaseURL:  cfg.PlayURL,
-			Course:   cfg.Package,
-			Project:  proj,
-			Observer: sim.Observers(col, tc, cfg.Sim.Observer),
-			HTTP:     cfg.HTTP,
+			BaseURL:          cfg.PlayURL,
+			Course:           cfg.Package,
+			Project:          proj,
+			Observer:         sim.Observers(col, tc, cfg.Sim.Observer),
+			HTTP:             cfg.HTTP,
+			Binary:           cfg.PlayBinary,
+			PipelineDepth:    cfg.PlayPipeline,
+			LocalMirror:      cfg.PlayMirror,
+			Pkg:              pkg,
+			MirrorFrameCache: mirrorFrames,
 		})
 		if dialErr != nil {
 			tc.Close()
@@ -368,6 +392,16 @@ func runLearner(cfg *Config, i int, pkgURL string, proj *core.Project, cache *ne
 			err = closeErr
 		}
 		o.session = time.Since(playBegan)
+		if err == nil {
+			// Re-digest after the leave: pipelined and mirror clients may
+			// still hold buffered acts when RunGame takes its digest, and
+			// the leave reply can carry an event tail no earlier reply
+			// delivered. Both reach the collector only through Close, so
+			// the post-Close digest is the complete one. (Local play has
+			// no wire; its in-RunGame digest already saw everything, so
+			// the two stay comparable.)
+			res.Report = col.Digest(start)
+		}
 	} else {
 		o.startup = time.Since(startupBegan)
 		simCfg.Observer = tc

@@ -31,9 +31,15 @@ type Video struct {
 	dec *vcodec.Decoder
 	// pos is the index of the next frame the decoder would produce, or -1
 	// if the decoder has no reference state yet.
-	pos int
-	own *raster.Frame // recycled frame returned by FrameAt
+	pos   int
+	own   *raster.Frame // recycled frame returned by FrameAt
+	cache *FrameCache   // optional shared decoded-frame cache
 }
+
+// UseCache attaches a shared decoded-frame cache. The cache must only
+// ever see Videos opened from the same container blob — frame indices
+// are the cache key, so mixing containers would serve wrong pixels.
+func (v *Video) UseCache(c *FrameCache) { v.cache = c }
 
 // OpenVideo parses blob and prepares a decoder with the given worker count
 // (<=0 means all CPUs).
@@ -80,6 +86,12 @@ func (v *Video) frameAtInto(dst *raster.Frame, i int) error {
 	if i < 0 || i >= n {
 		return fmt.Errorf("playback: frame %d out of range [0,%d)", i, n)
 	}
+	// A cache hit bypasses the decoder entirely and leaves its reference
+	// state (v.pos) untouched: the next miss rolls forward from wherever
+	// the decoder actually is, exactly as if this call never happened.
+	if v.cache.get(i, dst) {
+		return nil
+	}
 	start := v.pos
 	if v.pos == -1 || i < v.pos {
 		k, err := v.r.KeyframeAtOrBefore(i)
@@ -122,6 +134,7 @@ func (v *Video) frameAtInto(dst *raster.Frame, i int) error {
 		}
 	}
 	v.pos = i + 1
+	v.cache.put(i, dst)
 	return nil
 }
 

@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/gamepack"
+	"repro/internal/media/playback"
 	"repro/internal/media/raster"
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -52,6 +54,39 @@ type ClientOptions struct {
 	// Timeout bounds each HTTP attempt (not the whole retried operation).
 	// 0 means 10s; negative disables the deadline.
 	Timeout time.Duration
+	// Binary switches the act path to the framed /play/actv2 endpoint
+	// (each act travels as a binary batch of one). Create, state, frame
+	// and leave stay on their JSON/raw routes. Protocol semantics are
+	// identical to JSON by construction — the server runs both through
+	// one batch core.
+	Binary bool
+	// PipelineDepth > 1 additionally buffers fire-and-forget acts (click,
+	// examine, talk, use, clear) client-side and ships them as one framed
+	// batch, flushed when the buffer reaches this depth, when a
+	// result-bearing act (take, quiz, select, goto, tick) needs an answer,
+	// or before any mirror read — so a policy reading state, messages or
+	// the pending quiz always observes every act it issued, and pipelined
+	// play stays move-for-move identical to JSON play. Implies Binary.
+	// 0 or 1 disables buffering.
+	PipelineDepth int
+	// LocalMirror turns the client into a thick client: it runs a full
+	// deterministic replica of the hosted session over Pkg, answers every
+	// read AND every act result from the replica, and ships acts to the
+	// server purely as pipelined batches (flushed at PipelineDepth, on
+	// Sync and on Close). The golden-replay guarantee — same acts, same
+	// session, bit for bit — is what makes the replica's answers exact;
+	// every batch reply is reconciled against the replica (event count
+	// and tick), and any divergence is a sticky error. Frames render
+	// locally from the replica, so Watch costs no round trip. The server
+	// session stays authoritative for delivery: observers receive the
+	// server's events, exactly once, as replies arrive. Implies Binary.
+	LocalMirror bool
+	// Pkg is the opened course package (required by LocalMirror; the
+	// fleet already holds it for local play).
+	Pkg *gamepack.Package
+	// MirrorFrameCache optionally shares decoded presentation frames
+	// across the mirrors of many clients on the same package.
+	MirrorFrameCache *playback.FrameCache
 }
 
 // Client drives one server-hosted session over HTTP. It implements
@@ -74,9 +109,24 @@ type Client struct {
 
 	resumes int // successful auto-resumes (session survived a dead node)
 
+	// pending holds acts buffered by pipelined mode, not yet sent.
+	pending []ActRequest
+	// Mirror mode: the local replica, its cumulative event count, and the
+	// replica's (event count, tick) recorded as each act was buffered —
+	// the reconciliation values the matching server reply must reproduce.
+	mirror        *runtime.Session
+	mirrorCounter eventCounter
+	pendingEvents []int64
+	pendingTicks  []int
+
 	frame raster.Frame // reusable fetched-frame buffer
 	err   error        // sticky transport/session failure
 }
+
+// eventCounter counts the replica's emitted events for reconciliation.
+type eventCounter struct{ n int64 }
+
+func (e *eventCounter) Record(runtime.Event) { e.n++ }
 
 // Interface check: the simulator must be able to drive a remote session
 // exactly like a local one.
@@ -103,6 +153,14 @@ func Dial(o ClientOptions) (*Client, error) {
 	}
 	if o.Project == nil {
 		return nil, fmt.Errorf("playsvc: client needs the course Project")
+	}
+	if o.LocalMirror {
+		if o.Resume != "" {
+			return nil, fmt.Errorf("playsvc: LocalMirror cannot resume a session (no local history to rebuild the replica from)")
+		}
+		if o.Pkg == nil {
+			return nil, fmt.Errorf("playsvc: LocalMirror needs the opened course Pkg")
+		}
 	}
 	if o.HTTP == nil {
 		o.HTTP = faultnet.DefaultHTTPClient()
@@ -136,6 +194,20 @@ func Dial(o ClientOptions) (*Client, error) {
 	}
 	c.w, c.h, c.fps = reply.Width, reply.Height, reply.FPS
 	c.apply(reply)
+	if o.LocalMirror {
+		mirror, err := runtime.NewSessionFromPackage(o.Pkg, runtime.Options{
+			Observer:   &c.mirrorCounter,
+			FrameCache: o.MirrorFrameCache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("playsvc: local mirror: %w", err)
+		}
+		if c.mirrorCounter.n != int64(reply.EventCount) {
+			mirror.Close()
+			return nil, fmt.Errorf("playsvc: local mirror diverged at create: %d events locally, %d hosted", c.mirrorCounter.n, reply.EventCount)
+		}
+		c.mirror = mirror
+	}
 	return c, nil
 }
 
@@ -327,7 +399,11 @@ func (c *Client) resumeOnce() error {
 // act posts one interaction and folds the reply in. Every act carries a
 // fresh sequence number; retries (and the post-resume replay) reuse it,
 // so the server applies the act at most once. If the session's node died
-// mid-act, the client resumes from the snapshot path and replays.
+// mid-act, the client resumes from the snapshot path and replays — except
+// for a leave, which is replayed directly: resuming a session that the
+// first leave attempt already released would either fail (404, reading as
+// session loss) or thaw it back to life, and the server's leave tombstone
+// makes the bare replay safe (same seq → same final view).
 func (c *Client) act(req *ActRequest) (*Reply, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -339,7 +415,9 @@ func (c *Client) act(req *ActRequest) (*Reply, error) {
 	req.Seq = c.seq
 	r, err := c.postRetry(c.opts.BaseURL+ActPath, req)
 	if err != nil && recoverable(err) {
-		if rerr := c.resumeOnce(); rerr == nil {
+		if req.Kind == ActLeave {
+			r, err = c.postRetry(c.opts.BaseURL+ActPath, req)
+		} else if rerr := c.resumeOnce(); rerr == nil {
 			// The mirror moved (resume refreshed seen-counts); re-stamp
 			// the act's view before replaying it under the same seq.
 			req.SeenEvents = c.seen
@@ -354,11 +432,218 @@ func (c *Client) act(req *ActRequest) (*Reply, error) {
 	return r, nil
 }
 
+// binary reports whether acts ride the framed /play/actv2 route.
+func (c *Client) binary() bool {
+	return c.opts.Binary || c.opts.PipelineDepth > 1 || c.opts.LocalMirror
+}
+
+// depth is the pipelined-mode flush threshold (1 = every act flushes).
+// Mirror mode defaults to deep batches — nothing waits on a flush there.
+func (c *Client) depth() int {
+	d := c.opts.PipelineDepth
+	if d < 1 {
+		if c.opts.LocalMirror {
+			d = 16
+		} else {
+			d = 1
+		}
+	}
+	if d > maxFrameActs {
+		d = maxFrameActs
+	}
+	return d
+}
+
+// buffer appends a replica-applied act in mirror mode, recording the
+// replica's post-act event count and tick — the values the server reply
+// covering this act must reproduce — and flushes at the pipeline depth.
+func (c *Client) buffer(req *ActRequest) {
+	if c.err != nil {
+		return
+	}
+	c.pending = append(c.pending, *req)
+	c.pendingEvents = append(c.pendingEvents, c.mirrorCounter.n)
+	c.pendingTicks = append(c.pendingTicks, c.mirror.Ticks())
+	if len(c.pending) >= c.depth() {
+		c.flush()
+	}
+}
+
+// trimPending drops the first n buffered acts (and, in mirror mode,
+// their recorded reconciliation values).
+func (c *Client) trimPending(n int) {
+	c.pending = append(c.pending[:0], c.pending[n:]...)
+	if c.mirror != nil {
+		c.pendingEvents = append(c.pendingEvents[:0], c.pendingEvents[n:]...)
+		c.pendingTicks = append(c.pendingTicks[:0], c.pendingTicks[n:]...)
+	}
+}
+
+// push buffers a fire-and-forget act, flushing at the pipeline depth.
+// Its caller has no result to wait for, exactly like the JSON-mode
+// callers that discard c.act's return.
+func (c *Client) push(req *ActRequest) {
+	if c.err != nil {
+		return
+	}
+	c.pending = append(c.pending, *req)
+	if len(c.pending) >= c.depth() {
+		c.flush()
+	}
+}
+
+// pushWait appends a result-bearing act and flushes everything buffered;
+// the returned result (and any act-level error) belongs to this act.
+func (c *Client) pushWait(req *ActRequest) (ActResult, error) {
+	if c.err != nil {
+		return ActResult{}, c.err
+	}
+	c.pending = append(c.pending, *req)
+	return c.flush()
+}
+
+// flushPending drains buffered acts before a mirror read, a frame fetch
+// or a sync, so reads always observe every act issued before them. Errors
+// stick via flush; the read then serves the unchanged mirror.
+func (c *Client) flushPending() {
+	if len(c.pending) > 0 {
+		c.flush()
+	}
+}
+
+// flush ships every buffered act as framed batches. The returned result
+// and error describe the LAST buffered act (its pushWait caller is
+// waiting); an act-level error on an earlier act drops that act and
+// continues with the rest, mirroring JSON mode where each such caller
+// discarded its error individually. (In practice only last-position acts
+// can fail: every buffered kind — click, examine, talk, use, clear — is
+// unconditional.)
+func (c *Client) flush() (ActResult, error) {
+	var last ActResult
+	for len(c.pending) > 0 {
+		if c.err != nil {
+			c.trimPending(len(c.pending))
+			return ActResult{}, c.err
+		}
+		n := min(len(c.pending), maxFrameActs)
+		out, err := c.sendBatch(c.pending[:n])
+		if err != nil {
+			c.trimPending(len(c.pending))
+			return ActResult{}, err
+		}
+		if out.ActErr != nil {
+			applied := len(out.Results)
+			wasLast := applied == len(c.pending)-1
+			c.trimPending(applied + 1)
+			if wasLast {
+				return ActResult{}, c.finalize(out.ActErr)
+			}
+			continue
+		}
+		// Mirror mode: the reply covering this batch must land exactly
+		// where the replica was when the batch's last act was buffered.
+		// Anything else means replica and hosted session disagree, and
+		// every local answer after the divergence point is suspect.
+		if c.mirror != nil && n > 0 {
+			if int64(out.Reply.EventCount) != c.pendingEvents[n-1] || out.Reply.Tick != c.pendingTicks[n-1] {
+				return ActResult{}, c.fail(fmt.Errorf(
+					"playsvc: local mirror diverged: replica at %d events/tick %d, hosted session at %d/%d",
+					c.pendingEvents[n-1], c.pendingTicks[n-1], out.Reply.EventCount, out.Reply.Tick))
+			}
+		}
+		if n == len(c.pending) && len(out.Results) > 0 {
+			last = out.Results[len(out.Results)-1]
+		}
+		c.trimPending(n)
+	}
+	return last, nil
+}
+
+// sendBatch posts one framed batch under the retry policy, resuming and
+// replaying on a recoverable failure exactly like a JSON act. The batch
+// keeps its BaseSeq across retries and the post-resume replay, so the
+// server's (base, len) dedup recognizes a batch whose reply was lost.
+func (c *Client) sendBatch(acts []ActRequest) (*BatchReply, error) {
+	req := &BatchRequest{
+		Session:      c.id,
+		BaseSeq:      c.seq + 1,
+		SeenEvents:   c.seen,
+		SeenMessages: len(c.messages),
+		Acts:         acts,
+	}
+	c.seq += int64(len(acts))
+	out, err := c.postFrame(EncodeActFrame(req))
+	if err != nil && recoverable(err) {
+		if rerr := c.resumeOnce(); rerr == nil {
+			req.SeenEvents = c.seen
+			req.SeenMessages = len(c.messages)
+			out, err = c.postFrame(EncodeActFrame(req))
+		}
+	}
+	if err != nil {
+		return nil, c.finalize(err)
+	}
+	c.apply(out.Reply)
+	return out, nil
+}
+
+// postFrame sends an encoded act frame with the retry policy.
+func (c *Client) postFrame(payload []byte) (*BatchReply, error) {
+	var out *BatchReply
+	err := c.retry.Do(func(int) (error, bool) {
+		o, aerr, retryable := c.actV2Attempt(payload)
+		out = o
+		return aerr, retryable
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// actV2Attempt is one framed-act HTTP attempt (see attempt).
+func (c *Client) actV2Attempt(payload []byte) (*BatchReply, error, bool) {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+ActV2Path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err, false
+	}
+	req.Header.Set("Content-Type", FrameContentType)
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err, retryable := responseError(resp, "actv2")
+		return nil, err, retryable
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, fmt.Errorf("playsvc: actv2: read: %w", err), true
+	}
+	out, err := ParseReplyFrame(body)
+	if err != nil {
+		// A mangled frame re-fetches cleanly: the server dedups the retry.
+		return nil, fmt.Errorf("playsvc: actv2: %w", err), true
+	}
+	return out, nil, false
+}
+
 // Sync fetches the session view without acting on it, folding in — and
 // thereby acknowledging — any event or message tail the server still
 // retains. After a Sync the server holds no unacknowledged state for this
 // client, which makes it the natural last call before a planned handoff.
 func (c *Client) Sync() error {
+	c.flushPending()
 	if c.err != nil {
 		return c.err
 	}
@@ -382,30 +667,66 @@ func (c *Client) Sync() error {
 func (c *Client) Project() *core.Project { return c.opts.Project }
 
 // State implements sim.Game: the mirrored server-side state after the
-// last act. Treat it as read-only.
-func (c *Client) State() *core.State { return c.state }
+// last act (buffered acts are flushed first). Treat it as read-only.
+func (c *Client) State() *core.State {
+	if c.mirror != nil {
+		return c.mirror.State()
+	}
+	c.flushPending()
+	return c.state
+}
 
 // Scenario implements sim.Game.
 func (c *Client) Scenario() *core.Scenario {
+	if c.mirror != nil {
+		return c.mirror.Scenario()
+	}
+	c.flushPending()
 	return c.opts.Project.ScenarioByID(c.state.Scenario)
 }
 
 // Ended implements sim.Game.
-func (c *Client) Ended() bool { return c.state.Ended }
+func (c *Client) Ended() bool {
+	if c.mirror != nil {
+		return c.mirror.Ended()
+	}
+	c.flushPending()
+	return c.state.Ended
+}
 
 // Outcome returns the end label ("" while running).
-func (c *Client) Outcome() string { return c.state.Outcome }
+func (c *Client) Outcome() string {
+	if c.mirror != nil {
+		return c.mirror.Outcome()
+	}
+	c.flushPending()
+	return c.state.Outcome
+}
 
 // Ticks returns the hosted session's tick counter after the last act.
-func (c *Client) Ticks() int { return c.tick }
+func (c *Client) Ticks() int {
+	if c.mirror != nil {
+		return c.mirror.Ticks()
+	}
+	c.flushPending()
+	return c.tick
+}
 
 // Messages implements sim.Game.
 func (c *Client) Messages() []string {
+	if c.mirror != nil {
+		return c.mirror.Messages()
+	}
+	c.flushPending()
 	return append([]string(nil), c.messages...)
 }
 
 // PendingQuiz implements sim.Game.
 func (c *Client) PendingQuiz() (*core.Quiz, bool) {
+	if c.mirror != nil {
+		return c.mirror.PendingQuiz()
+	}
+	c.flushPending()
 	if c.quiz == "" {
 		return nil, false
 	}
@@ -415,7 +736,17 @@ func (c *Client) PendingQuiz() (*core.Quiz, bool) {
 
 // AnswerQuiz implements sim.Game.
 func (c *Client) AnswerQuiz(quizID string, choice int) (bool, error) {
-	r, err := c.act(&ActRequest{Kind: ActQuiz, Quiz: quizID, Choice: choice})
+	req := &ActRequest{Kind: ActQuiz, Quiz: quizID, Choice: choice}
+	if c.mirror != nil {
+		correct, err := c.mirror.AnswerQuiz(quizID, choice)
+		c.buffer(req)
+		return correct, err
+	}
+	if c.binary() {
+		res, err := c.pushWait(req)
+		return res.HasCorrect && res.Correct, err
+	}
+	r, err := c.act(req)
 	if err != nil {
 		return false, err
 	}
@@ -423,46 +754,147 @@ func (c *Client) AnswerQuiz(quizID string, choice int) (bool, error) {
 }
 
 // Click implements sim.Game.
-func (c *Client) Click(vx, vy int) { c.act(&ActRequest{Kind: ActClick, X: vx, Y: vy}) }
+func (c *Client) Click(vx, vy int) {
+	req := &ActRequest{Kind: ActClick, X: vx, Y: vy}
+	if c.mirror != nil {
+		c.mirror.Click(vx, vy)
+		c.buffer(req)
+		return
+	}
+	if c.binary() {
+		c.push(req)
+		return
+	}
+	c.act(req)
+}
 
 // Examine implements sim.Game.
-func (c *Client) Examine(objectID string) { c.act(&ActRequest{Kind: ActExamine, Object: objectID}) }
+func (c *Client) Examine(objectID string) {
+	req := &ActRequest{Kind: ActExamine, Object: objectID}
+	if c.mirror != nil {
+		c.mirror.Examine(objectID)
+		c.buffer(req)
+		return
+	}
+	if c.binary() {
+		c.push(req)
+		return
+	}
+	c.act(req)
+}
 
 // Talk implements sim.Game.
-func (c *Client) Talk(objectID string) { c.act(&ActRequest{Kind: ActTalk, Object: objectID}) }
+func (c *Client) Talk(objectID string) {
+	req := &ActRequest{Kind: ActTalk, Object: objectID}
+	if c.mirror != nil {
+		c.mirror.Talk(objectID)
+		c.buffer(req)
+		return
+	}
+	if c.binary() {
+		c.push(req)
+		return
+	}
+	c.act(req)
+}
 
 // Take implements sim.Game.
 func (c *Client) Take(objectID string) bool {
-	r, err := c.act(&ActRequest{Kind: ActTake, Object: objectID})
+	req := &ActRequest{Kind: ActTake, Object: objectID}
+	if c.mirror != nil {
+		took := c.mirror.Take(objectID)
+		c.buffer(req)
+		return took
+	}
+	if c.binary() {
+		res, err := c.pushWait(req)
+		return err == nil && res.HasTook && res.Took
+	}
+	r, err := c.act(req)
 	return err == nil && r.Took != nil && *r.Took
 }
 
 // UseItemOn implements sim.Game.
 func (c *Client) UseItemOn(item, objectID string) {
-	c.act(&ActRequest{Kind: ActUse, Item: item, Object: objectID})
+	req := &ActRequest{Kind: ActUse, Item: item, Object: objectID}
+	if c.mirror != nil {
+		c.mirror.UseItemOn(item, objectID)
+		c.buffer(req)
+		return
+	}
+	if c.binary() {
+		c.push(req)
+		return
+	}
+	c.act(req)
 }
 
 // SelectItem implements sim.Game.
 func (c *Client) SelectItem(item string) error {
-	_, err := c.act(&ActRequest{Kind: ActSelect, Item: item})
+	req := &ActRequest{Kind: ActSelect, Item: item}
+	if c.mirror != nil {
+		err := c.mirror.SelectItem(item)
+		c.buffer(req)
+		return err
+	}
+	if c.binary() {
+		_, err := c.pushWait(req)
+		return err
+	}
+	_, err := c.act(req)
 	return err
 }
 
 // ClearSelection implements sim.Game.
-func (c *Client) ClearSelection() { c.act(&ActRequest{Kind: ActClear}) }
+func (c *Client) ClearSelection() {
+	req := &ActRequest{Kind: ActClear}
+	if c.mirror != nil {
+		c.mirror.ClearSelection()
+		c.buffer(req)
+		return
+	}
+	if c.binary() {
+		c.push(req)
+		return
+	}
+	c.act(req)
+}
 
 // GotoScenario implements sim.Game.
 func (c *Client) GotoScenario(id string) error {
-	_, err := c.act(&ActRequest{Kind: ActGoto, Object: id})
+	req := &ActRequest{Kind: ActGoto, Object: id}
+	if c.mirror != nil {
+		err := c.mirror.GotoScenario(id)
+		c.buffer(req)
+		return err
+	}
+	if c.binary() {
+		_, err := c.pushWait(req)
+		return err
+	}
+	_, err := c.act(req)
 	return err
 }
 
 // Advance implements sim.Game: one round trip regardless of tick count.
+// In pipelined mode the tick is the flush trigger ("flush on tick"), so
+// buffered acts and the advance coalesce into one request — and any
+// advance failure still reaches this caller.
 func (c *Client) Advance(ticks int) error {
 	if ticks <= 0 {
 		return c.err
 	}
-	_, err := c.act(&ActRequest{Kind: ActTick, Ticks: ticks})
+	req := &ActRequest{Kind: ActTick, Ticks: ticks}
+	if c.mirror != nil {
+		err := c.mirror.Advance(ticks)
+		c.buffer(req)
+		return err
+	}
+	if c.binary() {
+		_, err := c.pushWait(req)
+		return err
+	}
+	_, err := c.act(req)
 	return err
 }
 
@@ -474,8 +906,20 @@ func (c *Client) Watch() error {
 }
 
 // Frame fetches the hosted session's presentation frame. The returned
-// frame is client-owned and recycled by the next fetch.
+// frame is client-owned and recycled by the next fetch. In mirror mode
+// the replica renders it locally — same package, same cursor position,
+// same pixels — and no round trip happens at all.
 func (c *Client) Frame() (*raster.Frame, error) {
+	if c.mirror != nil {
+		if c.err != nil {
+			return nil, c.err
+		}
+		if err := c.mirror.FrameInto(&c.frame); err != nil {
+			return nil, err
+		}
+		return &c.frame, nil
+	}
+	c.flushPending()
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -558,8 +1002,21 @@ func (c *Client) frameAttempt() (*raster.Frame, error, bool) {
 // whatever broke the client, it should not linger until TTL eviction —
 // and returns the sticky error.
 func (c *Client) Close() error {
+	c.flushPending()
+	if c.mirror != nil {
+		defer func() {
+			c.mirror.Close()
+			c.mirror = nil
+		}()
+	}
 	if c.err == nil {
-		_, err := c.act(&ActRequest{Kind: ActLeave})
+		// The leave itself always travels as a single JSON act: it ends
+		// the session, so there is nothing to pipeline it with.
+		r, err := c.act(&ActRequest{Kind: ActLeave})
+		if err == nil && c.mirror != nil && int64(r.EventCount) != c.mirrorCounter.n {
+			err = c.fail(fmt.Errorf("playsvc: local mirror diverged at leave: replica saw %d events, hosted session %d",
+				c.mirrorCounter.n, r.EventCount))
+		}
 		return err
 	}
 	sticky := c.err

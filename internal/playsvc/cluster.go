@@ -37,8 +37,8 @@ type ClusterOptions struct {
 	// Node is the per-node Manager template; Store and Dir are overridden
 	// with the shared ones.
 	Node Options
-	// HTTP is the gateway's transport (defaults to the shared
-	// faultnet.DefaultHTTPClient; tests inject fault transports here).
+	// HTTP is the gateway's transport (defaults to a pooled client
+	// sized for gateway fan-in; tests inject fault transports here).
 	HTTP *http.Client
 }
 

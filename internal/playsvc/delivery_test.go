@@ -1,0 +1,511 @@
+package playsvc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/faultnet"
+	"repro/internal/gamepack"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// dialOpts is dial with a ClientOptions hook for protocol variants.
+func dialOpts(t testing.TB, baseURL string, obs runtime.Observer, mod func(*ClientOptions)) *Client {
+	t.Helper()
+	o := ClientOptions{
+		BaseURL:  baseURL,
+		Course:   "classroom",
+		Project:  content.Classroom().Project,
+		Observer: obs,
+	}
+	if mod != nil {
+		mod(&o)
+	}
+	c, err := Dial(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// goldenClassroomRun produces the seeded guided trace plus the event log,
+// final state and transcript of a local replay — the reference every
+// protocol leg must reproduce bit-identically.
+func goldenClassroomRun(t *testing.T) (trace []sim.TraceStep, wantLog []runtime.Event, wantState []byte, wantMsgs []string) {
+	t.Helper()
+	var golden recorder
+	res, err := sim.Run(classroomBlob(t), sim.GuidedFactory, sim.Config{
+		MaxSteps: 40, Patience: 15, Seed: 7, RecordTrace: true, Observer: &golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("guided seed run did not complete: %+v", res)
+	}
+	local, err := runtime.NewSession(classroomBlob(t), runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	if err := sim.Replay(local, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	wantState, err = local.State().Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace, golden.log(), wantState, local.Messages()
+}
+
+// checkReplayLeg replays the golden trace through one client and holds it
+// to the reference: identical event log, identical transcript, identical
+// final state, victory outcome.
+func checkReplayLeg(t *testing.T, c *Client, trace []sim.TraceStep, rec *recorder,
+	wantLog []runtime.Event, wantState []byte, wantMsgs []string) {
+	t.Helper()
+	if err := sim.Replay(c, trace); err != nil {
+		t.Fatal(err)
+	}
+	// Pipelined and mirror clients may still hold a buffered act tail;
+	// Sync flushes it so the recorder holds the complete log.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.log(); !reflect.DeepEqual(got, wantLog) {
+		t.Fatalf("event log diverged:\n got %v\nwant %v", got, wantLog)
+	}
+	state, err := c.State().Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(state) != string(wantState) {
+		t.Fatalf("final state diverged:\n got %s\nwant %s", state, wantState)
+	}
+	if got := c.Messages(); !reflect.DeepEqual(got, wantMsgs) {
+		t.Fatalf("transcript diverged:\n got %q\nwant %q", got, wantMsgs)
+	}
+	if !c.Ended() || c.Outcome() != "victory" {
+		t.Fatalf("ended=%v outcome=%q", c.Ended(), c.Outcome())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryGoldenReplay is the protocol-equivalence pin required by the
+// binary wire format: the same seeded trace replayed over JSON, over
+// binary batches of one, over a pipelined binary client, over a mirror
+// (thick) client whose local replica answers every read, and over the
+// latter two fronted by a consistent-hash gateway must all reproduce the
+// local run's event log, transcript and final state bit-identically.
+func TestBinaryGoldenReplay(t *testing.T) {
+	trace, wantLog, wantState, wantMsgs := goldenClassroomRun(t)
+
+	ts, m := liveService(t, Options{Shards: 4})
+	_, gw := liveCluster(t, 3, Options{})
+	pkg, err := gamepack.Open(classroomBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legs := []struct {
+		name string
+		url  string
+		mod  func(*ClientOptions)
+	}{
+		{"json", ts.URL, nil},
+		{"binary", ts.URL, func(o *ClientOptions) { o.Binary = true }},
+		{"pipelined", ts.URL, func(o *ClientOptions) { o.PipelineDepth = 8 }},
+		{"pipelined-gateway", gw.URL, func(o *ClientOptions) { o.PipelineDepth = 8 }},
+		{"mirror", ts.URL, func(o *ClientOptions) { o.LocalMirror = true; o.Pkg = pkg }},
+		{"mirror-gateway", gw.URL, func(o *ClientOptions) { o.LocalMirror = true; o.Pkg = pkg }},
+	}
+	for _, leg := range legs {
+		t.Run(leg.name, func(t *testing.T) {
+			var rec recorder
+			c := dialOpts(t, leg.url, &rec, leg.mod)
+			checkReplayLeg(t, c, trace, &rec, wantLog, wantState, wantMsgs)
+		})
+	}
+	if live := m.Live(); live != 0 {
+		t.Fatalf("%d sessions still live after all legs closed", live)
+	}
+}
+
+// TestDroppedReplyChaos is the lost-reply delivery gate: every act path
+// (JSON, binary, pipelined binary) replays the golden trace across a
+// transport that loses replies after the server applied the request
+// (faultnet resets), drops requests outright and injects 503s. The bar is
+// exact delivery — the client-side event log and transcript must match
+// the fault-free reference with zero lost and zero duplicated entries,
+// and the final state must be byte-identical.
+func TestDroppedReplyChaos(t *testing.T) {
+	trace, wantLog, wantState, wantMsgs := goldenClassroomRun(t)
+	ts, m := liveService(t, Options{Shards: 4})
+
+	// Reset-heavy profile: the point is replies lost after application,
+	// the exact case seq/batch dedup and leave tombstones exist for.
+	profile := faultnet.Profile{
+		Name:      "reply-loss",
+		ResetRate: 0.15,
+		DropRate:  0.05,
+		ErrorRate: 0.02,
+	}
+
+	legs := []struct {
+		name string
+		seed int64
+		mod  func(*ClientOptions)
+	}{
+		{"json", 7, nil},
+		{"binary", 11, func(o *ClientOptions) { o.Binary = true }},
+		{"pipelined", 13, func(o *ClientOptions) { o.PipelineDepth = 8 }},
+	}
+	for _, leg := range legs {
+		t.Run(leg.name, func(t *testing.T) {
+			var rec recorder
+			seed := leg.seed
+			c := dialOpts(t, ts.URL, &rec, func(o *ClientOptions) {
+				o.HTTP = faultnet.WrapClient(nil, profile, seed)
+				// Enough attempts that a 22% per-request fault rate
+				// cannot plausibly exhaust the ladder mid-trace.
+				o.Retry = &faultnet.RetryPolicy{
+					Attempts:  10,
+					BaseDelay: time.Millisecond,
+					MaxDelay:  20 * time.Millisecond,
+					Seed:      seed,
+				}
+				if leg.mod != nil {
+					leg.mod(o)
+				}
+			})
+			checkReplayLeg(t, c, trace, &rec, wantLog, wantState, wantMsgs)
+		})
+	}
+	if live := m.Live(); live != 0 {
+		t.Fatalf("%d sessions still live after chaos legs closed", live)
+	}
+}
+
+// TestRetriedLeaveDeliversFinalTail pins the lost-reply bug on the leave
+// path: a leave whose confirmation was lost is retried, and the retry must
+// return the SAME final tail (the events and messages the client had not
+// yet acknowledged) — not an empty confirmation and not a 404.
+func TestRetriedLeaveDeliversFinalTail(t *testing.T) {
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a tail the client has NOT acked, then leave.
+	if _, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTalk, Object: "teacher", Seq: 1,
+		SeenEvents: r.EventCount, SeenMessages: r.MessageCount}); err != nil {
+		t.Fatal(err)
+	}
+	leave := &ActRequest{Session: r.Session, Kind: ActLeave, Seq: 2,
+		SeenEvents: r.EventCount, SeenMessages: r.MessageCount}
+	first, err := m.Act(leave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Events) == 0 || len(first.Messages) == 0 {
+		t.Fatalf("leave confirmation lost the unacked tail: %+v", first)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("%d sessions live after leave", m.Live())
+	}
+	// The confirmation was "lost": the client retries the identical leave.
+	for i := 0; i < 3; i++ {
+		again, err := m.Act(leave)
+		if err != nil {
+			t.Fatalf("retry %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("retry %d diverged:\n got %+v\nwant %+v", i, again, first)
+		}
+	}
+}
+
+// TestFrozenLeaveDeliversTail covers leave racing the TTL janitor: the
+// session was frozen to a snapshot (its unacked tail riding the envelope)
+// before the leave arrived. The leave must thaw it, deliver the tail, and
+// release it — dropping the snapshot must not drop the events.
+func TestFrozenLeaveDeliversTail(t *testing.T) {
+	o, _, _ := durableOptions(t)
+	m := NewManager(o)
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTalk, Object: "teacher", Seq: 1,
+		SeenEvents: r.EventCount, SeenMessages: r.MessageCount}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Freeze(r.Session); err != nil {
+		t.Fatal(err)
+	}
+	leave := &ActRequest{Session: r.Session, Kind: ActLeave, Seq: 2,
+		SeenEvents: r.EventCount, SeenMessages: r.MessageCount}
+	conf, err := m.Act(leave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conf.Events) == 0 || len(conf.Messages) == 0 {
+		t.Fatalf("frozen leave dropped the unacked tail: %+v", conf)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("%d sessions live after frozen leave", m.Live())
+	}
+	// And the retry still answers from the tombstone.
+	again, err := m.Act(leave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, conf) {
+		t.Fatalf("frozen-leave retry diverged:\n got %+v\nwant %+v", again, conf)
+	}
+}
+
+// TestRetriedBatchAfterThawNotDoubleApplied pins the envelope v2 fix: the
+// batch-dedup state (base seq, result bits) survives freeze/thaw, so a
+// batch whose reply was lost while the session migrated is recognized as
+// a retry and rebuilt — not applied twice.
+func TestRetriedBatchAfterThawNotDoubleApplied(t *testing.T) {
+	o, _, _ := durableOptions(t)
+	m := NewManager(o)
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &BatchRequest{
+		Session: r.Session, BaseSeq: 1,
+		SeenEvents: r.EventCount, SeenMessages: r.MessageCount,
+		Acts: []ActRequest{
+			{Kind: ActTalk, Object: "teacher"},
+			{Kind: ActExamine, Object: "computer"},
+			{Kind: ActTick, Ticks: 1},
+		},
+	}
+	first, err := m.ActBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ActErr != nil {
+		t.Fatalf("batch failed: %v", first.ActErr)
+	}
+
+	// The reply is lost; the session is frozen (TTL janitor / handoff)
+	// before the retry arrives.
+	if err := m.Freeze(r.Session); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := m.ActBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Reply.EventCount != first.Reply.EventCount ||
+		again.Reply.MessageCount != first.Reply.MessageCount ||
+		again.Reply.Tick != first.Reply.Tick {
+		t.Fatalf("retry re-applied the batch: first count %d/%d tick %d, retry %d/%d tick %d",
+			first.Reply.EventCount, first.Reply.MessageCount, first.Reply.Tick,
+			again.Reply.EventCount, again.Reply.MessageCount, again.Reply.Tick)
+	}
+	if !reflect.DeepEqual(again.Results, first.Results) {
+		t.Fatalf("retry results diverged:\n got %+v\nwant %+v", again.Results, first.Results)
+	}
+	if !reflect.DeepEqual(again.Reply.Events, first.Reply.Events) {
+		t.Fatalf("retry event tail diverged:\n got %v\nwant %v", again.Reply.Events, first.Reply.Events)
+	}
+
+	// A genuinely new batch still applies.
+	next, err := m.ActBatch(&BatchRequest{
+		Session: r.Session, BaseSeq: 4,
+		SeenEvents: first.Reply.EventCount, SeenMessages: first.Reply.MessageCount,
+		Acts: []ActRequest{{Kind: ActTick, Ticks: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Reply.Tick != first.Reply.Tick+1 {
+		t.Fatalf("follow-up batch tick = %d, want %d", next.Reply.Tick, first.Reply.Tick+1)
+	}
+}
+
+// TestNegativeSeenCounts sweeps hostile seen-counts through every consumer
+// — act, batch, state read and the resume route. Negative values clamp to
+// "seen nothing" (full retained tail back, no panic, no log corruption);
+// absurdly large values clamp to "seen everything" without over-trimming.
+func TestNegativeSeenCounts(t *testing.T) {
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTalk, Object: "teacher", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, totalMsgs := rr.EventCount, rr.MessageCount
+	if total == 0 || totalMsgs == 0 {
+		t.Fatalf("no tail to fight over: %d events, %d messages", total, totalMsgs)
+	}
+
+	// All non-positive seen-counts are ack no-ops: the full tail comes
+	// back and the retained window is untouched. (The past-end clamp is
+	// exercised at the end — its ack legitimately compacts the log.)
+	cases := []struct {
+		name         string
+		seenEvents   int
+		seenMessages int
+		wantEvents   int // len of returned tail
+		wantMessages int
+	}{
+		{"negative", -1, -1, total, totalMsgs},
+		{"deeply negative", -1 << 40, -1 << 40, total, totalMsgs},
+		{"zero", 0, 0, total, totalMsgs},
+	}
+	for _, tc := range cases {
+		t.Run("stateOf/"+tc.name, func(t *testing.T) {
+			got, err := m.StateOf(r.Session, tc.seenEvents, tc.seenMessages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Events) != tc.wantEvents || len(got.Messages) != tc.wantMessages {
+				t.Fatalf("tail = %d events / %d messages, want %d/%d",
+					len(got.Events), len(got.Messages), tc.wantEvents, tc.wantMessages)
+			}
+			if got.EventCount != total || got.MessageCount != totalMsgs {
+				t.Fatalf("absolute counts drifted: %d/%d, want %d/%d",
+					got.EventCount, got.MessageCount, total, totalMsgs)
+			}
+		})
+	}
+
+	// The resume route takes the same clamp: a negative seen-count resume
+	// receives the full retained transcript.
+	res, err := m.Create(&CreateRequest{Resume: r.Session, SeenEvents: -7, SeenMessages: -7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("resume create did not mark Resumed")
+	}
+	if len(res.Events) != total || len(res.Messages) != totalMsgs {
+		t.Fatalf("resume tail = %d/%d, want %d/%d", len(res.Events), len(res.Messages), total, totalMsgs)
+	}
+
+	// A negative-seen ACT must not corrupt the retained window: the log
+	// is not un-trimmed, not over-trimmed, and a later honest ack works.
+	rr2, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTick, Ticks: 1, Seq: 2,
+		SeenEvents: -5, SeenMessages: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr2.Events) < total {
+		t.Fatalf("negative-seen act returned %d events, want the full log (>= %d)", len(rr2.Events), total)
+	}
+	h, _, err := m.lookup(r.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	base := h.eventBase
+	h.mu.Unlock()
+	if base != 0 {
+		t.Fatalf("negative seen-count moved the ack base to %d", base)
+	}
+	rr3, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTick, Ticks: 1, Seq: 3,
+		SeenEvents: rr2.EventCount, SeenMessages: rr2.MessageCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	base, retained := h.eventBase, len(h.events)
+	h.mu.Unlock()
+	if base != rr2.EventCount || base+retained != rr3.EventCount {
+		t.Fatalf("honest ack after hostile seen: window [%d,%d), want base %d total %d",
+			base, base+retained, rr2.EventCount, rr3.EventCount)
+	}
+
+	// A past-the-end seen-count clamps to "release everything retained":
+	// no panic, empty tail, and the window never goes negative.
+	over, err := m.StateOf(r.Session, rr3.EventCount+99, rr3.MessageCount+99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over.Events) != 0 || over.EventCount != rr3.EventCount {
+		t.Fatalf("past-end read: tail %d, count %d, want 0/%d", len(over.Events), over.EventCount, rr3.EventCount)
+	}
+	h.mu.Lock()
+	base, retained = h.eventBase, len(h.events)
+	h.mu.Unlock()
+	if retained != 0 || base != rr3.EventCount {
+		t.Fatalf("past-end ack left window [%d,%d), want [%d,%d)", base, base+retained, rr3.EventCount, rr3.EventCount)
+	}
+}
+
+// TestReplyIsPureAckTrims pins the compact-only-on-ack rule directly:
+// building a reply must not trim the event log (the reply may be lost in
+// flight); only the next request's acknowledged seen-count releases the
+// prefix.
+func TestReplyIsPureAckTrims(t *testing.T) {
+	m := NewManager(Options{Shards: 1, TTL: -1})
+	defer m.Close()
+	if err := m.AddCourse("classroom", classroomBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Create(&CreateRequest{Course: "classroom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := m.Act(&ActRequest{Session: r.Session, Kind: ActTalk, Object: "teacher", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the full tail twice: replies are pure, so the second read still
+	// sees everything even though the first reply "delivered" it.
+	for i := 0; i < 2; i++ {
+		got, err := m.StateOf(r.Session, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Events) != rr.EventCount {
+			t.Fatalf("read %d: tail %d, want %d — a reply trimmed the log", i, len(got.Events), rr.EventCount)
+		}
+	}
+	// Only the acked request compacts.
+	if _, err := m.StateOf(r.Session, rr.EventCount, rr.MessageCount); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := m.lookup(r.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	base, retained := h.eventBase, len(h.events)
+	h.mu.Unlock()
+	if base != rr.EventCount || retained != 0 {
+		t.Fatalf("ack did not compact: window [%d,%d), want [%d,%d)", base, base+retained, rr.EventCount, rr.EventCount)
+	}
+}

@@ -103,12 +103,23 @@ type Gateway struct {
 	handler     http.Handler
 }
 
+// gatewayFanIn sizes the default backend connection pool. A gateway
+// funnels every client in the deployment into a handful of node hosts,
+// so the per-host idle pool must match the gateway's concurrency, not
+// Go's default of 2 — with the default, all but two of the relayed
+// requests re-dial TCP to the same node, and on a small cluster that
+// dial churn dominates the relay cost.
+const gatewayFanIn = 128
+
 // NewGateway returns an empty gateway; add nodes with AddNode. A nil
-// client uses faultnet.DefaultHTTPClient (real timeouts — never the
-// timeout-free http.DefaultClient).
+// client uses a pooled transport sized for gateway fan-in (real
+// timeouts — never the timeout-free http.DefaultClient).
 func NewGateway(client *http.Client) *Gateway {
 	if client == nil {
-		client = faultnet.DefaultHTTPClient()
+		client = &http.Client{
+			Transport: faultnet.NewHTTPTransport(gatewayFanIn),
+			Timeout:   30 * time.Second,
+		}
 	}
 	return &Gateway{
 		httpc:       client,
@@ -392,7 +403,11 @@ func (g *Gateway) send(tc obs.TraceContext, node gwNode, method, path, rawQuery 
 		return nil, err
 	}
 	if method == http.MethodPost {
-		req.Header.Set("Content-Type", "application/json")
+		if path == ActV2Path {
+			req.Header.Set("Content-Type", FrameContentType)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
 	}
 	tc.Inject(req.Header)
 	resp, err := g.httpc.Do(req)
@@ -587,6 +602,7 @@ func (g *Gateway) Handler() http.Handler {
 		mux := http.NewServeMux()
 		mux.HandleFunc(CreatePath, g.handleCreate)
 		mux.HandleFunc(ActPath, g.handleAct)
+		mux.HandleFunc(ActV2Path, g.handleActV2)
 		mux.HandleFunc(StatePath, g.handleSessionGet)
 		mux.HandleFunc(FramePath, g.handleSessionGet)
 		mux.HandleFunc(StatsPath, g.handleStats)
@@ -678,6 +694,37 @@ func (g *Gateway) handleAct(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Kind == ActLeave && p.status == http.StatusOK {
 		g.untrack(req.Session)
+	}
+	relay(w, p)
+}
+
+// handleActV2 forwards a binary act frame opaquely: routing needs only
+// the session id, which the frame layout guarantees is its first record
+// (frameSessionID is a prefix parse — no CRC, no full decode), so the
+// gateway never re-encodes framed bodies. Healing (rescue, recover,
+// breaker diversion) is identical to the JSON path because session-level
+// failures stay HTTP statuses; act-level errors ride inside 200 frames
+// the gateway does not inspect.
+func (g *Gateway) handleActV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	session, err := frameSessionID(body)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := g.doSession(traceOf(r), http.MethodPost, ActV2Path, "", body, session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
 	}
 	relay(w, p)
 }

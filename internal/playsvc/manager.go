@@ -27,6 +27,7 @@ import (
 	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/gamepack"
+	"repro/internal/media/playback"
 	"repro/internal/media/raster"
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -45,6 +46,11 @@ type Options struct {
 	// DecodeWorkers is the per-session decode worker count (default 1:
 	// parallelism comes from hosting many sessions, not from within one).
 	DecodeWorkers int
+	// FrameCacheBytes budgets the shared decoded-frame cache kept per
+	// interned video buffer: sessions on the same footage render the same
+	// presentation frames, so one decode serves the whole course. 0 means
+	// the default of 32 MiB per video; negative disables the cache.
+	FrameCacheBytes int64
 	// MaxTicks bounds a single tick act (default 1000) so one request
 	// cannot spin the server arbitrarily long.
 	MaxTicks int
@@ -119,14 +125,23 @@ type hosted struct {
 	// retries into the thaw path instead of acting on a zombie.
 	gone bool
 
-	// lastSeq/lastReply memoize the most recent act carrying a non-zero
-	// client sequence number (guarded by mu). A network-level retry of an
-	// act whose reply was lost re-sends the same seq and receives the
-	// cached reply — exactly-once act semantics over an at-least-once
-	// transport. Replies are self-contained (deep-copied state), so
-	// serving one twice is safe.
-	lastSeq   int64
-	lastReply *Reply
+	// Batch deduplication state (guarded by mu): the identity of the most
+	// recent sequenced act batch and the per-act result bits it produced.
+	// A network-level retry of a batch whose reply was lost re-sends the
+	// same (base, len) and the server REBUILDS the reply from live state
+	// plus these stored results instead of re-applying — exactly-once act
+	// semantics over an at-least-once transport. Rebuilding (rather than
+	// caching the reply wholesale) is what makes the retry honest about
+	// the client's CURRENT seen-counts: if a resume delivered the tail in
+	// between, the rebuilt reply serves nothing twice, and if nothing was
+	// delivered, the unacked tail is still retained (compaction only
+	// happens on acknowledgment) so nothing is lost. A single JSON act is
+	// a batch of one. This state rides the snapshot envelope, so thawed
+	// and handed-off sessions keep their retry protection.
+	lastBase int64  // BaseSeq of the last applied batch (0 = none)
+	lastLen  int    // acts in that batch, including a failed one
+	lastBits []byte // result bits of the applied prefix (frame.go res* bits)
+	lastErr  *Error // act-level error that stopped the batch, nil if none
 
 	// lastSeen (unix nanos) is atomic so the janitor can scan shards
 	// without taking every session lock.
@@ -147,14 +162,32 @@ func (h *hosted) touch() { h.lastSeen.Store(time.Now().UnixNano()) }
 type course struct {
 	name      string
 	pkg       *gamepack.Package
-	videoKey  blobstore.Hash // content hash of the interned video buffer
+	videoKey  blobstore.Hash       // content hash of the interned video buffer
+	frames    *playback.FrameCache // shared decoded-frame cache (nil = disabled)
 	w, h, fps int
 }
+
+// tombstone preserves the final reply of a left session for the retry
+// window: if the leave's reply dies in transit, the retried leave (same
+// seq) is served the SAME final view — including the event and message
+// tail the lost reply carried — instead of an empty confirmation that
+// would lose them forever. Pruned by the janitor alongside idle sessions.
+type tombstone struct {
+	seq   int64
+	reply *Reply
+	at    int64 // unix nanos, for pruning
+}
+
+// tombCap bounds tombstones per shard when no janitor runs (TTL<0): the
+// oldest are dropped first, which only narrows the retry window for the
+// longest-finished sessions.
+const tombCap = 4096
 
 // shard is one stripe of the session map with its own lock and counters.
 type shard struct {
 	mu       sync.Mutex
 	sessions map[string]*hosted
+	tombs    map[string]*tombstone
 
 	created atomic.Int64
 	closed  atomic.Int64 // sessions released by a leave act
@@ -189,8 +222,12 @@ type Manager struct {
 	// footage (or differing only in their project document) decode from
 	// one buffer instead of N.
 	videos map[blobstore.Hash][]byte
-	store  *blobstore.Store
-	dir    SnapshotDir
+	// frameCaches shares decoded presentation frames per interned video:
+	// every session on the same footage renders the same frames, so one
+	// session's decode serves the whole course (pruned with videos).
+	frameCaches map[blobstore.Hash]*playback.FrameCache
+	store       *blobstore.Store
+	dir         SnapshotDir
 
 	checkpoints atomic.Int64 // sessions persisted by the periodic checkpointer
 	// draining is set by DrainAll (node decommission): no new session may
@@ -237,6 +274,7 @@ func NewManager(o Options) *Manager {
 		ring:           obs.NewSpanRing(node, 0),
 		courses:        map[string]*course{},
 		videos:         map[blobstore.Hash][]byte{},
+		frameCaches:    map[blobstore.Hash]*playback.FrameCache{},
 		store:          o.Store,
 		dir:            o.Dir,
 		shards:         make([]shard, o.Shards),
@@ -246,6 +284,7 @@ func NewManager(o Options) *Manager {
 	}
 	for i := range m.shards {
 		m.shards[i].sessions = map[string]*hosted{}
+		m.shards[i].tombs = map[string]*tombstone{}
 	}
 	if o.TTL > 0 {
 		go m.runJanitor(o.TTL)
@@ -363,7 +402,16 @@ func (m *Manager) publish(name string, pkg *gamepack.Package) error {
 		pkg.Video = append([]byte(nil), pkg.Video...)
 		m.videos[key] = pkg.Video
 	}
-	m.courses[name] = &course{name: name, pkg: pkg, videoKey: key, w: w, h: h, fps: fps}
+	if m.opts.FrameCacheBytes >= 0 {
+		if m.frameCaches[key] == nil {
+			budget := m.opts.FrameCacheBytes
+			if budget == 0 {
+				budget = 32 << 20
+			}
+			m.frameCaches[key] = playback.NewFrameCache(budget)
+		}
+	}
+	m.courses[name] = &course{name: name, pkg: pkg, videoKey: key, frames: m.frameCaches[key], w: w, h: h, fps: fps}
 	used := map[blobstore.Hash]bool{}
 	for _, c := range m.courses {
 		used[c.videoKey] = true
@@ -371,6 +419,7 @@ func (m *Manager) publish(name string, pkg *gamepack.Package) error {
 	for k := range m.videos {
 		if !used[k] {
 			delete(m.videos, k)
+			delete(m.frameCaches, k)
 		}
 	}
 	return nil
@@ -468,6 +517,7 @@ func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 	sess, err := runtime.NewSessionFromPackage(c.pkg, runtime.Options{
 		DecodeWorkers: m.opts.DecodeWorkers,
 		Observer:      h,
+		FrameCache:    c.frames,
 	})
 	if err != nil {
 		m.liveCount.Add(-1)
@@ -488,6 +538,7 @@ func (m *Manager) Create(req *CreateRequest) (*Reply, error) {
 			prev.mu.Lock()
 			defer prev.mu.Unlock()
 			if !prev.gone {
+				prev.ack(req.SeenEvents)
 				r := prev.reply(req.SeenEvents, req.SeenMessages)
 				r.Course = c.name
 				r.Width, r.Height, r.FPS = c.w, c.h, c.fps
@@ -538,6 +589,7 @@ func (m *Manager) resume(tc obs.TraceContext, session string, seenEvents, seenMe
 	if h.gone {
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", session)
 	}
+	h.ack(seenEvents)
 	r := h.reply(seenEvents, seenMessages)
 	r.Course = h.course.name
 	r.Width, r.Height, r.FPS = h.course.w, h.course.h, h.course.fps
@@ -545,8 +597,32 @@ func (m *Manager) resume(tc obs.TraceContext, session string, seenEvents, seenMe
 	return r, nil
 }
 
-// reply assembles the client view and trims the event prefix the client
-// just acknowledged; h.mu must be held.
+// ack releases the event-log prefix the client acknowledges; h.mu must be
+// held. Compaction happens HERE — on the next request's acknowledged
+// seen-count — and never when a tail is merely serialized into a reply:
+// a reply can die in transit, and the retried request must still find the
+// events it carried. Every request entry point (act, batch, state, resume,
+// retried create, leave) acks before doing anything else; reply() below
+// is read-only.
+func (h *hosted) ack(seenEvents int) {
+	n := seenEvents - h.eventBase
+	if n <= 0 {
+		return
+	}
+	if n > len(h.events) {
+		// Acknowledging more than exists (a client bug or a hostile
+		// frame): release everything retained, never go negative.
+		n = len(h.events)
+	}
+	h.events = append(h.events[:0], h.events[n:]...)
+	h.eventBase += n
+}
+
+// reply assembles the client view: the state snapshot plus the event and
+// message tails beyond the client's seen-counts. It does NOT compact the
+// event log (see ack); serving a tail twice — a retried request whose
+// seen-count is behind the retained base — is safe because replies are
+// self-contained. h.mu must be held.
 func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
 	r := &Reply{
 		Session:      h.id,
@@ -559,17 +635,11 @@ func (h *hosted) reply(seenEvents, seenMessages int) *Reply {
 	from := seenEvents - h.eventBase
 	if from < 0 {
 		// The client claims less than what it already acknowledged (a
-		// retried request); serve everything still retained.
+		// retried or reset client); serve everything still retained.
 		from = 0
 	}
 	if from < len(h.events) {
 		r.Events = append([]runtime.Event(nil), h.events[from:]...)
-	} else {
-		from = len(h.events)
-	}
-	if from > 0 {
-		h.events = append(h.events[:0], h.events[from:]...)
-		h.eventBase += from
 	}
 	if q, ok := h.sess.PendingQuiz(); ok {
 		r.Quiz = q.ID
@@ -625,52 +695,90 @@ func (m *Manager) release() {
 	}
 }
 
+// act is the uninstrumented JSON act path: leave handling plus a
+// batch-of-one delegation to the shared batch core, so JSON and binary
+// acts are identical by construction.
 func (m *Manager) act(req *ActRequest) (*Reply, error) {
 	if req.Kind == ActLeave {
-		if h, sh, err := m.lookup(req.Session); err == nil {
-			return m.leave(req, h, sh)
-		}
-		// Leaving a frozen session needs no restore: discard its released
-		// snapshot and confirm. A checkpoint entry stays a 404 — the
-		// session may be live on another node, and the gateway's rescue
-		// must freeze that copy before the leave lands here again.
-		if m.canSnapshot() {
-			if ref, ok := m.dir.Lookup(req.Session); ok {
-				if !ref.Checkpoint {
-					m.dir.Delete(req.Session)
-					return &Reply{Session: req.Session}, nil
-				}
-				// A checkpoint entry means the session still exists —
-				// typically live on the node that owned it before a ring
-				// move. Confirming the leave here would strand that copy
-				// forever; 404 instead so the gateway's rescue freezes it
-				// and the retried leave lands where the session really is.
-				return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
-			}
-		}
-		if req.Seq > 0 {
-			// A sequenced leave for a session nobody hosts is a retry of a
-			// leave that already applied (its reply was lost): confirm
-			// instead of sending the client into a rescue spiral for a
-			// session that is correctly gone.
-			return &Reply{Session: req.Session}, nil
-		}
-		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
+		return m.actLeave(req)
 	}
-
-	h, sh, err := m.lookupOrThaw(req.Trace, req.Session)
+	batch := BatchRequest{
+		Session:      req.Session,
+		BaseSeq:      req.Seq,
+		SeenEvents:   req.SeenEvents,
+		SeenMessages: req.SeenMessages,
+		Acts:         []ActRequest{*req},
+		Trace:        req.Trace,
+	}
+	out, err := m.actBatch(&batch)
 	if err != nil {
 		return nil, err
 	}
-	sh.acts.Add(1)
-	h.touch()
-
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return m.actLocked(req, h)
+	if out.ActErr != nil {
+		return nil, out.ActErr
+	}
+	r := out.Reply
+	if len(out.Results) == 1 {
+		res := out.Results[0]
+		if res.HasCorrect {
+			v := res.Correct
+			r.Correct = &v
+		}
+		if res.HasTook {
+			v := res.Took
+			r.Took = &v
+		}
+	}
+	return r, nil
 }
 
-// leave releases a live session after building its final view.
+// actLeave releases a session. The retry ladder, in order: a live session
+// leaves normally; a sequenced retry of an already-applied leave is served
+// its tombstoned final view (the tail the lost reply carried); a frozen
+// session is thawed FIRST so the final reply includes the envelope's
+// unacknowledged tail — discarding the snapshot unseen would lose it.
+func (m *Manager) actLeave(req *ActRequest) (*Reply, error) {
+	if h, sh, err := m.lookup(req.Session); err == nil {
+		return m.leave(req, h, sh)
+	}
+	if req.Seq > 0 {
+		if r := m.shardFor(req.Session).takeTomb(req.Session, req.Seq); r != nil {
+			return r, nil
+		}
+	}
+	if m.canSnapshot() {
+		if ref, ok := m.dir.Lookup(req.Session); ok {
+			if !ref.Checkpoint {
+				// A released snapshot may hold an event tail no reply ever
+				// delivered; thaw-then-leave hands it to the client with
+				// the final view instead of deleting it unseen.
+				h, sh, err := m.thaw(req.Trace, req.Session, false)
+				if err != nil {
+					return nil, err
+				}
+				return m.leave(req, h, sh)
+			}
+			// A checkpoint entry means the session still exists —
+			// typically live on the node that owned it before a ring
+			// move. Confirming the leave here would strand that copy
+			// forever; 404 instead so the gateway's rescue freezes it
+			// and the retried leave lands where the session really is.
+			return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
+		}
+	}
+	if req.Seq > 0 {
+		// A sequenced leave for a session nobody hosts (and without a
+		// tombstone — pruned, or another node's) is a retry of a leave
+		// that already applied: confirm instead of sending the client
+		// into a rescue spiral for a session that is correctly gone.
+		return &Reply{Session: req.Session}, nil
+	}
+	return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
+}
+
+// leave releases a live session after building its final view, and
+// tombstones that view so a retried leave (reply lost in transit) still
+// receives the final event/message tail.
 func (m *Manager) leave(req *ActRequest, h *hosted, sh *shard) (*Reply, error) {
 	sh.acts.Add(1)
 	h.touch()
@@ -692,71 +800,180 @@ func (m *Manager) leave(req *ActRequest, h *hosted, sh *shard) (*Reply, error) {
 	if m.dir != nil {
 		m.dir.Delete(req.Session)
 	}
-	return h.reply(req.SeenEvents, req.SeenMessages), nil
+	h.ack(req.SeenEvents)
+	r := h.reply(req.SeenEvents, req.SeenMessages)
+	if req.Seq > 0 && still {
+		sh.saveTomb(req.Session, req.Seq, r)
+	}
+	return r, nil
 }
 
-// actLocked applies one non-leave interaction; h.mu must be held.
-func (m *Manager) actLocked(req *ActRequest, h *hosted) (*Reply, error) {
+// saveTomb records a left session's final reply for the retry window.
+func (sh *shard) saveTomb(session string, seq int64, r *Reply) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.tombs) >= tombCap {
+		var oldest string
+		var oldestAt int64
+		for id, t := range sh.tombs {
+			if oldest == "" || t.at < oldestAt {
+				oldest, oldestAt = id, t.at
+			}
+		}
+		delete(sh.tombs, oldest)
+	}
+	sh.tombs[session] = &tombstone{seq: seq, reply: r, at: time.Now().UnixNano()}
+}
+
+// takeTomb serves a tombstoned final reply for a matching retried leave.
+// The tombstone stays (further retries of the same lost reply must see the
+// same answer); the janitor prunes it.
+func (sh *shard) takeTomb(session string, seq int64) *Reply {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.tombs[session]; t != nil && t.seq == seq {
+		return t.reply
+	}
+	return nil
+}
+
+// ActBatch applies a pipelined act batch to a hosted session: all acts
+// under one session-lock hold, one coalesced reply. Session-level
+// failures (gone, draining, shed) surface as HTTP-level errors; an
+// act-level error stops the batch and rides inside the reply (ActErr).
+func (m *Manager) ActBatch(req *BatchRequest) (*BatchReply, error) {
+	if !m.admit() {
+		return nil, errShed
+	}
+	t0 := time.Now()
+	out, err := m.actBatch(req)
+	m.release()
+	m.actNs.ObserveSince(t0)
+	m.ring.Record(req.Trace, "play.actv2", t0, err)
+	return out, err
+}
+
+// actBatch is the shared core of the act path (JSON acts are batches of
+// one). Acks first, dedups on (BaseSeq, len), then applies in order.
+func (m *Manager) actBatch(req *BatchRequest) (*BatchReply, error) {
+	if len(req.Acts) == 0 {
+		return nil, errf(http.StatusBadRequest, "playsvc: empty act batch")
+	}
+	if len(req.Acts) > maxFrameActs {
+		return nil, errf(http.StatusBadRequest, "playsvc: %d acts exceeds the per-batch bound (%d)", len(req.Acts), maxFrameActs)
+	}
+	for i := range req.Acts {
+		if req.Acts[i].Kind == ActLeave {
+			return nil, errf(http.StatusBadRequest, "playsvc: leave is not batchable; send it as a single JSON act")
+		}
+	}
+	h, sh, err := m.lookupOrThaw(req.Trace, req.Session)
+	if err != nil {
+		return nil, err
+	}
+	sh.acts.Add(int64(len(req.Acts)))
+	h.touch()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.gone {
 		// Frozen or released between lookup and lock; the caller retries
 		// and lands in the thaw path.
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", req.Session)
 	}
-	if req.Seq != 0 && req.Seq == h.lastSeq && h.lastReply != nil {
-		// Same sequence number as the last applied act: the reply was
-		// lost in flight and this is its retry. Serve the cached reply
-		// instead of double-applying.
-		return h.lastReply, nil
+	// The request's seen-counts acknowledge the previous reply; compact
+	// BEFORE applying (or rebuilding) anything, so the served tail always
+	// starts at the client's truth.
+	h.ack(req.SeenEvents)
+	if req.BaseSeq != 0 && req.BaseSeq == h.lastBase && len(req.Acts) == h.lastLen {
+		// Retry of an already-applied batch (its reply was lost): rebuild
+		// the reply from live state and the stored result bits instead of
+		// double-applying. The unacked tail is still retained, so the
+		// rebuilt reply carries everything the lost one did.
+		return h.batchReplyLocked(req.SeenEvents, req.SeenMessages, h.lastBits, h.lastErr), nil
 	}
-	var correct, took *bool
-	switch req.Kind {
+	bits := make([]byte, 0, len(req.Acts))
+	var actErr *Error
+	for i := range req.Acts {
+		b, aerr := m.applyOne(h, &req.Acts[i])
+		if aerr != nil {
+			actErr = aerr
+			break
+		}
+		bits = append(bits, b)
+	}
+	if req.BaseSeq != 0 {
+		h.lastBase, h.lastLen, h.lastErr = req.BaseSeq, len(req.Acts), actErr
+		h.lastBits = append(h.lastBits[:0], bits...)
+	}
+	return h.batchReplyLocked(req.SeenEvents, req.SeenMessages, bits, actErr), nil
+}
+
+// batchReplyLocked assembles the coalesced batch reply; h.mu must be held.
+func (h *hosted) batchReplyLocked(seenEvents, seenMessages int, bits []byte, actErr *Error) *BatchReply {
+	out := &BatchReply{Reply: h.reply(seenEvents, seenMessages), ActErr: actErr}
+	if len(bits) > 0 {
+		out.Results = make([]ActResult, len(bits))
+		for i, b := range bits {
+			out.Results[i] = resultFromBits(b)
+		}
+	}
+	return out
+}
+
+// applyOne applies one non-leave act to a locked session, returning its
+// result bits or the act-level error that refused it.
+func (m *Manager) applyOne(h *hosted, a *ActRequest) (byte, *Error) {
+	switch a.Kind {
 	case ActClick:
-		h.sess.Click(req.X, req.Y)
+		h.sess.Click(a.X, a.Y)
 	case ActExamine:
-		h.sess.Examine(req.Object)
+		h.sess.Examine(a.Object)
 	case ActTalk:
-		h.sess.Talk(req.Object)
+		h.sess.Talk(a.Object)
 	case ActTake:
-		ok := h.sess.Take(req.Object)
-		took = &ok
+		bits := byte(resHasTook)
+		if h.sess.Take(a.Object) {
+			bits |= resTook
+		}
+		return bits, nil
 	case ActUse:
-		h.sess.UseItemOn(req.Item, req.Object)
+		h.sess.UseItemOn(a.Item, a.Object)
 	case ActSelect:
-		if err := h.sess.SelectItem(req.Item); err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
+		if err := h.sess.SelectItem(a.Item); err != nil {
+			return 0, errf(http.StatusBadRequest, "%v", err)
 		}
 	case ActClear:
 		h.sess.ClearSelection()
 	case ActQuiz:
-		ok, err := h.sess.AnswerQuiz(req.Quiz, req.Choice)
+		ok, err := h.sess.AnswerQuiz(a.Quiz, a.Choice)
 		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
+			return 0, errf(http.StatusBadRequest, "%v", err)
 		}
-		correct = &ok
+		bits := byte(resHasCorrect)
+		if ok {
+			bits |= resCorrect
+		}
+		return bits, nil
 	case ActGoto:
-		if err := h.sess.GotoScenario(req.Object); err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
+		if err := h.sess.GotoScenario(a.Object); err != nil {
+			return 0, errf(http.StatusBadRequest, "%v", err)
 		}
 	case ActTick:
-		n := req.Ticks
+		n := a.Ticks
 		if n <= 0 {
 			n = 1
 		}
 		if n > m.opts.MaxTicks {
-			return nil, errf(http.StatusBadRequest, "playsvc: %d ticks exceeds the per-act bound (%d)", n, m.opts.MaxTicks)
+			return 0, errf(http.StatusBadRequest, "playsvc: %d ticks exceeds the per-act bound (%d)", n, m.opts.MaxTicks)
 		}
 		if err := h.sess.Advance(n); err != nil {
-			return nil, err
+			return 0, errf(http.StatusInternalServerError, "%v", err)
 		}
 	default:
-		return nil, errf(http.StatusBadRequest, "playsvc: unknown action kind %q", req.Kind)
+		return 0, errf(http.StatusBadRequest, "playsvc: unknown action kind %q", a.Kind)
 	}
-	r := h.reply(req.SeenEvents, req.SeenMessages)
-	r.Correct, r.Took = correct, took
-	if req.Seq != 0 {
-		h.lastSeq, h.lastReply = req.Seq, r
-	}
-	return r, nil
+	return 0, nil
 }
 
 // StateOf returns a session's current view without acting on it (it still
@@ -789,6 +1006,7 @@ func (m *Manager) stateOfInner(tc obs.TraceContext, session string, seenEvents, 
 	if h.gone {
 		return nil, errf(http.StatusNotFound, "playsvc: no session %q", session)
 	}
+	h.ack(seenEvents)
 	return h.reply(seenEvents, seenMessages), nil
 }
 
@@ -855,6 +1073,13 @@ func (m *Manager) ExpireIdle(cutoff time.Time) int {
 		for _, h := range sh.sessions {
 			if h.lastSeen.Load() < cut {
 				victims = append(victims, h)
+			}
+		}
+		// Leave tombstones age out on the same TTL: past it, a retried
+		// leave is answered by the no-host fallback (empty confirmation).
+		for id, t := range sh.tombs {
+			if t.at < cut {
+				delete(sh.tombs, id)
 			}
 		}
 		sh.mu.Unlock()

@@ -13,7 +13,8 @@ import (
 // netstream.Server (or any mux).
 const (
 	CreatePath  = "/play/create"  // POST CreateRequest → Reply (create or resume)
-	ActPath     = "/play/act"     // POST ActRequest → Reply
+	ActPath     = "/play/act"     // POST ActRequest → Reply (JSON debug surface)
+	ActV2Path   = "/play/actv2"   // POST binary act frame → binary reply frame
 	StatePath   = "/play/state"   // GET ?session=&events=N&messages=N → Reply
 	FramePath   = "/play/frame"   // GET ?session=&advance=N → raw RGB bytes
 	StatsPath   = "/play/stats"   // GET → Stats
@@ -95,6 +96,81 @@ type ActRequest struct {
 	// Trace is the request's trace context. It rides the X-Vgbl-Trace
 	// header, not the JSON body; the HTTP handlers fill it in.
 	Trace obs.TraceContext `json:"-"`
+}
+
+// BatchRequest applies a pipeline of acts to one session in a single
+// round trip (the /play/actv2 payload, framed by EncodeActFrame). The
+// batch applies atomically under the session lock, in order, stopping at
+// the first act-level error. Act sequence numbers are implicit: act i
+// carries BaseSeq+i, and the server deduplicates a retried batch on
+// (BaseSeq, len(Acts)) — the reply was lost, not the work.
+type BatchRequest struct {
+	Session string
+	// BaseSeq is the first act's sequence number (acts are BaseSeq..
+	// BaseSeq+len(Acts)-1). Zero disables deduplication, as for ActRequest.
+	BaseSeq int64
+	// SeenEvents/SeenMessages acknowledge the tails the client already
+	// folded in, exactly as on a single act; acknowledgment — and the
+	// event-log compaction it permits — happens before any act applies.
+	SeenEvents   int
+	SeenMessages int
+	// Acts are the interactions, in order. Only Kind, Object, Item, X, Y,
+	// Quiz, Choice and Ticks are meaningful; per-act Session/Seq/Seen
+	// fields are ignored. ActLeave is not batchable (400): a leave ends
+	// the session and stays a single JSON act.
+	Acts []ActRequest
+
+	Trace obs.TraceContext
+}
+
+// ActResult is one act's result bits within a batch reply.
+type ActResult struct {
+	HasCorrect bool // act was a quiz answer
+	Correct    bool
+	HasTook    bool // act was a take
+	Took       bool
+}
+
+func (r ActResult) bits() byte {
+	var b byte
+	if r.HasCorrect {
+		b |= resHasCorrect
+	}
+	if r.Correct {
+		b |= resCorrect
+	}
+	if r.HasTook {
+		b |= resHasTook
+	}
+	if r.Took {
+		b |= resTook
+	}
+	return b
+}
+
+func resultFromBits(b byte) ActResult {
+	return ActResult{
+		HasCorrect: b&resHasCorrect != 0,
+		Correct:    b&resCorrect != 0,
+		HasTook:    b&resHasTook != 0,
+		Took:       b&resTook != 0,
+	}
+}
+
+// BatchReply is the server's answer to a BatchRequest: one result per
+// applied act plus a single coalesced state/event/message tail (the
+// Reply), assembled once after the whole batch.
+type BatchReply struct {
+	Reply *Reply
+	// Results has one entry per successfully applied act, in order.
+	Results []ActResult
+	// ActErr, when set, is the act-level error that stopped the batch:
+	// acts [0,len(Results)) applied, act len(Results) failed, and any
+	// later acts never ran. It rides inside a 200 response — the batch
+	// request itself succeeded — so HTTP-level statuses keep meaning
+	// "session-level failure" (404 gone, 503 draining, 429 shed) and the
+	// gateway's healing logic stays status-driven.
+	ActErr *Error
 }
 
 // Reply is the server's view of a hosted session after an operation. State

@@ -2,6 +2,7 @@ package playsvc
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,6 +22,7 @@ func (m *Manager) Handler() http.Handler {
 		mux := http.NewServeMux()
 		mux.HandleFunc(CreatePath, m.handleCreate)
 		mux.HandleFunc(ActPath, m.handleAct)
+		mux.HandleFunc(ActV2Path, m.handleActV2)
 		mux.HandleFunc(StatePath, m.handleState)
 		mux.HandleFunc(FramePath, m.handleFrame)
 		mux.HandleFunc(StatsPath, m.handleStats)
@@ -141,6 +143,36 @@ func (m *Manager) handleAct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, reply)
+}
+
+// handleActV2 is the binary act endpoint: a framed batch in, a framed
+// coalesced reply out. Frame-level rejections (bad magic, bad CRC,
+// unknown act kind) are 400s; everything past the parse shares the JSON
+// path's semantics, including act-level errors riding inside the reply.
+func (m *Manager) handleActV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := ParseActFrame(body)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Trace = obs.TraceFromRequest(r)
+	out, err := m.ActBatch(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	w.Write(EncodeReplyFrame(out))
 }
 
 func (m *Manager) handleState(w http.ResponseWriter, r *http.Request) {

@@ -102,19 +102,31 @@ type envelope struct {
 	EventBase int
 	Events    []runtime.Event
 	Snapshot  blobstore.Hash
+	// Batch-dedup state (v2): a thawed session must keep recognizing a
+	// retry of the last applied batch, or a freeze between the apply and
+	// the retry would turn a lost reply into a double-apply.
+	LastBase int64
+	LastLen  int
+	LastBits []byte
+	LastErr  *Error
 }
 
 // Envelope wire format mirrors the runtime snapshot's: magic, version,
-// tagged records, CRC32.
+// tagged records, CRC32. v2 adds the batch-dedup records (6-9); v1
+// envelopes still decode (their dedup state is simply empty).
 const (
 	envMagic   = "VSNE"
-	envVersion = 1
+	envVersion = 2
 
 	envTagSession   = 1
 	envTagCourse    = 2
 	envTagEventBase = 3
 	envTagEvents    = 4 // JSON []runtime.Event
 	envTagSnapshot  = 5 // 32-byte hash of the runtime snapshot blob
+	envTagLastBase  = 6 // uvarint BaseSeq of the last applied batch
+	envTagLastLen   = 7 // uvarint act count of that batch
+	envTagLastBits  = 8 // raw result bits of the applied prefix
+	envTagLastErr   = 9 // uvarint status, uvarint retry-after, message bytes
 
 	maxEnvelopeField = 16 << 20
 )
@@ -140,6 +152,19 @@ func (e *envelope) encode() []byte {
 		b = envAppend(b, envTagEvents, evs)
 	}
 	b = envAppend(b, envTagSnapshot, e.Snapshot[:])
+	if e.LastBase != 0 {
+		b = envAppend(b, envTagLastBase, binary.AppendUvarint(nil, uint64(e.LastBase)))
+		b = envAppend(b, envTagLastLen, binary.AppendUvarint(nil, uint64(e.LastLen)))
+		if len(e.LastBits) > 0 {
+			b = envAppend(b, envTagLastBits, e.LastBits)
+		}
+		if e.LastErr != nil {
+			p := binary.AppendUvarint(nil, uint64(e.LastErr.Status))
+			p = binary.AppendUvarint(p, uint64(e.LastErr.RetryAfter))
+			p = append(p, e.LastErr.Msg...)
+			b = envAppend(b, envTagLastErr, p)
+		}
+	}
 	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
@@ -208,6 +233,35 @@ func decodeEnvelope(data []byte) (*envelope, error) {
 			}
 			copy(e.Snapshot[:], payload)
 			hasSnapshot = true
+		case envTagLastBase:
+			v, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || v > math.MaxInt64 {
+				return nil, envBadf("malformed last batch base")
+			}
+			e.LastBase = int64(v)
+		case envTagLastLen:
+			v, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || v > maxFrameActs {
+				return nil, envBadf("malformed last batch length")
+			}
+			e.LastLen = int(v)
+		case envTagLastBits:
+			if len(payload) > maxFrameActs {
+				return nil, envBadf("last batch bits claim %d acts", len(payload))
+			}
+			e.LastBits = append([]byte(nil), payload...)
+		case envTagLastErr:
+			status, n := binary.Uvarint(payload)
+			if n <= 0 || status > 599 {
+				return nil, envBadf("malformed last batch error status")
+			}
+			payload = payload[n:]
+			retry, n := binary.Uvarint(payload)
+			if n <= 0 || retry > math.MaxInt32 {
+				return nil, envBadf("malformed last batch error retry")
+			}
+			payload = payload[n:]
+			e.LastErr = &Error{Status: int(status), RetryAfter: int(retry), Msg: string(payload)}
 		default:
 			// Additive extension from a newer writer; skip.
 		}
@@ -286,6 +340,10 @@ func (m *Manager) persistLocked(h *hosted) (blobstore.Hash, error) {
 		EventBase: h.eventBase,
 		Events:    h.events,
 		Snapshot:  snapHash,
+		LastBase:  h.lastBase,
+		LastLen:   h.lastLen,
+		LastBits:  h.lastBits,
+		LastErr:   h.lastErr,
 	}
 	envHash, _, err := m.store.Put(env.encode())
 	if err != nil {
@@ -457,12 +515,18 @@ func (m *Manager) thaw(tc obs.TraceContext, session string, allowCheckpoint bool
 		m.liveCount.Add(-1)
 		return nil, nil, errf(http.StatusServiceUnavailable, "playsvc: session cap (%d) reached", m.opts.MaxSessions)
 	}
-	h = &hosted{id: session, course: c, events: env.Events, eventBase: env.EventBase}
+	h = &hosted{
+		id: session, course: c,
+		events: env.Events, eventBase: env.EventBase,
+		lastBase: env.LastBase, lastLen: env.LastLen,
+		lastBits: env.LastBits, lastErr: env.LastErr,
+	}
 	h.touch()
 	restoreStart := time.Now()
 	sess, err := runtime.RestoreSessionFromPackage(c.pkg, snap, runtime.Options{
 		DecodeWorkers: m.opts.DecodeWorkers,
 		Observer:      h,
+		FrameCache:    c.frames,
 	})
 	if err != nil {
 		m.liveCount.Add(-1)

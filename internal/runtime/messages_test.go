@@ -1,0 +1,49 @@
+package runtime
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestMessagesFromClamp sweeps hostile offsets through the transcript
+// accessor: negative counts (a broken or malicious client "acknowledging"
+// less than nothing) clamp to the full transcript instead of panicking,
+// and past-the-end counts return an empty tail.
+func TestMessagesFromClamp(t *testing.T) {
+	s, _ := classroomSession(t)
+	s.Talk("teacher")
+	all := s.Messages()
+	if len(all) < 2 {
+		t.Fatalf("need a transcript to slice, got %q", all)
+	}
+
+	cases := []struct {
+		name string
+		n    int
+		want []string
+	}{
+		{"negative", -1, all},
+		{"deeply negative", math.MinInt, all},
+		{"zero", 0, all},
+		{"mid", 1, all[1:]},
+		{"exact end", len(all), nil},
+		{"past end", len(all) + 5, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := s.MessagesFrom(tc.n)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("MessagesFrom(%d) = %q, want %q", tc.n, got, tc.want)
+			}
+		})
+	}
+
+	// The returned slice is a copy: mutating it must not corrupt the
+	// session's transcript.
+	tail := s.MessagesFrom(0)
+	tail[0] = "scribbled over"
+	if s.Messages()[0] == "scribbled over" {
+		t.Fatal("MessagesFrom aliases the live transcript")
+	}
+}

@@ -41,6 +41,12 @@ type Options struct {
 	// from within one decoder. Set >1 only for single-viewer setups.
 	DecodeWorkers int
 	Observer      Observer // optional telemetry sink
+	// FrameCache, when set, shares decoded presentation frames with every
+	// other session on the same package — hosted deployments render the
+	// same video frames for hundreds of learners, so the second render of
+	// any frame becomes a memcpy. The cache must be dedicated to this
+	// package's video (frame indices are the key).
+	FrameCache *playback.FrameCache
 }
 
 // maxGotoChain bounds scenario switches triggered from OnEnter scripts, so
@@ -119,6 +125,9 @@ func buildSession(pkg *gamepack.Package, opts Options) (*Session, error) {
 	video, err := playback.OpenVideo(pkg.Video, opts.DecodeWorkers)
 	if err != nil {
 		return nil, err
+	}
+	if opts.FrameCache != nil {
+		video.UseCache(opts.FrameCache)
 	}
 	progs, err := pkg.Project.CompileEvents()
 	if err != nil {
@@ -509,9 +518,15 @@ func (s *Session) Messages() []string {
 func (s *Session) MessageCount() int { return len(s.messages) }
 
 // MessagesFrom returns a copy of the transcript tail from index n on — the
-// part a remote client has not yet seen. Out-of-range n yields nil.
+// part a remote client has not yet seen. A negative n (a client that reset
+// its counters) clamps to 0 and yields the whole transcript — mirroring
+// the events-path handling of a retried or reset client — rather than
+// silently losing it; n past the end yields nil.
 func (s *Session) MessagesFrom(n int) []string {
-	if n < 0 || n >= len(s.messages) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.messages) {
 		return nil
 	}
 	return append([]string(nil), s.messages[n:]...)

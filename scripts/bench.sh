@@ -3,7 +3,7 @@
 # machine-readable point in the perf trajectory (first point: PR 2).
 #
 # Usage:
-#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR4.json
+#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR8.json
 #   scripts/bench.sh --check             # regression smoke vs BENCH_PR4.json
 #   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
 #   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
@@ -12,10 +12,12 @@
 #   BENCH_PATTERN  -bench regex            (default: . | check's key benches)
 #   BENCH_COUNT    -count                  (default: 3 | 2 in --check)
 #   BENCH_TIME     -benchtime              (default: go's 1s | 0.5s in --check)
-#   BENCH_TAG      output tag              (default: PR2)
+#   BENCH_TAG      output tag              (default: PR8)
 #   BENCH_OUT      output path             (default: BENCH_<TAG>.json)
 #   BENCH_BASELINE --check baseline file   (default: BENCH_PR4.json)
 #   BENCH_THRESHOLD --check slowdown gate  (default: 1.6)
+#   BENCH_E17      0 skips the e17 client-mode sweep (default: run it)
+#   BENCH_E17_FLEET e17 fleet size         (default: 200)
 #
 # The JSON keeps the frozen seed-commit baselines for the acceptance-tracked
 # benchmarks alongside fresh results, so before/after stays reproducible
@@ -33,7 +35,7 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--check" ]; then
     BASELINE=${BENCH_BASELINE:-BENCH_PR4.json}
     THRESHOLD=${BENCH_THRESHOLD:-1.6}
-    PATTERN=${BENCH_PATTERN:-'^BenchmarkPlaysvcAct$|^BenchmarkChunkGetHot$|^BenchmarkEncode160x120Q4W1$|^BenchmarkDecode160x120$|^BenchmarkObsHistogramObserve$'}
+    PATTERN=${BENCH_PATTERN:-'^BenchmarkPlaysvcAct$|^BenchmarkPlaysvcActBinary$|^BenchmarkPlaysvcActPipelined$|^BenchmarkChunkGetHot$|^BenchmarkEncode160x120Q4W1$|^BenchmarkDecode160x120$|^BenchmarkObsHistogramObserve$'}
     COUNT=${BENCH_COUNT:-2}
     TIME=${BENCH_TIME:-0.5s}
     RAW=$(mktemp)
@@ -87,7 +89,7 @@ fi
 
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-3}
-TAG=${BENCH_TAG:-PR4}
+TAG=${BENCH_TAG:-PR8}
 OUT=${BENCH_OUT:-BENCH_${TAG}.json}
 TIMEFLAG=()
 if [ -n "${BENCH_TIME:-}" ]; then
@@ -156,5 +158,32 @@ END {
     print "}"
 }
 ' "$RAW" > "$OUT"
+
+# Fold the E17 client-mode sweep (the PR 8 acceptance measurement: the
+# gateway-fronted mirror fleet must hold >= 0.5x local-sim) into the same
+# artifact, so the throughput claim and the microbenchmarks it rests on
+# ship as one committed file. BENCH_E17=0 skips it.
+if [ "${BENCH_E17:-1}" != "0" ]; then
+    E17RAW=$(mktemp)
+    echo ">> go run ./cmd/vgbl-experiments -fleet ${BENCH_E17_FLEET:-200} e17" >&2
+    go run ./cmd/vgbl-experiments -fleet "${BENCH_E17_FLEET:-200}" e17 | tee "$E17RAW" >&2
+    awk '
+    NR == FNR {
+        if ($0 ~ /\|/ && $0 !~ /mode +\|/ && $0 !~ /----/) {
+            n = split($0, f, "|")
+            if (n < 5) next
+            name = f[1]; gsub(/^ +| +$/, "", name)
+            p90 = f[4]; gsub(/^ +| +$/, "", p90)
+            ratio = f[5]; gsub(/^ +| +$|x/, "", ratio)
+            rows = rows sprintf("%s    \"%s\": {\"sessions_per_sec\": %.1f, \"events_per_sec\": %.0f, \"session_p90\": \"%s\", \"vs_local\": %s}", \
+                (rows ? ",\n" : ""), name, f[2] + 0, f[3] + 0, p90, (ratio ~ /^[0-9.]+$/ ? ratio : "null"))
+        }
+        next
+    }
+    $0 == "}" { printf "  ,\"e17\": {\n%s\n  }\n}\n", rows; next }
+    { print }
+    ' "$E17RAW" "$OUT" > "${OUT}.tmp" && mv "${OUT}.tmp" "$OUT"
+    rm -f "$E17RAW"
+fi
 
 echo ">> wrote $OUT ($(grep -c '"name"' "$OUT") results)" >&2
