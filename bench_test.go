@@ -715,6 +715,72 @@ func BenchmarkPlaysvcActPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkRoomFanout measures the classroom broadcast hot path without
+// HTTP: one driver act renders one publication, and W watchers each take
+// one delivery (header encode + shared-pixel handoff). The per-op cost
+// must scale with W only through the fan-out loop — per-watcher delivery
+// reuses its chunk buffer and shares the publication's pixels, so
+// allocs/op stays flat as W grows (the render's own buffer is the only
+// per-op allocation). MB/s counts the pixel bytes served per op.
+func BenchmarkRoomFanout(b *testing.B) {
+	for _, W := range []int{4, 64, 512} {
+		b.Run(fmt.Sprintf("watchers-%d", W), func(b *testing.B) {
+			m := playsvc.NewManager(playsvc.Options{Shards: 4, TTL: -1})
+			b.Cleanup(m.Close)
+			if err := m.AddCourse("classroom", classroomPkg(b)); err != nil {
+				b.Fatal(err)
+			}
+			const roomID = "classroom-bench-room"
+			if _, err := m.CreateRoom(&playsvc.RoomCreateRequest{Course: "classroom", Room: roomID}); err != nil {
+				b.Fatal(err)
+			}
+			room, ok := m.Room(roomID)
+			if !ok {
+				b.Fatal("room not registered")
+			}
+			ids := make([]string, W)
+			dsts := make([][]byte, W)
+			seenE := make([]int, W)
+			seenM := make([]int, W)
+			var pixLen int
+			for w := 0; w < W; w++ {
+				ids[w] = fmt.Sprintf("w-%04d", w)
+				if _, err := m.JoinRoom(&playsvc.RoomJoinRequest{Room: roomID, Watcher: ids[w]}); err != nil {
+					b.Fatal(err)
+				}
+				// Drain the seed publication: sizes the chunk buffer and
+				// leaves every ring empty for the steady-state loop.
+				header, pix, ae, am, err := room.WatchNext(ids[w], 0, 0, true, 0, nil)
+				if err != nil || header == nil {
+					b.Fatalf("seed delivery: %v", err)
+				}
+				dsts[w], seenE[w], seenM[w], pixLen = header, ae, am, len(pix)
+			}
+			req := playsvc.ActRequest{Session: roomID, Kind: playsvc.ActTick, Ticks: 1}
+			b.SetBytes(int64(W) * int64(pixLen))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := m.Act(&req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.SeenEvents, req.SeenMessages = r.EventCount, r.MessageCount
+				for w := 0; w < W; w++ {
+					header, _, ae, am, err := room.WatchNext(ids[w], seenE[w], seenM[w], true, 0, dsts[w][:0])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if header == nil {
+						b.Fatal("no publication pending after an act")
+					}
+					dsts[w], seenE[w], seenM[w] = header, ae, am
+				}
+			}
+		})
+	}
+}
+
 // --- E9: ablations ----------------------------------------------------------
 
 func BenchmarkHitTest(b *testing.B) {

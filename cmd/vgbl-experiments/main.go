@@ -19,6 +19,7 @@ import (
 func main() {
 	cohort := flag.Int("cohort", 30, "simulated learners per cohort (e6/e7)")
 	fleetSize := flag.Int("fleet", 200, "largest learner fleet (e10)")
+	watchers := flag.Int("watchers", 1000, "largest classroom watcher cohort (e18)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -50,12 +51,13 @@ func main() {
 		"e15": func() (string, error) { return experiments.E15(*fleetSize) },
 		"e16": func() (string, error) { return experiments.E16(*fleetSize) },
 		"e17": func() (string, error) { return experiments.E17(*fleetSize) },
+		"e18": func() (string, error) { return experiments.E18(*watchers) },
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16", "e17"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] all | f1 f2 e1 ... e17")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] [-watchers N] all | f1 f2 e1 ... e18")
 		os.Exit(2)
 	}
 	var selected []string

@@ -55,6 +55,11 @@ func main() {
 	playPipeline := flag.Int("play-pipeline", 0, "pipeline up to N fire-and-forget acts per framed batch (implies -play-binary)")
 	playMirror := flag.Bool("play-mirror", false, "thick-client mode: a local replica answers reads and frames; acts ship as reconciled batches (implies -play-binary)")
 	watchEvery := flag.Int("watch-every", 0, "fetch the rendered frame every N steps (0 disables; interactive frame traffic)")
+	rooms := flag.Int("rooms", 0, "classroom mode: drive N shared rooms instead of a per-learner fleet")
+	watchers := flag.Int("watchers", 200, "classroom mode: watchers per room")
+	roomFPS := flag.Int("room-fps", 10, "classroom mode: driver pace in acts per second")
+	roomTicks := flag.Int("room-ticks", 100, "classroom mode: driver acts per room")
+	roomStream := flag.Bool("room-stream", false, "classroom mode: watchers use chunked streaming instead of long-polling")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	faultProfile := flag.String("fault", "", fmt.Sprintf("inject a named fault profile into the fleet's HTTP path (%s)", strings.Join(faultnet.ProfileNames(), ", ")))
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection RNG seed (deterministic per seed)")
@@ -79,6 +84,40 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("serving %s in-process at %s\n", *pkgName, url)
+	}
+
+	if *rooms > 0 {
+		// Classroom mode: R shared rooms, W watchers each, one render per
+		// driver tick no matter how many watch. Prints the fan-out summary
+		// plus the server's /play/stats (rooms, renders, deliveries, skips).
+		playURL := *playServer
+		if playURL == "" {
+			playURL = url
+		}
+		fmt.Printf("driving %d rooms × %d watchers (%s policy, %d fps) against %s ...\n",
+			*rooms, *watchers, *policy, *roomFPS, playURL)
+		sum, err := fleet.RunClassroom(fleet.ClassroomConfig{
+			ServerURL: url,
+			PlayURL:   *playServer,
+			Package:   *pkgName,
+			Rooms:     *rooms,
+			Watchers:  *watchers,
+			FPS:       *roomFPS,
+			Ticks:     *roomTicks,
+			Stream:    *roomStream,
+			Policy:    f,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Print(sum.String())
+		printStats(playURL, playsvc.StatsPath)
+		if sum.WatchersFailed > 0 || sum.DriversFailed > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	mode := "local-sim"
@@ -195,6 +234,10 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 		return nil, "", err
 	}
 	if err := srv.Mount("/play/", play.Handler()); err != nil {
+		return nil, "", err
+	}
+	// Classroom rooms ride the same play mux under their own path root.
+	if err := srv.Mount("/room/", play.Handler()); err != nil {
 		return nil, "", err
 	}
 	// Same observability surface as vgbl-server: the in-process run is

@@ -191,6 +191,11 @@ func main() {
 	if err := srv.Mount("/play/", playHandler); err != nil {
 		fail(err)
 	}
+	// Shared classroom sessions live on the same play surface (same mux,
+	// same gateway routing) but under their own path root.
+	if err := srv.Mount("/room/", playHandler); err != nil {
+		fail(err)
+	}
 	if err := srv.Mount("/metrics", reg.Handler()); err != nil {
 		fail(err)
 	}
@@ -218,6 +223,7 @@ func main() {
 	fmt.Printf("  listing:  http://%s/list\n", ln.Addr())
 	fmt.Printf("  telemetry: http://%s%s (POST), http://%s%s\n", ln.Addr(), telemetry.IngestPath, ln.Addr(), telemetry.StatsPath)
 	fmt.Printf("  play:     http://%s%s (POST), %s, %s, %s\n", ln.Addr(), playsvc.CreatePath, playsvc.ActPath, playsvc.FramePath, playsvc.StatsPath)
+	fmt.Printf("  rooms:    http://%s%s (POST), %s, %s, %s\n", ln.Addr(), playsvc.RoomCreatePath, playsvc.RoomJoinPath, playsvc.RoomWatchPath, playsvc.RoomStatsPath)
 	if *cluster > 0 {
 		fmt.Printf("  cluster:  %d play nodes behind the /play/ gateway (checkpoint every %v)\n", *cluster, *checkpointEvery)
 		for _, u := range nodeURLs {

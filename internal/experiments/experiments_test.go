@@ -175,3 +175,26 @@ func TestE14SmallChurn(t *testing.T) {
 		}
 	}
 }
+
+func TestE18SmallClassroom(t *testing.T) {
+	// E18's full sweep runs three cohorts through 4-second lessons; the
+	// smoke test drives one small cohort through a 1-second lesson against
+	// the same server and leans on e18Run's own invariant checks (renders
+	// exactly equal to publications, zero lost answers, full cohort
+	// participation — it errors on any violation).
+	front, cleanup, err := e18Server()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	sum, err := e18Run(front, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Renders == 0 || sum.Delivered == 0 {
+		t.Fatalf("degenerate run: %+v", sum)
+	}
+	if out := sum.String(); !strings.Contains(out, "one render per tick") {
+		t.Errorf("summary lost the render invariant line:\n%s", out)
+	}
+}

@@ -26,8 +26,9 @@ type FrameCache struct {
 	byIdx map[int]*list.Element
 	lru   list.List // front = most recently used; values are *cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheEntry struct {
@@ -89,16 +90,18 @@ func (c *FrameCache) put(i int, f *raster.Frame) {
 		c.lru.Remove(el)
 		delete(c.byIdx, e.idx)
 		c.bytes -= int64(len(e.f.Pix))
+		c.evictions.Add(1)
 	}
 }
 
-// Stats reports cache traffic and occupancy.
-func (c *FrameCache) Stats() (hits, misses, frames int64, bytes int64) {
+// Stats reports cache traffic and occupancy. evictions counts frames
+// pushed out by the byte budget over the cache's lifetime.
+func (c *FrameCache) Stats() (hits, misses, evictions, frames, bytes int64) {
 	if c == nil {
-		return 0, 0, 0, 0
+		return 0, 0, 0, 0, 0
 	}
 	c.mu.Lock()
 	frames, bytes = int64(c.lru.Len()), c.bytes
 	c.mu.Unlock()
-	return c.hits.Load(), c.misses.Load(), frames, bytes
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), frames, bytes
 }

@@ -38,7 +38,7 @@ func TestFrameCacheServesIdenticalPixels(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits0, misses, _, _ := cache.Stats()
+	hits0, misses, _, _, _ := cache.Stats()
 	if hits0 != 0 || misses != int64(film.FrameCount()) {
 		t.Fatalf("warming pass: hits=%d misses=%d, want 0/%d", hits0, misses, film.FrameCount())
 	}
@@ -66,7 +66,7 @@ func TestFrameCacheServesIdenticalPixels(t *testing.T) {
 			t.Fatalf("frame %d differs between cached and direct decode", i)
 		}
 	}
-	hits, _, frames, bytesHeld := cache.Stats()
+	hits, _, _, frames, bytesHeld := cache.Stats()
 	if hits != int64(len(order)) {
 		t.Fatalf("hits = %d, want %d", hits, len(order))
 	}
@@ -97,9 +97,12 @@ func TestFrameCacheEviction(t *testing.T) {
 			}
 		}
 	}
-	_, _, frames, bytesHeld := cache.Stats()
+	_, _, evictions, frames, bytesHeld := cache.Stats()
 	if frames > 4 || bytesHeld > 4*frameBytes {
 		t.Fatalf("cache exceeded budget: %d frames / %d bytes", frames, bytesHeld)
+	}
+	if evictions == 0 {
+		t.Fatalf("budget-bounded cache reported zero evictions")
 	}
 }
 

@@ -606,6 +606,12 @@ func (g *Gateway) Handler() http.Handler {
 		mux.HandleFunc(StatePath, g.handleSessionGet)
 		mux.HandleFunc(FramePath, g.handleSessionGet)
 		mux.HandleFunc(StatsPath, g.handleStats)
+		mux.HandleFunc(RoomCreatePath, g.handleRoomCreate)
+		mux.HandleFunc(RoomJoinPath, g.handleRoomMember)
+		mux.HandleFunc(RoomLeavePath, g.handleRoomMember)
+		mux.HandleFunc(RoomAnswerPath, g.handleRoomAnswer)
+		mux.HandleFunc(RoomWatchPath, g.handleRoomWatch)
+		mux.HandleFunc(RoomStatsPath, g.handleRoomGet)
 		g.handler = mux
 	})
 	return g.handler
@@ -743,6 +749,204 @@ func (g *Gateway) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relay(w, p)
+}
+
+// doRoom routes one room-scoped request. Rooms hash by room id — which IS
+// the driven session's id, so the driver's acts and every watcher's polls
+// land on the same node. Healing is deliberately lighter than doSession's:
+// transport failures retry (with breaker bookkeeping), a 503 re-resolves,
+// but a 404 relays as-is — rooms are live-only, and a rescue sweep here
+// would freeze the driver's LIVE session out from under the classroom.
+func (g *Gateway) doRoom(tc obs.TraceContext, method, path, rawQuery string, body []byte, room string) (p *proxied, err error) {
+	hops := 0
+	defer func(t0 time.Time) {
+		g.hops.Observe(int64(hops))
+		g.spans.Record(tc, "gw "+path, t0, err)
+	}(time.Now())
+	var failed map[string]bool
+	for attempt := 0; attempt < 4; attempt++ {
+		node, rerr := g.routeFor(room, failed)
+		if rerr != nil {
+			return nil, rerr
+		}
+		hops++
+		p, err = g.send(tc.Child(), node, method, path, rawQuery, body)
+		if err != nil {
+			br := g.breakerFor(node.name)
+			br.Failure()
+			if br.ConsecutiveFailures() >= deadNodeLimit {
+				g.dropDead(node)
+			}
+			if br.Open() {
+				if failed == nil {
+					failed = map[string]bool{}
+				}
+				failed[node.name] = true
+			}
+			g.retries.Add(1)
+			continue
+		}
+		g.breakerFor(node.name).Success()
+		if p.status == http.StatusServiceUnavailable {
+			if next, rerr := g.routeFor(room, failed); rerr == nil && next != node {
+				g.retries.Add(1)
+				continue
+			}
+		}
+		return p, nil
+	}
+	if p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("playsvc: no reachable node for room %q", room)
+}
+
+// handleRoomCreate mints the room id (unless the client fixed one) so the
+// id hashes onto the node the gateway routes it to, then tracks it like
+// any session id — the room IS a session.
+func (g *Gateway) handleRoomCreate(w http.ResponseWriter, r *http.Request) {
+	var req RoomCreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Course == "" {
+		http.Error(w, "playsvc: room create needs a course", http.StatusBadRequest)
+		return
+	}
+	if req.Room == "" {
+		req.Room = newSessionID(req.Course + "-room")
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p, err := g.doRoom(traceOf(r), http.MethodPost, RoomCreatePath, "", body, req.Room)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if p.status == http.StatusOK {
+		g.track(req.Room)
+		g.creates.Add(1)
+	}
+	relay(w, p)
+}
+
+// handleRoomMember proxies join and leave (same request shape) by room id.
+func (g *Gateway) handleRoomMember(w http.ResponseWriter, r *http.Request) {
+	var req RoomJoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Room == "" {
+		http.Error(w, "playsvc: missing room", http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p, err := g.doRoom(traceOf(r), http.MethodPost, r.URL.Path, "", body, req.Room)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	relay(w, p)
+}
+
+func (g *Gateway) handleRoomAnswer(w http.ResponseWriter, r *http.Request) {
+	var req RoomAnswerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Room == "" {
+		http.Error(w, "playsvc: missing room", http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p, err := g.doRoom(traceOf(r), http.MethodPost, RoomAnswerPath, "", body, req.Room)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	relay(w, p)
+}
+
+// handleRoomGet proxies the room GET routes (stats) by the room query.
+func (g *Gateway) handleRoomGet(w http.ResponseWriter, r *http.Request) {
+	room := r.URL.Query().Get("room")
+	if room == "" {
+		http.Error(w, "playsvc: missing room", http.StatusBadRequest)
+		return
+	}
+	p, err := g.doRoom(traceOf(r), http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, room)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	relay(w, p)
+}
+
+// handleRoomWatch relays the fan-out without buffering: a watch response
+// is a long-poll hold or an open-ended chunk stream, so the gateway pipes
+// bytes through with a flush per read instead of the buffered relay (and
+// without the pooled client's overall timeout, which would cut streams
+// off mid-lesson).
+func (g *Gateway) handleRoomWatch(w http.ResponseWriter, r *http.Request) {
+	room := r.URL.Query().Get("room")
+	if room == "" {
+		http.Error(w, "playsvc: missing room", http.StatusBadRequest)
+		return
+	}
+	tc := traceOf(r)
+	node, err := g.routeFor(room, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node.url+RoomWatchPath+"?"+r.URL.RawQuery, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tc.Child().Inject(req.Header)
+	t0 := time.Now()
+	streamc := &http.Client{Transport: g.httpc.Transport}
+	resp, err := streamc.Do(req)
+	g.spans.Record(tc, "gw "+RoomWatchPath, t0, err)
+	if err != nil {
+		g.breakerFor(node.name).Failure()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	g.breakerFor(node.name).Success()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if ferr := rc.Flush(); ferr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
 }
 
 // GatewayNodeStats is one backend's health in a GatewayStats snapshot.

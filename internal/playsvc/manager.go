@@ -118,6 +118,10 @@ type hosted struct {
 	events    []runtime.Event
 	eventBase int
 	frame     raster.Frame // reusable frame-path buffer
+	// room is the broadcast hub when this session is driven as a shared
+	// classroom (nil otherwise). Guarded by mu; the act and frame paths
+	// publish into it after every state change.
+	room *Room
 
 	// gone marks a session that has been released (left, evicted or
 	// frozen for handoff) after a concurrent request already resolved it;
@@ -214,7 +218,12 @@ type Manager struct {
 	freezeNs  *obs.Histogram
 	thawNs    *obs.Histogram
 	restoreNs *obs.Histogram
-	ring      *obs.SpanRing
+	// fanoutNs is publish→delivery latency per fan-out frame; skipHist is
+	// the per-delivery skip delta (how many frames a watcher bypassed to
+	// reach the one it got — 0 for a watcher keeping up).
+	fanoutNs *obs.Histogram
+	skipHist *obs.Histogram
+	ring     *obs.SpanRing
 
 	coursesMu sync.RWMutex
 	courses   map[string]*course
@@ -234,6 +243,18 @@ type Manager struct {
 	// be created or thawed here, so an in-flight request racing the drain
 	// cannot resurrect a just-frozen session onto a node that is leaving.
 	draining atomic.Bool
+
+	// rooms indexes live broadcast hubs by room id (= driven session id).
+	// roomsMu is a leaf lock: it is never held while taking a session or
+	// room lock except in read-only sweeps (gauge scans, the janitor).
+	roomsMu sync.Mutex
+	rooms   map[string]*Room
+	// Room fan-out counters (monotonic, cluster-mergeable).
+	roomRenders   atomic.Int64
+	roomDelivered atomic.Int64
+	roomSkipped   atomic.Int64
+	roomAnswers   atomic.Int64
+	watcherJoins  atomic.Int64
 
 	seq    atomic.Int64
 	shards []shard
@@ -271,7 +292,10 @@ func NewManager(o Options) *Manager {
 		freezeNs:       obs.NewHistogram(obs.LatencyBounds),
 		thawNs:         obs.NewHistogram(obs.LatencyBounds),
 		restoreNs:      obs.NewHistogram(obs.LatencyBounds),
+		fanoutNs:       obs.NewHistogram(obs.LatencyBounds),
+		skipHist:       obs.NewHistogram(obs.CountBounds),
 		ring:           obs.NewSpanRing(node, 0),
+		rooms:          map[string]*Room{},
 		courses:        map[string]*course{},
 		videos:         map[blobstore.Hash][]byte{},
 		frameCaches:    map[blobstore.Hash]*playback.FrameCache{},
@@ -795,6 +819,7 @@ func (m *Manager) leave(req *ActRequest, h *hosted, sh *shard) (*Reply, error) {
 		m.liveCount.Add(-1)
 		h.gone = true
 		h.sess.Close()
+		m.closeRoomLocked(h)
 	}
 	// A left session must not resurrect from an old snapshot.
 	if m.dir != nil {
@@ -905,6 +930,13 @@ func (m *Manager) actBatch(req *BatchRequest) (*BatchReply, error) {
 	if req.BaseSeq != 0 {
 		h.lastBase, h.lastLen, h.lastErr = req.BaseSeq, len(req.Acts), actErr
 		h.lastBits = append(h.lastBits[:0], bits...)
+	}
+	// Broadcast after applying, before the reply: one render per
+	// state-changing batch, no matter how many watchers subscribe. The
+	// dedup-retry path above returns without re-applying and without
+	// re-publishing, so the render count tracks real state changes exactly.
+	if h.room != nil && (len(bits) > 0 || actErr == nil) {
+		h.room.publish()
 	}
 	return h.batchReplyLocked(req.SeenEvents, req.SeenMessages, bits, actErr), nil
 }
@@ -1054,6 +1086,11 @@ func (m *Manager) withFrameInner(tc obs.TraceContext, session string, advance in
 	if err := h.sess.FrameInto(&h.frame); err != nil {
 		return err
 	}
+	// A driver pulling frames with ?advance also moves the shared session;
+	// watchers see that through the same once-per-change publication.
+	if advance > 0 && h.room != nil {
+		h.room.publish()
+	}
 	return fn(&h.frame, h.sess.Ticks())
 }
 
@@ -1098,6 +1135,14 @@ func (m *Manager) ExpireIdle(cutoff time.Time) int {
 				sh.evicted.Add(1)
 				n++
 			}
+		}
+	}
+	// Rooms ride the same sweep: watchers that stopped polling without a
+	// leave are pruned, and hubs whose driven session is gone are dropped.
+	for _, r := range m.roomList() {
+		r.pruneWatchers(cut)
+		if r.isClosed() {
+			m.dropRoom(r.id)
 		}
 	}
 	return n
@@ -1180,12 +1225,41 @@ func (m *Manager) Register(reg *obs.Registry) {
 		}
 		return n
 	})
+	reg.GaugeFunc("playsvc_rooms", "live broadcast rooms", func() int64 {
+		var n int64
+		for _, r := range m.roomList() {
+			if !r.isClosed() {
+				n++
+			}
+		}
+		return n
+	})
+	reg.GaugeFunc("playsvc_watchers", "room subscriptions right now", func() int64 {
+		var n int64
+		for _, r := range m.roomList() {
+			if !r.isClosed() {
+				n += int64(r.watcherCount())
+			}
+		}
+		return n
+	})
+	reg.CounterFunc("playsvc_watcher_joins_total", "room subscriptions opened", m.watcherJoins.Load)
+	reg.CounterFunc("playsvc_room_renders_total", "room publications (one render each)", m.roomRenders.Load)
+	reg.CounterFunc("playsvc_room_frames_delivered_total", "fan-out frames handed to watchers", m.roomDelivered.Load)
+	reg.CounterFunc("playsvc_room_frames_skipped_total", "fan-out frames dropped for slow watchers", m.roomSkipped.Load)
+	reg.CounterFunc("playsvc_room_answers_total", "cohort quiz answers recorded", m.roomAnswers.Load)
+	reg.CounterFunc("playsvc_framecache_hits_total", "decoded-frame cache hits", func() int64 { h, _, _, _, _ := m.frameCacheTotals(); return h })
+	reg.CounterFunc("playsvc_framecache_misses_total", "decoded-frame cache misses", func() int64 { _, mi, _, _, _ := m.frameCacheTotals(); return mi })
+	reg.CounterFunc("playsvc_framecache_evictions_total", "decoded frames evicted by the byte budget", func() int64 { _, _, e, _, _ := m.frameCacheTotals(); return e })
+	reg.GaugeFunc("playsvc_framecache_bytes", "decoded pixels resident in the shared frame caches", func() int64 { _, _, _, _, b := m.frameCacheTotals(); return b })
 	reg.RegisterHistogram("playsvc_act_seconds", "act request latency", "seconds", m.actNs)
 	reg.RegisterHistogram("playsvc_state_seconds", "state request latency", "seconds", m.stateNs)
 	reg.RegisterHistogram("playsvc_frame_seconds", "frame request latency", "seconds", m.frameNs)
 	reg.RegisterHistogram("playsvc_freeze_seconds", "session freeze duration", "seconds", m.freezeNs)
 	reg.RegisterHistogram("playsvc_thaw_seconds", "session thaw duration (restore included)", "seconds", m.thawNs)
 	reg.RegisterHistogram("playsvc_restore_seconds", "runtime snapshot restore duration", "seconds", m.restoreNs)
+	reg.RegisterHistogram("playsvc_fanout_seconds", "room publish-to-delivery latency", "seconds", m.fanoutNs)
+	reg.RegisterHistogram("playsvc_fanout_skipped", "frames bypassed per fan-out delivery", "frames", m.skipHist)
 }
 
 // ShardStats is one shard's counters in a Stats snapshot.
@@ -1217,6 +1291,16 @@ type Stats struct {
 	Acts            int64        `json:"acts"`
 	Frames          int64        `json:"frames"`
 	Shed            int64        `json:"shed"` // requests refused by admission control
+	RoomsLive       int          `json:"rooms_live"`
+	Watchers        int          `json:"watchers"` // subscriptions across all rooms
+	WatcherJoins    int64        `json:"watcher_joins"`
+	RoomRenders     int64        `json:"room_renders"`   // one per publication
+	RoomDelivered   int64        `json:"room_delivered"` // fan-out frames handed out
+	RoomSkipped     int64        `json:"room_skipped"`   // fan-out frames dropped for slow watchers
+	RoomAnswers     int64        `json:"room_answers"`   // cohort quiz answers recorded
+	FrameCacheHits  int64        `json:"frame_cache_hits"`
+	FrameCacheMiss  int64        `json:"frame_cache_misses"`
+	FrameCacheEvict int64        `json:"frame_cache_evictions"`
 	Shards          []ShardStats `json:"shards"`
 }
 
@@ -1237,6 +1321,16 @@ func (st *Stats) Merge(o Stats) {
 	st.Acts += o.Acts
 	st.Frames += o.Frames
 	st.Shed += o.Shed
+	st.RoomsLive += o.RoomsLive
+	st.Watchers += o.Watchers
+	st.WatcherJoins += o.WatcherJoins
+	st.RoomRenders += o.RoomRenders
+	st.RoomDelivered += o.RoomDelivered
+	st.RoomSkipped += o.RoomSkipped
+	st.RoomAnswers += o.RoomAnswers
+	st.FrameCacheHits += o.FrameCacheHits
+	st.FrameCacheMiss += o.FrameCacheMiss
+	st.FrameCacheEvict += o.FrameCacheEvict
 }
 
 // Snapshot assembles the live counters.
@@ -1279,5 +1373,32 @@ func (m *Manager) Snapshot() Stats {
 	}
 	st.Checkpoints = m.checkpoints.Load()
 	st.Shed = m.shed.Load()
+	for _, r := range m.roomList() {
+		if !r.isClosed() {
+			st.RoomsLive++
+			st.Watchers += r.watcherCount()
+		}
+	}
+	st.WatcherJoins = m.watcherJoins.Load()
+	st.RoomRenders = m.roomRenders.Load()
+	st.RoomDelivered = m.roomDelivered.Load()
+	st.RoomSkipped = m.roomSkipped.Load()
+	st.RoomAnswers = m.roomAnswers.Load()
+	st.FrameCacheHits, st.FrameCacheMiss, st.FrameCacheEvict, _, _ = m.frameCacheTotals()
 	return st
+}
+
+// frameCacheTotals sums the shared decoded-frame caches' counters.
+func (m *Manager) frameCacheTotals() (hits, misses, evictions, frames, bytes int64) {
+	m.coursesMu.RLock()
+	defer m.coursesMu.RUnlock()
+	for _, c := range m.frameCaches {
+		h, mi, e, f, b := c.Stats()
+		hits += h
+		misses += mi
+		evictions += e
+		frames += f
+		bytes += b
+	}
+	return
 }

@@ -54,6 +54,9 @@ func liveService(t testing.TB, o Options) (*httptest.Server, *Manager) {
 	if err := srv.Mount("/play/", m.Handler()); err != nil {
 		t.Fatal(err)
 	}
+	if err := srv.Mount("/room/", m.Handler()); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, m

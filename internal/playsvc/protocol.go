@@ -23,6 +23,18 @@ const (
 	RecoverPath = "/play/recover" // POST HandoffRequest → thaw even from a checkpoint (crash recovery)
 )
 
+// Room routes, served by the same Manager.Handler (mount it at "/room/"
+// alongside "/play/"). The room id doubles as the driven session's id, so
+// a cluster gateway hashes watcher traffic onto the driver's node.
+const (
+	RoomCreatePath = "/room/create" // POST RoomCreateRequest → RoomCreateReply
+	RoomJoinPath   = "/room/join"   // POST RoomJoinRequest → RoomJoinReply
+	RoomWatchPath  = "/room/watch"  // GET ?room=&watcher=&events=&messages=&wait_ms=&stream=N → watch chunks
+	RoomAnswerPath = "/room/answer" // POST RoomAnswerRequest → RoomAnswerReply
+	RoomStatsPath  = "/room/stats"  // GET ?room= → RoomStats
+	RoomLeavePath  = "/room/leave"  // POST RoomJoinRequest → unsubscribe
+)
+
 // Action kinds accepted by ActPath. "tick" advances playback; "leave"
 // releases the session (the polite alternative to idle eviction).
 const (
@@ -196,6 +208,108 @@ type Reply struct {
 
 	// Resumed marks a reply produced by a resume create.
 	Resumed bool `json:"resumed,omitempty"`
+}
+
+// RoomCreateRequest opens a shared session: a hosted session whose id is
+// the room id, with a broadcast hub attached. The creator becomes the
+// driver (it acts through the normal /play/* paths using the room id as
+// the session id).
+type RoomCreateRequest struct {
+	Course string `json:"course"`
+	// Room optionally fixes the room id; gateways mint one so the ring
+	// owns it. A retried create of an existing room reattaches.
+	Room string `json:"room,omitempty"`
+
+	Trace obs.TraceContext `json:"-"`
+}
+
+// RoomCreateReply names the new room and repeats the course metadata the
+// driver and watchers need.
+type RoomCreateReply struct {
+	Room   string `json:"room"`
+	Course string `json:"course"`
+	Width  int    `json:"w"`
+	Height int    `json:"h"`
+	FPS    int    `json:"fps"`
+	Seq    int64  `json:"seq"` // publication sequence (1 = the create frame)
+	Tick   int    `json:"tick"`
+}
+
+// RoomJoinRequest subscribes a watcher to a room (or, on RoomLeavePath,
+// unsubscribes it).
+type RoomJoinRequest struct {
+	Room string `json:"room"`
+	// Watcher optionally fixes the watcher id (a retried join with the
+	// same id reattaches); empty lets the server pick.
+	Watcher string `json:"watcher,omitempty"`
+
+	Trace obs.TraceContext `json:"-"`
+}
+
+// RoomJoinReply is the watcher's catch-up snapshot: the current state plus
+// the retained event/message tails, so the first watch chunk only has to
+// carry what happens next.
+type RoomJoinReply struct {
+	Room    string `json:"room"`
+	Watcher string `json:"watcher"`
+	Course  string `json:"course"`
+	Width   int    `json:"w"`
+	Height  int    `json:"h"`
+	FPS     int    `json:"fps"`
+
+	Seq          int64           `json:"seq"`
+	Tick         int             `json:"tick"`
+	State        *core.State     `json:"state"`
+	EventStart   int             `json:"event_start"` // absolute index of Events[0]
+	Events       []runtime.Event `json:"events,omitempty"`
+	EventCount   int             `json:"event_count"`
+	MessageStart int             `json:"message_start"`
+	Messages     []string        `json:"messages,omitempty"`
+	MessageCount int             `json:"message_count"`
+	Quiz         string          `json:"quiz,omitempty"`
+}
+
+// RoomAnswerRequest records one watcher's answer to a quiz the room has
+// seen pending. Cohort answers are assessment data: they never touch the
+// driven session.
+type RoomAnswerRequest struct {
+	Room    string `json:"room"`
+	Watcher string `json:"watcher"`
+	Quiz    string `json:"quiz"`
+	Choice  int    `json:"choice"`
+
+	Trace obs.TraceContext `json:"-"`
+}
+
+// RoomAnswerReply confirms the recorded answer and shows the cohort tally.
+type RoomAnswerReply struct {
+	Room    string `json:"room"`
+	Quiz    string `json:"quiz"`
+	Correct bool   `json:"correct"`
+	Answers int    `json:"answers"` // distinct watchers who answered
+	Votes   []int  `json:"votes"`   // per-choice counts
+}
+
+// RoomQuizTally is one question's cohort outcome in a RoomStats snapshot.
+type RoomQuizTally struct {
+	Quiz    string `json:"quiz"`
+	Answers int    `json:"answers"`
+	Correct int    `json:"correct"` // votes on the correct choice
+	Votes   []int  `json:"votes"`
+}
+
+// RoomStats is the /room/stats payload for one room.
+type RoomStats struct {
+	Room      string          `json:"room"`
+	Watchers  int             `json:"watchers"`
+	Seq       int64           `json:"seq"`
+	Tick      int             `json:"tick"`
+	Renders   int64           `json:"renders"`   // exactly one per publication
+	Delivered int64           `json:"delivered"` // frames handed to watchers
+	Skipped   int64           `json:"skipped"`   // frames dropped from watcher rings
+	Answers   int64           `json:"answers"`
+	Quiz      string          `json:"quiz,omitempty"` // currently pending
+	Quizzes   []RoomQuizTally `json:"quizzes,omitempty"`
 }
 
 // Error is a protocol error carrying the HTTP status the handlers answer

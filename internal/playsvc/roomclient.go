@@ -1,0 +1,421 @@
+// RoomClient: the watcher-side counterpart of Room. A watcher joins a
+// shared session, follows the fan-out (long-poll or chunked stream) and
+// answers cohort quizzes. The driver seat is NOT here — the instructor
+// drives the room through an ordinary Client (Dial with Resume set to the
+// room id), because a room's driven session is a plain hosted session.
+package playsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/media/raster"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// RoomClientOptions configures a watcher.
+type RoomClientOptions struct {
+	BaseURL string // server base, e.g. "http://127.0.0.1:8807"
+	Room    string // room id to join
+	// Watcher optionally fixes the watcher id; a retried join with the
+	// same id reattaches instead of double-subscribing.
+	Watcher string
+	// Ordered drains the per-watcher ring in order instead of skipping to
+	// the freshest frame on every poll. Streams are always ordered.
+	Ordered bool
+	// Trace, when valid, stamps every request (see ClientOptions.Trace).
+	Trace obs.TraceContext
+	// HTTP defaults to faultnet.DefaultHTTPClient().
+	HTTP *http.Client
+	// Timeout bounds one HTTP attempt BEYOND the requested poll hold (the
+	// hold itself is server-side). 0 means 10s; negative disables it.
+	Timeout time.Duration
+}
+
+// RoomClient is one watcher subscription. Like Client, it is driven by a
+// single goroutine: polls reuse its frame and header buffers.
+type RoomClient struct {
+	opts      RoomClientOptions
+	room      string
+	watcher   string
+	w, h, fps int
+
+	seenEvents   int
+	seenMessages int
+	seq          int64 // last publication sequence received
+	tick         int
+	quiz         string
+	skipped      int64 // cumulative server-reported skip count
+	delivered    int64
+
+	state    *core.State // join-time snapshot (not advanced by frames)
+	events   []runtime.Event
+	messages []string
+
+	frame  raster.Frame // reusable pixel buffer
+	header []byte       // reusable chunk-header buffer
+	err    error        // sticky transport failure
+}
+
+// JoinRoom subscribes to a room and returns the watcher client, primed
+// with the join snapshot (state, transcript tails, pending quiz).
+func JoinRoom(o RoomClientOptions) (*RoomClient, error) {
+	if o.BaseURL == "" || o.Room == "" {
+		return nil, fmt.Errorf("playsvc: room client needs BaseURL and Room")
+	}
+	if o.HTTP == nil {
+		o.HTTP = faultnet.DefaultHTTPClient()
+	}
+	c := &RoomClient{opts: o, room: o.Room}
+	var reply RoomJoinReply
+	if err := c.postJSON(RoomJoinPath, &RoomJoinRequest{Room: o.Room, Watcher: o.Watcher, Trace: o.Trace}, &reply); err != nil {
+		return nil, err
+	}
+	c.watcher = reply.Watcher
+	c.w, c.h, c.fps = reply.Width, reply.Height, reply.FPS
+	c.seq, c.tick = reply.Seq, reply.Tick
+	c.seenEvents = reply.EventCount
+	c.seenMessages = reply.MessageCount
+	c.quiz = reply.Quiz
+	c.state = reply.State
+	c.events = append(c.events, reply.Events...)
+	c.messages = append(c.messages, reply.Messages...)
+	return c, nil
+}
+
+// WatcherID returns the subscription id the server assigned (or confirmed).
+func (c *RoomClient) WatcherID() string { return c.watcher }
+
+// RoomID returns the room id.
+func (c *RoomClient) RoomID() string { return c.room }
+
+// VideoMeta returns the room's frame geometry.
+func (c *RoomClient) VideoMeta() (w, h, fps int) { return c.w, c.h, c.fps }
+
+// Seq returns the last received publication sequence number.
+func (c *RoomClient) Seq() int64 { return c.seq }
+
+// Tick returns the driven session's tick at the last received frame.
+func (c *RoomClient) Tick() int { return c.tick }
+
+// Skipped returns the server's cumulative skip count for this watcher —
+// frames the fan-out dropped because this subscriber fell behind.
+func (c *RoomClient) Skipped() int64 { return c.skipped }
+
+// Delivered returns how many frames this client has received.
+func (c *RoomClient) Delivered() int64 { return c.delivered }
+
+// PendingQuiz returns the pending quiz id at the last update ("" = none).
+func (c *RoomClient) PendingQuiz() string { return c.quiz }
+
+// State returns the join-time state snapshot (watchers follow the live
+// session through frames and events, not state clones).
+func (c *RoomClient) State() *core.State { return c.state }
+
+// Events returns the accumulated session event transcript (join tail plus
+// every update's delta, in absolute order — frames skip, events do not).
+func (c *RoomClient) Events() []runtime.Event { return append([]runtime.Event(nil), c.events...) }
+
+// Messages returns the accumulated classroom transcript.
+func (c *RoomClient) Messages() []string { return append([]string(nil), c.messages...) }
+
+// Err returns the sticky transport failure, if any.
+func (c *RoomClient) Err() error { return c.err }
+
+func (c *RoomClient) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+func (c *RoomClient) timeout() time.Duration {
+	switch {
+	case c.opts.Timeout < 0:
+		return 0
+	case c.opts.Timeout == 0:
+		return clientTimeout
+	}
+	return c.opts.Timeout
+}
+
+// postJSON sends one JSON request and decodes the reply into out (nil
+// discards it).
+func (c *RoomClient) postJSON(path string, body, out any) error {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err, _ := responseError(resp, "room "+path)
+		return err
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// watchURL builds the watch query for the current seen-counts.
+func (c *RoomClient) watchURL(wait time.Duration, stream int) string {
+	q := url.Values{}
+	q.Set("room", c.room)
+	q.Set("watcher", c.watcher)
+	q.Set("events", strconv.Itoa(c.seenEvents))
+	q.Set("messages", strconv.Itoa(c.seenMessages))
+	q.Set("wait_ms", strconv.Itoa(int(wait/time.Millisecond)))
+	if stream > 0 {
+		q.Set("stream", strconv.Itoa(stream))
+	}
+	if c.opts.Ordered {
+		q.Set("latest", "0")
+	}
+	return c.opts.BaseURL + RoomWatchPath + "?" + q.Encode()
+}
+
+// fold applies one parsed update to the client mirror. Event and message
+// tails never overlap across updates (the server trims to the presented
+// seen-counts), so plain appends rebuild the transcripts in order.
+func (c *RoomClient) fold(u *WatchUpdate) {
+	c.seq, c.tick = u.Seq, u.Tick
+	c.skipped = u.Skipped
+	c.quiz = u.Quiz
+	c.seenEvents = u.EventCount
+	c.seenMessages = u.MessageCount
+	c.events = append(c.events, u.Events...)
+	c.messages = append(c.messages, u.Messages...)
+	c.delivered++
+}
+
+// Poll long-polls for the next publication: the update (frame metadata,
+// event/message tails, pending quiz) plus the frame pixels in the client's
+// reusable buffer. A (nil, nil, nil) return means the hold expired with
+// nothing new — poll again. The poll acknowledges everything the previous
+// one returned.
+func (c *RoomClient) Poll(wait time.Duration) (*WatchUpdate, *raster.Frame, error) {
+	if c.err != nil {
+		return nil, nil, c.err
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		// The attempt deadline must outlast the requested server-side hold.
+		ctx, cancel = context.WithTimeout(ctx, d+wait)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.watchURL(wait, 0), nil)
+	if err != nil {
+		return nil, nil, c.fail(err)
+	}
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, nil, c.fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		err, _ := responseError(resp, "room watch")
+		return nil, nil, c.fail(err)
+	}
+	u, err := c.readChunk(resp.Body)
+	if err != nil {
+		return nil, nil, c.fail(err)
+	}
+	c.fold(u)
+	return u, &c.frame, nil
+}
+
+// Stream opens one chunked-streaming watch of up to n publications and
+// calls fn for each as it lands. The frame is only valid during fn. fn
+// returning a non-nil error stops the stream and returns that error; a
+// server-ended stream (room closed, count reached) returns nil.
+func (c *RoomClient) Stream(n int, hold time.Duration, fn func(*WatchUpdate, *raster.Frame) error) error {
+	if c.err != nil {
+		return c.err
+	}
+	if n <= 0 {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodGet, c.watchURL(hold, n), nil)
+	if err != nil {
+		return c.fail(err)
+	}
+	if c.opts.Trace.Valid() {
+		c.opts.Trace.Child().Inject(req.Header)
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		err, _ := responseError(resp, "room stream")
+		return c.fail(err)
+	}
+	for i := 0; i < n; i++ {
+		u, err := c.readChunk(resp.Body)
+		if err == io.EOF {
+			return nil // server ended the stream cleanly
+		}
+		if err != nil {
+			return c.fail(err)
+		}
+		c.fold(u)
+		if err := fn(u, &c.frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readChunk reads one watch chunk (length-prefixed header + pixels) into
+// the client's reusable buffers. io.EOF means the stream ended between
+// chunks.
+func (c *RoomClient) readChunk(r io.Reader) (*WatchUpdate, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(lenb[:]))
+	if n <= 0 || n > maxBody {
+		return nil, frameBadf("watch header claims %d bytes", n)
+	}
+	if cap(c.header) < n {
+		c.header = make([]byte, n)
+	}
+	c.header = c.header[:n]
+	if _, err := io.ReadFull(r, c.header); err != nil {
+		return nil, fmt.Errorf("playsvc: short watch header: %w", err)
+	}
+	u, err := ParseWatchChunk(c.header)
+	if err != nil {
+		return nil, err
+	}
+	if cap(c.frame.Pix) < u.PixLen {
+		c.frame.Pix = make([]uint8, u.PixLen)
+	}
+	c.frame.Pix = c.frame.Pix[:u.PixLen]
+	c.frame.W, c.frame.H = u.W, u.H
+	if _, err := io.ReadFull(r, c.frame.Pix); err != nil {
+		return nil, fmt.Errorf("playsvc: short watch frame: %w", err)
+	}
+	return u, nil
+}
+
+// Answer records this watcher's answer to a quiz and returns the cohort
+// tally so far.
+func (c *RoomClient) Answer(quizID string, choice int) (*RoomAnswerReply, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	var reply RoomAnswerReply
+	err := c.postJSON(RoomAnswerPath, &RoomAnswerRequest{
+		Room: c.room, Watcher: c.watcher, Quiz: quizID, Choice: choice, Trace: c.opts.Trace,
+	}, &reply)
+	if err != nil {
+		if pe, ok := err.(*Error); ok && pe.Status == http.StatusBadRequest {
+			return nil, err // caller mistake; subscription stays usable
+		}
+		return nil, c.fail(err)
+	}
+	return &reply, nil
+}
+
+// RoomStats fetches the room's counters and cohort tallies.
+func (c *RoomClient) RoomStats() (RoomStats, error) {
+	var st RoomStats
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if d := c.timeout(); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.opts.BaseURL+RoomStatsPath+"?room="+url.QueryEscape(c.room), nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err, _ := responseError(resp, "room stats")
+		return st, err
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Close unsubscribes the watcher. The room (and its driven session) is
+// untouched — watchers come and go; the driver owns the session.
+func (c *RoomClient) Close() error {
+	err := c.postJSON(RoomLeavePath, &RoomJoinRequest{Room: c.room, Watcher: c.watcher}, nil)
+	if c.err != nil {
+		return c.err
+	}
+	return err
+}
+
+// CreateRoom opens a shared session on the server (idempotent — see
+// Manager.CreateRoom) and returns the created room's metadata. The caller
+// then drives the room by Dialing an ordinary Client with Resume set to
+// the room id, and watchers subscribe with JoinRoom. httpc nil means
+// faultnet.DefaultHTTPClient().
+func CreateRoom(baseURL string, req *RoomCreateRequest, httpc *http.Client) (*RoomCreateReply, error) {
+	if baseURL == "" || req == nil || req.Course == "" {
+		return nil, fmt.Errorf("playsvc: CreateRoom needs a base URL and a course")
+	}
+	if httpc == nil {
+		httpc = faultnet.DefaultHTTPClient()
+	}
+	c := &RoomClient{opts: RoomClientOptions{BaseURL: baseURL, HTTP: httpc, Trace: req.Trace}}
+	var reply RoomCreateReply
+	if err := c.postJSON(RoomCreatePath, req, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}

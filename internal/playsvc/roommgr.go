@@ -1,0 +1,174 @@
+// Manager-side room lifecycle: creating the hub, joining watchers, and
+// the registry the HTTP surface and the janitor resolve rooms through.
+package playsvc
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// roomList snapshots the live room registry (roomsMu is a leaf lock, so
+// callers iterate outside it).
+func (m *Manager) roomList() []*Room {
+	m.roomsMu.Lock()
+	defer m.roomsMu.Unlock()
+	out := make([]*Room, 0, len(m.rooms))
+	for _, r := range m.rooms {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Room resolves a live room by id.
+func (m *Manager) Room(id string) (*Room, bool) {
+	m.roomsMu.Lock()
+	defer m.roomsMu.Unlock()
+	r := m.rooms[id]
+	return r, r != nil
+}
+
+func (m *Manager) roomByID(id string) (*Room, error) {
+	if r, ok := m.Room(id); ok {
+		return r, nil
+	}
+	return nil, errf(http.StatusNotFound, "playsvc: no room %q", id)
+}
+
+func (m *Manager) dropRoom(id string) {
+	m.roomsMu.Lock()
+	delete(m.rooms, id)
+	m.roomsMu.Unlock()
+}
+
+// closeRoomLocked detaches and closes a session's broadcast hub; h.mu must
+// be held. Rooms are live-only: the driven session may survive in the
+// snapshot store, the fan-out state does not — watchers re-join wherever
+// the session thaws.
+func (m *Manager) closeRoomLocked(h *hosted) {
+	if h.room == nil {
+		return
+	}
+	r := h.room
+	h.room = nil
+	r.close()
+	m.dropRoom(r.id)
+}
+
+// CreateRoom opens a shared session: a hosted session whose id doubles as
+// the room id, with a broadcast hub attached and its first publication
+// (the start scenario's frame) already rendered. Creation is idempotent —
+// a retried create, or a second instructor client racing the first,
+// reattaches to the existing hub.
+func (m *Manager) CreateRoom(req *RoomCreateRequest) (*RoomCreateReply, error) {
+	id := req.Room
+	if id == "" {
+		id = fmt.Sprintf("%s-room-%08d", req.Course, m.seq.Add(1))
+	}
+	if _, err := m.Create(&CreateRequest{Course: req.Course, Session: id, Trace: req.Trace}); err != nil {
+		return nil, err
+	}
+	h, _, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	h.touch()
+	h.mu.Lock()
+	if h.gone {
+		h.mu.Unlock()
+		return nil, errf(http.StatusNotFound, "playsvc: no session %q", id)
+	}
+	r := h.room
+	if r == nil {
+		r = newRoom(m, id, h)
+		h.room = r
+		r.publish() // seq 1: the create-time frame seeds every joiner's ring
+	}
+	c := h.course
+	reply := &RoomCreateReply{Room: id, Course: c.name, Width: c.w, Height: c.h, FPS: c.fps}
+	r.mu.Lock()
+	reply.Seq = r.seq
+	if r.cur != nil {
+		reply.Tick = r.cur.tick
+	}
+	r.mu.Unlock()
+	h.mu.Unlock()
+	m.roomsMu.Lock()
+	m.rooms[id] = r
+	m.roomsMu.Unlock()
+	return reply, nil
+}
+
+// JoinRoom subscribes a watcher and returns its catch-up snapshot: the
+// current state plus the room's retained event/message tails, in the same
+// absolute coordinates the watch chunks use.
+func (m *Manager) JoinRoom(req *RoomJoinRequest) (*RoomJoinReply, error) {
+	r, err := m.roomByID(req.Room)
+	if err != nil {
+		return nil, err
+	}
+	h := r.h
+	h.touch()
+	watcherID := req.Watcher
+	if watcherID == "" {
+		watcherID = fmt.Sprintf("w-%08d", m.seq.Add(1))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gone {
+		return nil, errf(http.StatusNotFound, "playsvc: no room %q", req.Room)
+	}
+	if _, err := r.join(watcherID); err != nil {
+		return nil, err
+	}
+	c := h.course
+	reply := &RoomJoinReply{
+		Room:    r.id,
+		Watcher: watcherID,
+		Course:  c.name,
+		Width:   c.w,
+		Height:  c.h,
+		FPS:     c.fps,
+		State:   h.sess.State().Clone(),
+	}
+	r.mu.Lock()
+	reply.Seq = r.seq
+	if r.cur != nil {
+		reply.Tick = r.cur.tick
+	}
+	reply.EventStart = r.eventBase
+	reply.Events = append(reply.Events, r.events...)
+	reply.EventCount = r.eventBase + len(r.events)
+	reply.MessageStart = r.msgBase
+	reply.Messages = append(reply.Messages, r.messages...)
+	reply.MessageCount = r.msgBase + len(r.messages)
+	reply.Quiz = r.quiz
+	r.mu.Unlock()
+	return reply, nil
+}
+
+// LeaveRoom unsubscribes a watcher (idempotent; an unknown room is fine —
+// the watcher's goal state already holds).
+func (m *Manager) LeaveRoom(req *RoomJoinRequest) {
+	if r, ok := m.Room(req.Room); ok {
+		r.leave(req.Watcher)
+	}
+}
+
+// AnswerRoom records one watcher's quiz answer and returns the cohort
+// tally so far.
+func (m *Manager) AnswerRoom(req *RoomAnswerRequest) (*RoomAnswerReply, error) {
+	r, err := m.roomByID(req.Room)
+	if err != nil {
+		return nil, err
+	}
+	return r.answer(req.Watcher, req.Quiz, req.Choice)
+}
+
+// RoomStatsOf snapshots one room's counters and cohort tallies.
+func (m *Manager) RoomStatsOf(id string) (RoomStats, error) {
+	r, err := m.roomByID(id)
+	if err != nil {
+		return RoomStats{}, err
+	}
+	return r.stats(), nil
+}

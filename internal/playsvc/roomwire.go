@@ -1,0 +1,219 @@
+// Watch-chunk framing: the server-push wire format for room fan-out.
+//
+// A watch chunk is a 4-byte big-endian header length, a tagged-record
+// header (the same magic + version + (tag,len,payload)* + CRC32 shape as
+// the act frames), then the raw 24-bit RGB pixels. The pixels ride OUTSIDE
+// the CRC on purpose: the header is encoded into a small recycled buffer
+// and the pixel payload is the publication's shared immutable slice, so
+// delivery is two writes and zero frame copies. Chunks self-describe their
+// pixel length, so a chunked stream is just chunks back to back.
+package playsvc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/runtime"
+)
+
+const watchMagic = "VWCH"
+
+// Watch-chunk record tags.
+const (
+	wtagSeq          = 1  // uvarint publication sequence number
+	wtagTick         = 2  // uvarint session tick at publish
+	wtagGeom         = 3  // uvarint w, h, pixLen
+	wtagSkipped      = 4  // uvarint cumulative frames skipped for this watcher
+	wtagEventStart   = 5  // uvarint absolute index of the first event below
+	wtagEvent        = 6  // repeated: tick uvarint, kind str, detail str
+	wtagEventCount   = 7  // uvarint total session events so far (ack target)
+	wtagMessageStart = 8  // uvarint absolute index of the first message below
+	wtagMessage      = 9  // repeated string
+	wtagMessageCount = 10 // uvarint total messages so far (ack target)
+	wtagQuiz         = 11 // string pending quiz id (absent = none)
+)
+
+// watchTails is the room-side tail view appendWatchChunk serializes; the
+// caller holds Room.mu while building it.
+type watchTails struct {
+	eventBase    int
+	events       []runtime.Event
+	eventCount   int
+	msgBase      int
+	messages     []string
+	messageCount int
+	quiz         string
+}
+
+// appendWatchChunk encodes one publication header into dst (reused across
+// polls; zero allocations once dst has capacity): length prefix, tagged
+// records, CRC. The pixel payload is NOT appended — the caller writes
+// p.pix directly after the returned header.
+func appendWatchChunk(dst []byte, p *pub, skipped int64, t watchTails, seenEvents, seenMessages int) []byte {
+	// One stack scratch for every numeric record: the hot path must stay
+	// allocation-free, and binary.AppendUvarint(nil, …) would allocate.
+	var scratch [3 * binary.MaxVarintLen64]byte
+	out := append(dst[:0], 0, 0, 0, 0) // length prefix, patched below
+	out = append(out, watchMagic...)
+	out = binary.AppendUvarint(out, frameVersion)
+	g := binary.PutUvarint(scratch[:], uint64(p.seq))
+	out = frameAppend(out, wtagSeq, scratch[:g])
+	g = binary.PutUvarint(scratch[:], uint64(p.tick))
+	out = frameAppend(out, wtagTick, scratch[:g])
+	g = binary.PutUvarint(scratch[:], uint64(p.w))
+	g += binary.PutUvarint(scratch[g:], uint64(p.h))
+	g += binary.PutUvarint(scratch[g:], uint64(len(p.pix)))
+	out = frameAppend(out, wtagGeom, scratch[:g])
+	g = binary.PutUvarint(scratch[:], uint64(max(skipped, 0)))
+	out = frameAppend(out, wtagSkipped, scratch[:g])
+
+	from := seenEvents - t.eventBase
+	if from < 0 {
+		from = 0
+	}
+	if from < len(t.events) {
+		g = binary.PutUvarint(scratch[:], uint64(t.eventBase+from))
+		out = frameAppend(out, wtagEventStart, scratch[:g])
+		var ev []byte
+		for i := from; i < len(t.events); i++ {
+			e := &t.events[i]
+			ev = ev[:0]
+			ev = binary.AppendUvarint(ev, uint64(max(e.Tick, 0)))
+			ev = appendStr(ev, e.Kind)
+			ev = appendStr(ev, e.Detail)
+			out = frameAppend(out, wtagEvent, ev)
+		}
+	}
+	g = binary.PutUvarint(scratch[:], uint64(t.eventCount))
+	out = frameAppend(out, wtagEventCount, scratch[:g])
+
+	mfrom := seenMessages - t.msgBase
+	if mfrom < 0 {
+		mfrom = 0
+	}
+	if mfrom < len(t.messages) {
+		g = binary.PutUvarint(scratch[:], uint64(t.msgBase+mfrom))
+		out = frameAppend(out, wtagMessageStart, scratch[:g])
+		for i := mfrom; i < len(t.messages); i++ {
+			out = frameAppend(out, wtagMessage, []byte(t.messages[i]))
+		}
+	}
+	g = binary.PutUvarint(scratch[:], uint64(t.messageCount))
+	out = frameAppend(out, wtagMessageCount, scratch[:g])
+	if t.quiz != "" {
+		out = frameAppend(out, wtagQuiz, []byte(t.quiz))
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out[4:]))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(out)-4))
+	return out
+}
+
+// WatchUpdate is one parsed watch chunk: the publication metadata plus the
+// event/message tails beyond the watcher's acknowledged seen-counts. The
+// pixel payload travels separately (PixLen bytes following the header).
+type WatchUpdate struct {
+	Seq     int64
+	Tick    int
+	W, H    int
+	PixLen  int
+	Skipped int64 // cumulative frames the server dropped for this watcher
+
+	EventStart   int // absolute index of Events[0]
+	Events       []runtime.Event
+	EventCount   int // total events so far; the next request's ack
+	MessageStart int
+	Messages     []string
+	MessageCount int
+
+	Quiz string // pending quiz id ("" = none)
+}
+
+// ParseWatchChunk parses one chunk header (the bytes between the length
+// prefix and the pixels). Every rejection wraps ErrBadFrame.
+func ParseWatchChunk(header []byte) (*WatchUpdate, error) {
+	rest, err := frameBody(header, watchMagic)
+	if err != nil {
+		return nil, err
+	}
+	u := &WatchUpdate{}
+	sawGeom := false
+	for len(rest) > 0 {
+		var tag uint64
+		var payload []byte
+		tag, payload, rest, err = nextRecord(rest)
+		if err != nil {
+			return nil, err
+		}
+		r := frameReader{payload}
+		switch tag {
+		case wtagSeq:
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, frameBadf("malformed seq")
+			}
+			u.Seq = int64(v)
+		case wtagTick:
+			if u.Tick, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed tick")
+			}
+		case wtagGeom:
+			if u.W, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed width")
+			}
+			if u.H, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed height")
+			}
+			if u.PixLen, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed pixel length")
+			}
+			if u.PixLen > maxProxyBody {
+				return nil, frameBadf("pixel payload claims %d bytes", u.PixLen)
+			}
+			sawGeom = true
+		case wtagSkipped:
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, frameBadf("malformed skip count")
+			}
+			u.Skipped = int64(v)
+		case wtagEventStart:
+			if u.EventStart, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed event start")
+			}
+		case wtagEvent:
+			var e runtime.Event
+			if e.Tick, err = r.intBounded(); err != nil {
+				return nil, frameBadf("event: %v", err)
+			}
+			if e.Kind, err = r.str(); err != nil {
+				return nil, frameBadf("event: %v", err)
+			}
+			if e.Detail, err = r.str(); err != nil {
+				return nil, frameBadf("event: %v", err)
+			}
+			u.Events = append(u.Events, e)
+		case wtagEventCount:
+			if u.EventCount, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed event count")
+			}
+		case wtagMessageStart:
+			if u.MessageStart, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed message start")
+			}
+		case wtagMessage:
+			u.Messages = append(u.Messages, string(payload))
+		case wtagMessageCount:
+			if u.MessageCount, err = r.intBounded(); err != nil {
+				return nil, frameBadf("malformed message count")
+			}
+		case wtagQuiz:
+			u.Quiz = string(payload)
+		default:
+			// Additive extension from a newer writer; skip.
+		}
+	}
+	if !sawGeom {
+		return nil, frameBadf("missing geometry record")
+	}
+	return u, nil
+}

@@ -29,6 +29,12 @@ func (m *Manager) Handler() http.Handler {
 		mux.HandleFunc(HandoffPath, m.handleHandoff)
 		mux.HandleFunc(DrainPath, m.handleDrain)
 		mux.HandleFunc(RecoverPath, m.handleRecover)
+		mux.HandleFunc(RoomCreatePath, m.handleRoomCreate)
+		mux.HandleFunc(RoomJoinPath, m.handleRoomJoin)
+		mux.HandleFunc(RoomLeavePath, m.handleRoomLeave)
+		mux.HandleFunc(RoomWatchPath, m.handleRoomWatch)
+		mux.HandleFunc(RoomAnswerPath, m.handleRoomAnswer)
+		mux.HandleFunc(RoomStatsPath, m.handleRoomStats)
 		m.handler = mux
 	})
 	return m.handler
@@ -210,6 +216,155 @@ func (m *Manager) handleFrame(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Too late for a status line if the body started; ignore that case.
 		writeError(w, err)
+	}
+}
+
+func (m *Manager) handleRoomCreate(w http.ResponseWriter, r *http.Request) {
+	var req RoomCreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req.Trace = obs.TraceFromRequest(r)
+	t0 := time.Now()
+	reply, err := m.CreateRoom(&req)
+	m.ring.Record(req.Trace, "room.create", t0, err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (m *Manager) handleRoomJoin(w http.ResponseWriter, r *http.Request) {
+	var req RoomJoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req.Trace = obs.TraceFromRequest(r)
+	t0 := time.Now()
+	reply, err := m.JoinRoom(&req)
+	m.ring.Record(req.Trace, "room.join", t0, err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (m *Manager) handleRoomLeave(w http.ResponseWriter, r *http.Request) {
+	var req RoomJoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	m.LeaveRoom(&req)
+	writeJSON(w, map[string]string{"room": req.Room, "watcher": req.Watcher, "state": "left"})
+}
+
+func (m *Manager) handleRoomAnswer(w http.ResponseWriter, r *http.Request) {
+	var req RoomAnswerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req.Trace = obs.TraceFromRequest(r)
+	t0 := time.Now()
+	reply, err := m.AnswerRoom(&req)
+	m.ring.Record(req.Trace, "room.answer", t0, err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (m *Manager) handleRoomStats(w http.ResponseWriter, r *http.Request) {
+	st, err := m.RoomStatsOf(r.URL.Query().Get("room"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// WatchContentType marks a watch-chunk body (one chunk on a long poll,
+// chunks back to back on a stream).
+const WatchContentType = "application/x-vgbl-watch"
+
+// handleRoomWatch serves the fan-out: GET with room, watcher, events,
+// messages (the seen-counts), wait_ms (long-poll hold, default 2s) and
+// stream=N (serve up to N chunks on one response, flushing each — the
+// chunked-streaming primary; 0 means a single long-poll chunk). latest=0
+// asks for in-order ring draining (streams default to it; long polls
+// default to freshest-frame). A 204 means the hold expired with nothing
+// new; rejoin-worthy conditions (room gone, watcher pruned) are 404s.
+func (m *Manager) handleRoomWatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	room, err := m.roomByID(q.Get("room"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	watcher := q.Get("watcher")
+	seenE, _ := strconv.Atoi(q.Get("events"))
+	seenM, _ := strconv.Atoi(q.Get("messages"))
+	waitMS, _ := strconv.Atoi(q.Get("wait_ms"))
+	if waitMS <= 0 {
+		waitMS = 2000
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	stream, _ := strconv.Atoi(q.Get("stream"))
+	latest := stream == 0
+	if v := q.Get("latest"); v != "" {
+		latest = v != "0"
+	}
+
+	var buf []byte
+	header, pix, ackE, ackM, err := room.WatchNext(watcher, seenE, seenM, latest, wait, buf)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if header == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", WatchContentType)
+	if stream == 0 {
+		w.Header().Set("Content-Length", strconv.Itoa(len(header)+len(pix)))
+		w.Write(header)
+		w.Write(pix)
+		return
+	}
+	// Streaming: chunks back to back, one flush per publication, with the
+	// seen-counts advanced server-side — within one response nothing is
+	// served twice; a reconnect presents the client's own counts again.
+	rc := http.NewResponseController(w)
+	for sent := 0; sent < stream; {
+		if header != nil {
+			if _, werr := w.Write(header); werr != nil {
+				return
+			}
+			if _, werr := w.Write(pix); werr != nil {
+				return
+			}
+			if ferr := rc.Flush(); ferr != nil {
+				return
+			}
+			buf = header
+			seenE, seenM = ackE, ackM
+			sent++
+			if sent == stream {
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		header, pix, ackE, ackM, err = room.WatchNext(watcher, seenE, seenM, latest, maxWatchWait, buf)
+		if err != nil {
+			return // mid-stream errors end the stream; the client rejoins
+		}
 	}
 }
 

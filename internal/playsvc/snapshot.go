@@ -298,6 +298,7 @@ func (m *Manager) freezeOut(sh *shard, h *hosted) (removed bool, err error) {
 	m.dir.Save(h.id, SnapshotRef{Envelope: env})
 	h.gone = true
 	h.sess.Close()
+	m.closeRoomLocked(h)
 	h.mu.Unlock()
 	sh.mu.Lock()
 	delete(sh.sessions, h.id)
@@ -318,6 +319,7 @@ func (m *Manager) evictOut(sh *shard, h *hosted) (removed bool) {
 	}
 	h.gone = true
 	h.sess.Close()
+	m.closeRoomLocked(h)
 	h.mu.Unlock()
 	sh.mu.Lock()
 	delete(sh.sessions, h.id)

@@ -3,7 +3,7 @@
 # machine-readable point in the perf trajectory (first point: PR 2).
 #
 # Usage:
-#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR8.json
+#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR9.json
 #   scripts/bench.sh --check             # regression smoke vs BENCH_PR4.json
 #   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
 #   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
@@ -12,7 +12,7 @@
 #   BENCH_PATTERN  -bench regex            (default: . | check's key benches)
 #   BENCH_COUNT    -count                  (default: 3 | 2 in --check)
 #   BENCH_TIME     -benchtime              (default: go's 1s | 0.5s in --check)
-#   BENCH_TAG      output tag              (default: PR8)
+#   BENCH_TAG      output tag              (default: PR9)
 #   BENCH_OUT      output path             (default: BENCH_<TAG>.json)
 #   BENCH_BASELINE --check baseline file   (default: BENCH_PR4.json)
 #   BENCH_THRESHOLD --check slowdown gate  (default: 1.6)
@@ -23,11 +23,12 @@
 # benchmarks alongside fresh results, so before/after stays reproducible
 # from one committed artifact.
 #
-# --check reruns the key benchmarks (the play-service act family, hot chunk
-# gets, codec encode/decode, the obs histogram) and compares each best-of-N
-# ns/op against the frozen baseline file. The threshold is deliberately
-# generous: CI machines differ from the baseline machine, so only a large
-# regression (default >1.6x) fails. Benchmarks without a baseline entry are
+# --check reruns the key benchmarks (the play-service act family, the room
+# fan-out, hot chunk gets, codec encode/decode, the obs histogram) and
+# compares each best-of-N ns/op against the frozen baseline file. The
+# threshold is deliberately generous: CI machines differ from the baseline
+# machine, so only a large regression (default >1.6x) fails. Benchmarks
+# without a baseline entry (e.g. BenchmarkRoomFanout, new in PR 9) are
 # reported but never fail the check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,7 +36,7 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--check" ]; then
     BASELINE=${BENCH_BASELINE:-BENCH_PR4.json}
     THRESHOLD=${BENCH_THRESHOLD:-1.6}
-    PATTERN=${BENCH_PATTERN:-'^BenchmarkPlaysvcAct$|^BenchmarkPlaysvcActBinary$|^BenchmarkPlaysvcActPipelined$|^BenchmarkChunkGetHot$|^BenchmarkEncode160x120Q4W1$|^BenchmarkDecode160x120$|^BenchmarkObsHistogramObserve$'}
+    PATTERN=${BENCH_PATTERN:-'^BenchmarkPlaysvcAct$|^BenchmarkPlaysvcActBinary$|^BenchmarkPlaysvcActPipelined$|^BenchmarkRoomFanout$|^BenchmarkChunkGetHot$|^BenchmarkEncode160x120Q4W1$|^BenchmarkDecode160x120$|^BenchmarkObsHistogramObserve$'}
     COUNT=${BENCH_COUNT:-2}
     TIME=${BENCH_TIME:-0.5s}
     RAW=$(mktemp)
@@ -89,7 +90,7 @@ fi
 
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-3}
-TAG=${BENCH_TAG:-PR8}
+TAG=${BENCH_TAG:-PR9}
 OUT=${BENCH_OUT:-BENCH_${TAG}.json}
 TIMEFLAG=()
 if [ -n "${BENCH_TIME:-}" ]; then
