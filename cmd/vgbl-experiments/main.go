@@ -52,12 +52,13 @@ func main() {
 		"e16": func() (string, error) { return experiments.E16(*fleetSize) },
 		"e17": func() (string, error) { return experiments.E17(*fleetSize) },
 		"e18": func() (string, error) { return experiments.E18(*watchers) },
+		"e19": experiments.E19,
 	}
-	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
+	order := []string{"f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] [-watchers N] all | f1 f2 e1 ... e18")
+		fmt.Fprintln(os.Stderr, "usage: vgbl-experiments [-cohort N] [-fleet N] [-watchers N] all | f1 f2 e1 ... e19")
 		os.Exit(2)
 	}
 	var selected []string

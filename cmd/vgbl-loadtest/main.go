@@ -5,6 +5,9 @@
 // With -interactive the learners do not simulate locally: each one creates
 // a server-hosted session on the play service and plays the whole game
 // over the wire (optionally fetching rendered frames with -watch-every).
+// With -abr the learners adaptively stream a quality-ladder package
+// instead, each on its own (optionally fault-injected) link, and the run
+// prints segments and bytes per quality tier.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	vgbl-loadtest -server http://127.0.0.1:8807 -pkg classroom -learners 1000
 //	vgbl-loadtest -interactive -learners 200 -watch-every 4
 //	vgbl-loadtest -interactive -server http://pkg:8807 -play-server http://gateway:8808
+//	vgbl-loadtest -abr -learners 50 -abr-profile cap-64k
 //
 // The run prints the fleet's throughput/latency summary and the server's
 // final /telemetry/stats (plus, interactively, /play/stats) snapshot.
@@ -55,6 +59,10 @@ func main() {
 	playPipeline := flag.Int("play-pipeline", 0, "pipeline up to N fire-and-forget acts per framed batch (implies -play-binary)")
 	playMirror := flag.Bool("play-mirror", false, "thick-client mode: a local replica answers reads and frames; acts ship as reconciled batches (implies -play-binary)")
 	watchEvery := flag.Int("watch-every", 0, "fetch the rendered frame every N steps (0 disables; interactive frame traffic)")
+	abr := flag.Bool("abr", false, "adaptive streaming mode: learners stream the package through the ABR picker instead of simulating play (in-process serving publishes a quality ladder)")
+	abrProfile := flag.String("abr-profile", "clean", "ABR mode: faultnet link profile per learner (clean, wifi-flaky, mobile-3g, or cap-<N>k for an N KiB/s bandwidth cap)")
+	abrSpeed := flag.Float64("abr-speed", 1, "ABR mode: playhead speed in media-seconds per wall-second")
+	abrDecode := flag.Bool("abr-decode", false, "ABR mode: decode each segment's first frame to prove fetched tiers play")
 	rooms := flag.Int("rooms", 0, "classroom mode: drive N shared rooms instead of a per-learner fleet")
 	watchers := flag.Int("watchers", 200, "classroom mode: watchers per room")
 	roomFPS := flag.Int("room-fps", 10, "classroom mode: driver pace in acts per second")
@@ -79,11 +87,36 @@ func main() {
 	var svc *telemetry.Service
 	if url == "" {
 		var err error
-		svc, url, err = serveInProcess(*pkgName)
+		svc, url, err = serveInProcess(*pkgName, *abr)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("serving %s in-process at %s\n", *pkgName, url)
+	}
+
+	if *abr {
+		// Adaptive streaming mode: every learner rides its own link and its
+		// own cache, picking a quality rung per segment. Prints the per-tier
+		// segment/byte table; the server side of the same ledger is the
+		// netstream_tier_bytes_total family on /metrics.
+		fmt.Printf("streaming %d learners (%s link, ×%.2g speed) against %s/pkg/%s ...\n",
+			*learners, *abrProfile, *abrSpeed, url, *pkgName)
+		sum, err := fleet.RunStreamers(fleet.StreamConfig{
+			ServerURL:    url,
+			Package:      *pkgName,
+			Learners:     *learners,
+			Concurrency:  *concurrency,
+			Profile:      *abrProfile,
+			Seed:         *seed,
+			Speed:        *abrSpeed,
+			DecodeFrames: *abrDecode,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		fmt.Print(sum.String())
+		return
 	}
 
 	if *rooms > 0 {
@@ -202,8 +235,9 @@ func printStats(url, path string) {
 
 // serveInProcess builds the named bundled course and publishes it with the
 // telemetry and play services mounted, returning the telemetry service and
-// base URL.
-func serveInProcess(name string) (*telemetry.Service, string, error) {
+// base URL. With ladder set the course is published as a multi-tier
+// quality ladder (what the -abr streaming fleet picks from).
+func serveInProcess(name string, ladder bool) (*telemetry.Service, string, error) {
 	courses := map[string]*content.Course{
 		"classroom": content.Classroom(),
 		"museum":    content.Museum(),
@@ -213,14 +247,7 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 	if !ok {
 		return nil, "", fmt.Errorf("no bundled course %q (have classroom, museum, street)", name)
 	}
-	blob, err := course.BuildPackage(studio.Options{QStep: 10})
-	if err != nil {
-		return nil, "", err
-	}
 	srv := netstream.NewServer()
-	if err := srv.AddPackage(name, blob); err != nil {
-		return nil, "", err
-	}
 	svc := telemetry.NewService(telemetry.Options{Workers: 8, QueueDepth: 512})
 	h := svc.Handler()
 	if err := srv.Mount("/telemetry/", h); err != nil {
@@ -229,9 +256,31 @@ func serveInProcess(name string) (*telemetry.Service, string, error) {
 	if err := srv.Mount(telemetry.HealthPath, h); err != nil {
 		return nil, "", err
 	}
-	play := playsvc.NewManager(playsvc.Options{})
-	if err := play.AddCourse(name, blob); err != nil {
-		return nil, "", err
+	// The play service shares the package server's chunk store so a
+	// ladder manifest can be opened without a package blob.
+	play := playsvc.NewManager(playsvc.Options{Store: srv.Store()})
+	if ladder {
+		man, err := course.PublishLadderTo(srv.Store(), studio.Options{QStep: 10}, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := srv.AddManifest(name, man); err != nil {
+			return nil, "", err
+		}
+		if err := play.AddCourseFromManifest(name, man); err != nil {
+			return nil, "", err
+		}
+	} else {
+		blob, err := course.BuildPackage(studio.Options{QStep: 10})
+		if err != nil {
+			return nil, "", err
+		}
+		if err := srv.AddPackage(name, blob); err != nil {
+			return nil, "", err
+		}
+		if err := play.AddCourse(name, blob); err != nil {
+			return nil, "", err
+		}
 	}
 	if err := srv.Mount("/play/", play.Handler()); err != nil {
 		return nil, "", err

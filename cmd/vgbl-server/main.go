@@ -28,10 +28,17 @@
 // the standard profiler at /debug/pprof/. In cluster mode each play node
 // additionally serves its own /metrics, /debug/traces and /healthz.
 //
+// With -ladder the demo courses are published as multi-tier quality
+// ladders: one package, one manifest tree, one rung per quality tier, so
+// adaptive (ABR) streaming clients pick a rung per segment while plain
+// clients keep receiving the canonical full-quality video. Bytes served
+// per tier are counted on the netstream_tier_bytes_total metrics family.
+//
 // Usage:
 //
 //	vgbl-server -addr 127.0.0.1:8807 extra1.tkg extra2.tkg
 //	vgbl-server -cluster 3 -checkpoint-every 10s
+//	vgbl-server -ladder
 package main
 
 import (
@@ -68,6 +75,7 @@ func main() {
 	playInflight := flag.Int("play-max-inflight", 0, "shed play requests (429 + Retry-After) beyond this many in flight per node (0 disables)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "periodically snapshot active play sessions so a crash loses at most this much progress (0 disables)")
 	cluster := flag.Int("cluster", 0, "run N play-service nodes behind a consistent-hash gateway instead of one in-process manager")
+	ladder := flag.Bool("ladder", false, "publish the demo courses as multi-tier quality ladders (adds video@<tier> rungs so ABR clients can pick a rung per segment; bytes served per tier land on netstream_tier_bytes_total)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	flag.Parse()
 
@@ -155,8 +163,16 @@ func main() {
 		"street":    content.StreetDemo(),
 	} {
 		// Demo courses go through the store: chunks deposited once, then
-		// both services open them by manifest.
-		man, err := course.PublishTo(store, studio.Options{QStep: 8})
+		// both services open them by manifest. With -ladder each course is
+		// recorded at every rung of the default quality ladder; the play
+		// service keeps consuming the canonical rung.
+		var man *gamepack.Manifest
+		var err error
+		if *ladder {
+			man, err = course.PublishLadderTo(store, studio.Options{QStep: 8}, nil)
+		} else {
+			man, err = course.PublishTo(store, studio.Options{QStep: 8})
+		}
 		if err != nil {
 			fail(err)
 		}

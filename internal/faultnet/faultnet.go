@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,8 +56,14 @@ type Profile struct {
 }
 
 // Lookup resolves a named profile. Known names: "clean", "wifi-flaky",
-// "mobile-3g", "partition".
+// "mobile-3g", "partition", plus the parametrized bandwidth caps
+// "cap-<N>k" (an otherwise-clean link throttled to N KiB/s — the ABR
+// test rig's way of sweeping a bandwidth spread, e.g. cap-24k through
+// cap-240k for a 10× spread).
 func Lookup(name string) (Profile, bool) {
+	if p, ok := capProfile(name); ok {
+		return p, true
+	}
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "clean", "none":
 		return Profile{Name: "clean"}, true
@@ -97,7 +104,33 @@ func Lookup(name string) (Profile, bool) {
 	return Profile{}, false
 }
 
-// ProfileNames lists the named profiles in display order.
+// capProfile parses the parametrized "cap-<N>k" profile family: a clean
+// link with response throughput capped at N KiB/s and a token 5ms of
+// latency so it behaves like a link rather than loopback.
+func capProfile(name string) (Profile, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	rest, ok := strings.CutPrefix(name, "cap-")
+	if !ok {
+		return Profile{}, false
+	}
+	kib, ok := strings.CutSuffix(rest, "k")
+	if !ok {
+		return Profile{}, false
+	}
+	n, err := strconv.Atoi(kib)
+	if err != nil || n <= 0 {
+		return Profile{}, false
+	}
+	return Profile{
+		Name:         name,
+		Latency:      5 * time.Millisecond,
+		BandwidthBps: n << 10,
+	}, true
+}
+
+// ProfileNames lists the named profiles in display order (the
+// parametrized cap-<N>k family is accepted by Lookup but not
+// enumerable).
 func ProfileNames() []string {
 	return []string{"clean", "wifi-flaky", "mobile-3g", "partition"}
 }

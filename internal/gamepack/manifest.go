@@ -338,20 +338,23 @@ func chunkVideo(video []byte, maxSize int) ([]ChunkRef, error) {
 	return chunkAt(video, cuts, maxSize), nil
 }
 
-// manifestFor chunks the given sections (video sections segment-aligned)
-// and, when withSelf is set, inserts the manifest's own placeholder entry
-// immediately before the video section (matching Build's layout).
+// manifestFor chunks the given sections (video sections — every quality
+// tier — segment-aligned) and, when withSelf is set, inserts the
+// manifest's own placeholder entry immediately before the first video
+// section (matching Build's and BuildLadder's layouts).
 func manifestFor(secs []section, withSelf bool) (*Manifest, error) {
 	m := &Manifest{}
+	placed := false
 	for _, s := range secs {
 		var chunks []ChunkRef
-		if s.name == SectionVideo {
-			if withSelf {
+		if _, isVideo := VideoSectionTier(s.name); isVideo {
+			if withSelf && !placed {
 				m.Sections = append(m.Sections, SectionChunks{Name: SectionManifest})
+				placed = true
 			}
 			var err error
 			if chunks, err = chunkVideo(s.data, DefaultChunkSize); err != nil {
-				return nil, fmt.Errorf("gamepack: chunking video: %w", err)
+				return nil, fmt.Errorf("gamepack: chunking video section %q: %w", s.name, err)
 			}
 		} else {
 			chunks = chunkFlat(s.data, DefaultChunkSize)

@@ -85,6 +85,13 @@ type Server struct {
 	// packages, so replacing a package can release the chunks only its
 	// old version used instead of leaking a generation per course update.
 	chunkRefs map[blobstore.Hash]int
+	// chunkTier attributes each published video chunk to its quality
+	// tier label (TierLabel form), so the /chunk/ route can account
+	// bytes served per tier; tierBytes holds the counters, registered
+	// lazily on reg as tiers appear.
+	chunkTier map[blobstore.Hash]string
+	tierBytes map[string]*atomic.Int64
+	reg       *obs.Registry
 
 	// Delivery counters for the built-in routes (mounted subsystems keep
 	// their own). All monotonic.
@@ -114,6 +121,8 @@ func NewServerWith(store *blobstore.Store) *Server {
 		started:   time.Now(),
 		store:     store,
 		chunkRefs: map[blobstore.Hash]int{},
+		chunkTier: map[blobstore.Hash]string{},
+		tierBytes: map[string]*atomic.Int64{},
 	}
 }
 
@@ -175,6 +184,21 @@ func (s *Server) publishBlob(name string, blob []byte, deposit bool) error {
 			s.chunkRefs[ext.hash]++
 		}
 	}
+	// Attribute video chunks to their tier for per-tier bytes-served
+	// accounting. Sections run extras-first, canonical last, so a chunk
+	// byte-identical across rungs lands on the canonical label — the
+	// same preference a deduplicating client cache exhibits.
+	for _, sc := range man.Sections {
+		tier, ok := gamepack.VideoSectionTier(sc.Name)
+		if !ok {
+			continue
+		}
+		label := TierLabel(tier)
+		s.tierCounterLocked(label) // surface the series even before traffic
+		for _, c := range sc.Chunks {
+			s.chunkTier[c.Hash] = label
+		}
+	}
 	if old != nil {
 		for _, ext := range old.extents {
 			if ext.inline != nil {
@@ -182,11 +206,36 @@ func (s *Server) publishBlob(name string, blob []byte, deposit bool) error {
 			}
 			if s.chunkRefs[ext.hash]--; s.chunkRefs[ext.hash] <= 0 {
 				delete(s.chunkRefs, ext.hash)
+				delete(s.chunkTier, ext.hash)
 				s.store.Remove(ext.hash)
 			}
 		}
 	}
 	return nil
+}
+
+// tierCounter is tierCounterLocked behind the server lock.
+func (s *Server) tierCounter(label string) *atomic.Int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tierCounterLocked(label)
+}
+
+// tierCounterLocked finds or creates the bytes-served counter for a tier
+// label, registering it on the metrics registry when one is attached.
+// s.mu must be held.
+func (s *Server) tierCounterLocked(label string) *atomic.Int64 {
+	c := s.tierBytes[label]
+	if c == nil {
+		c = &atomic.Int64{}
+		s.tierBytes[label] = c
+		if s.reg != nil {
+			s.reg.CounterFunc("netstream_tier_bytes_total",
+				"video chunk bytes served per quality tier", c.Load,
+				obs.Label{Key: "tier", Value: label})
+		}
+	}
+	return c
 }
 
 // ingest verifies that the manifest tiles the blob and builds the serving
@@ -363,6 +412,14 @@ func (s *Server) Register(reg *obs.Registry) {
 	reg.CounterFunc("netstream_requests_total", "requests served by the delivery routes", s.requests.Load)
 	reg.CounterFunc("netstream_bytes_total", "response bytes written by the delivery routes", s.bytesServed.Load)
 	reg.CounterFunc("netstream_not_modified_total", "conditional GETs answered 304", s.notModified.Load)
+	s.mu.Lock()
+	s.reg = reg
+	for label, c := range s.tierBytes {
+		reg.CounterFunc("netstream_tier_bytes_total",
+			"video chunk bytes served per quality tier", c.Load,
+			obs.Label{Key: "tier", Value: label})
+	}
+	s.mu.Unlock()
 	reg.GaugeFunc("netstream_packages", "packages currently published", func() int64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -427,6 +484,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Chunks are immutable by construction: their name is their hash.
 		w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
 		w.Header().Set("Content-Type", "application/octet-stream")
+		s.mu.RLock()
+		label, tiered := s.chunkTier[h]
+		s.mu.RUnlock()
+		if tiered {
+			// Attribute the payload (what the client's per-tier ledger
+			// counts) rather than wire bytes, so the two reconcile.
+			s.tierCounter(label).Add(int64(len(data)))
+		}
 		w.Write(data)
 	case strings.HasPrefix(r.URL.Path, "/res/"):
 		name := strings.TrimPrefix(r.URL.Path, "/res/")
@@ -1060,16 +1125,21 @@ type RemoteGame struct {
 	url      string
 	videoOff int // absolute offset of the video section within the package
 
-	// Chunked mode (nil vchunks → legacy ranged mode).
-	base    string
-	vchunks []gamepack.ChunkRef
-	voffs   []int // vchunks[i] starts at voffs[i] within the video payload
-	cache   *PackageCache
+	// Chunked mode (nil rungs → legacy ranged mode). rungs maps each
+	// quality tier to its fetch plan; "" is the canonical full-quality
+	// rung, always present. abr, when enabled, picks the tier per
+	// segment fetch (see abr.go).
+	base  string
+	rungs map[string]*tierRung
+	abr   *ABRPicker
+	cache *PackageCache
 
-	mu     sync.Mutex
-	chunks map[int][]byte // first-packet index → raw packet bytes
-	starts []int          // sorted chunk keys
-	ends   map[int]int    // chunk start → one-past-last packet index
+	mu        sync.Mutex
+	chunks    map[int][]byte   // first-packet index → raw packet bytes
+	starts    []int            // sorted chunk keys
+	ends      map[int]int      // chunk start → one-past-last packet index
+	tierOf    map[int]string   // chunk start → tier that produced it
+	tierBytes map[string]int64 // wire bytes fetched per tier (video chunks)
 }
 
 // ProgressiveOpen fetches just enough of the package to start playing its
@@ -1090,7 +1160,7 @@ func (c *Client) ProgressiveOpenCached(url string, cache *PackageCache) (*Remote
 	if base, name, ok := splitPkgURL(url); ok {
 		man, _, _, err := c.fetchManifest(base+"/manifest/"+name, "", &st)
 		if err == nil {
-			g, err := c.openChunked(url, base, man, cache, &st)
+			g, err := c.openChunked(url, base, man, cache, &st, false)
 			if err != nil {
 				return nil, st, err
 			}
@@ -1109,8 +1179,10 @@ func (c *Client) ProgressiveOpenCached(url string, cache *PackageCache) (*Remote
 // openChunked plans the progressive startup from the manifest alone: the
 // section layout is computable without touching the server, the project
 // arrives as its chunks, and the video head is parsed from the leading
-// video chunks (cut exactly at the head/data boundary).
-func (c *Client) openChunked(url, base string, man *gamepack.Manifest, cache *PackageCache, st *Stats) (*RemoteGame, error) {
+// video chunks (cut exactly at the head/data boundary). Every video
+// rung in the manifest becomes a fetchable tier; with lowStart set the
+// start segment comes from the smallest rung (the ABR open path).
+func (c *Client) openChunked(url, base string, man *gamepack.Manifest, cache *PackageCache, st *Stats, lowStart bool) (*RemoteGame, error) {
 	vsec := man.Section(gamepack.SectionVideo)
 	psec := man.Section(gamepack.SectionProject)
 	if vsec == nil || psec == nil || len(vsec.Chunks) == 0 {
@@ -1135,43 +1207,45 @@ func (c *Client) openChunked(url, base string, man *gamepack.Manifest, cache *Pa
 		}
 	}
 	g := &RemoteGame{
-		Project:  proj,
-		client:   c,
-		url:      url,
-		videoOff: videoOff,
-		base:     base,
-		vchunks:  vsec.Chunks,
-		voffs:    chunkOffsets(vsec.Chunks),
-		cache:    cache,
-		chunks:   map[int][]byte{},
-		ends:     map[int]int{},
+		Project:   proj,
+		client:    c,
+		url:       url,
+		videoOff:  videoOff,
+		base:      base,
+		rungs:     map[string]*tierRung{},
+		cache:     cache,
+		chunks:    map[int][]byte{},
+		ends:      map[int]int{},
+		tierOf:    map[int]string{},
+		tierBytes: map[string]int64{},
 	}
-	// Video head: the first chunk run covers [0, dataStart); grow chunk by
-	// chunk until the head parses (one chunk in the common case).
-	var headBuf []byte
-	for i := range g.vchunks {
-		data, err := c.getChunk(base, g.vchunks[i], cache, st)
-		if err != nil {
-			return nil, err
-		}
-		headBuf = append(headBuf, data...)
-		head, err := container.ParseHead(headBuf)
-		if err == nil {
-			g.head = head
-			break
-		}
-		if !errors.Is(err, container.ErrTruncated) {
-			return nil, err
+	for _, tier := range man.VideoTiers() {
+		sc := man.VideoSection(tier)
+		g.rungs[tier] = &tierRung{
+			chunks: sc.Chunks,
+			offs:   chunkOffsets(sc.Chunks),
+			size:   sc.PayloadSize(),
 		}
 	}
-	if g.head == nil {
-		return nil, fmt.Errorf("%w: video head", container.ErrTruncated)
+	// Canonical video head: grown chunk by chunk until it parses (one
+	// chunk in the common case). Other rungs' heads are grown lazily on
+	// first fetch from that tier.
+	if g.head, err = g.rungHead("", g.rungs[""], st); err != nil {
+		return nil, err
 	}
 	start := proj.ScenarioByID(proj.StartScenario)
 	if start == nil {
 		return nil, fmt.Errorf("netstream: start scenario %q missing", proj.StartScenario)
 	}
-	return g, g.ensureSegment(start.Segment, st)
+	startTier := ""
+	if lowStart {
+		for tier, rung := range g.rungs {
+			if rung.size < g.rungs[startTier].size {
+				startTier = tier
+			}
+		}
+	}
+	return g, g.ensureSegmentTier(start.Segment, startTier, st)
 }
 
 // openRanged is the pre-chunk-store progressive path (legacy servers).
@@ -1238,13 +1312,15 @@ func (c *Client) openRanged(url string, st *Stats) (*RemoteGame, error) {
 		headLen *= 4
 	}
 	g := &RemoteGame{
-		Project:  proj,
-		head:     head,
-		client:   c,
-		url:      url,
-		videoOff: videoLoc[0],
-		chunks:   map[int][]byte{},
-		ends:     map[int]int{},
+		Project:   proj,
+		head:      head,
+		client:    c,
+		url:       url,
+		videoOff:  videoLoc[0],
+		chunks:    map[int][]byte{},
+		ends:      map[int]int{},
+		tierOf:    map[int]string{},
+		tierBytes: map[string]int64{},
 	}
 	// 4. The start scenario's segment packets.
 	start := proj.ScenarioByID(proj.StartScenario)
@@ -1275,74 +1351,16 @@ func chunkIndex(chunks []gamepack.ChunkRef, h blobstore.Hash) int {
 	return 0
 }
 
-// fetchVideoRange materializes bytes [lo, hi) of the video payload from
-// the chunks that cover it.
-func (g *RemoteGame) fetchVideoRange(lo, hi int, st *Stats) ([]byte, error) {
-	i := sort.Search(len(g.voffs), func(i int) bool {
-		return g.voffs[i]+g.vchunks[i].Size > lo
-	})
-	if i == len(g.voffs) {
-		return nil, fmt.Errorf("netstream: video range [%d,%d) beyond manifest", lo, hi)
-	}
-	var buf []byte
-	for ; i < len(g.vchunks) && g.voffs[i] < hi; i++ {
-		data, err := g.client.getChunk(g.base, g.vchunks[i], g.cache, st)
-		if err != nil {
-			return nil, err
-		}
-		from, to := 0, len(data)
-		if g.voffs[i] < lo {
-			from = lo - g.voffs[i]
-		}
-		if g.voffs[i]+to > hi {
-			to = hi - g.voffs[i]
-		}
-		buf = append(buf, data[from:to]...)
-	}
-	if len(buf) != hi-lo {
-		return nil, fmt.Errorf("netstream: video range [%d,%d): got %d bytes", lo, hi, len(buf))
-	}
-	return buf, nil
-}
-
 // ensureSegment fetches the byte range covering a segment (from its
-// preceding keyframe) if not already present.
+// preceding keyframe) if not already present. With an ABR picker
+// enabled the fetch rides the picker's current tier; otherwise it pulls
+// the canonical full-quality rung.
 func (g *RemoteGame) ensureSegment(name string, st *Stats) error {
-	ch, ok := g.head.ChapterByName(name)
-	if !ok {
-		return fmt.Errorf("netstream: no segment %q", name)
+	tier := ""
+	if g.abr != nil {
+		tier = g.abr.CurrentTier()
 	}
-	k, err := g.head.KeyframeAtOrBefore(ch.Start)
-	if err != nil {
-		return err
-	}
-	g.mu.Lock()
-	_, have := g.chunks[k]
-	if have && g.ends[k] >= ch.End {
-		g.mu.Unlock()
-		return nil
-	}
-	g.mu.Unlock()
-	lo, hi, err := g.head.ByteRange(k, ch.End)
-	if err != nil {
-		return err
-	}
-	var chunk []byte
-	if g.vchunks != nil {
-		chunk, err = g.fetchVideoRange(lo, hi, st)
-	} else {
-		chunk, err = g.client.fetchRange(g.url, g.videoOff+lo, g.videoOff+hi, st)
-	}
-	if err != nil {
-		return err
-	}
-	g.mu.Lock()
-	g.chunks[k] = chunk
-	g.ends[k] = ch.End
-	g.starts = append(g.starts, k)
-	sort.Ints(g.starts)
-	g.mu.Unlock()
-	return nil
+	return g.ensureSegmentTier(name, tier, st)
 }
 
 // FetchSegment pulls an additional segment (e.g. ahead of a goto) and
@@ -1379,16 +1397,18 @@ func (g *RemoteGame) Meta() container.Meta { return g.head.Meta() }
 
 // FrameAt decodes frame i, which must lie inside a fetched segment. Each
 // call decodes from the chunk's keyframe — callers wanting sequential decode
-// should use a SegmentCursor.
+// should use a SegmentCursor. The packet index comes from the head of
+// whichever quality tier the chunk landed at.
 func (g *RemoteGame) FrameAt(i int) (*raster.Frame, error) {
-	k, chunk, err := g.chunkFor(i)
+	k, chunk, tier, err := g.chunkFor(i)
 	if err != nil {
 		return nil, err
 	}
+	head := g.headOf(tier)
 	dec := vcodec.NewDecoder(1)
 	var out *raster.Frame
 	for j := k; j <= i; j++ {
-		pkt, err := g.head.PacketFromChunk(chunk, k, j)
+		pkt, err := head.PacketFromChunk(chunk, k, j)
 		if err != nil {
 			return nil, err
 		}
@@ -1406,19 +1426,20 @@ func (g *RemoteGame) FrameAt(i int) (*raster.Frame, error) {
 	return out, nil
 }
 
-// chunkFor locates the fetched chunk containing frame i.
-func (g *RemoteGame) chunkFor(i int) (int, []byte, error) {
+// chunkFor locates the fetched chunk containing frame i and the tier it
+// landed at.
+func (g *RemoteGame) chunkFor(i int) (int, []byte, string, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	idx := sort.SearchInts(g.starts, i+1) - 1
 	if idx < 0 {
-		return 0, nil, fmt.Errorf("netstream: frame %d not fetched", i)
+		return 0, nil, "", fmt.Errorf("netstream: frame %d not fetched", i)
 	}
 	k := g.starts[idx]
 	if i >= g.ends[k] {
-		return 0, nil, fmt.Errorf("netstream: frame %d not fetched", i)
+		return 0, nil, "", fmt.Errorf("netstream: frame %d not fetched", i)
 	}
-	return k, g.chunks[k], nil
+	return k, g.chunks[k], g.tierOf[k], nil
 }
 
 // FetchResource GETs a popup web resource (scripts' `open` verb).

@@ -1,0 +1,250 @@
+package netstream
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/gamepack"
+	"repro/internal/media/container"
+	"repro/internal/media/studio"
+	"repro/internal/media/synth"
+	"repro/internal/obs"
+)
+
+// ladderTestServer publishes a 10-segment synth course as a full quality
+// ladder on a manifest-backed server with a metrics registry attached.
+func ladderTestServer(t *testing.T) (*httptest.Server, *Server, *obs.Registry) {
+	t.Helper()
+	film := synth.Generate(synth.Spec{
+		W: 96, H: 64, FPS: 10,
+		Shots: 10, MinShotFrames: 20, MaxShotFrames: 24,
+		NoiseAmp: 1, Seed: 12,
+	})
+	rungs, err := studio.RecordLadder(film, studio.Options{GOP: 10, ShotMarkers: true}, studio.DefaultLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	videos := make([]gamepack.TierVideo, len(rungs))
+	for i, r := range rungs {
+		videos[i] = gamepack.TierVideo{Tier: r.Tier, Video: r.Video}
+	}
+	r, err := container.Open(videos[0].Video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProject("Ladder Course")
+	for i, ch := range r.Chapters() {
+		id := fmt.Sprintf("s%d", i)
+		p.Scenarios = append(p.Scenarios, &core.Scenario{ID: id, Name: ch.Name, Segment: ch.Name})
+		if i == 0 {
+			p.StartScenario = id
+		}
+	}
+	blob, err := gamepack.BuildLadder(p, videos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.AddPackage("course", blob); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("")
+	srv.Register(reg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv, reg
+}
+
+// serverTierBytes reads the per-tier bytes-served ledger out of a
+// registry snapshot, exactly as E19's reconciliation does.
+func serverTierBytes(reg *obs.Registry) map[string]int64 {
+	out := map[string]int64{}
+	snap := reg.Snapshot()
+	m := snap.Metric("netstream_tier_bytes_total")
+	if m == nil {
+		return out
+	}
+	for _, s := range m.Series {
+		if s.Value != nil {
+			out[s.Labels["tier"]] = *s.Value
+		}
+	}
+	return out
+}
+
+func TestProgressiveOpenABRStartsAtLowestRung(t *testing.T) {
+	ts, _, _ := ladderTestServer(t)
+	c := &Client{}
+	g, st, err := c.ProgressiveOpenABR(ts.URL+"/pkg/course", NewPackageCache(), ABRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"", "low", "med", "min"}; !reflect.DeepEqual(g.Tiers(), want) {
+		t.Fatalf("Tiers = %v, want %v", g.Tiers(), want)
+	}
+	if g.ABR() == nil {
+		t.Fatal("ABR open returned a game without a picker")
+	}
+	if got := g.ABR().CurrentTier(); got != "min" {
+		t.Errorf("picker starts at %q, want the lowest rung", got)
+	}
+	start := g.Project.ScenarioByID(g.Project.StartScenario)
+	tier, ok := g.SegmentTier(start.Segment)
+	if !ok || tier != "min" {
+		t.Errorf("start segment landed at %q (fetched %v), want the min rung", tier, ok)
+	}
+	if tb := g.TierBytes(); tb["min"] <= 0 {
+		t.Errorf("no wire bytes attributed to the min rung: %v", tb)
+	}
+	// The whole point of the low start: cheaper than a canonical open.
+	cBase := &Client{}
+	_, stFull, err := cBase.ProgressiveOpenCached(ts.URL+"/pkg/course", NewPackageCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesFetched >= stFull.BytesFetched {
+		t.Errorf("ABR open fetched %d bytes, canonical open %d", st.BytesFetched, stFull.BytesFetched)
+	}
+}
+
+func TestFetchSegmentTierMixedDecode(t *testing.T) {
+	ts, _, _ := ladderTestServer(t)
+	c := &Client{}
+	g, _, err := c.ProgressiveOpenCached(ts.URL+"/pkg/course", NewPackageCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := g.Chapters()
+	if len(chs) < 3 {
+		t.Fatalf("course has %d segments, need 3", len(chs))
+	}
+	// Spread the remaining segments across rungs; the start segment
+	// already landed canonical.
+	wantTier := map[string]string{chs[0].Name: ""}
+	for i, tier := range []string{"min", "low"} {
+		ch := chs[i+1]
+		if _, err := g.FetchSegmentTier(ch.Name, tier); err != nil {
+			t.Fatalf("FetchSegmentTier(%q, %q): %v", ch.Name, tier, err)
+		}
+		wantTier[ch.Name] = tier
+	}
+	// A segment keeps the tier it landed at: refetching at another rung
+	// is a no-op, not a transfer.
+	st, err := g.FetchSegmentTier(chs[1].Name, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesFetched != 0 {
+		t.Errorf("refetch of a landed segment transferred %d bytes", st.BytesFetched)
+	}
+	meta := g.Meta()
+	for name, tier := range wantTier {
+		got, ok := g.SegmentTier(name)
+		if !ok || got != tier {
+			t.Errorf("SegmentTier(%q) = %q,%v want %q", name, got, ok, tier)
+		}
+	}
+	// Frames decode across the tier boundary — each landed chunk against
+	// the head of the rung that produced it.
+	for _, ch := range chs[:3] {
+		f, err := g.FrameAt(ch.Start)
+		if err != nil {
+			t.Fatalf("FrameAt(%d) in %q: %v", ch.Start, ch.Name, err)
+		}
+		if f.W != meta.Width || f.H != meta.Height {
+			t.Errorf("frame %d is %dx%d, want %dx%d", ch.Start, f.W, f.H, meta.Width, meta.Height)
+		}
+	}
+	if _, err := g.FetchSegmentTier(chs[3].Name, "ghost"); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("unknown tier error = %v", err)
+	}
+}
+
+// TestTierBytesReconcile plays a ladder end to end and reconciles the
+// client's per-tier ledger against the server's /metrics counters to the
+// byte — the accounting E19 asserts under fault profiles.
+func TestTierBytesReconcile(t *testing.T) {
+	ts, _, reg := ladderTestServer(t)
+	c := &Client{}
+	g, _, err := c.ProgressiveOpenABR(ts.URL+"/pkg/course", NewPackageCache(), ABRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	player := &StreamPlayer{Game: g, DecodeFrames: true}
+	rep, err := player.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments != len(g.Chapters()) {
+		t.Errorf("played %d of %d segments", rep.Segments, len(g.Chapters()))
+	}
+	if rep.Rebuffers != 0 {
+		t.Errorf("%d rebuffers on a loopback link", rep.Rebuffers)
+	}
+	got := serverTierBytes(reg)
+	want := map[string]int64{}
+	for tier, n := range g.TierBytes() {
+		want[TierLabel(tier)] += n
+	}
+	for label, n := range want {
+		if got[label] != n {
+			t.Errorf("tier %q: server served %d bytes, client fetched %d", label, got[label], n)
+		}
+	}
+	for label, n := range got {
+		if n != 0 && want[label] == 0 {
+			t.Errorf("server served %d bytes on tier %q the client never fetched", n, label)
+		}
+	}
+}
+
+func TestABRFallbacksAndErrors(t *testing.T) {
+	ts, srv, _ := ladderTestServer(t)
+	c := &Client{}
+	if _, _, err := c.ProgressiveOpenABR(ts.URL+"/res/nope", NewPackageCache(), ABRConfig{}); err == nil {
+		t.Error("ABR open accepted a non-/pkg/ URL")
+	}
+	// A single-quality package degrades to a one-rung picker.
+	blob, err := content.Classroom().BuildPackage(studio.Options{QStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddPackage("plain", blob); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := c.ProgressiveOpenABR(ts.URL+"/pkg/plain", NewPackageCache(), ABRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{""}; !reflect.DeepEqual(g.Tiers(), want) {
+		t.Errorf("single-quality Tiers = %v", g.Tiers())
+	}
+	if got := g.ABR().Pick(10); got != "" {
+		t.Errorf("one-rung picker picked %q", got)
+	}
+	// Legacy ranged transport carries exactly the canonical tier.
+	raw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "plain.tkg", time.Now(), strings.NewReader(string(blob)))
+	}))
+	defer raw.Close()
+	rg, _, err := c.ProgressiveOpen(raw.URL + "/plain.tkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{""}; !reflect.DeepEqual(rg.Tiers(), want) {
+		t.Errorf("ranged Tiers = %v", rg.Tiers())
+	}
+	if _, err := rg.FetchSegmentTier(rg.Chapters()[1].Name, "low"); err == nil {
+		t.Error("ranged game accepted a tier fetch")
+	}
+	if _, err := rg.EnableABR(ABRConfig{}); err == nil {
+		t.Error("ranged game accepted ABR")
+	}
+}

@@ -377,6 +377,14 @@ func (m *Manager) AddCourse(name string, pkgBlob []byte) error {
 // netstream server), so no package blob is ever built on the hosting
 // path and shared segments are read once.
 func (m *Manager) AddCourseFromManifest(name string, man *gamepack.Manifest) error {
+	return m.AddCourseFromManifestTier(name, man, "")
+}
+
+// AddCourseFromManifestTier is AddCourseFromManifest pinned to one rung
+// of a quality-ladder manifest: the host assembles that tier's video
+// section instead of the canonical one — how an edge node hosts the
+// "low" rung for a constrained cohort. Tier "" is the canonical rung.
+func (m *Manager) AddCourseFromManifestTier(name string, man *gamepack.Manifest, tier string) error {
 	if name == "" {
 		return fmt.Errorf("playsvc: empty course name")
 	}
@@ -384,9 +392,10 @@ func (m *Manager) AddCourseFromManifest(name string, man *gamepack.Manifest) err
 		return fmt.Errorf("playsvc: course %s: no chunk store configured", name)
 	}
 	psec := man.Section(gamepack.SectionProject)
-	vsec := man.Section(gamepack.SectionVideo)
+	vsec := man.VideoSection(tier)
 	if psec == nil || vsec == nil {
-		return fmt.Errorf("playsvc: course %s: manifest lacks project or video section", name)
+		return fmt.Errorf("playsvc: course %s: manifest lacks project or video tier %q (have %v)",
+			name, tier, man.VideoTiers())
 	}
 	projJSON, err := psec.AssembleSection(m.store.Get)
 	if err != nil {

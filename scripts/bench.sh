@@ -3,7 +3,7 @@
 # machine-readable point in the perf trajectory (first point: PR 2).
 #
 # Usage:
-#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR9.json
+#   scripts/bench.sh                     # full suite, 3 runs, BENCH_PR10.json
 #   scripts/bench.sh --check             # regression smoke vs BENCH_PR4.json
 #   BENCH_PATTERN='Encode|Decode' scripts/bench.sh   # subset
 #   BENCH_COUNT=1 BENCH_TIME=1x scripts/bench.sh     # quick smoke
@@ -12,7 +12,7 @@
 #   BENCH_PATTERN  -bench regex            (default: . | check's key benches)
 #   BENCH_COUNT    -count                  (default: 3 | 2 in --check)
 #   BENCH_TIME     -benchtime              (default: go's 1s | 0.5s in --check)
-#   BENCH_TAG      output tag              (default: PR9)
+#   BENCH_TAG      output tag              (default: PR10)
 #   BENCH_OUT      output path             (default: BENCH_<TAG>.json)
 #   BENCH_BASELINE --check baseline file   (default: BENCH_PR4.json)
 #   BENCH_THRESHOLD --check slowdown gate  (default: 1.6)
@@ -90,7 +90,7 @@ fi
 
 PATTERN=${BENCH_PATTERN:-.}
 COUNT=${BENCH_COUNT:-3}
-TAG=${BENCH_TAG:-PR9}
+TAG=${BENCH_TAG:-PR10}
 OUT=${BENCH_OUT:-BENCH_${TAG}.json}
 TIMEFLAG=()
 if [ -n "${BENCH_TIME:-}" ]; then
@@ -187,4 +187,23 @@ if [ "${BENCH_E17:-1}" != "0" ]; then
     rm -f "$E17RAW"
 fi
 
+
+# Fold the E19 adaptive-streaming sweep (the PR 10 acceptance measurement:
+# rebuffer-free playback across a 10× bandwidth spread with exact per-tier
+# byte accounting against /metrics) into the same artifact. The experiment
+# prints a machine-readable "E19JSON {...}" trailer that lands under the
+# "e19" key. BENCH_E19=0 skips it.
+if [ "${BENCH_E19:-1}" != "0" ]; then
+    E19RAW=$(mktemp)
+    echo ">> go run ./cmd/vgbl-experiments e19" >&2
+    go run ./cmd/vgbl-experiments e19 | tee "$E19RAW" >&2
+    E19JSON=$(sed -n 's/^E19JSON //p' "$E19RAW" | tail -1)
+    if [ -n "$E19JSON" ]; then
+        awk -v blob="$E19JSON" '
+        $0 == "}" { printf "  ,\"e19\": %s\n}\n", blob; next }
+        { print }
+        ' "$OUT" > "${OUT}.tmp" && mv "${OUT}.tmp" "$OUT"
+    fi
+    rm -f "$E19RAW"
+fi
 echo ">> wrote $OUT ($(grep -c '"name"' "$OUT") results)" >&2

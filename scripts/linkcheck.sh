@@ -1,0 +1,50 @@
+#!/bin/sh
+# linkcheck.sh — verify that every relative markdown link in the repo's
+# top-level docs points at a file that exists. External (http/https)
+# links are skipped: this runs in CI without network access, and the
+# docs deliberately keep almost everything in-repo. Non-gating in CI,
+# but exits non-zero on any broken link so the job output names them.
+#
+#   scripts/linkcheck.sh              # checks the default doc set
+#   scripts/linkcheck.sh FILE...      # checks the given files
+set -eu
+
+cd "$(dirname "$0")/.."
+
+docs="$*"
+if [ -z "$docs" ]; then
+    docs="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md"
+fi
+
+status=0
+for doc in $docs; do
+    if [ ! -f "$doc" ]; then
+        echo "linkcheck: $doc: no such file" >&2
+        status=1
+        continue
+    fi
+    # Inline links: [text](target). One match per line is enough for
+    # these docs; anchors (#...) are stripped before the existence test.
+    grep -no '\[[^]]*\]([^)]*)' "$doc" | while IFS=: read -r line match; do
+        target=${match##*](}
+        target=${target%)}
+        case $target in
+        http://*|https://*|mailto:*) continue ;;   # external: skipped
+        \#*) continue ;;                            # same-file anchor
+        esac
+        file=${target%%#*}
+        if [ ! -e "$file" ]; then
+            echo "$doc:$line: broken link -> $target"
+        fi
+    done > /tmp/linkcheck.$$ || true
+    if [ -s /tmp/linkcheck.$$ ]; then
+        cat /tmp/linkcheck.$$ >&2
+        status=1
+    fi
+    rm -f /tmp/linkcheck.$$
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "linkcheck: OK ($docs)"
+fi
+exit $status
